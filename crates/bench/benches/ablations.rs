@@ -1,0 +1,47 @@
+//! Criterion: profiler-on vs profiler-off overhead (§5.9's 1.3% CPU claim)
+//! and the full-profiler epoch loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+const OPS: u64 = 60_000;
+
+fn machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::spr());
+    m.attach(
+        0,
+        Workload::new("STREAM", workloads::build("STREAM", OPS, 1).unwrap(), MemPolicy::Cxl),
+    );
+    m
+}
+
+fn overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiler_overhead");
+    g.sample_size(10);
+    g.bench_function("machine_only", |b| {
+        b.iter(|| machine().run_to_completion(2_000))
+    });
+    g.bench_function("machine_plus_profiler", |b| {
+        b.iter(|| {
+            let mut p = Profiler::new(machine(), ProfileSpec::default());
+            p.run(2_000)
+        })
+    });
+    g.bench_function("machine_plus_builder_only", |b| {
+        b.iter(|| {
+            let spec = ProfileSpec {
+                estimate_stalls: false,
+                analyze_queues: false,
+                materialize: false,
+                ..Default::default()
+            };
+            let mut p = Profiler::new(machine(), spec);
+            p.run(2_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

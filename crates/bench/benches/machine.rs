@@ -1,0 +1,57 @@
+//! Criterion: simulator engine throughput — how many memory operations the
+//! machine walks per second for each workload class and memory policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+const OPS: u64 = 50_000;
+
+fn run(app: &str, policy: MemPolicy) {
+    let mut m = Machine::new(MachineConfig::spr());
+    m.attach(0, Workload::new(app, workloads::build(app, OPS, 1).unwrap(), policy));
+    m.run_to_completion(2_000);
+}
+
+fn machine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_ops");
+    g.throughput(Throughput::Elements(OPS));
+    g.sample_size(10);
+    for app in ["STREAM", "505.mcf_r", "GUPS", "649.fotonik3d_s"] {
+        for (label, policy) in [("local", MemPolicy::Local), ("cxl", MemPolicy::Cxl)] {
+            g.bench_with_input(
+                BenchmarkId::new(app.replace('.', "_"), label),
+                &policy,
+                |b, &p| b.iter(|| run(app, p)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn multicore_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_multicore");
+    g.sample_size(10);
+    for cores in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(OPS * cores as u64));
+        g.bench_with_input(BenchmarkId::new("mbw_cxl", cores), &cores, |b, &n| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::spr());
+                for i in 0..n {
+                    m.attach(
+                        i,
+                        Workload::new(
+                            format!("MBW-{i}"),
+                            workloads::build("MBW", OPS, i as u64).unwrap(),
+                            MemPolicy::Cxl,
+                        ),
+                    );
+                }
+                m.run_to_completion(2_000);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, machine_throughput, multicore_scaling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion: per-epoch cost of PathFinder's four techniques.
+//!
+//! These are the operations that run at every scheduling epoch on a live
+//! system, so their cost *is* the profiler's CPU overhead (§5.9: 1.3%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathfinder::analyzer::PfAnalyzer;
+use pathfinder::builder::PfBuilder;
+use pathfinder::estimator::PfEstimator;
+use pathfinder::materializer::Materializer;
+use pathfinder::model::LatencyModel;
+use pmu::SystemDelta;
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+/// A realistic busy epoch digest: one epoch of a CXL-bound stencil.
+fn sample_delta() -> SystemDelta {
+    let mut m = Machine::new(MachineConfig::spr());
+    m.attach(
+        0,
+        Workload::new(
+            "649.fotonik3d_s",
+            workloads::build("649.fotonik3d_s", 200_000, 1).unwrap(),
+            MemPolicy::Cxl,
+        ),
+    );
+    let start = m.pmu.snapshot(0);
+    m.run_epoch();
+    m.pmu.snapshot(m.now()).delta(&start)
+}
+
+fn technique_costs(c: &mut Criterion) {
+    let delta = sample_delta();
+    let lat = LatencyModel::spr();
+
+    c.bench_function("pfbuilder_build", |b| b.iter(|| PfBuilder::build(&delta)));
+    c.bench_function("pfestimator_breakdown", |b| {
+        b.iter(|| PfEstimator::breakdown(&delta, &lat))
+    });
+    c.bench_function("pfanalyzer_analyze", |b| {
+        b.iter(|| PfAnalyzer::analyze(&delta, &lat))
+    });
+    c.bench_function("pfmaterializer_ingest", |b| {
+        let map = PfBuilder::build(&delta);
+        b.iter(|| {
+            let mut m = Materializer::new();
+            m.ingest_path_map(0, &map, &[Some("app".into())]);
+        })
+    });
+    c.bench_function("snapshot_delta", |b| {
+        let m = {
+            let mut m = Machine::new(MachineConfig::spr());
+            m.attach(
+                0,
+                Workload::new("STREAM", workloads::build("STREAM", 10_000, 1).unwrap(), MemPolicy::Cxl),
+            );
+            m.run_epoch();
+            m
+        };
+        let s0 = m.pmu.snapshot(0);
+        b.iter(|| m.pmu.snapshot(m.now()).delta(&s0));
+    });
+}
+
+criterion_group!(benches, technique_costs);
+criterion_main!(benches);

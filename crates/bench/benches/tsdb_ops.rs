@@ -1,0 +1,58 @@
+//! Criterion: materializer/time-series-database operator costs — insertion,
+//! tag-filtered queries, Holt-Winters fitting, clustering, correlation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tsdb::{ops, tsa, Db, Point};
+
+fn filled_db(n: usize) -> Db {
+    let mut db = Db::new();
+    for t in 0..n as u64 {
+        db.insert(
+            Point::new("path_set", t)
+                .tag("core", (t % 4).to_string())
+                .tag("dst", if t % 3 == 0 { "LLC" } else { "CXL Memory" })
+                .field("hits", (t % 1000) as f64),
+        );
+    }
+    db
+}
+
+fn insert_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_insert");
+    for n in [1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| filled_db(n))
+        });
+    }
+    g.finish();
+}
+
+fn query_bench(c: &mut Criterion) {
+    let db = filled_db(10_000);
+    c.bench_function("tsdb_filtered_values", |b| {
+        b.iter(|| db.from("path_set").filter("core", "2").filter("dst", "LLC").values("hits"))
+    });
+    c.bench_function("tsdb_range_count", |b| {
+        b.iter(|| db.from("path_set").range(1_000, 9_000).count())
+    });
+}
+
+fn tsa_bench(c: &mut Criterion) {
+    let series: Vec<(u64, f64)> =
+        (0..4_096u64).map(|t| (t, 100.0 + 30.0 * ((t % 16) as f64))).collect();
+    let data: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+    c.bench_function("tsa_moving_average", |b| b.iter(|| ops::moving_average(&series, 32)));
+    c.bench_function("tsa_holt_winters_fit", |b| {
+        let hw = tsa::HoltWinters::new(16);
+        b.iter(|| hw.fit_forecast(&data, 16))
+    });
+    c.bench_function("tsa_cluster_windows", |b| b.iter(|| tsa::cluster_windows(&data, 0.2, 1.0)));
+    c.bench_function("tsa_pearsonr", |b| {
+        let other: Vec<f64> = data.iter().map(|v| v * 1.5 + 2.0).collect();
+        b.iter(|| tsa::pearsonr(&data, &other))
+    });
+}
+
+criterion_group!(benches, insert_bench, query_bench, tsa_bench);
+criterion_main!(benches);

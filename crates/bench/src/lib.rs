@@ -1,0 +1,172 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artefact from the paper's
+//! evaluation (see DESIGN.md §3 for the index). The helpers here run a
+//! configured scenario on the simulated machine, return the whole-run
+//! counter delta, and write results both as an aligned text table on stdout
+//! and as CSV under `bench/out/`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use pathfinder::Report;
+use pmu::SystemDelta;
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+/// Default per-run operation budget. Figures sweep several runs; keep each
+/// in the ~1-2s range in release mode.
+pub const DEFAULT_OPS: u64 = 300_000;
+
+/// Maximum epochs per run — a generous backstop against runaway scenarios.
+pub const MAX_EPOCHS: u64 = 5_000;
+
+/// One workload to pin: `(core, app name or registry key, ops, policy, seed)`.
+pub struct Pin {
+    pub core: usize,
+    pub name: String,
+    pub trace: Box<dyn simarch::TraceSource>,
+    pub policy: MemPolicy,
+}
+
+impl Pin {
+    /// Pin a registry application.
+    pub fn app(core: usize, app: &str, ops: u64, policy: MemPolicy, seed: u64) -> Pin {
+        Pin {
+            core,
+            name: app.to_string(),
+            trace: workloads::build(app, ops, seed)
+                .unwrap_or_else(|| panic!("unknown app {app}")),
+            policy,
+        }
+    }
+
+    /// Pin a custom trace.
+    pub fn trace(
+        core: usize,
+        name: impl Into<String>,
+        trace: Box<dyn simarch::TraceSource>,
+        policy: MemPolicy,
+    ) -> Pin {
+        Pin { core, name: name.into(), trace, policy }
+    }
+}
+
+/// Run workloads to completion on a machine; return the whole-run counter
+/// delta and final cycle count.
+pub fn run_machine(cfg: MachineConfig, pins: Vec<Pin>) -> (SystemDelta, u64) {
+    let mut machine = Machine::new(cfg);
+    for p in pins {
+        machine.attach(p.core, Workload::new(p.name, p.trace, p.policy));
+    }
+    let start = machine.pmu.snapshot(0);
+    for _ in 0..MAX_EPOCHS {
+        if machine.run_epoch().all_done {
+            break;
+        }
+    }
+    let end = machine.pmu.snapshot(machine.now());
+    let cycles = machine.now();
+    (end.delta(&start), cycles)
+}
+
+/// Run workloads under the full PathFinder profiler; return the report and
+/// the profiler itself (for materializer queries).
+pub fn run_profiled(cfg: MachineConfig, pins: Vec<Pin>) -> (Report, Profiler) {
+    let mut machine = Machine::new(cfg);
+    for p in pins {
+        machine.attach(p.core, Workload::new(p.name, p.trace, p.policy));
+    }
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    let report = profiler.run(MAX_EPOCHS);
+    (report, profiler)
+}
+
+/// Output directory for CSV artefacts (`bench/out/`, created on demand).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("out");
+    std::fs::create_dir_all(&dir).expect("create bench/out");
+    dir
+}
+
+/// Write a CSV artefact and echo its path.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = out_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).unwrap();
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).unwrap();
+    }
+    println!("\n[csv] {}", path.display());
+}
+
+/// Print an aligned table (re-exported from the profiler's report module).
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", pathfinder::report::table(headers, rows));
+}
+
+/// Format a ratio like the paper's "2.1x".
+pub fn ratio(cxl: f64, local: f64) -> String {
+    if local == 0.0 {
+        "-".into()
+    } else {
+        format!("{:.1}x", cxl / local)
+    }
+}
+
+/// Format a signed percentage change like the paper's "-22.8%".
+pub fn pct_change(new: f64, old: f64) -> String {
+    if old == 0.0 {
+        "-".into()
+    } else {
+        format!("{:+.1}%", 100.0 * (new - old) / old)
+    }
+}
+
+/// The six applications most figures of §3 use, chosen to span the
+/// behavioural classes.
+pub const SIX_APPS: [&str; 6] =
+    ["519.lbm_r", "503.bwaves_r", "505.mcf_r", "554.roms_r", "507.cactuBSSN_r", "649.fotonik3d_s"];
+
+/// Parse `--emr` from argv: all §3 figure binaries accept it to regenerate
+/// the EMR variants (paper Figures 14-16).
+pub fn platform_from_args() -> MachineConfig {
+    if std::env::args().any(|a| a == "--emr") {
+        MachineConfig::emr()
+    } else {
+        MachineConfig::spr()
+    }
+}
+
+/// Parse `--ops N` from argv.
+pub fn ops_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_OPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_machine_completes() {
+        let (d, cycles) = run_machine(
+            MachineConfig::tiny(),
+            vec![Pin::app(0, "STREAM", 20_000, MemPolicy::Local, 1)],
+        );
+        assert!(cycles > 0);
+        assert!(d.core_sum(pmu::CoreEvent::InstRetired) > 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(210.0, 100.0), "2.1x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(pct_change(77.2, 100.0), "-22.8%");
+        assert_eq!(pct_change(120.0, 100.0), "+20.0%");
+    }
+}

@@ -1,0 +1,253 @@
+//! **PFAnalyzer** (§4.5, Algorithm 1): delay-based queueing analysis.
+//!
+//! Each hardware module is modelled as an FCFS queue; combining its
+//! hit/miss frequency counters (arrival rate λ) with its data-response-time
+//! counters (delay W), Little's law `L = λ·W` estimates the average queue
+//! length per cycle. For components that forward misses downstream the
+//! extended form `L = λ_hit·W_hit + λ_miss·W_miss` applies, where `W_miss`
+//! is the tag-lookup constant for L1D/L2 and the *measured* miss delay for
+//! the LLC (missing entries sit in the TOR until completion). LFB and DIMM
+//! use the hit-only model. The (path, component) with the maximum queue
+//! length is the culprit of the snapshot.
+
+use crate::model::{Component, LatencyModel, PathGroup};
+use pmu::{ChaEvent, CoreEvent, CxlEvent, M2pEvent, SystemDelta, TorDrdScen, TorRfoScen};
+
+/// Queue-length estimates per (path group, component).
+#[derive(Clone, Debug, Default)]
+pub struct QueueEstimate {
+    /// `q[path][component]` — average entries per cycle.
+    pub q: [[f64; Component::COUNT]; PathGroup::COUNT],
+}
+
+/// The contention point of a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Culprit {
+    pub path: PathGroup,
+    pub component: Component,
+    pub queue_len: f64,
+}
+
+impl QueueEstimate {
+    pub fn get(&self, p: PathGroup, c: Component) -> f64 {
+        self.q[p.idx()][c.idx()]
+    }
+
+    /// The maximum-occupancy (path, component) pair — Algorithm 1, L19.
+    pub fn culprit(&self) -> Option<Culprit> {
+        let mut best: Option<Culprit> = None;
+        for p in PathGroup::ALL {
+            for c in Component::ALL {
+                let q = self.get(p, c);
+                if q > 0.0 && best.map(|b| q > b.queue_len).unwrap_or(true) {
+                    best = Some(Culprit { path: p, component: c, queue_len: q });
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The PFAnalyzer mechanism.
+pub struct PfAnalyzer;
+
+impl PfAnalyzer {
+    /// Estimate per-component queue lengths for one epoch digest.
+    pub fn analyze(delta: &SystemDelta, lat: &LatencyModel) -> QueueEstimate {
+        let mut out = QueueEstimate::default();
+        let clocks = delta.cycles().max(1) as f64;
+
+        // ---- L1D / LFB: only the DRd path is observable (§5.9). ---------
+        let l1_hits = delta.core_sum(CoreEvent::MemLoadRetiredL1Hit) as f64;
+        let l1_misses = delta.core_sum(CoreEvent::MemLoadRetiredL1Miss) as f64;
+        out.q[PathGroup::Drd.idx()][Component::L1d.idx()] =
+            (l1_hits / clocks) * lat.l1_hit + (l1_misses / clocks) * lat.l1_tag;
+        let fb_hits = delta.core_sum(CoreEvent::MemLoadRetiredL1FbHit) as f64;
+        out.q[PathGroup::Drd.idx()][Component::Lfb.idx()] = (fb_hits / clocks) * lat.lfb_hit;
+
+        // ---- L2: per-path hit/miss counters exist. -----------------------
+        let l2 = [
+            (
+                PathGroup::Drd,
+                delta.core_sum(CoreEvent::L2RqstsDemandDataRdHit)
+                    + delta.core_sum(CoreEvent::L2RqstsSwpfHit),
+                delta.core_sum(CoreEvent::L2RqstsDemandDataRdMiss)
+                    + delta.core_sum(CoreEvent::L2RqstsSwpfMiss),
+            ),
+            (
+                PathGroup::Rfo,
+                delta.core_sum(CoreEvent::L2RqstsRfoHit),
+                delta.core_sum(CoreEvent::L2RqstsRfoMiss),
+            ),
+            (
+                PathGroup::HwPf,
+                delta.core_sum(CoreEvent::L2RqstsHwpfHit),
+                delta.core_sum(CoreEvent::L2RqstsHwpfMiss),
+            ),
+        ];
+        for (p, hits, misses) in l2 {
+            out.q[p.idx()][Component::L2.idx()] =
+                (hits as f64 / clocks) * lat.l2_hit + (misses as f64 / clocks) * lat.l2_tag;
+        }
+
+        // ---- Downstream (FlexBus+MC, device) residencies, per-path split
+        // by the share of CXL-destined TOR inserts.
+        let m2p_occ = delta.m2p_sum(M2pEvent::RxcOccupancy) as f64;
+        let m2p_inserts = delta.m2p_sum(M2pEvent::RxcInserts) as f64;
+        let link_transfer = m2p_inserts * lat.flexbus;
+        let dev_occ = (delta.cxl_sum(CxlEvent::DevMcRpqOccupancy)
+            + delta.cxl_sum(CxlEvent::DevMcWpqOccupancy)) as f64;
+        let shares = cxl_insert_shares(delta);
+
+        // ---- LLC via TOR: W_miss measured from occupancy/inserts, with
+        // the downstream residency (FlexBus + device) subtracted so the LLC
+        // queue reflects time spent *at the CHA/LLC*, not the whole trip —
+        // missing entries park in the TOR until completion (§4.5), so the
+        // raw occupancy includes everything below.
+        for p in [PathGroup::Drd, PathGroup::Rfo, PathGroup::HwPf] {
+            let (hit_ins, hit_occ, miss_ins, miss_occ) = tor_family(delta, p);
+            let downstream = shares[p.idx()] * (m2p_occ + link_transfer + dev_occ);
+            let excl_miss_occ = (miss_occ as f64 - downstream).max(0.0);
+            let w_hit = lat.llc_hit;
+            let w_miss = if miss_ins > 0 { excl_miss_occ / miss_ins as f64 } else { 0.0 };
+            out.q[p.idx()][Component::Llc.idx()] = (hit_ins as f64 / clocks) * w_hit
+                + (miss_ins as f64 / clocks) * w_miss;
+            // CHA queueing: the exclusive occupancy expressed directly as
+            // entries per cycle (an occupancy integral / cycles IS a queue
+            // length — no model needed where the hardware measures it).
+            out.q[p.idx()][Component::Cha.idx()] = (hit_occ as f64 + excl_miss_occ) / clocks;
+        }
+
+        // ---- FlexBus+MC and the DIMM: hit-only model. ---------------------
+        for p in [PathGroup::Drd, PathGroup::Rfo, PathGroup::HwPf] {
+            let s = shares[p.idx()];
+            out.q[p.idx()][Component::FlexBusMc.idx()] = s * (m2p_occ + link_transfer) / clocks;
+            out.q[p.idx()][Component::CxlDimm.idx()] = s * dev_occ / clocks;
+        }
+        // DWr: the write-side device queue.
+        let wr_occ = delta.cxl_sum(CxlEvent::RxcPackBufOccupancyMemData) as f64;
+        out.q[PathGroup::Dwr.idx()][Component::CxlDimm.idx()] = wr_occ / clocks;
+
+        out
+    }
+}
+
+/// TOR (hit inserts, hit occupancy, miss inserts, miss occupancy) for a
+/// read-like path family.
+fn tor_family(delta: &SystemDelta, p: PathGroup) -> (u64, u64, u64, u64) {
+    match p {
+        PathGroup::Drd => (
+            delta.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::HitLlc)),
+            delta.cha_sum(ChaEvent::TorOccupancyIaDrd(TorDrdScen::HitLlc)),
+            delta.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissLlc)),
+            delta.cha_sum(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissLlc)),
+        ),
+        PathGroup::Rfo => (
+            delta.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::HitLlc)),
+            delta.cha_sum(ChaEvent::TorOccupancyIaRfo(TorRfoScen::HitLlc)),
+            delta.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissLlc)),
+            delta.cha_sum(ChaEvent::TorOccupancyIaRfo(TorRfoScen::MissLlc)),
+        ),
+        PathGroup::HwPf => (
+            delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::HitLlc))
+                + delta.cha_sum(ChaEvent::TorInsertsIaRfoPref(TorRfoScen::HitLlc)),
+            delta.cha_sum(ChaEvent::TorOccupancyIaDrdPref(TorDrdScen::HitLlc))
+                + delta.cha_sum(ChaEvent::TorOccupancyIaRfoPref(TorRfoScen::HitLlc)),
+            delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissLlc))
+                + delta.cha_sum(ChaEvent::TorInsertsIaRfoPref(TorRfoScen::MissLlc)),
+            delta.cha_sum(ChaEvent::TorOccupancyIaDrdPref(TorDrdScen::MissLlc))
+                + delta.cha_sum(ChaEvent::TorOccupancyIaRfoPref(TorRfoScen::MissLlc)),
+        ),
+        PathGroup::Dwr => (0, 0, 0, 0),
+    }
+}
+
+/// Shares of CXL-destined TOR inserts per path group.
+fn cxl_insert_shares(delta: &SystemDelta) -> [f64; PathGroup::COUNT] {
+    let drd = delta.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl));
+    let rfo = delta.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissCxl));
+    let pf = delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissCxl))
+        + delta.cha_sum(ChaEvent::TorInsertsIaRfoPref(TorRfoScen::MissCxl));
+    let total = (drd + rfo + pf) as f64;
+    let mut out = [0.0; PathGroup::COUNT];
+    if total > 0.0 {
+        out[PathGroup::Drd.idx()] = drd as f64 / total;
+        out[PathGroup::Rfo.idx()] = rfo as f64 / total;
+        out[PathGroup::HwPf.idx()] = pf as f64 / total;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu::{SystemPmu, SystemSnapshot};
+
+    fn delta_with(cycles: u64, f: impl FnOnce(&mut SystemPmu)) -> SystemDelta {
+        let mut pmu = SystemPmu::new(1, 1, 2, 1, 1);
+        let s0: SystemSnapshot = pmu.snapshot(0);
+        f(&mut pmu);
+        pmu.snapshot(cycles).delta(&s0)
+    }
+
+    #[test]
+    fn littles_law_on_l1d() {
+        let lat = LatencyModel::spr();
+        // 1000 cycles, 100 L1 hits (W=l1_hit), 50 misses (W=l1_tag).
+        let d = delta_with(1000, |p| {
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1Hit, 100);
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1Miss, 50);
+        });
+        let q = PfAnalyzer::analyze(&d, &lat);
+        let want = 0.1 * lat.l1_hit + 0.05 * lat.l1_tag;
+        assert!((q.get(PathGroup::Drd, Component::L1d) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llc_miss_delay_is_measured_not_modelled() {
+        let lat = LatencyModel::spr();
+        let d = delta_with(10_000, |p| {
+            p.chas[0].add(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissLlc), 10);
+            // Mean miss residency 700 cycles.
+            p.chas[0].add(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissLlc), 7_000);
+        });
+        let q = PfAnalyzer::analyze(&d, &lat);
+        // L = λ_miss × W_miss = (10/10_000) × 700 = 0.7.
+        assert!((q.get(PathGroup::Drd, Component::Llc) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn culprit_is_max_queue() {
+        let lat = LatencyModel::spr();
+        let d = delta_with(1_000, |p| {
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1Hit, 10);
+            p.m2ps[0].add(M2pEvent::RxcOccupancy, 90_000);
+            p.chas[0].add(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl), 100);
+        });
+        let q = PfAnalyzer::analyze(&d, &lat);
+        let c = q.culprit().unwrap();
+        assert_eq!(c.component, Component::FlexBusMc);
+        assert_eq!(c.path, PathGroup::Drd);
+        assert!((c.queue_len - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cxl_queue_splits_by_path_shares() {
+        let lat = LatencyModel::spr();
+        let d = delta_with(1_000, |p| {
+            p.chas[0].add(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl), 25);
+            p.chas[0].add(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissCxl), 75);
+            p.cxls[0].add(CxlEvent::DevMcRpqOccupancy, 4_000);
+        });
+        let q = PfAnalyzer::analyze(&d, &lat);
+        assert!((q.get(PathGroup::Drd, Component::CxlDimm) - 1.0).abs() < 1e-9);
+        assert!((q.get(PathGroup::HwPf, Component::CxlDimm) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_delta_has_no_culprit() {
+        let lat = LatencyModel::spr();
+        let d = delta_with(100, |_| {});
+        assert!(PfAnalyzer::analyze(&d, &lat).culprit().is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! **PFBuilder** (§4.3): constructing the path map.
+//!
+//! Traceroute is impossible through non-programmable micro-architecture, but
+//! the PMUs report path-specific hit/miss information at every station.
+//! PFBuilder synthesises the Table-5 counters into a quantitative path map:
+//! for each core, how many DRd / RFO / HW-PF / DWr requests were served at
+//! SB, L1D, LFB, L2, and — via the offcore-response target scenarios — at
+//! the local/SNC/remote LLC, local DRAM, or CXL memory.
+//!
+//! Faithfully reproduced hardware limitation (§5.9): RFO and DWr cannot be
+//! observed at L1D/LFB granularity, and the L2 RFO counters mix demand and
+//! prefetch RFOs. Those map cells stay empty exactly as Table 7's do.
+
+use crate::model::{HitLevel, PathGroup};
+use pmu::{CoreEvent, RespScenario, SystemDelta};
+
+/// The per-core path map: `hits[level][path]`.
+#[derive(Clone, Debug, Default)]
+pub struct CoreMap {
+    pub hits: [[u64; PathGroup::COUNT]; HitLevel::COUNT],
+}
+
+impl CoreMap {
+    pub fn get(&self, level: HitLevel, path: PathGroup) -> u64 {
+        self.hits[level.idx()][path.idx()]
+    }
+
+    /// Total requests this core issued across all paths and levels.
+    pub fn total(&self) -> u64 {
+        self.hits.iter().flatten().sum()
+    }
+
+    /// Total hits at uncore levels (past the private caches).
+    pub fn uncore_total(&self) -> u64 {
+        HitLevel::ALL
+            .iter()
+            .filter(|l| l.is_uncore())
+            .map(|l| self.hits[l.idx()].iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Hits at a given level across all paths.
+    pub fn level_total(&self, level: HitLevel) -> u64 {
+        self.hits[level.idx()].iter().sum()
+    }
+
+    /// Hits for a path across all levels.
+    pub fn path_total(&self, path: PathGroup) -> u64 {
+        self.hits.iter().map(|row| row[path.idx()]).sum()
+    }
+}
+
+/// The whole-machine path map.
+#[derive(Clone, Debug)]
+pub struct PathMap {
+    pub per_core: Vec<CoreMap>,
+    /// Element-wise sum of the per-core maps.
+    pub total: CoreMap,
+}
+
+impl PathMap {
+    /// The hottest (level, path) cell for a core — "the per-core hot path"
+    /// of Case 1.
+    pub fn hot_path(&self, core: usize) -> Option<(HitLevel, PathGroup, u64)> {
+        let m = &self.per_core[core];
+        let mut best = None;
+        for l in HitLevel::ALL {
+            for p in PathGroup::ALL {
+                let v = m.get(l, p);
+                if v > 0 && best.map(|(_, _, b)| v > b).unwrap_or(true) {
+                    best = Some((l, p, v));
+                }
+            }
+        }
+        best
+    }
+
+    /// The dominant path among uncore hits for a core (Case 1: "at the
+    /// uncore, the hot path is HWPF, accounting for 59.3%").
+    pub fn uncore_hot_path(&self, core: usize) -> Option<(PathGroup, f64)> {
+        let m = &self.per_core[core];
+        let total = m.uncore_total();
+        if total == 0 {
+            return None;
+        }
+        PathGroup::ALL
+            .iter()
+            .map(|&p| {
+                let v: u64 = HitLevel::ALL
+                    .iter()
+                    .filter(|l| l.is_uncore())
+                    .map(|l| m.get(*l, p))
+                    .sum();
+                (p, v as f64 / total as f64)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    /// Ratio of CXL-memory hits to local-LLC hits (Case 1: "CXL memory hits
+    /// are 8.1× more than the local LLC hits" for fotonik3d).
+    pub fn cxl_to_llc_ratio(&self, core: usize) -> Option<f64> {
+        let m = &self.per_core[core];
+        let llc = m.level_total(HitLevel::LocalLlc);
+        if llc == 0 {
+            return None;
+        }
+        Some(m.level_total(HitLevel::CxlMemory) as f64 / llc as f64)
+    }
+
+    /// Share of CXL-memory hits carried by each path group for a core.
+    pub fn cxl_path_shares(&self, core: usize) -> [f64; PathGroup::COUNT] {
+        let m = &self.per_core[core];
+        let row = &m.hits[HitLevel::CxlMemory.idx()];
+        let total: u64 = row.iter().sum();
+        let mut out = [0.0; PathGroup::COUNT];
+        if total > 0 {
+            for p in PathGroup::ALL {
+                out[p.idx()] = row[p.idx()] as f64 / total as f64;
+            }
+        }
+        out
+    }
+
+    /// Render the Table-7 style path map for a set of cores.
+    pub fn render(&self, cores: &[usize]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<12}", "Hit Location"));
+        for &c in cores {
+            for p in PathGroup::ALL {
+                out.push_str(&format!("{:>12}", format!("{}@c{}", p.label(), c)));
+            }
+        }
+        out.push('\n');
+        for l in HitLevel::ALL {
+            out.push_str(&format!("{:<12}", l.label()));
+            for &c in cores {
+                for p in PathGroup::ALL {
+                    let v = self.per_core[c].get(l, p);
+                    if v == 0 {
+                        out.push_str(&format!("{:>12}", ""));
+                    } else {
+                        out.push_str(&format!("{:>12}", crate::report::sci(v)));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The PFBuilder mechanism.
+pub struct PfBuilder;
+
+impl PfBuilder {
+    /// Build the path map for one epoch digest.
+    pub fn build(delta: &SystemDelta) -> PathMap {
+        let per_core: Vec<CoreMap> =
+            (0..delta.pmu.cores.len()).map(|c| Self::build_core(delta, c)).collect();
+        let mut total = CoreMap::default();
+        for m in &per_core {
+            for l in 0..HitLevel::COUNT {
+                for p in 0..PathGroup::COUNT {
+                    total.hits[l][p] += m.hits[l][p];
+                }
+            }
+        }
+        PathMap { per_core, total }
+    }
+
+    fn build_core(delta: &SystemDelta, c: usize) -> CoreMap {
+        let b = &delta.pmu.cores[c];
+        let mut m = CoreMap::default();
+        let set = |m: &mut CoreMap, l: HitLevel, p: PathGroup, v: u64| {
+            m.hits[l.idx()][p.idx()] = v;
+        };
+
+        // Core-private stations (Table 5, "Core" rows). RFO/DWr are not
+        // observable at L1D/LFB (§5.9) — those cells stay zero.
+        set(&mut m, HitLevel::Sb, PathGroup::Dwr, b.read(CoreEvent::MemTransRetiredStoreCount));
+        set(&mut m, HitLevel::L1d, PathGroup::Drd, b.read(CoreEvent::MemLoadRetiredL1Hit));
+        set(&mut m, HitLevel::Lfb, PathGroup::Drd, b.read(CoreEvent::MemLoadRetiredL1FbHit));
+        set(
+            &mut m,
+            HitLevel::L2,
+            PathGroup::Drd,
+            b.read(CoreEvent::L2RqstsDemandDataRdHit) + b.read(CoreEvent::L2RqstsSwpfHit),
+        );
+        // L2 RFO counters indiscriminately include demand + prefetch RFO.
+        set(&mut m, HitLevel::L2, PathGroup::Rfo, b.read(CoreEvent::L2RqstsRfoHit));
+        set(&mut m, HitLevel::L2, PathGroup::HwPf, b.read(CoreEvent::L2RqstsHwpfHit));
+        set(&mut m, HitLevel::L2, PathGroup::Dwr, b.read(CoreEvent::MemStoreRetiredL2Hit));
+
+        // Uncore destinations from the offcore-response scenario counters.
+        let drd = |s| b.read(CoreEvent::OcrDemandDataRd(s)) + b.read(CoreEvent::OcrSwPf(s));
+        let rfo = |s| b.read(CoreEvent::OcrRfo(s));
+        let hwpf = |s| {
+            b.read(CoreEvent::OcrL1dHwPf(s))
+                + b.read(CoreEvent::OcrL2HwPfDrd(s))
+                + b.read(CoreEvent::OcrL2HwPfRfo(s))
+        };
+        for (p, f) in [
+            (PathGroup::Drd, &drd as &dyn Fn(RespScenario) -> u64),
+            (PathGroup::Rfo, &rfo),
+            (PathGroup::HwPf, &hwpf),
+        ] {
+            set(&mut m, HitLevel::LocalLlc, p, f(RespScenario::L3HitSnoopLocal));
+            set(&mut m, HitLevel::SncLlc, p, f(RespScenario::SncDistantL3));
+            set(&mut m, HitLevel::RemoteLlc, p, f(RespScenario::RemoteCacheHit));
+            set(
+                &mut m,
+                HitLevel::LocalDram,
+                p,
+                f(RespScenario::LocalDram)
+                    + f(RespScenario::SncDistantDram)
+                    + f(RespScenario::RemoteDram),
+            );
+            set(&mut m, HitLevel::CxlMemory, p, f(RespScenario::CxlDram));
+        }
+        // Write-backs of modified lines leave the core toward the LLC; the
+        // per-core PMU only exposes their total (Table 7 reports them on the
+        // remote-LLC row for CXL-resident data).
+        set(
+            &mut m,
+            HitLevel::RemoteLlc,
+            PathGroup::Dwr,
+            b.read(CoreEvent::OcrModifiedWriteAnyResponse),
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu::{SystemPmu, SystemSnapshot};
+
+    fn delta_with(f: impl FnOnce(&mut SystemPmu)) -> SystemDelta {
+        let mut pmu = SystemPmu::new(2, 1, 2, 1, 1);
+        let s0: SystemSnapshot = pmu.snapshot(0);
+        f(&mut pmu);
+        pmu.snapshot(1000).delta(&s0)
+    }
+
+    #[test]
+    fn core_rows_come_from_the_table5_counters() {
+        let d = delta_with(|p| {
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1Hit, 470);
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1FbHit, 31);
+            p.cores[0].add(CoreEvent::L2RqstsDemandDataRdHit, 4);
+            p.cores[0].add(CoreEvent::L2RqstsSwpfHit, 3);
+            p.cores[0].add(CoreEvent::L2RqstsRfoHit, 44);
+            p.cores[0].add(CoreEvent::MemTransRetiredStoreCount, 78);
+        });
+        let map = PfBuilder::build(&d);
+        let m = &map.per_core[0];
+        assert_eq!(m.get(HitLevel::L1d, PathGroup::Drd), 470);
+        assert_eq!(m.get(HitLevel::Lfb, PathGroup::Drd), 31);
+        assert_eq!(m.get(HitLevel::L2, PathGroup::Drd), 7, "SWPF merges into DRd");
+        assert_eq!(m.get(HitLevel::L2, PathGroup::Rfo), 44);
+        assert_eq!(m.get(HitLevel::Sb, PathGroup::Dwr), 78);
+        // §5.9 limitation: RFO not observable at L1D/LFB.
+        assert_eq!(m.get(HitLevel::L1d, PathGroup::Rfo), 0);
+        assert_eq!(m.get(HitLevel::Lfb, PathGroup::Rfo), 0);
+    }
+
+    #[test]
+    fn uncore_rows_come_from_ocr_scenarios() {
+        let d = delta_with(|p| {
+            p.cores[1].add(CoreEvent::OcrDemandDataRd(RespScenario::CxlDram), 25);
+            p.cores[1].add(CoreEvent::OcrDemandDataRd(RespScenario::L3HitSnoopLocal), 5);
+            p.cores[1].add(CoreEvent::OcrL1dHwPf(RespScenario::CxlDram), 100);
+            p.cores[1].add(CoreEvent::OcrL2HwPfDrd(RespScenario::CxlDram), 120);
+            p.cores[1].add(CoreEvent::OcrRfo(RespScenario::LocalDram), 9);
+        });
+        let map = PfBuilder::build(&d);
+        let m = &map.per_core[1];
+        assert_eq!(m.get(HitLevel::CxlMemory, PathGroup::Drd), 25);
+        assert_eq!(m.get(HitLevel::LocalLlc, PathGroup::Drd), 5);
+        assert_eq!(m.get(HitLevel::CxlMemory, PathGroup::HwPf), 220);
+        assert_eq!(m.get(HitLevel::LocalDram, PathGroup::Rfo), 9);
+        // Core 0 saw nothing.
+        assert_eq!(map.per_core[0].total(), 0);
+        // Totals aggregate.
+        assert_eq!(map.total.get(HitLevel::CxlMemory, PathGroup::HwPf), 220);
+    }
+
+    #[test]
+    fn hot_path_and_ratios() {
+        let d = delta_with(|p| {
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1Hit, 1000);
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::L3HitSnoopLocal), 10);
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::CxlDram), 81);
+            p.cores[0].add(CoreEvent::OcrL2HwPfDrd(RespScenario::CxlDram), 500);
+        });
+        let map = PfBuilder::build(&d);
+        let (l, p, v) = map.hot_path(0).unwrap();
+        assert_eq!((l, p, v), (HitLevel::L1d, PathGroup::Drd, 1000));
+        let (up, share) = map.uncore_hot_path(0).unwrap();
+        assert_eq!(up, PathGroup::HwPf);
+        assert!(share > 0.8);
+        assert!((map.cxl_to_llc_ratio(0).unwrap() - 58.1).abs() < 0.2);
+        let shares = map.cxl_path_shares(0);
+        assert!((shares[PathGroup::HwPf.idx()] - 500.0 / 581.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_rows_and_sci_numbers() {
+        let d = delta_with(|p| {
+            p.cores[0].add(CoreEvent::MemLoadRetiredL1Hit, 4_700_000_000);
+        });
+        let map = PfBuilder::build(&d);
+        let table = map.render(&[0]);
+        assert!(table.contains("L1D"));
+        assert!(table.contains("CXL Memory"));
+        assert!(table.contains("4.7E+09"));
+    }
+
+    #[test]
+    fn empty_delta_has_no_hot_path() {
+        let d = delta_with(|_| {});
+        let map = PfBuilder::build(&d);
+        assert!(map.hot_path(0).is_none());
+        assert!(map.uncore_hot_path(0).is_none());
+        assert!(map.cxl_to_llc_ratio(0).is_none());
+    }
+}

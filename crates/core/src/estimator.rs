@@ -1,0 +1,427 @@
+//! **PFEstimator** (§4.4, Algorithm 2): CXL-induced stall breakdown.
+//!
+//! Stall-cycle counters capture the combined impact of local and CXL memory
+//! paths; splitting by miss-target proportion alone is inaccurate. Inspired
+//! by reverse traceroute, PFEstimator back-propagates the stall observed at
+//! the CXL DIMM toward the core: each segment's own queueing is added and
+//! the accumulated stall is redistributed to the upstream modules
+//! proportionally to their traffic loads.
+//!
+//! Concretely, per path group `p`:
+//!
+//! * The in-core hierarchy telescopes: the paper's counters are nested
+//!   (`stalls_l1d_miss ⊇ stalls_l2_miss ⊇ stalls_l3_miss`), so each level's
+//!   *exclusive* contribution is the difference, scaled by the CXL traffic
+//!   share of `p` at that level.
+//! * The uncore pool (`stalls_l3_miss × share`) is split across LLC, CHA,
+//!   FlexBus+MC and CXL DIMM proportionally to the measured residencies:
+//!   TOR occupancy (CXL-target scenarios), M2PCIe ingress occupancy plus
+//!   link transfer, and the device-controller occupancy.
+//!
+//! The same counters give per-class, per-tier latency estimates
+//! ([`PfEstimator::tor_latency`]) — the input the paper's dynamic
+//! TPP+Colloid uses.
+
+use crate::model::{Component, LatencyModel, PathGroup};
+use pmu::{ChaEvent, CoreEvent, CxlEvent, M2pEvent, RespScenario, SystemDelta, TorDrdScen, TorRfoScen};
+
+/// CXL-induced stall cycles per (path group, component).
+#[derive(Clone, Debug, Default)]
+pub struct StallBreakdown {
+    /// `cycles[path][component]`.
+    pub cycles: [[f64; Component::COUNT]; PathGroup::COUNT],
+}
+
+impl StallBreakdown {
+    pub fn get(&self, p: PathGroup, c: Component) -> f64 {
+        self.cycles[p.idx()][c.idx()]
+    }
+
+    /// Total CXL-induced stall for a path group.
+    pub fn path_total(&self, p: PathGroup) -> f64 {
+        self.cycles[p.idx()].iter().sum()
+    }
+
+    /// Percentage breakdown across components for a path (Figure 6 bars).
+    pub fn percentages(&self, p: PathGroup) -> [f64; Component::COUNT] {
+        let total = self.path_total(p);
+        let mut out = [0.0; Component::COUNT];
+        if total > 0.0 {
+            for c in Component::ALL {
+                out[c.idx()] = 100.0 * self.get(p, c) / total;
+            }
+        }
+        out
+    }
+
+    /// Grand total across paths.
+    pub fn total(&self) -> f64 {
+        PathGroup::ALL.iter().map(|&p| self.path_total(p)).sum()
+    }
+}
+
+/// Which memory tier a TOR-latency query targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    Local,
+    Cxl,
+}
+
+/// The PFEstimator mechanism.
+pub struct PfEstimator;
+
+impl PfEstimator {
+    /// Break down the CXL-induced stall cycles of one epoch digest across
+    /// all cores.
+    pub fn breakdown(delta: &SystemDelta, lat: &LatencyModel) -> StallBreakdown {
+        Self::breakdown_scoped(delta, lat, None)
+    }
+
+    /// Per-mFlow variant: attribute only `core`'s stall cycles, scaling the
+    /// shared uncore pools by that core's share of the machine's CXL
+    /// traffic (the proportional-load distribution of Algorithm 2).
+    pub fn breakdown_core(delta: &SystemDelta, lat: &LatencyModel, core: usize) -> StallBreakdown {
+        Self::breakdown_scoped(delta, lat, Some(core))
+    }
+
+    fn breakdown_scoped(
+        delta: &SystemDelta,
+        lat: &LatencyModel,
+        core: Option<usize>,
+    ) -> StallBreakdown {
+        let mut out = StallBreakdown::default();
+
+        // --- CXL traffic shares per path group (from the core OCR counters).
+        let cxl_of = |p: PathGroup| cxl_requests_scoped(delta, p, core);
+        let any_of = |p: PathGroup| any_requests_scoped(delta, p, core);
+        let cxl_total: u64 = PathGroup::ALL.iter().map(|&p| cxl_of(p)).sum();
+        let any_total: u64 = PathGroup::ALL.iter().map(|&p| any_of(p)).sum();
+        if cxl_total == 0 {
+            return out; // no CXL traffic this epoch: nothing to attribute
+        }
+        // Latency-weighted CXL share: a CXL request holds the pipeline for
+        // its whole (much longer) residency, so splitting stall cycles by
+        // request counts alone under-blames CXL (§5.3: "separating stalls
+        // based solely on the proportion of request miss targets is
+        // inaccurate"). Weight each destination's request count by its
+        // *measured* mean residency (TOR occupancy / inserts), falling back
+        // to the platform's nominal latencies when the epoch has no sample.
+        let local_total = any_total.saturating_sub(cxl_total);
+        let l_cxl = measured_or(delta, Tier::Cxl, lat.cxl_mem);
+        let l_local = measured_or(delta, Tier::Local, lat.dram);
+        let weighted_cxl = cxl_total as f64 * l_cxl;
+        let weighted_all = weighted_cxl + local_total as f64 * l_local;
+        let share = weighted_cxl / weighted_all.max(f64::EPSILON);
+        let w = |p: PathGroup| cxl_of(p) as f64 / cxl_total as f64;
+
+        // --- In-core nested stall counters (scoped to one core or summed).
+        let csum = |ev: CoreEvent| -> f64 {
+            match core {
+                Some(c) => delta.pmu.cores[c].read(ev) as f64,
+                None => delta.core_sum(ev) as f64,
+            }
+        };
+        let s_l1d = csum(CoreEvent::MemoryActivityStallsL1dMiss);
+        let s_l2 = csum(CoreEvent::MemoryActivityStallsL2Miss);
+        let s_l3 = csum(CoreEvent::CycleActivityStallsL3Miss);
+        let s_sb = csum(CoreEvent::ResourceStallsSb) + csum(CoreEvent::ExeActivityBoundOnStores);
+        let s_lfb = csum(CoreEvent::L1dPendMissFbFull);
+
+        // --- Uncore residency pools (CXL side, machine-wide), scaled to the
+        // scope's share of machine-wide CXL traffic.
+        let machine_cxl: u64 =
+            PathGroup::ALL.iter().map(|&p| cxl_requests(delta, p)).sum();
+        let scope_frac = cxl_total as f64 / machine_cxl.max(1) as f64;
+        let tor_occ_cxl = tor_cxl_occupancy(delta) * scope_frac;
+        let m2p_occ = delta.m2p_sum(M2pEvent::RxcOccupancy) as f64 * scope_frac;
+        let m2p_inserts = delta.m2p_sum(M2pEvent::RxcInserts) as f64 * scope_frac;
+        let link_transfer = m2p_inserts * lat.flexbus;
+        let dev_occ = (delta.cxl_sum(CxlEvent::DevMcRpqOccupancy)
+            + delta.cxl_sum(CxlEvent::DevMcWpqOccupancy)) as f64
+            * scope_frac;
+        let r_flex = m2p_occ + link_transfer;
+        let r_dev = dev_occ;
+        let r_cha = (tor_occ_cxl - r_flex - r_dev).max(0.0);
+        let r_llc = cxl_total as f64 * lat.llc_hit;
+        let r_sum = (r_llc + r_cha + r_flex + r_dev).max(f64::EPSILON);
+
+        // Core-private stall pools belong to the paths that can actually
+        // block the pipeline there: the L1D/LFB counters observe demand
+        // loads only (§5.9), the L2 counters demand loads and RFOs;
+        // prefetches never stall the core upstream of the uncore, and the
+        // store buffer belongs to DWr. The uncore pool is shared by every
+        // path in proportion to its traffic.
+        let uncore_pool = s_l3 * share;
+        let w_drd = w(PathGroup::Drd);
+        let w_rfo = w(PathGroup::Rfo);
+        let demand_w = (w_drd + w_rfo).max(f64::EPSILON);
+        for p in PathGroup::ALL {
+            let wp = w(p);
+            let row = &mut out.cycles[p.idx()];
+            if p == PathGroup::Drd {
+                row[Component::L1d.idx()] = (s_l1d - s_l2).max(0.0) * share;
+                row[Component::Lfb.idx()] = s_lfb * share;
+            }
+            if p == PathGroup::Drd || p == PathGroup::Rfo {
+                row[Component::L2.idx()] = (s_l2 - s_l3).max(0.0) * share * wp / demand_w;
+            }
+            row[Component::Llc.idx()] = uncore_pool * wp * r_llc / r_sum;
+            row[Component::Cha.idx()] = uncore_pool * wp * r_cha / r_sum;
+            row[Component::FlexBusMc.idx()] = uncore_pool * wp * r_flex / r_sum;
+            row[Component::CxlDimm.idx()] = uncore_pool * wp * r_dev / r_sum;
+        }
+        // The store buffer stall pool is attributed to the DWr path.
+        out.cycles[PathGroup::Dwr.idx()][Component::Sb.idx()] = s_sb * share;
+        out
+    }
+
+    /// Per-class, per-tier latency from the TOR counters: mean residency of
+    /// a TOR entry whose target matched the tier (occupancy / inserts).
+    /// This is the latency signal the paper feeds into Colloid (§5.8).
+    pub fn tor_latency(delta: &SystemDelta, p: PathGroup, tier: Tier) -> Option<f64> {
+        let (occ, ins) = match (p, tier) {
+            (PathGroup::Drd | PathGroup::HwPf, Tier::Cxl) => {
+                let s = TorDrdScen::MissCxl;
+                if p == PathGroup::Drd {
+                    (
+                        delta.cha_sum(ChaEvent::TorOccupancyIaDrd(s)),
+                        delta.cha_sum(ChaEvent::TorInsertsIaDrd(s)),
+                    )
+                } else {
+                    (
+                        delta.cha_sum(ChaEvent::TorOccupancyIaDrdPref(s)),
+                        delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(s)),
+                    )
+                }
+            }
+            (PathGroup::Drd | PathGroup::HwPf, Tier::Local) => {
+                let s = TorDrdScen::MissLocalDdr;
+                if p == PathGroup::Drd {
+                    (
+                        delta.cha_sum(ChaEvent::TorOccupancyIaDrd(s)),
+                        delta.cha_sum(ChaEvent::TorInsertsIaDrd(s)),
+                    )
+                } else {
+                    (
+                        delta.cha_sum(ChaEvent::TorOccupancyIaDrdPref(s)),
+                        delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(s)),
+                    )
+                }
+            }
+            (PathGroup::Rfo, Tier::Cxl) => (
+                delta.cha_sum(ChaEvent::TorOccupancyIaRfo(TorRfoScen::MissCxl)),
+                delta.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissCxl)),
+            ),
+            (PathGroup::Rfo, Tier::Local) => (
+                delta.cha_sum(ChaEvent::TorOccupancyIaRfo(TorRfoScen::MissLocal)),
+                delta.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissLocal)),
+            ),
+            (PathGroup::Dwr, _) => return None,
+        };
+        if ins == 0 {
+            None
+        } else {
+            Some(occ as f64 / ins as f64)
+        }
+    }
+
+    /// CHA miss-ratio weights per class — PFBuilder's signal for selecting
+    /// the dominant request type in the dynamic TPP+Colloid (§5.8).
+    pub fn class_miss_weights(delta: &SystemDelta) -> [f64; 3] {
+        let drd = delta.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissLlc));
+        let rfo = delta.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissLlc));
+        let pf = delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissLlc))
+            + delta.cha_sum(ChaEvent::TorInsertsIaRfoPref(TorRfoScen::MissLlc));
+        let total = (drd + rfo + pf).max(1) as f64;
+        [drd as f64 / total, rfo as f64 / total, pf as f64 / total]
+    }
+}
+
+/// CXL-destined offcore requests for a path group (core OCR counters).
+pub fn cxl_requests(delta: &SystemDelta, p: PathGroup) -> u64 {
+    scen_requests(delta, p, RespScenario::CxlDram, None)
+}
+
+/// All offcore requests for a path group.
+pub fn any_requests(delta: &SystemDelta, p: PathGroup) -> u64 {
+    scen_requests(delta, p, RespScenario::AnyResponse, None)
+}
+
+/// Scoped variants (one core's counters only).
+pub fn cxl_requests_scoped(delta: &SystemDelta, p: PathGroup, core: Option<usize>) -> u64 {
+    scen_requests(delta, p, RespScenario::CxlDram, core)
+}
+
+pub fn any_requests_scoped(delta: &SystemDelta, p: PathGroup, core: Option<usize>) -> u64 {
+    scen_requests(delta, p, RespScenario::AnyResponse, core)
+}
+
+fn scen_requests(delta: &SystemDelta, p: PathGroup, s: RespScenario, core: Option<usize>) -> u64 {
+    let read = |ev: CoreEvent| -> u64 {
+        match core {
+            Some(c) => delta.pmu.cores[c].read(ev),
+            None => delta.core_sum(ev),
+        }
+    };
+    match p {
+        PathGroup::Drd => read(CoreEvent::OcrDemandDataRd(s)) + read(CoreEvent::OcrSwPf(s)),
+        PathGroup::Rfo => read(CoreEvent::OcrRfo(s)),
+        PathGroup::HwPf => {
+            read(CoreEvent::OcrL1dHwPf(s))
+                + read(CoreEvent::OcrL2HwPfDrd(s))
+                + read(CoreEvent::OcrL2HwPfRfo(s))
+        }
+        // Write-backs: approximate with the modified-write counter for the
+        // "any" bucket and the M2S RwD inserts for the CXL bucket. The RwD
+        // counter is per-device, not per-core, so the scoped variant uses
+        // the core's modified-write count as its proxy for both buckets.
+        PathGroup::Dwr => match (s, core) {
+            (RespScenario::CxlDram, None) => delta.cxl_sum(CxlEvent::RxcPackBufInsertsMemData),
+            _ => read(CoreEvent::OcrModifiedWriteAnyResponse),
+        },
+    }
+}
+
+/// Mean TOR residency toward a tier across all read classes, or `fallback`
+/// when the epoch has no samples.
+fn measured_or(delta: &SystemDelta, tier: Tier, fallback: f64) -> f64 {
+    let mut occ = 0u64;
+    let mut ins = 0u64;
+    let (drd_s, rfo_s) = match tier {
+        Tier::Cxl => (TorDrdScen::MissCxl, TorRfoScen::MissCxl),
+        Tier::Local => (TorDrdScen::MissLocalDdr, TorRfoScen::MissLocal),
+    };
+    occ += delta.cha_sum(ChaEvent::TorOccupancyIaDrd(drd_s));
+    ins += delta.cha_sum(ChaEvent::TorInsertsIaDrd(drd_s));
+    occ += delta.cha_sum(ChaEvent::TorOccupancyIaDrdPref(drd_s));
+    ins += delta.cha_sum(ChaEvent::TorInsertsIaDrdPref(drd_s));
+    occ += delta.cha_sum(ChaEvent::TorOccupancyIaRfo(rfo_s));
+    ins += delta.cha_sum(ChaEvent::TorInsertsIaRfo(rfo_s));
+    if ins == 0 {
+        fallback
+    } else {
+        occ as f64 / ins as f64
+    }
+}
+
+/// Total TOR occupancy of CXL-destined entries across all classes.
+fn tor_cxl_occupancy(delta: &SystemDelta) -> f64 {
+    (delta.cha_sum(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissCxl))
+        + delta.cha_sum(ChaEvent::TorOccupancyIaDrdPref(TorDrdScen::MissCxl))
+        + delta.cha_sum(ChaEvent::TorOccupancyIaRfo(TorRfoScen::MissCxl))
+        + delta.cha_sum(ChaEvent::TorOccupancyIaRfoPref(TorRfoScen::MissCxl))) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmu::{SystemPmu, SystemSnapshot};
+
+    fn delta_with(f: impl FnOnce(&mut SystemPmu)) -> SystemDelta {
+        let mut pmu = SystemPmu::new(1, 1, 2, 1, 1);
+        let s0: SystemSnapshot = pmu.snapshot(0);
+        f(&mut pmu);
+        pmu.snapshot(1_000_000).delta(&s0)
+    }
+
+    fn cxl_heavy_delta() -> SystemDelta {
+        delta_with(|p| {
+            // 1000 CXL DRd + 0 local: share = 1.
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::AnyResponse), 1000);
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::CxlDram), 1000);
+            p.cores[0].add(CoreEvent::MemoryActivityStallsL1dMiss, 700_000);
+            p.cores[0].add(CoreEvent::MemoryActivityStallsL2Miss, 650_000);
+            p.cores[0].add(CoreEvent::CycleActivityStallsL3Miss, 600_000);
+            p.cores[0].add(CoreEvent::L1dPendMissFbFull, 10_000);
+            // Uncore residencies: TOR 660k covering m2p 100k + link + dev 400k.
+            p.chas[0].add(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissCxl), 660_000);
+            p.chas[0].add(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl), 1000);
+            p.m2ps[0].add(M2pEvent::RxcOccupancy, 100_000);
+            p.m2ps[0].add(M2pEvent::RxcInserts, 1000);
+            p.cxls[0].add(CxlEvent::DevMcRpqOccupancy, 400_000);
+        })
+    }
+
+    #[test]
+    fn breakdown_mass_is_conserved() {
+        let lat = LatencyModel::spr();
+        let d = cxl_heavy_delta();
+        let b = PfEstimator::breakdown(&d, &lat);
+        // All traffic is CXL-destined, so the latency-weighted share is 1 and
+        // total attributed = L1D excl + LFB + L2 excl + uncore pool.
+        let want = (700_000.0 - 650_000.0) + 10_000.0 + (650_000.0 - 600_000.0) + 600_000.0;
+        assert!((b.path_total(PathGroup::Drd) - want).abs() < 1.0, "{}", b.path_total(PathGroup::Drd));
+    }
+
+    #[test]
+    fn uncore_dominates_for_cxl_bound_runs() {
+        let lat = LatencyModel::spr();
+        let b = PfEstimator::breakdown(&cxl_heavy_delta(), &lat);
+        let pct = b.percentages(PathGroup::Drd);
+        let uncore = pct[Component::Cha.idx()]
+            + pct[Component::FlexBusMc.idx()]
+            + pct[Component::CxlDimm.idx()]
+            + pct[Component::Llc.idx()];
+        assert!(uncore > 70.0, "uncore share {uncore}%");
+        // The device pool must be visible and FlexBus+MC nonzero.
+        assert!(pct[Component::CxlDimm.idx()] > 20.0);
+        assert!(pct[Component::FlexBusMc.idx()] > 5.0);
+    }
+
+    #[test]
+    fn no_cxl_traffic_no_attribution() {
+        let lat = LatencyModel::spr();
+        let d = delta_with(|p| {
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::AnyResponse), 1000);
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::LocalDram), 1000);
+            p.cores[0].add(CoreEvent::MemoryActivityStallsL1dMiss, 500_000);
+        });
+        let b = PfEstimator::breakdown(&d, &lat);
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn partial_share_scales_attribution() {
+        let lat = LatencyModel::spr();
+        let d = delta_with(|p| {
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::AnyResponse), 1000);
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::CxlDram), 250);
+            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::LocalDram), 750);
+            p.cores[0].add(CoreEvent::MemoryActivityStallsL1dMiss, 400_000);
+            p.cores[0].add(CoreEvent::MemoryActivityStallsL2Miss, 0);
+        });
+        let b = PfEstimator::breakdown(&d, &lat);
+        // The CXL share is latency-weighted: 250 CXL requests at the nominal
+        // CXL latency vs 750 local at the nominal DRAM latency.
+        let share = 250.0 * lat.cxl_mem / (250.0 * lat.cxl_mem + 750.0 * lat.dram);
+        let want = 400_000.0 * share;
+        assert!(
+            (b.get(PathGroup::Drd, Component::L1d) - want).abs() < 1.0,
+            "got {}, want {}",
+            b.get(PathGroup::Drd, Component::L1d),
+            want
+        );
+    }
+
+    #[test]
+    fn tor_latency_is_occupancy_over_inserts() {
+        let d = cxl_heavy_delta();
+        let l = PfEstimator::tor_latency(&d, PathGroup::Drd, Tier::Cxl).unwrap();
+        assert!((l - 660.0).abs() < 1e-9);
+        assert!(PfEstimator::tor_latency(&d, PathGroup::Drd, Tier::Local).is_none());
+        assert!(PfEstimator::tor_latency(&d, PathGroup::Dwr, Tier::Cxl).is_none());
+    }
+
+    #[test]
+    fn class_weights_normalise() {
+        let d = delta_with(|p| {
+            p.chas[0].add(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissLlc), 100);
+            p.chas[0].add(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissLlc), 300);
+            p.chas[0].add(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissLlc), 600);
+        });
+        let w = PfEstimator::class_miss_weights(&d);
+        assert!((w[0] - 0.1).abs() < 1e-9);
+        assert!((w[1] - 0.3).abs() < 1e-9);
+        assert!((w[2] - 0.6).abs() < 1e-9);
+    }
+}

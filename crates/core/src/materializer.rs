@@ -1,0 +1,338 @@
+//! **PFMaterializer** (§4.6): cross-snapshot synthesis.
+//!
+//! Each epoch digest is compacted into tagged records in an embedded
+//! time-series database (the `tsdb` crate standing in for InfluxDB). On top
+//! of the store, the materializer runs PathFinder's analysis workflow:
+//! scope (tag-filtered query) → overall statistics → window clustering →
+//! trend/seasonality via Holt-Winters → cross-application correlation via
+//! Pearson's r.
+
+use crate::builder::PathMap;
+use crate::model::{Component, HitLevel, PathGroup};
+use tsdb::{ops, point::Point, tsa, Db};
+
+/// The materializer: a DB plus ingestion and analysis workflows.
+#[derive(Default)]
+pub struct Materializer {
+    pub db: Db,
+}
+
+impl Materializer {
+    pub fn new() -> Self {
+        Materializer { db: Db::new() }
+    }
+
+    /// Ingest one epoch's path map as `path_set` records: one point per
+    /// (core, path, level) with a non-zero hit count. `apps[core]` labels
+    /// the records so cross-application queries can scope by program.
+    pub fn ingest_path_map(&mut self, ts: u64, map: &PathMap, apps: &[Option<String>]) {
+        for (core, m) in map.per_core.iter().enumerate() {
+            let app = apps.get(core).and_then(|a| a.clone()).unwrap_or_default();
+            for l in HitLevel::ALL {
+                for p in PathGroup::ALL {
+                    let v = m.get(l, p);
+                    if v == 0 {
+                        continue;
+                    }
+                    self.db.insert(
+                        Point::new("path_set", ts)
+                            .tag("core", core.to_string())
+                            .tag("app", app.clone())
+                            .tag("path", p.label().to_string())
+                            .tag("dst", l.label().to_string())
+                            .field("hits", v as f64),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ingest per-(path, component) queue lengths as `vertex` records.
+    pub fn ingest_queues(&mut self, ts: u64, q: &crate::analyzer::QueueEstimate) {
+        for p in PathGroup::ALL {
+            for c in Component::ALL {
+                let v = q.get(p, c);
+                if v > 0.0 {
+                    self.db.insert(
+                        Point::new("vertex", ts)
+                            .tag("path", p.label().to_string())
+                            .tag("hw", c.label().to_string())
+                            .field("queue", v),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ingest application progress (`ops` per epoch) as `app` records.
+    pub fn ingest_progress(&mut self, ts: u64, ops_per_core: &[u64], apps: &[Option<String>]) {
+        for (core, &n) in ops_per_core.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let app = apps.get(core).and_then(|a| a.clone()).unwrap_or_default();
+            self.db.insert(
+                Point::new("app", ts)
+                    .tag("core", core.to_string())
+                    .tag("app", app)
+                    .field("ops", n as f64),
+            );
+        }
+    }
+
+    /// The hit series of one (core, level) scope across all snapshots —
+    /// PathFinder's "query scope" step.
+    pub fn hit_series(&self, core: usize, level: HitLevel) -> Vec<(u64, f64)> {
+        let per_path: Vec<Vec<(u64, f64)>> = PathGroup::ALL
+            .iter()
+            .map(|p| {
+                self.db
+                    .from("path_set")
+                    .filter("core", core.to_string())
+                    .filter("dst", level.label())
+                    .filter("path", p.label())
+                    .values("hits")
+            })
+            .collect();
+        // Sum per timestamp across paths.
+        let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for series in per_path {
+            for (ts, v) in series {
+                *acc.entry(ts).or_insert(0.0) += v;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Phase windows of consistent locality for a (core, level) scope —
+    /// Case 6's "windows with stable memory access patterns".
+    pub fn locality_windows(&self, core: usize, level: HitLevel) -> Vec<tsa::Window> {
+        let series = self.hit_series(core, level);
+        let data: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+        tsa::cluster_windows(&data, 0.25, 1.0)
+    }
+
+    /// Summary statistics of a scope (min/max/mean/moving-average tail).
+    pub fn scope_stats(&self, core: usize, level: HitLevel) -> Option<(f64, f64, f64)> {
+        let series = self.hit_series(core, level);
+        Some((ops::min(&series)?, ops::max(&series)?, ops::mean(&series)?))
+    }
+
+    /// Pearson correlation between two cores' hit series at a level, on the
+    /// overlapping snapshots (Case 6: identify locality-impacting factors
+    /// from co-located applications).
+    pub fn correlate_cores(&self, a: usize, b: usize, level: HitLevel) -> Option<f64> {
+        let sa = self.hit_series(a, level);
+        let sb = self.hit_series(b, level);
+        let mb: std::collections::BTreeMap<u64, f64> = sb.into_iter().collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (ts, v) in sa {
+            if let Some(&w) = mb.get(&ts) {
+                xs.push(v);
+                ys.push(w);
+            }
+        }
+        tsa::pearsonr(&xs, &ys)
+    }
+
+    /// Pearson correlation between two arbitrary aligned samples — Case 5
+    /// uses this between per-mFlow CXL request frequency and delivered
+    /// bandwidth (the paper reports r = 0.998).
+    pub fn correlate(xs: &[f64], ys: &[f64]) -> Option<f64> {
+        tsa::pearsonr(xs, ys)
+    }
+
+    /// Does the scope's hit series look predictable (seasonal)? Returns the
+    /// Holt-Winters relative fit error — small values indicate regular,
+    /// forecastable access patterns (§4.6 step 4).
+    pub fn predictability(&self, core: usize, level: HitLevel, season: usize) -> Option<f64> {
+        let series = self.hit_series(core, level);
+        let data: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+        let hw = tsa::HoltWinters::new(season);
+        let err = hw.fit_error(&data)?;
+        let sd = ops::stddev(&series)?;
+        if sd == 0.0 {
+            return Some(0.0);
+        }
+        Some(err / sd)
+    }
+
+    /// The per-epoch ops series of one core (`app` measurement).
+    pub fn ops_series(&self, core: usize) -> Vec<(u64, f64)> {
+        self.db.from("app").filter("core", core.to_string()).values("ops")
+    }
+
+    /// Compute-burst windows (§4.6: "computing burst"): phases of consistent
+    /// execution throughput, found by clustering the per-epoch ops series.
+    pub fn burst_windows(&self, core: usize) -> Vec<tsa::Window> {
+        let series = self.ops_series(core);
+        let data: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+        tsa::cluster_windows(&data, 0.25, 1.0)
+    }
+
+    /// Execution orthogonality (§4.6): do two co-located applications
+    /// progress independently (r ≈ 0), constructively (r > 0), or do they
+    /// contend (r < 0)? Pearson correlation of the two cores' per-epoch ops
+    /// on the overlapping snapshots.
+    pub fn orthogonality(&self, a: usize, b: usize) -> Option<f64> {
+        let sa = self.ops_series(a);
+        let mb: std::collections::BTreeMap<u64, f64> = self.ops_series(b).into_iter().collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (ts, v) in sa {
+            if let Some(&w) = mb.get(&ts) {
+                xs.push(v);
+                ys.push(w);
+            }
+        }
+        tsa::pearsonr(&xs, &ys)
+    }
+
+    /// Spatial-locality digest (§4.6: "spatial data locality"): given one
+    /// epoch's page-heat samples for an address space, return
+    /// `(touched_pages, gini)` where gini in 0..=1 measures how concentrated
+    /// the accesses are (0 = uniform over touched pages, →1 = one hot page).
+    pub fn spatial_locality(heat: &[(u16, u64, u32)], asid: u16) -> (usize, f64) {
+        let mut counts: Vec<f64> = heat
+            .iter()
+            .filter(|&&(a, _, _)| a == asid)
+            .map(|&(_, _, n)| n as f64)
+            .collect();
+        let n = counts.len();
+        if n == 0 {
+            return (0, 0.0);
+        }
+        counts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let total: f64 = counts.iter().sum();
+        if total == 0.0 {
+            return (n, 0.0);
+        }
+        // Gini via the sorted-rank formula.
+        let weighted: f64 =
+            counts.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * c).sum();
+        let gini = (2.0 * weighted / (n as f64 * total)) - (n as f64 + 1.0) / n as f64;
+        (n, gini.clamp(0.0, 1.0))
+    }
+
+    /// Resident bytes of the record store (overhead accounting, §5.9).
+    pub fn footprint_bytes(&self) -> usize {
+        self.db.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CoreMap;
+
+    fn map_with(core: usize, level: HitLevel, path: PathGroup, v: u64, cores: usize) -> PathMap {
+        let mut per_core = vec![CoreMap::default(); cores];
+        per_core[core].hits[level.idx()][path.idx()] = v;
+        let mut total = CoreMap::default();
+        total.hits[level.idx()][path.idx()] = v;
+        PathMap { per_core, total }
+    }
+
+    #[test]
+    fn ingest_and_query_round_trip() {
+        let mut m = Materializer::new();
+        for t in 0..5u64 {
+            let map = map_with(0, HitLevel::LocalLlc, PathGroup::Drd, 100 + t, 2);
+            m.ingest_path_map(t * 1000, &map, &[Some("a".into()), None]);
+        }
+        let s = m.hit_series(0, HitLevel::LocalLlc);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], (0, 100.0));
+        assert_eq!(s[4], (4000, 104.0));
+        assert!(m.hit_series(1, HitLevel::LocalLlc).is_empty());
+    }
+
+    #[test]
+    fn hit_series_sums_paths() {
+        let mut m = Materializer::new();
+        let mut map = map_with(0, HitLevel::CxlMemory, PathGroup::Drd, 10, 1);
+        map.per_core[0].hits[HitLevel::CxlMemory.idx()][PathGroup::HwPf.idx()] = 30;
+        m.ingest_path_map(0, &map, &[None]);
+        assert_eq!(m.hit_series(0, HitLevel::CxlMemory), vec![(0, 40.0)]);
+    }
+
+    #[test]
+    fn locality_windows_find_phase_change() {
+        let mut m = Materializer::new();
+        for t in 0..60u64 {
+            let hits = if t < 30 { 1000 } else { 100 };
+            let map = map_with(0, HitLevel::LocalLlc, PathGroup::Drd, hits, 1);
+            m.ingest_path_map(t, &map, &[None]);
+        }
+        let w = m.locality_windows(0, HitLevel::LocalLlc);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].end, 30);
+    }
+
+    #[test]
+    fn correlation_between_coupled_cores() {
+        let mut m = Materializer::new();
+        for t in 0..20u64 {
+            let mut map = map_with(0, HitLevel::LocalLlc, PathGroup::Drd, 10 + t, 2);
+            map.per_core[1].hits[HitLevel::LocalLlc.idx()][PathGroup::Drd.idx()] = 1000 - 3 * t;
+            m.ingest_path_map(t, &map, &[None, None]);
+        }
+        let r = m.correlate_cores(0, 1, HitLevel::LocalLlc).unwrap();
+        assert!(r < -0.99, "anti-correlated series, r = {r}");
+    }
+
+    #[test]
+    fn scope_stats_and_footprint() {
+        let mut m = Materializer::new();
+        let map = map_with(0, HitLevel::L2, PathGroup::Rfo, 7, 1);
+        m.ingest_path_map(0, &map, &[None]);
+        let (mn, mx, mean) = m.scope_stats(0, HitLevel::L2).unwrap();
+        assert_eq!((mn, mx, mean), (7.0, 7.0, 7.0));
+        assert!(m.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn burst_windows_and_orthogonality() {
+        let mut m = Materializer::new();
+        for t in 0..40u64 {
+            // Core 0 bursts (fast first half, slow second); core 1 inverse.
+            let o0 = if t < 20 { 1000 } else { 100 };
+            let o1 = if t < 20 { 100 } else { 1000 };
+            m.ingest_progress(t, &[o0, o1], &[Some("a".into()), Some("b".into())]);
+        }
+        let w = m.burst_windows(0);
+        assert_eq!(w.len(), 2, "two throughput phases: {w:?}");
+        let r = m.orthogonality(0, 1).unwrap();
+        assert!(r < -0.9, "anti-phased apps must anti-correlate, r = {r}");
+    }
+
+    #[test]
+    fn spatial_locality_gini() {
+        // Uniform heat: gini ≈ 0.
+        let uniform: Vec<(u16, u64, u32)> = (0..100).map(|p| (0u16, p as u64, 10u32)).collect();
+        let (n, g) = Materializer::spatial_locality(&uniform, 0);
+        assert_eq!(n, 100);
+        assert!(g < 0.05, "uniform gini {g}");
+        // One dominant page: gini → 1.
+        let mut skewed = uniform.clone();
+        skewed.push((0, 999, 100_000));
+        let (_, g2) = Materializer::spatial_locality(&skewed, 0);
+        assert!(g2 > 0.9, "skewed gini {g2}");
+        // Foreign ASIDs are excluded.
+        let (n3, _) = Materializer::spatial_locality(&uniform, 7);
+        assert_eq!(n3, 0);
+    }
+
+    #[test]
+    fn predictability_detects_seasonal_series() {
+        let mut m = Materializer::new();
+        for t in 0..64u64 {
+            let hits = 1000 + 500 * (t % 8);
+            let map = map_with(0, HitLevel::LocalLlc, PathGroup::Drd, hits, 1);
+            m.ingest_path_map(t, &map, &[None]);
+        }
+        let err = m.predictability(0, HitLevel::LocalLlc, 8).unwrap();
+        assert!(err < 0.5, "seasonal series must be predictable, err {err}");
+    }
+}

@@ -1,0 +1,433 @@
+//! The profiler driver: snapshot loop, technique dispatch, reports,
+//! and overhead accounting.
+//!
+//! Mirrors the paper's workflow (Figure 5-c): the machine runs scheduling
+//! epochs; at every boundary the profiler snapshots all PMUs, computes the
+//! epoch digest (counter deltas), and feeds the four techniques according to
+//! the profiling specification. §5.9's overhead claim (1.3% CPU, 38 MB) is
+//! tracked by [`Overhead`].
+
+use std::time::Instant;
+
+use crate::analyzer::{Culprit, PfAnalyzer, QueueEstimate};
+use crate::builder::{PathMap, PfBuilder};
+use crate::estimator::{PfEstimator, StallBreakdown};
+use crate::materializer::Materializer;
+use crate::model::{Component, LatencyModel, PathGroup, SystemModel};
+use pmu::{SystemDelta, SystemSnapshot};
+use simarch::Machine;
+
+/// The profiling-task specification (Figure 5-a): which techniques run and
+/// how much state the profiler may keep.
+#[derive(Clone, Debug)]
+pub struct ProfileSpec {
+    /// Run PFBuilder each epoch.
+    pub build_paths: bool,
+    /// Run PFEstimator each epoch.
+    pub estimate_stalls: bool,
+    /// Run PFAnalyzer each epoch.
+    pub analyze_queues: bool,
+    /// Ingest digests into the PFMaterializer time-series DB.
+    pub materialize: bool,
+    /// Maximum digests retained (max resource consumption knob).
+    pub max_db_epochs: usize,
+}
+
+impl Default for ProfileSpec {
+    fn default() -> Self {
+        ProfileSpec {
+            build_paths: true,
+            estimate_stalls: true,
+            analyze_queues: true,
+            materialize: true,
+            max_db_epochs: 100_000,
+        }
+    }
+}
+
+/// Profiler self-overhead (§5.9).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Overhead {
+    /// Wall time spent simulating the machine (the "application").
+    pub machine_secs: f64,
+    /// Wall time spent in PathFinder's own analysis.
+    pub profiler_secs: f64,
+    /// Resident bytes of profiler state (DB + snapshots).
+    pub memory_bytes: usize,
+}
+
+impl Overhead {
+    /// Profiler CPU overhead as a fraction of total work.
+    pub fn cpu_fraction(&self) -> f64 {
+        let total = self.machine_secs + self.profiler_secs;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.profiler_secs / total
+        }
+    }
+}
+
+/// One profiled epoch's outputs.
+pub struct ProfiledEpoch {
+    pub epoch: u64,
+    pub delta: SystemDelta,
+    pub path_map: Option<PathMap>,
+    pub stalls: Option<StallBreakdown>,
+    pub queues: Option<QueueEstimate>,
+    pub culprit: Option<Culprit>,
+    pub page_heat: Vec<(u16, u64, u32)>,
+    pub ops_per_core: Vec<u64>,
+    pub all_done: bool,
+}
+
+/// The end-of-run report.
+pub struct Report {
+    pub epochs: u64,
+    pub cycles: u64,
+    /// Cumulative path map over the whole run.
+    pub path_map: PathMap,
+    /// Cumulative stall breakdown.
+    pub stalls: StallBreakdown,
+    /// Final-epoch queue estimate.
+    pub queues: QueueEstimate,
+    /// Mean queue estimate over the epochs that had any queueing activity —
+    /// more robust than the final epoch when workloads drain at different
+    /// times.
+    pub mean_queues: QueueEstimate,
+    /// Culprit of the final epoch with activity.
+    pub culprit: Option<Culprit>,
+    pub overhead: Overhead,
+    pub apps: Vec<Option<String>>,
+    pub ops_per_core: Vec<u64>,
+    pub freq_ghz: f64,
+}
+
+impl Report {
+    /// Render the headline report: path map, stall breakdown, culprit.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "PathFinder report: {} epochs, {:.2} ms simulated, overhead {:.2}% CPU / {:.1} MB\n\n",
+            self.epochs,
+            self.cycles as f64 / self.freq_ghz / 1e6,
+            100.0 * self.overhead.cpu_fraction(),
+            self.overhead.memory_bytes as f64 / 1e6,
+        ));
+        out.push_str("== Path map (hits per level, all cores) ==\n");
+        let cores: Vec<usize> = (0..self.path_map.per_core.len())
+            .filter(|&c| self.path_map.per_core[c].total() > 0)
+            .collect();
+        out.push_str(&self.path_map.render(&cores));
+        out.push_str("\n== CXL-induced stall breakdown (per path, %) ==\n");
+        let rows: Vec<Vec<String>> = PathGroup::ALL
+            .iter()
+            .filter(|&&p| self.stalls.path_total(p) > 0.0)
+            .map(|&p| {
+                let pct = self.stalls.percentages(p);
+                let mut row = vec![p.label().to_string()];
+                row.extend(Component::ALL.iter().map(|c| crate::report::pct(pct[c.idx()])));
+                row
+            })
+            .collect();
+        let mut headers = vec!["path"];
+        headers.extend(Component::ALL.iter().map(|c| c.label()));
+        out.push_str(&crate::report::table(&headers, &rows));
+        if let Some(c) = self.culprit {
+            out.push_str(&format!(
+                "\nculprit: {} on {} (queue length {:.2})\n",
+                c.path.label(),
+                c.component.label(),
+                c.queue_len
+            ));
+        }
+        out
+    }
+}
+
+/// The profiler: drives a machine and applies the four techniques.
+pub struct Profiler {
+    machine: Machine,
+    spec: ProfileSpec,
+    lat: LatencyModel,
+    model: SystemModel,
+    prev: SystemSnapshot,
+    pub materializer: Materializer,
+    cum_map: Option<PathMap>,
+    cum_stalls: StallBreakdown,
+    last_queues: QueueEstimate,
+    queue_sum: QueueEstimate,
+    queue_epochs: u64,
+    last_culprit: Option<Culprit>,
+    epoch: u64,
+    overhead: Overhead,
+    total_ops: Vec<u64>,
+}
+
+impl Profiler {
+    pub fn new(machine: Machine, spec: ProfileSpec) -> Profiler {
+        let lat = LatencyModel::from_config(machine.config());
+        let model = SystemModel::from_config(machine.config());
+        let prev = machine.pmu.snapshot(machine.now());
+        let cores = machine.config().cores;
+        Profiler {
+            machine,
+            spec,
+            lat,
+            model,
+            prev,
+            materializer: Materializer::new(),
+            cum_map: None,
+            cum_stalls: StallBreakdown::default(),
+            last_queues: QueueEstimate::default(),
+            queue_sum: QueueEstimate::default(),
+            queue_epochs: 0,
+            last_culprit: None,
+            epoch: 0,
+            overhead: Overhead::default(),
+            total_ops: vec![0; cores],
+        }
+    }
+
+    /// Access the machine (to attach workloads, migrate pages, …).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The Clos system model of the profiled machine.
+    pub fn system_model(&self) -> &SystemModel {
+        &self.model
+    }
+
+    /// Workload labels per core.
+    pub fn apps(&self) -> Vec<Option<String>> {
+        (0..self.machine.config().cores)
+            .map(|c| self.machine.workload_name(c).map(|s| s.to_string()))
+            .collect()
+    }
+
+    /// Run one scheduling epoch and apply the enabled techniques.
+    pub fn profile_epoch(&mut self) -> ProfiledEpoch {
+        let t0 = Instant::now();
+        let er = self.machine.run_epoch();
+        let t1 = Instant::now();
+        self.overhead.machine_secs += (t1 - t0).as_secs_f64();
+
+        let delta = er.snapshot.delta(&self.prev);
+        self.prev = er.snapshot;
+        self.epoch += 1;
+        for (i, &n) in er.ops_per_core.iter().enumerate() {
+            self.total_ops[i] += n;
+        }
+
+        let apps = self.apps();
+        let path_map = if self.spec.build_paths { Some(PfBuilder::build(&delta)) } else { None };
+        let stalls = if self.spec.estimate_stalls {
+            Some(PfEstimator::breakdown(&delta, &self.lat))
+        } else {
+            None
+        };
+        let queues = if self.spec.analyze_queues {
+            Some(PfAnalyzer::analyze(&delta, &self.lat))
+        } else {
+            None
+        };
+        let culprit = queues.as_ref().and_then(|q| q.culprit());
+
+        // Accumulate run-level state.
+        if let Some(map) = &path_map {
+            match &mut self.cum_map {
+                None => self.cum_map = Some(map.clone()),
+                Some(cum) => {
+                    for (c, m) in map.per_core.iter().enumerate() {
+                        for l in 0..crate::model::HitLevel::COUNT {
+                            for p in 0..PathGroup::COUNT {
+                                cum.per_core[c].hits[l][p] += m.hits[l][p];
+                                cum.total.hits[l][p] =
+                                    cum.total.hits[l][p].saturating_add(m.hits[l][p]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = &stalls {
+            for p in 0..PathGroup::COUNT {
+                for c in 0..Component::COUNT {
+                    self.cum_stalls.cycles[p][c] += s.cycles[p][c];
+                }
+            }
+        }
+        if let Some(q) = &queues {
+            self.last_queues = q.clone();
+            let active = q.q.iter().flatten().any(|&v| v > 0.0);
+            if active {
+                self.queue_epochs += 1;
+                for p in 0..PathGroup::COUNT {
+                    for c in 0..Component::COUNT {
+                        self.queue_sum.q[p][c] += q.q[p][c];
+                    }
+                }
+            }
+        }
+        if culprit.is_some() {
+            self.last_culprit = culprit;
+        }
+
+        if self.spec.materialize && self.epoch as usize <= self.spec.max_db_epochs {
+            let ts = delta.end_cycle;
+            if let Some(map) = &path_map {
+                self.materializer.ingest_path_map(ts, map, &apps);
+            }
+            if let Some(q) = &queues {
+                self.materializer.ingest_queues(ts, q);
+            }
+            self.materializer.ingest_progress(ts, &er.ops_per_core, &apps);
+        }
+        self.overhead.profiler_secs += t1.elapsed().as_secs_f64();
+
+        ProfiledEpoch {
+            epoch: self.epoch,
+            delta,
+            path_map,
+            stalls,
+            queues,
+            culprit,
+            page_heat: er.page_heat,
+            ops_per_core: er.ops_per_core,
+            all_done: er.all_done,
+        }
+    }
+
+    /// Run until all workloads finish or `max_epochs` elapse; produce the
+    /// run report.
+    pub fn run(&mut self, max_epochs: u64) -> Report {
+        let mut epochs = 0;
+        while epochs < max_epochs {
+            let e = self.profile_epoch();
+            epochs += 1;
+            if e.all_done {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Snapshot the current run-level report.
+    pub fn report(&self) -> Report {
+        let cores = self.machine.config().cores;
+        let mut overhead = self.overhead;
+        overhead.memory_bytes =
+            self.materializer.footprint_bytes() + self.machine.pmu.footprint_bytes() * 2;
+        Report {
+            epochs: self.epoch,
+            cycles: self.machine.now(),
+            path_map: self.cum_map.clone().unwrap_or(PathMap {
+                per_core: vec![Default::default(); cores],
+                total: Default::default(),
+            }),
+            stalls: self.cum_stalls.clone(),
+            queues: self.last_queues.clone(),
+            mean_queues: {
+                let mut m = self.queue_sum.clone();
+                let n = self.queue_epochs.max(1) as f64;
+                for row in m.q.iter_mut() {
+                    for v in row.iter_mut() {
+                        *v /= n;
+                    }
+                }
+                m
+            },
+            culprit: self.last_culprit,
+            overhead,
+            apps: self.apps(),
+            ops_per_core: self.total_ops.clone(),
+            freq_ghz: self.machine.config().freq_ghz,
+        }
+    }
+
+    /// Current overhead accounting.
+    pub fn overhead(&self) -> Overhead {
+        let mut o = self.overhead;
+        o.memory_bytes =
+            self.materializer.footprint_bytes() + self.machine.pmu.footprint_bytes() * 2;
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simarch::trace::SeqReadTrace;
+    use simarch::{MachineConfig, MemPolicy, Workload};
+
+    fn profiler_with(policy: MemPolicy, ops: usize) -> Profiler {
+        let mut m = Machine::new(MachineConfig::tiny());
+        m.attach(0, Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, ops)), policy));
+        Profiler::new(m, ProfileSpec::default())
+    }
+
+    #[test]
+    fn profiles_to_completion_and_reports() {
+        let mut p = profiler_with(MemPolicy::Cxl, 20_000);
+        let r = p.run(300);
+        assert!(r.epochs > 0);
+        assert!(r.path_map.total.get(crate::model::HitLevel::CxlMemory, PathGroup::Drd) > 0);
+        assert!(r.stalls.total() > 0.0, "CXL run must attribute stall cycles");
+        let text = r.render();
+        assert!(text.contains("Path map"));
+        assert!(text.contains("CXL Memory"));
+        assert!(text.contains("culprit"));
+    }
+
+    #[test]
+    fn local_run_attributes_no_cxl_stalls() {
+        let mut p = profiler_with(MemPolicy::Local, 20_000);
+        let r = p.run(300);
+        assert_eq!(r.stalls.total(), 0.0);
+        assert_eq!(r.path_map.total.get(crate::model::HitLevel::CxlMemory, PathGroup::Drd), 0);
+    }
+
+    #[test]
+    fn spec_disables_techniques() {
+        let mut m = Machine::new(MachineConfig::tiny());
+        m.attach(
+            0,
+            Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, 5_000)), MemPolicy::Cxl),
+        );
+        let spec = ProfileSpec {
+            build_paths: false,
+            estimate_stalls: false,
+            analyze_queues: false,
+            materialize: false,
+            max_db_epochs: 0,
+        };
+        let mut p = Profiler::new(m, spec);
+        let e = p.profile_epoch();
+        assert!(e.path_map.is_none());
+        assert!(e.stalls.is_none());
+        assert!(e.queues.is_none());
+        assert_eq!(p.materializer.db.len(), 0);
+    }
+
+    #[test]
+    fn materializer_receives_records() {
+        let mut p = profiler_with(MemPolicy::Cxl, 10_000);
+        p.run(200);
+        assert!(!p.materializer.db.is_empty());
+    }
+
+    #[test]
+    fn overhead_is_tracked() {
+        let mut p = profiler_with(MemPolicy::Local, 10_000);
+        p.run(200);
+        let o = p.overhead();
+        assert!(o.machine_secs > 0.0);
+        assert!(o.memory_bytes > 0);
+        assert!(o.cpu_fraction() < 1.0);
+    }
+}

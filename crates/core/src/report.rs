@@ -1,0 +1,84 @@
+//! Text rendering helpers for profiler reports: the aligned tables and the
+//! scientific-notation cells of the paper's Table 7.
+
+/// Format a counter the way the paper's tables do: plain below 10^5,
+/// `4.7E+09`-style above.
+pub fn sci(v: u64) -> String {
+    if v < 100_000 {
+        v.to_string()
+    } else {
+        let e = (v as f64).log10().floor() as i32;
+        let mantissa = v as f64 / 10f64.powi(e);
+        format!("{:.1}E+{:02}", mantissa, e)
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x)
+}
+
+/// Render an aligned text table. Every row must have `headers.len()` cells.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        out.push_str(&"-".repeat(widths[i]));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_matches_paper_style() {
+        assert_eq!(sci(4_700_000_000), "4.7E+09");
+        assert_eq!(sci(310_000_000), "3.1E+08");
+        assert_eq!(sci(84_345), "84345");
+        assert_eq!(sci(0), "0");
+    }
+
+    #[test]
+    fn pct_one_decimal() {
+        assert_eq!(pct(59.34), "59.3%");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a     "));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pmu — a software Performance Monitoring Unit
+//!
+//! This crate is the telemetry substrate for the PathFinder CXL.mem profiler
+//! (SIGCOMM 2025). On real hardware PathFinder programs the core, CHA/LLC,
+//! uncore (IMC + M2PCIe) and CXL-device PMUs through Linux `perf`; here the
+//! same counter taxonomy is implemented in software so that a simulated
+//! server (the `simarch` crate) can expose *bit-identical counter semantics*
+//! to the profiler.
+//!
+//! The counter names follow the paper's Tables 1–4 exactly
+//! (`resource_stalls.sb`, `mem_load_retired.l1_fb_hit`,
+//! `unc_cha_tor_inserts.ia_drd.*`, `unc_m2p_rxc_cycles_ne`,
+//! `unc_cxlcm_rxc_pack_buf_full.mem_req`, …) including the per-destination
+//! sub-events ("9 scenarios" of `ocr.demand_data_rd`, the 6 RFO TOR
+//! scenarios, the 5 write-back coherence transitions).
+//!
+//! ## Layout
+//!
+//! * [`event`] — dense, typed event enumerations for every PMU.
+//! * [`bank`] — a fixed-size counter file ([`bank::Bank`]) per module.
+//! * [`system`] — the whole-machine counter file ([`system::SystemPmu`]) and
+//!   snapshot/delta machinery used by the profiler at epoch boundaries.
+//! * [`sampling`] — overflow-threshold sampling mode (§3.1 of the paper).
+//! * [`registry`] — a human-readable registry of every event with its
+//!   description, used by the CLI to enumerate capabilities.
+
+pub mod bank;
+pub mod event;
+pub mod registry;
+pub mod sampling;
+pub mod system;
+
+pub use bank::Bank;
+pub use event::{
+    ChaEvent, CoreEvent, CxlEvent, Event, IaScen, ImcEvent, L3HitSrc, L3MissSrc, M2pEvent,
+    PathClass, RespScenario, TorDrdScen, TorRfoScen, WbScen,
+};
+pub use system::{SystemDelta, SystemPmu, SystemSnapshot};

@@ -1,0 +1,168 @@
+//! A human-readable registry of every counter PathFinder uses.
+//!
+//! This is the programmatic form of the paper's Tables 1–4: each entry has
+//! the perf-style event name, the PMU it lives in, its scope, and a short
+//! description. The `pathfinder` CLI uses it for `--list-counters`, and the
+//! test below pins the paper's "232 counters" claim.
+
+use crate::event::{ChaEvent, CoreEvent, CxlEvent, Event, ImcEvent, M2pEvent};
+
+/// Which PMU a counter belongs to (§3.1 divides them into four parts; we
+/// split Uncore into its IMC and M2PCIe halves as Table 3 does).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PmuKind {
+    Core,
+    Cha,
+    Imc,
+    M2Pcie,
+    CxlDevice,
+}
+
+impl PmuKind {
+    pub const ALL: [PmuKind; 5] =
+        [PmuKind::Core, PmuKind::Cha, PmuKind::Imc, PmuKind::M2Pcie, PmuKind::CxlDevice];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PmuKind::Core => "core",
+            PmuKind::Cha => "cha",
+            PmuKind::Imc => "imc",
+            PmuKind::M2Pcie => "m2pcie",
+            PmuKind::CxlDevice => "cxl",
+        }
+    }
+}
+
+/// Counter scope as listed in the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    PerCore,
+    PerSocket,
+    PerChannel,
+    PerDevice,
+}
+
+impl Scope {
+    pub fn label(self) -> &'static str {
+        match self {
+            Scope::PerCore => "per-core",
+            Scope::PerSocket => "per-socket",
+            Scope::PerChannel => "per-channel",
+            Scope::PerDevice => "per-device",
+        }
+    }
+}
+
+/// One registry entry.
+#[derive(Clone, Debug)]
+pub struct EventDesc {
+    pub pmu: PmuKind,
+    pub scope: Scope,
+    pub name: String,
+    pub index: usize,
+}
+
+/// Enumerate every counter of every PMU, sub-events expanded.
+pub fn all_events() -> Vec<EventDesc> {
+    let mut v = Vec::new();
+    for e in CoreEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::Core,
+            scope: Scope::PerCore,
+            name: e.name(),
+            index: e.index(),
+        });
+    }
+    for e in ChaEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::Cha,
+            scope: Scope::PerSocket,
+            name: e.name(),
+            index: e.index(),
+        });
+    }
+    for e in ImcEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::Imc,
+            scope: Scope::PerChannel,
+            name: e.name(),
+            index: e.index(),
+        });
+    }
+    for e in M2pEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::M2Pcie,
+            scope: Scope::PerSocket,
+            name: e.name(),
+            index: e.index(),
+        });
+    }
+    for e in CxlEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::CxlDevice,
+            scope: Scope::PerDevice,
+            name: e.name(),
+            index: e.index(),
+        });
+    }
+    v
+}
+
+/// Number of counters per PMU kind.
+pub fn counts_by_pmu() -> Vec<(PmuKind, usize)> {
+    PmuKind::ALL
+        .iter()
+        .map(|&k| (k, all_events().iter().filter(|e| e.pmu == k).count()))
+        .collect()
+}
+
+/// Render the registry as an aligned text table (one line per counter).
+pub fn render_table() -> String {
+    let events = all_events();
+    let width = events.iter().map(|e| e.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for e in &events {
+        out.push_str(&format!(
+            "{:<8} {:<12} {:<width$}\n",
+            e.pmu.label(),
+            e.scope.label(),
+            e.name,
+            width = width
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_pmu() {
+        for (kind, n) in counts_by_pmu() {
+            assert!(n > 0, "no events registered for {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn registry_matches_event_cardinalities() {
+        let evs = all_events();
+        assert_eq!(
+            evs.len(),
+            CoreEvent::CARD + ChaEvent::CARD + ImcEvent::CARD + M2pEvent::CARD + CxlEvent::CARD
+        );
+    }
+
+    #[test]
+    fn registry_has_at_least_the_papers_232_counters() {
+        assert!(all_events().len() >= 232);
+    }
+
+    #[test]
+    fn table_render_is_one_line_per_counter() {
+        let table = render_table();
+        assert_eq!(table.lines().count(), all_events().len());
+        assert!(table.contains("resource_stalls.sb"));
+        assert!(table.contains("unc_cxlcm_rxc_pack_buf_full.mem_req"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Overflow-threshold sampling mode (§3.1, mode b).
+//!
+//! A real PMU counter can be armed with a threshold; when the count crosses
+//! it, the PMU fires an overflow interrupt and re-arms. PathFinder mostly
+//! uses continuous counting, but sampling is part of the PMU capability
+//! surface the paper describes, and the profiler's load-latency events
+//! (`mem_trans_retired.*`) are sampling-based on real silicon.
+
+/// A sampling counter: counts like a free-running counter, but reports how
+/// many times it crossed the programmed period since the last read.
+#[derive(Clone, Debug)]
+pub struct SamplingCounter {
+    period: u64,
+    value: u64,
+    overflows: u64,
+}
+
+impl SamplingCounter {
+    /// Create a counter firing every `period` events. `period` must be > 0.
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        SamplingCounter { period, value: 0, overflows: 0 }
+    }
+
+    /// Count `n` events; returns the number of overflow interrupts this
+    /// increment produced (0 almost always, >1 for bursts larger than the
+    /// period).
+    pub fn count(&mut self, n: u64) -> u64 {
+        self.value += n;
+        let fired = self.value / self.period;
+        self.value %= self.period;
+        self.overflows += fired;
+        fired
+    }
+
+    /// Total overflows since creation or the last [`Self::reset`].
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Residual count below the next threshold.
+    pub fn residual(&self) -> u64 {
+        self.value
+    }
+
+    /// Estimated total events observed (overflows × period + residual).
+    pub fn estimate(&self) -> u64 {
+        self.overflows * self.period + self.value
+    }
+
+    /// The programmed period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Reset value and overflow count, keeping the period.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.overflows = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_per_period() {
+        let mut c = SamplingCounter::new(10);
+        assert_eq!(c.count(9), 0);
+        assert_eq!(c.count(1), 1);
+        assert_eq!(c.count(25), 2);
+        assert_eq!(c.overflows(), 3);
+        assert_eq!(c.residual(), 5);
+        assert_eq!(c.estimate(), 35);
+    }
+
+    #[test]
+    fn burst_larger_than_period_fires_multiple() {
+        let mut c = SamplingCounter::new(4);
+        assert_eq!(c.count(17), 4);
+        assert_eq!(c.residual(), 1);
+    }
+
+    #[test]
+    fn reset_keeps_period() {
+        let mut c = SamplingCounter::new(7);
+        c.count(20);
+        c.reset();
+        assert_eq!(c.overflows(), 0);
+        assert_eq!(c.residual(), 0);
+        assert_eq!(c.period(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_is_rejected() {
+        let _ = SamplingCounter::new(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! A generic set-associative cache with MESIF-like line states.
+//!
+//! Used for L1D, L2 and the LLC slices. Lines carry a `ready_at` cycle so a
+//! line that is architecturally present but still in flight (a prefetch that
+//! has not landed yet) delays a demand hit until the fill completes — this
+//! is how prefetch timeliness and LFB-style merge-on-fill behave.
+
+/// MESIF coherence state of a cached line. Absence from the cache is the
+/// Invalid state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    Modified,
+    Exclusive,
+    Shared,
+    /// The MESIF Forward state: shared, but this cache answers snoops.
+    Forward,
+}
+
+impl LineState {
+    /// Whether a store can hit this line without an ownership upgrade.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+}
+
+/// One cached line.
+#[derive(Clone, Copy, Debug)]
+pub struct Line {
+    pub tag: u64,
+    pub state: LineState,
+    /// Cycle at which the fill completes; a demand access before this merges
+    /// (waits) rather than hitting instantly.
+    pub ready_at: u64,
+    /// True if the line was brought in by a prefetch and not yet demanded.
+    pub prefetched: bool,
+    lru: u64,
+}
+
+/// What fell out of the cache on an insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    pub line_addr: u64,
+    pub state: LineState,
+    /// The victim had never been demanded after prefetch (dead prefetch).
+    pub was_prefetched: bool,
+}
+
+/// A set-associative cache, LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+    lru_clock: u64,
+}
+
+impl SetAssocCache {
+    /// Build a cache with `size_bytes / 64 / ways` sets (rounded down to a
+    /// power of two so set selection is a mask).
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        let lines = (size_bytes / crate::mem::CACHELINE).max(1);
+        let sets = (lines / ways).max(1).next_power_of_two() / 2;
+        let sets = sets.max(1);
+        SetAssocCache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: sets as u64 - 1,
+            lru_clock: 0,
+        }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        // Mix the upper bits in so node/ASID fields don't alias whole sets.
+        let h = line_addr ^ (line_addr >> 17);
+        (h & self.set_mask) as usize
+    }
+
+    /// Total lines currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of sets (for geometry-aware tests).
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Look a line up, touching LRU on hit.
+    pub fn lookup(&mut self, line_addr: u64) -> Option<&mut Line> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_of(line_addr);
+        self.sets[set].iter_mut().find(|l| l.tag == line_addr).map(|l| {
+            l.lru = clock;
+            l
+        })
+    }
+
+    /// Look a line up without touching LRU (snoops, probes).
+    pub fn peek(&self, line_addr: u64) -> Option<&Line> {
+        let set = self.set_of(line_addr);
+        self.sets[set].iter().find(|l| l.tag == line_addr)
+    }
+
+    /// Insert (or overwrite) a line, evicting LRU if the set is full.
+    pub fn insert(
+        &mut self,
+        line_addr: u64,
+        state: LineState,
+        ready_at: u64,
+        prefetched: bool,
+    ) -> Option<Eviction> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let ways = self.ways;
+        let set_idx = self.set_of(line_addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
+            l.state = state;
+            l.ready_at = ready_at;
+            l.prefetched = prefetched;
+            l.lru = clock;
+            return None;
+        }
+        let evicted = if set.len() >= ways {
+            let (victim_idx, _) =
+                set.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("set non-empty");
+            let v = set.swap_remove(victim_idx);
+            Some(Eviction { line_addr: v.tag, state: v.state, was_prefetched: v.prefetched })
+        } else {
+            None
+        };
+        set.push(Line { tag: line_addr, state, ready_at, prefetched, lru: clock });
+        evicted
+    }
+
+    /// Remove a line (back-invalidation / snoop-invalidate), returning its
+    /// state if it was present.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<LineState> {
+        let set = self.set_of(line_addr);
+        let pos = self.sets[set].iter().position(|l| l.tag == line_addr)?;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// Downgrade a line to Shared (snoop for read). Returns the previous
+    /// state if present.
+    pub fn downgrade(&mut self, line_addr: u64) -> Option<LineState> {
+        let set = self.set_of(line_addr);
+        let l = self.sets[set].iter_mut().find(|l| l.tag == line_addr)?;
+        let prev = l.state;
+        l.state = LineState::Shared;
+        Some(prev)
+    }
+
+    /// Iterate all resident lines (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &Line> {
+        self.sets.iter().flat_map(|s| s.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_4x2() -> SetAssocCache {
+        // 8 lines total: 4 sets × 2 ways.
+        SetAssocCache::new(8 * 64, 2)
+    }
+
+    #[test]
+    fn geometry_is_power_of_two_sets() {
+        let c = SetAssocCache::new(48 << 10, 12);
+        assert!(c.n_sets().is_power_of_two());
+        assert!(c.capacity() <= 48 << 10 >> 6);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = cache_4x2();
+        c.insert(100, LineState::Exclusive, 0, false);
+        assert!(c.lookup(100).is_some());
+        assert!(c.lookup(101).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(2 * 64, 2); // 1 set × 2 ways
+        assert_eq!(c.n_sets(), 1);
+        c.insert(1, LineState::Exclusive, 0, false);
+        c.insert(2, LineState::Exclusive, 0, false);
+        c.lookup(1); // 1 becomes MRU
+        let ev = c.insert(3, LineState::Exclusive, 0, false).expect("must evict");
+        assert_eq!(ev.line_addr, 2);
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(3).is_some());
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let mut c = cache_4x2();
+        c.insert(5, LineState::Shared, 0, true);
+        let ev = c.insert(5, LineState::Modified, 9, false);
+        assert!(ev.is_none());
+        let l = c.peek(5).unwrap();
+        assert_eq!(l.state, LineState::Modified);
+        assert_eq!(l.ready_at, 9);
+        assert!(!l.prefetched);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = cache_4x2();
+        c.insert(7, LineState::Modified, 0, false);
+        assert_eq!(c.invalidate(7), Some(LineState::Modified));
+        assert!(c.peek(7).is_none());
+        assert_eq!(c.invalidate(7), None);
+    }
+
+    #[test]
+    fn downgrade_to_shared() {
+        let mut c = cache_4x2();
+        c.insert(9, LineState::Exclusive, 0, false);
+        assert_eq!(c.downgrade(9), Some(LineState::Exclusive));
+        assert_eq!(c.peek(9).unwrap().state, LineState::Shared);
+    }
+
+    #[test]
+    fn writable_states() {
+        assert!(LineState::Modified.writable());
+        assert!(LineState::Exclusive.writable());
+        assert!(!LineState::Shared.writable());
+        assert!(!LineState::Forward.writable());
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-core execution state: pipeline front end, SB, LFB, private caches.
+//!
+//! The core issues memory operations from its trace at the natural rate set
+//! by the ops' `work` fields, bounded by the finite SB/LFB/super-queue
+//! windows. Dependent loads serialise the pipeline (pointer chasing);
+//! independent loads overlap up to the available memory-level parallelism.
+//! The stall-cycle accounting mirrors the paper's Table 1 counters.
+
+use std::collections::HashMap;
+
+use crate::cache::SetAssocCache;
+use crate::config::MachineConfig;
+use crate::mem::AddressSpace;
+use crate::prefetch::StreamPrefetcher;
+use crate::queues::{BoundedWindow, Coverage};
+use crate::request::ServeLoc;
+use crate::trace::Workload;
+use pmu::{Bank, CoreEvent, PathClass};
+
+/// A free-running "cycles while condition held" counter backed by interval
+/// coverage, flushed into a PMU event at epoch boundaries.
+#[derive(Debug, Default)]
+pub struct CovCounter {
+    cov: Coverage,
+    synced: u64,
+}
+
+impl CovCounter {
+    pub fn add(&mut self, start: u64, end: u64) {
+        self.cov.add(start, end);
+    }
+
+    pub fn sync(&mut self, bank: &mut Bank<CoreEvent>, ev: CoreEvent) {
+        let total = self.cov.total();
+        bank.add(ev, total - self.synced);
+        self.synced = total;
+    }
+}
+
+/// Ground-truth per-request accounting the simulator keeps *outside* the PMU
+/// — real hardware cannot see this; PathFinder's estimators are validated
+/// against it in the ablation benches.
+#[derive(Debug, Default, Clone)]
+pub struct GroundTruth {
+    /// (path, serve location) → (requests, summed latency cycles).
+    pub served: HashMap<(PathClass, ServeLoc), (u64, u64)>,
+    /// True queueing delay experienced at each named component.
+    pub queue_delay: HashMap<&'static str, u64>,
+    /// Stall cycles whose blocking request was destined for CXL vs local.
+    pub stall_cxl: u64,
+    pub stall_local: u64,
+    /// Operations executed.
+    pub ops: u64,
+    /// Loads/stores/prefetches executed.
+    pub loads: u64,
+    pub stores: u64,
+    pub swpfs: u64,
+}
+
+impl GroundTruth {
+    pub fn record_served(&mut self, path: PathClass, loc: ServeLoc, latency: u64) {
+        let e = self.served.entry((path, loc)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += latency;
+    }
+
+    pub fn add_queue_delay(&mut self, component: &'static str, cycles: u64) {
+        *self.queue_delay.entry(component).or_insert(0) += cycles;
+    }
+}
+
+/// The workload currently running on a core.
+pub struct WorkloadRun {
+    pub name: String,
+    pub trace: Box<dyn crate::trace::TraceSource>,
+    pub space: AddressSpace,
+}
+
+/// All mutable state of one simulated core.
+pub struct CoreState {
+    pub id: usize,
+    /// The core's local clock (cycles).
+    pub time: u64,
+    pub l1d: SetAssocCache,
+    pub l2: SetAssocCache,
+    /// Store buffer: finite window of in-flight (un-drained) stores.
+    pub sb: BoundedWindow,
+    /// Line fill buffer / MSHRs: in-flight L1D misses.
+    pub lfb: BoundedWindow,
+    /// Super queue: in-flight offcore demand requests.
+    pub superq: BoundedWindow,
+    /// In-flight hardware prefetches (L2 XQ slots); full ⇒ prefetch dropped.
+    pub pfq: BoundedWindow,
+    /// Last L1D-missing line, for ascending-pattern next-line detection.
+    pub last_l1_miss_line: u64,
+    /// In-flight fills by line address → completion cycle (LFB merge table).
+    pub inflight: HashMap<u64, u64>,
+    /// In-flight store drains by line address (store coalescing).
+    pub sb_inflight: HashMap<u64, u64>,
+    pub prefetcher: StreamPrefetcher,
+    pub workload: Option<WorkloadRun>,
+    pub done: bool,
+    /// Retirement bound: cycles of non-memory work per op are charged here.
+    pub ops_executed: u64,
+
+    // Coverage-backed "cycles while outstanding" counters.
+    pub cov_l1d_miss: CovCounter,
+    pub cov_l2_miss: CovCounter,
+    pub cov_oro_data_rd: CovCounter,
+    pub cov_oro_demand_rd: CovCounter,
+    pub cov_oro_demand_rfo: CovCounter,
+
+    pub truth: GroundTruth,
+}
+
+impl CoreState {
+    pub fn new(id: usize, cfg: &MachineConfig) -> Self {
+        CoreState {
+            id,
+            time: 0,
+            l1d: SetAssocCache::new(cfg.l1d.size_bytes, cfg.l1d.ways),
+            l2: SetAssocCache::new(cfg.l2.size_bytes, cfg.l2.ways),
+            sb: BoundedWindow::new(cfg.sb_entries),
+            lfb: BoundedWindow::new(cfg.lfb_entries),
+            superq: BoundedWindow::new(cfg.superq_entries),
+            pfq: BoundedWindow::new(cfg.pfq_entries),
+            last_l1_miss_line: u64::MAX,
+            inflight: HashMap::new(),
+            sb_inflight: HashMap::new(),
+            prefetcher: StreamPrefetcher::new(&cfg.prefetch),
+            workload: None,
+            done: true,
+            ops_executed: 0,
+            cov_l1d_miss: CovCounter::default(),
+            cov_l2_miss: CovCounter::default(),
+            cov_oro_data_rd: CovCounter::default(),
+            cov_oro_demand_rd: CovCounter::default(),
+            cov_oro_demand_rfo: CovCounter::default(),
+            truth: GroundTruth::default(),
+        }
+    }
+
+    /// Attach a workload; the core becomes runnable.
+    pub fn attach(&mut self, wl: Workload, asid: u16) {
+        let space = AddressSpace::new(
+            asid,
+            wl.trace.footprint(),
+            wl.policy,
+            wl.cxl_device,
+        );
+        self.workload = Some(WorkloadRun { name: wl.name, trace: wl.trace, space });
+        self.done = false;
+    }
+
+    /// Drop completed entries from the in-flight maps (cheap, amortised).
+    pub fn gc_inflight(&mut self) {
+        let now = self.time;
+        if self.inflight.len() > 64 {
+            self.inflight.retain(|_, &mut f| f > now);
+        }
+        if self.sb_inflight.len() > 64 {
+            self.sb_inflight.retain(|_, &mut f| f > now);
+        }
+    }
+
+    /// Flush coverage counters into the PMU bank (epoch boundary).
+    pub fn sync_counters(&mut self, bank: &mut Bank<CoreEvent>, epoch_cycles: u64) {
+        bank.add(CoreEvent::CpuClkUnhalted, epoch_cycles);
+        self.cov_l1d_miss.sync(bank, CoreEvent::CycleActivityCyclesL1dMiss);
+        self.cov_l2_miss.sync(bank, CoreEvent::CycleActivityCyclesL2Miss);
+        self.cov_oro_data_rd.sync(bank, CoreEvent::OroCyclesWithDataRd);
+        self.cov_oro_demand_rd.sync(bank, CoreEvent::OroCyclesWithDemandDataRd);
+        self.cov_oro_demand_rfo.sync(bank, CoreEvent::OroCyclesWithDemandRfo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemPolicy;
+    use crate::trace::SeqReadTrace;
+
+    #[test]
+    fn new_core_is_idle() {
+        let c = CoreState::new(0, &MachineConfig::tiny());
+        assert!(c.done);
+        assert_eq!(c.time, 0);
+    }
+
+    #[test]
+    fn attach_makes_core_runnable_with_address_space() {
+        let mut c = CoreState::new(1, &MachineConfig::tiny());
+        let wl = Workload::new("t", Box::new(SeqReadTrace::new(1 << 16, 10)), MemPolicy::Cxl);
+        c.attach(wl, 5);
+        assert!(!c.done);
+        let run = c.workload.as_ref().unwrap();
+        assert_eq!(run.space.asid(), 5);
+        assert_eq!(run.space.size_bytes(), 1 << 16);
+    }
+
+    #[test]
+    fn cov_counter_sync_is_incremental() {
+        let mut cc = CovCounter::default();
+        let mut bank: Bank<CoreEvent> = Bank::new();
+        cc.add(0, 100);
+        cc.sync(&mut bank, CoreEvent::CycleActivityCyclesL1dMiss);
+        assert_eq!(bank.read(CoreEvent::CycleActivityCyclesL1dMiss), 100);
+        cc.add(50, 150); // 50 new cycles
+        cc.sync(&mut bank, CoreEvent::CycleActivityCyclesL1dMiss);
+        assert_eq!(bank.read(CoreEvent::CycleActivityCyclesL1dMiss), 150);
+    }
+
+    #[test]
+    fn ground_truth_accumulates() {
+        let mut g = GroundTruth::default();
+        g.record_served(PathClass::Drd, ServeLoc::CxlDram, 700);
+        g.record_served(PathClass::Drd, ServeLoc::CxlDram, 300);
+        g.record_served(PathClass::Rfo, ServeLoc::L2, 15);
+        assert_eq!(g.served[&(PathClass::Drd, ServeLoc::CxlDram)], (2, 1000));
+        assert_eq!(g.served[&(PathClass::Rfo, ServeLoc::L2)], (1, 15));
+        g.add_queue_delay("L2", 5);
+        g.add_queue_delay("L2", 7);
+        assert_eq!(g.queue_delay["L2"], 12);
+    }
+
+    #[test]
+    fn gc_inflight_drops_only_completed() {
+        let mut c = CoreState::new(0, &MachineConfig::tiny());
+        c.time = 100;
+        for line in 0..70u64 {
+            c.inflight.insert(line, if line < 35 { 50 } else { 500 });
+        }
+        c.gc_inflight();
+        assert_eq!(c.inflight.len(), 35);
+        assert!(c.inflight.values().all(|&f| f > 100));
+    }
+}

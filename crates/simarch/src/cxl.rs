@@ -1,0 +1,299 @@
+//! The FlexBus I/O path and the CXL Type-3 memory device.
+//!
+//! Models the full CXL.mem transaction flow of §2.1:
+//!
+//! ```text
+//!  mesh → M2PCIe ingress → FlexBus link → device Rx packing buffers
+//!       (M2S Req for reads, M2S RwD for writes)
+//!  device MC → media → device Tx packing buffers → FlexBus → M2PCIe egress
+//!       (S2M DRS data for reads, S2M NDR completion for writes)
+//! ```
+//!
+//! Counters: the M2PCIe rows of Table 3 and the CXL-device rows of Table 4.
+//! The device also derives the CXL 3.x QoS telemetry class (DevLoad) from
+//! its internal queue occupancy — the capability §3.5 notes that shipping
+//! DIMMs do not yet expose; the simulated device does.
+
+use crate::config::MachineConfig;
+use crate::queues::{Coverage, FifoServer};
+use pmu::{Bank, CxlEvent, M2pEvent};
+
+/// CXL.mem QoS telemetry classes (CXL spec 3.0/3.1 DevLoad; paper §3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DevLoad {
+    Light,
+    Optimal,
+    Moderate,
+    Severe,
+}
+
+/// One CXL Type-3 endpoint: M2PCIe bridge + FlexBus link + device.
+#[derive(Debug)]
+pub struct CxlPort {
+    /// M2PCIe ingress (requests from the mesh).
+    m2p_ingress: FifoServer,
+    m2p_ne: Coverage,
+    synced_m2p_ne: u64,
+    /// FlexBus link, request direction (shared by Req and RwD flits).
+    link_up: FifoServer,
+    /// FlexBus link, response direction (DRS data + NDR completions).
+    link_down: FifoServer,
+    /// Device memory controller + media.
+    dev_mc: FifoServer,
+    req_buf_ne: Coverage,
+    data_buf_ne: Coverage,
+    synced_req_ne: u64,
+    synced_data_ne: u64,
+    /// Cycles the Rx packing buffers were full (overload indicator).
+    req_buf_full: u64,
+    data_buf_full: u64,
+    synced_req_full: u64,
+    synced_data_full: u64,
+
+    latency_link: u64,
+    gap_link: u64,
+    latency_media: u64,
+    gap_dev: u64,
+    queue_cap: u64,
+}
+
+/// Completion of one CXL.mem transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct CxlCompletion {
+    /// Cycle the S2M response reaches the mesh.
+    pub finish: u64,
+    /// Device-side queueing delay component (for ground-truth checks).
+    pub device_wait: u64,
+}
+
+impl CxlPort {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        CxlPort {
+            m2p_ingress: FifoServer::new(),
+            m2p_ne: Coverage::new(),
+            synced_m2p_ne: 0,
+            link_up: FifoServer::new(),
+            link_down: FifoServer::new(),
+            dev_mc: FifoServer::new(),
+            req_buf_ne: Coverage::new(),
+            data_buf_ne: Coverage::new(),
+            synced_req_ne: 0,
+            synced_data_ne: 0,
+            req_buf_full: 0,
+            data_buf_full: 0,
+            synced_req_full: 0,
+            synced_data_full: 0,
+            latency_link: cfg.flexbus_latency,
+            gap_link: cfg.flexbus_gap,
+            latency_media: cfg.cxl_media_latency,
+            gap_dev: cfg.cxl_dev_gap,
+            queue_cap: cfg.cxl_dev_queue as u64,
+        }
+    }
+
+    /// Estimate the device-queue backlog (entries) implied by the MC's
+    /// `next_free` horizon at `arrive`.
+    fn backlog(&self, arrive: u64) -> u64 {
+        self.dev_mc.next_free().saturating_sub(arrive) / self.gap_dev.max(1)
+    }
+
+    /// A CXL.mem load: M2S Req → media read → S2M DRS.
+    pub fn mem_load(
+        &mut self,
+        arrive: u64,
+        m2p: &mut Bank<M2pEvent>,
+        dev: &mut Bank<CxlEvent>,
+    ) -> CxlCompletion {
+        // M2PCIe ingress from the mesh. The entry occupies the ingress
+        // queue until the FlexBus link accepts its flit, so link-credit
+        // starvation shows up as M2PCIe occupancy — exactly what
+        // `unc_m2p_rxc_cycles_ne` observes on real parts.
+        m2p.inc(M2pEvent::RxcInserts);
+        let in_svc = self.m2p_ingress.serve(arrive, 2, 1);
+        // FlexBus up: a Req slot in a 68B flit.
+        let up = self.link_up.serve(in_svc.finish, self.latency_link / 2, self.gap_link);
+        self.m2p_ne.add(arrive, up.start.max(in_svc.finish));
+        m2p.add(M2pEvent::RxcOccupancy, up.start.max(in_svc.finish) - arrive);
+        // Device Rx Mem-Request packing buffer + MC + media.
+        dev.inc(CxlEvent::RxcPackBufInsertsMemReq);
+        let backlog = self.backlog(up.finish);
+        if backlog >= self.queue_cap {
+            let over = (backlog - self.queue_cap + 1) * self.gap_dev;
+            self.req_buf_full += over;
+        }
+        let mc = self.dev_mc.serve(up.finish, self.latency_media, self.gap_dev);
+        self.req_buf_ne.add(up.finish, mc.finish);
+        dev.add(CxlEvent::RxcPackBufOccupancyMemReq, mc.finish - up.finish);
+        dev.inc(CxlEvent::DevMcRdCas);
+        dev.add(CxlEvent::DevMcRpqOccupancy, mc.finish - up.finish);
+        // S2M DRS back over FlexBus.
+        dev.inc(CxlEvent::TxcPackBufInsertsMemData);
+        let down = self.link_down.serve(mc.finish, self.latency_link / 2, self.gap_link);
+        // M2PCIe egress: one BL (block data) entry per returned line.
+        m2p.inc(M2pEvent::TxcInsertsBl);
+        CxlCompletion { finish: down.finish, device_wait: mc.start - up.finish }
+    }
+
+    /// A CXL.mem store: M2S RwD → media write → S2M NDR. Posted from the
+    /// host's perspective; the returned cycle is when the NDR lands.
+    pub fn mem_store(
+        &mut self,
+        arrive: u64,
+        m2p: &mut Bank<M2pEvent>,
+        dev: &mut Bank<CxlEvent>,
+    ) -> CxlCompletion {
+        m2p.inc(M2pEvent::RxcInserts);
+        let in_svc = self.m2p_ingress.serve(arrive, 2, 1);
+        // RwD carries 64B of data: same link, data-buffer accounting. As in
+        // `mem_load`, the ingress entry lives until the link takes the flit.
+        let up = self.link_up.serve(in_svc.finish, self.latency_link / 2, self.gap_link);
+        self.m2p_ne.add(arrive, up.start.max(in_svc.finish));
+        m2p.add(M2pEvent::RxcOccupancy, up.start.max(in_svc.finish) - arrive);
+        dev.inc(CxlEvent::RxcPackBufInsertsMemData);
+        let backlog = self.backlog(up.finish);
+        if backlog >= self.queue_cap {
+            let over = (backlog - self.queue_cap + 1) * self.gap_dev;
+            self.data_buf_full += over;
+        }
+        let mc = self.dev_mc.serve(up.finish, self.latency_media, self.gap_dev);
+        self.data_buf_ne.add(up.finish, mc.finish);
+        dev.add(CxlEvent::RxcPackBufOccupancyMemData, mc.finish - up.finish);
+        dev.inc(CxlEvent::DevMcWrCas);
+        dev.add(CxlEvent::DevMcWpqOccupancy, mc.finish - up.finish);
+        // S2M NDR completion.
+        dev.inc(CxlEvent::TxcPackBufInsertsMemReq);
+        let down = self.link_down.serve(mc.finish, self.latency_link / 2, self.gap_link);
+        // M2PCIe egress: one AK (acknowledgement) entry per completed store.
+        m2p.inc(M2pEvent::TxcInsertsAk);
+        CxlCompletion { finish: down.finish, device_wait: mc.start - up.finish }
+    }
+
+    /// A background (kernel page-migration) read: counted by every PMU the
+    /// demand path touches, but served from idle bandwidth — it does not
+    /// advance the shared FIFO horizons, so demand traffic never queues
+    /// behind it (kernels rate-limit migration copies for exactly this
+    /// reason).
+    pub fn background_read(&mut self, m2p: &mut Bank<M2pEvent>, dev: &mut Bank<CxlEvent>) {
+        m2p.inc(M2pEvent::RxcInserts);
+        dev.inc(CxlEvent::RxcPackBufInsertsMemReq);
+        dev.inc(CxlEvent::DevMcRdCas);
+        dev.add(CxlEvent::DevMcRpqOccupancy, self.latency_media);
+        dev.inc(CxlEvent::TxcPackBufInsertsMemData);
+        m2p.inc(M2pEvent::TxcInsertsBl);
+    }
+
+    /// A background (kernel page-migration) write; see [`Self::background_read`].
+    pub fn background_write(&mut self, m2p: &mut Bank<M2pEvent>, dev: &mut Bank<CxlEvent>) {
+        m2p.inc(M2pEvent::RxcInserts);
+        dev.inc(CxlEvent::RxcPackBufInsertsMemData);
+        dev.inc(CxlEvent::DevMcWrCas);
+        dev.add(CxlEvent::DevMcWpqOccupancy, self.latency_media);
+        dev.inc(CxlEvent::TxcPackBufInsertsMemReq);
+        m2p.inc(M2pEvent::TxcInsertsAk);
+    }
+
+    /// Current QoS telemetry class from the device backlog at `now`
+    /// (CXL 3.x DevLoad; thresholds at ¼, ½ and full queue).
+    pub fn dev_load(&self, now: u64) -> DevLoad {
+        let backlog = self.backlog(now);
+        if backlog >= self.queue_cap {
+            DevLoad::Severe
+        } else if backlog >= self.queue_cap / 2 {
+            DevLoad::Moderate
+        } else if backlog >= self.queue_cap / 4 {
+            DevLoad::Optimal
+        } else {
+            DevLoad::Light
+        }
+    }
+
+    /// Flush coverage/full accumulators into the free-running counters at an
+    /// epoch boundary.
+    pub fn sync_counters(
+        &mut self,
+        m2p: &mut Bank<M2pEvent>,
+        dev: &mut Bank<CxlEvent>,
+        epoch_cycles: u64,
+    ) {
+        m2p.add(M2pEvent::ClockTicks, epoch_cycles);
+        dev.add(CxlEvent::ClockTicks, epoch_cycles);
+        let ne = self.m2p_ne.total();
+        m2p.add(M2pEvent::RxcCyclesNe, ne - self.synced_m2p_ne);
+        self.synced_m2p_ne = ne;
+        let rq = self.req_buf_ne.total();
+        dev.add(CxlEvent::RxcPackBufNeMemReq, rq - self.synced_req_ne);
+        self.synced_req_ne = rq;
+        let dt = self.data_buf_ne.total();
+        dev.add(CxlEvent::RxcPackBufNeMemData, dt - self.synced_data_ne);
+        self.synced_data_ne = dt;
+        dev.add(CxlEvent::RxcPackBufFullMemReq, self.req_buf_full - self.synced_req_full);
+        self.synced_req_full = self.req_buf_full;
+        dev.add(CxlEvent::RxcPackBufFullMemData, self.data_buf_full - self.synced_data_full);
+        self.synced_data_full = self.data_buf_full;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CxlPort, Bank<M2pEvent>, Bank<CxlEvent>) {
+        (CxlPort::new(&MachineConfig::spr()), Bank::new(), Bank::new())
+    }
+
+    #[test]
+    fn idle_load_latency_matches_calibration() {
+        let (mut port, mut m2p, mut dev) = setup();
+        let c = port.mem_load(0, &mut m2p, &mut dev);
+        let cfg = MachineConfig::spr();
+        let expect = 2 + cfg.flexbus_latency / 2 + cfg.cxl_media_latency + cfg.flexbus_latency / 2;
+        assert_eq!(c.finish, expect);
+        assert_eq!(c.device_wait, 0);
+        assert_eq!(m2p.read(M2pEvent::TxcInsertsBl), 1);
+        assert_eq!(dev.read(CxlEvent::DevMcRdCas), 1);
+        assert_eq!(dev.read(CxlEvent::TxcPackBufInsertsMemData), 1);
+    }
+
+    #[test]
+    fn store_produces_ndr_and_ak() {
+        let (mut port, mut m2p, mut dev) = setup();
+        port.mem_store(0, &mut m2p, &mut dev);
+        assert_eq!(m2p.read(M2pEvent::TxcInsertsAk), 1);
+        assert_eq!(dev.read(CxlEvent::TxcPackBufInsertsMemReq), 1);
+        assert_eq!(dev.read(CxlEvent::RxcPackBufInsertsMemData), 1);
+        assert_eq!(dev.read(CxlEvent::DevMcWrCas), 1);
+    }
+
+    #[test]
+    fn saturation_escalates_devload_and_full_cycles() {
+        let (mut port, mut m2p, mut dev) = setup();
+        assert_eq!(port.dev_load(0), DevLoad::Light);
+        for _ in 0..500 {
+            port.mem_load(0, &mut m2p, &mut dev);
+        }
+        assert_eq!(port.dev_load(0), DevLoad::Severe);
+        port.sync_counters(&mut m2p, &mut dev, 1_000_000);
+        assert!(dev.read(CxlEvent::RxcPackBufFullMemReq) > 0);
+    }
+
+    #[test]
+    fn queueing_grows_with_offered_load() {
+        let (mut port, mut m2p, mut dev) = setup();
+        let solo = port.mem_load(0, &mut m2p, &mut dev).finish;
+        let mut last = 0;
+        for _ in 0..100 {
+            last = port.mem_load(0, &mut m2p, &mut dev).finish;
+        }
+        assert!(last > solo * 2, "100 back-to-back loads must queue heavily");
+    }
+
+    #[test]
+    fn sync_is_idempotent_without_traffic() {
+        let (mut port, mut m2p, mut dev) = setup();
+        port.mem_load(0, &mut m2p, &mut dev);
+        port.sync_counters(&mut m2p, &mut dev, 1000);
+        let ne1 = dev.read(CxlEvent::RxcPackBufNeMemReq);
+        port.sync_counters(&mut m2p, &mut dev, 1000);
+        assert_eq!(dev.read(CxlEvent::RxcPackBufNeMemReq), ne1);
+    }
+}

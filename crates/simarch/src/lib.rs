@@ -1,0 +1,52 @@
+//! # simarch — a simulated CXL.mem server
+//!
+//! A deterministic, request-level micro-architecture simulator of an Intel
+//! Sapphire-Rapids / Emerald-Rapids-class server with local DDR5 DIMMs and
+//! CXL Type-3 memory devices. It is the hardware substrate for the
+//! PathFinder profiler reproduction: the paper profiles real silicon through
+//! PMU counters, and this crate exposes *the same counters with the same
+//! semantics* (see the `pmu` crate) over a simulated memory hierarchy.
+//!
+//! ## Modelled hardware (paper §2.2, Figure 1)
+//!
+//! Request direction, ingress → egress, exactly the Clos stages PathFinder
+//! assumes:
+//!
+//! ```text
+//! core ─ SB ─┐
+//!            ├─ L1D ─ LFB ─ L2 ─ mesh ─ CHA(LLC slice + SF + TOR) ─┬─ IMC(RPQ/WPQ) ─ DRAM
+//! HW/SW PF ──┘                                                     └─ M2PCIe ─ FlexBus ─ CXL dev(MC) ─ DDR4
+//! ```
+//!
+//! The four architectural request classes that spawn CXL.mem transactions
+//! are modelled end-to-end: demand reads (DRd), demand writes (DWr → RFO →
+//! write-back), read-for-ownership (RFO), and hardware/software prefetch.
+//!
+//! ## Timing model
+//!
+//! Each shared resource (L2 port, CHA slice, IMC channel, FlexBus link, CXL
+//! device controller) is a FIFO server with a fixed service latency and an
+//! issue gap (1/bandwidth); a request arriving at cycle `t` starts at
+//! `max(t, resource.next_free)`. Finite structures (SB, LFB, request
+//! windows) bound memory-level parallelism and create the back-pressure the
+//! paper studies. Everything is a pure function of
+//! `(MachineConfig, workload, seed)`.
+
+pub mod cache;
+pub mod cha;
+pub mod config;
+pub mod core_model;
+pub mod cxl;
+pub mod imc;
+pub mod machine;
+pub mod mem;
+pub mod prefetch;
+pub mod queues;
+pub mod request;
+pub mod trace;
+
+pub use config::{MachineConfig, MemPolicy};
+pub use machine::{EpochResult, Machine, RunSummary};
+pub use mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
+pub use request::{AccessKind, MemOp, ServeLoc};
+pub use trace::{TraceSource, Workload};

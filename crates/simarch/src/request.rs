@@ -1,0 +1,145 @@
+//! Memory operations and request bookkeeping.
+
+use crate::mem::MemNode;
+use pmu::PathClass;
+
+/// One operation emitted by a workload trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AccessKind {
+    /// Demand load. `dependent` marks loads on the program's critical path
+    /// (pointer chases): the core cannot issue past them.
+    Load { dependent: bool },
+    /// Demand store.
+    Store,
+    /// Explicit software prefetch (`prefetcht0`-style).
+    SwPrefetch,
+}
+
+/// A single memory operation: a virtual address plus the number of
+/// non-memory instructions the core executes before it (`work`), which sets
+/// the natural request rate of the workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemOp {
+    pub vaddr: u64,
+    pub kind: AccessKind,
+    /// Non-memory work (cycles) preceding this operation.
+    pub work: u32,
+}
+
+impl MemOp {
+    pub fn load(vaddr: u64) -> MemOp {
+        MemOp { vaddr, kind: AccessKind::Load { dependent: false }, work: 1 }
+    }
+
+    pub fn dependent_load(vaddr: u64) -> MemOp {
+        MemOp { vaddr, kind: AccessKind::Load { dependent: true }, work: 1 }
+    }
+
+    pub fn store(vaddr: u64) -> MemOp {
+        MemOp { vaddr, kind: AccessKind::Store, work: 1 }
+    }
+
+    pub fn swpf(vaddr: u64) -> MemOp {
+        MemOp { vaddr, kind: AccessKind::SwPrefetch, work: 0 }
+    }
+
+    pub fn with_work(mut self, work: u32) -> MemOp {
+        self.work = work;
+        self
+    }
+}
+
+/// Where a request was ultimately served from — the egress stage of its
+/// path. This is the simulator's ground truth; the PMU exposes it through
+/// the `ocr.*` scenario counters and the CHA TOR target counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServeLoc {
+    /// Store absorbed by the store buffer (store-to-line coalescing).
+    StoreBuffer,
+    L1d,
+    /// Merged into an in-flight line-fill-buffer entry.
+    Lfb,
+    L2,
+    /// This core's local LLC slice.
+    LocalLlc,
+    /// A distant LLC slice in another sub-NUMA cluster.
+    SncLlc,
+    /// A remote-socket cache, via snoop.
+    RemoteLlc,
+    /// Another core's private cache on this socket (cross-core snoop).
+    PeerCache,
+    /// Socket-local DRAM.
+    LocalDram,
+    /// The other socket's DRAM (NUMA remote).
+    RemoteDram,
+    /// CXL device DRAM.
+    CxlDram,
+}
+
+impl ServeLoc {
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeLoc::StoreBuffer => "SB",
+            ServeLoc::L1d => "L1D",
+            ServeLoc::Lfb => "LFB",
+            ServeLoc::L2 => "L2",
+            ServeLoc::LocalLlc => "local LLC",
+            ServeLoc::SncLlc => "snc LLC",
+            ServeLoc::RemoteLlc => "remote LLC",
+            ServeLoc::PeerCache => "peer cache",
+            ServeLoc::LocalDram => "local DRAM",
+            ServeLoc::RemoteDram => "remote DRAM",
+            ServeLoc::CxlDram => "CXL memory",
+        }
+    }
+
+    /// True if this location is past the LLC (a memory destination).
+    pub fn is_memory(self) -> bool {
+        matches!(self, ServeLoc::LocalDram | ServeLoc::RemoteDram | ServeLoc::CxlDram)
+    }
+}
+
+/// The outcome of walking one request through the hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// Cycle at which the data (or ownership) is available to the core.
+    pub finish: u64,
+    /// Where the request was served from.
+    pub loc: ServeLoc,
+    /// Cycle at which the L2 lookup completed (miss determined) — used for
+    /// the `cycles_l2_miss` family.
+    pub l2_miss_at: Option<u64>,
+    /// Cycle at which the LLC lookup completed (miss determined).
+    pub l3_miss_at: Option<u64>,
+}
+
+/// Identity of an in-flight request: who issued it and on which path class.
+#[derive(Clone, Copy, Debug)]
+pub struct ReqCtx {
+    pub core: usize,
+    pub path: PathClass,
+    /// Destination node if the request reaches memory (by address).
+    pub node: MemNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors_set_kinds() {
+        assert!(matches!(MemOp::load(4).kind, AccessKind::Load { dependent: false }));
+        assert!(matches!(MemOp::dependent_load(4).kind, AccessKind::Load { dependent: true }));
+        assert!(matches!(MemOp::store(4).kind, AccessKind::Store));
+        assert!(matches!(MemOp::swpf(4).kind, AccessKind::SwPrefetch));
+        assert_eq!(MemOp::load(4).with_work(9).work, 9);
+    }
+
+    #[test]
+    fn serve_loc_memory_classification() {
+        assert!(ServeLoc::LocalDram.is_memory());
+        assert!(ServeLoc::CxlDram.is_memory());
+        assert!(!ServeLoc::LocalLlc.is_memory());
+        assert!(!ServeLoc::L1d.is_memory());
+    }
+}

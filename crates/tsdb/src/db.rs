@@ -1,0 +1,118 @@
+//! The store: append-only series keyed by measurement + tags.
+
+use std::collections::HashMap;
+
+use crate::point::Point;
+use crate::query::Query;
+
+/// An in-memory time-series database.
+#[derive(Debug, Default)]
+pub struct Db {
+    /// series key → points in insertion (time) order.
+    series: HashMap<String, Vec<Point>>,
+    points: usize,
+}
+
+impl Db {
+    pub fn new() -> Db {
+        Db::default()
+    }
+
+    /// Insert a point. Out-of-order timestamps within a series are kept but
+    /// sorted lazily on query.
+    pub fn insert(&mut self, point: Point) {
+        self.points += 1;
+        self.series.entry(point.series_key()).or_default().push(point);
+    }
+
+    /// Total points stored.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points == 0
+    }
+
+    /// Number of distinct series.
+    pub fn n_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Start a query against a measurement (Flux: `from(bucket)`).
+    pub fn from(&self, measurement: &str) -> Query<'_> {
+        Query::new(self, measurement)
+    }
+
+    /// Internal: iterate all points of all series matching a measurement.
+    pub(crate) fn scan<'a>(&'a self, measurement: &str) -> impl Iterator<Item = &'a Point> + 'a {
+        let measurement = measurement.to_string();
+        self.series
+            .iter()
+            .filter(move |(key, _)| {
+                key.split(',').next().map(|m| m == measurement).unwrap_or(false)
+            })
+            .flat_map(|(_, pts)| pts.iter())
+    }
+
+    /// Approximate resident bytes (overhead accounting, §5.9).
+    pub fn footprint_bytes(&self) -> usize {
+        let mut total = 0;
+        for (key, pts) in &self.series {
+            total += key.len();
+            for p in pts {
+                total += p.measurement.len()
+                    + 8
+                    + p.tags.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
+                    + p.fields.keys().map(|k| k.len() + 8).sum::<usize>();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Db {
+        let mut db = Db::new();
+        for t in 0..10u64 {
+            db.insert(
+                Point::new("path_set", t * 100)
+                    .tag("core", "0")
+                    .field("hits", t as f64),
+            );
+            db.insert(
+                Point::new("path_set", t * 100)
+                    .tag("core", "1")
+                    .field("hits", 2.0 * t as f64),
+            );
+            db.insert(Point::new("vertex", t * 100).tag("hw", "L2").field("occ", 1.0));
+        }
+        db
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let db = sample_db();
+        assert_eq!(db.len(), 30);
+        assert_eq!(db.n_series(), 3);
+    }
+
+    #[test]
+    fn scan_filters_by_measurement() {
+        let db = sample_db();
+        assert_eq!(db.scan("path_set").count(), 20);
+        assert_eq!(db.scan("vertex").count(), 10);
+        assert_eq!(db.scan("nope").count(), 0);
+    }
+
+    #[test]
+    fn footprint_is_positive_and_grows() {
+        let mut db = Db::new();
+        let f0 = db.footprint_bytes();
+        db.insert(Point::new("m", 0).field("x", 1.0));
+        assert!(db.footprint_bytes() > f0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # tsdb — an embedded time-series database
+//!
+//! PathFinder's PFMaterializer (§4.6) "employs a time-series database (like
+//! InfluxDB), encapsulates a snapshot as a compacted record, and conducts
+//! time-series analysis". This crate is that substrate, self-contained:
+//!
+//! * [`point::Point`] / [`db::Db`] — tagged, timestamped records with
+//!   series indexing.
+//! * [`query::Query`] — a small Flux-like builder
+//!   (`from("path_set").filter("path.dst","LLC").range(a,b)`).
+//! * [`ops`] — `min`/`max`/`mean`/`sum`/`moving_average`/`rate` operators.
+//! * [`tsa`] — Holt-Winters forecasting (`holtWinters()`), Pearson
+//!   correlation (`pearsonr()`), and the window-clustering step PathFinder
+//!   uses to find phases of consistent data locality.
+
+pub mod db;
+pub mod ops;
+pub mod point;
+pub mod query;
+pub mod tsa;
+
+pub use db::Db;
+pub use point::Point;
+pub use query::Query;

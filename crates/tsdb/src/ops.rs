@@ -1,0 +1,134 @@
+//! Aggregation operators over `(ts, value)` series — the `min()`, `max()`,
+//! `avg()`, `movingAverage()` operators PFMaterializer's workflow uses
+//! (§4.6, step 2).
+
+/// Minimum value, `None` on an empty series.
+pub fn min(series: &[(u64, f64)]) -> Option<f64> {
+    series.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.min(v)),
+    })
+}
+
+/// Maximum value.
+pub fn max(series: &[(u64, f64)]) -> Option<f64> {
+    series.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.max(v)),
+    })
+}
+
+/// Sum of values.
+pub fn sum(series: &[(u64, f64)]) -> f64 {
+    series.iter().map(|&(_, v)| v).sum()
+}
+
+/// Arithmetic mean, `None` on an empty series.
+pub fn mean(series: &[(u64, f64)]) -> Option<f64> {
+    if series.is_empty() {
+        None
+    } else {
+        Some(sum(series) / series.len() as f64)
+    }
+}
+
+/// Population standard deviation.
+pub fn stddev(series: &[(u64, f64)]) -> Option<f64> {
+    let m = mean(series)?;
+    let var =
+        series.iter().map(|&(_, v)| (v - m) * (v - m)).sum::<f64>() / series.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Trailing moving average with the given window; output series has the same
+/// timestamps, first `window-1` entries average what is available.
+pub fn moving_average(series: &[(u64, f64)], window: usize) -> Vec<(u64, f64)> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(series.len());
+    let mut acc = 0.0;
+    for i in 0..series.len() {
+        acc += series[i].1;
+        if i >= window {
+            acc -= series[i - window].1;
+        }
+        let n = (i + 1).min(window);
+        out.push((series[i].0, acc / n as f64));
+    }
+    out
+}
+
+/// Per-unit-time rate of change between consecutive points (Flux
+/// `derivative(unit: 1)`): `(v[i] - v[i-1]) / (ts[i] - ts[i-1])`.
+pub fn rate(series: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    series
+        .windows(2)
+        .filter(|w| w[1].0 > w[0].0)
+        .map(|w| (w[1].0, (w[1].1 - w[0].1) / (w[1].0 - w[0].0) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vals: &[f64]) -> Vec<(u64, f64)> {
+        vals.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let v = s(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        assert_eq!(min(&v), Some(1.0));
+        assert_eq!(max(&v), Some(5.0));
+        assert_eq!(sum(&v), 14.0);
+        assert_eq!(mean(&v), Some(2.8));
+    }
+
+    #[test]
+    fn empty_series_yield_none() {
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(stddev(&[]), None);
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&s(&[2.0, 2.0, 2.0])), Some(0.0));
+    }
+
+    #[test]
+    fn moving_average_warms_up_then_slides() {
+        let v = s(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ma = moving_average(&v, 2);
+        assert_eq!(ma[0].1, 1.0);
+        assert_eq!(ma[1].1, 1.5);
+        assert_eq!(ma[4].1, 4.5);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let v = s(&[5.0, 7.0, 9.0]);
+        assert_eq!(moving_average(&v, 1), v);
+    }
+
+    #[test]
+    fn rate_uses_time_deltas() {
+        let v = vec![(0u64, 0.0), (10, 50.0), (20, 50.0), (30, 20.0)];
+        let r = rate(&v);
+        assert_eq!(r, vec![(10, 5.0), (20, 0.0), (30, -3.0)]);
+    }
+
+    #[test]
+    fn rate_skips_duplicate_timestamps() {
+        let v = vec![(5u64, 1.0), (5, 2.0), (6, 3.0)];
+        assert_eq!(rate(&v).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        moving_average(&[(0, 1.0)], 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A small Flux-like query builder.
+//!
+//! PathFinder's analyzer translates a scenario into "a sequence of InfluxDB
+//! Flux queries" (§4.6), e.g.
+//! `FROM "path_set" WHERE path.mflow.pid = APP_PID AND path.dst = LLC`.
+//! The equivalent here:
+//!
+//! ```
+//! use tsdb::{Db, Point};
+//! let mut db = Db::new();
+//! db.insert(Point::new("path_set", 5).tag("pid", "7").tag("dst", "LLC").field("hits", 3.0));
+//! let series = db.from("path_set").filter("pid", "7").filter("dst", "LLC").values("hits");
+//! assert_eq!(series, vec![(5, 3.0)]);
+//! ```
+
+use crate::db::Db;
+use crate::point::Point;
+
+/// A lazily-evaluated query over one measurement.
+pub struct Query<'a> {
+    db: &'a Db,
+    measurement: String,
+    tag_filters: Vec<(String, String)>,
+    range: Option<(u64, u64)>,
+}
+
+impl<'a> Query<'a> {
+    pub(crate) fn new(db: &'a Db, measurement: &str) -> Query<'a> {
+        Query { db, measurement: measurement.into(), tag_filters: Vec::new(), range: None }
+    }
+
+    /// Require an exact tag match (Flux `filter(fn: (r) => r.k == v)`).
+    pub fn filter(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tag_filters.push((key.into(), value.into()));
+        self
+    }
+
+    /// Restrict to `[start, stop)` timestamps (Flux `range(start:, stop:)`).
+    pub fn range(mut self, start: u64, stop: u64) -> Self {
+        self.range = Some((start, stop));
+        self
+    }
+
+    fn matches(&self, p: &Point) -> bool {
+        if let Some((a, b)) = self.range {
+            if p.ts < a || p.ts >= b {
+                return false;
+            }
+        }
+        self.tag_filters
+            .iter()
+            .all(|(k, v)| p.tags.get(k).map(|t| t == v).unwrap_or(false))
+    }
+
+    /// Materialise matching points, time-sorted.
+    pub fn points(self) -> Vec<Point> {
+        let mut out: Vec<Point> =
+            self.db.scan(&self.measurement).filter(|p| self.matches(p)).cloned().collect();
+        out.sort_by_key(|p| p.ts);
+        out
+    }
+
+    /// Materialise one field as a `(ts, value)` series, time-sorted; points
+    /// lacking the field are skipped.
+    pub fn values(self, field: &str) -> Vec<(u64, f64)> {
+        let field = field.to_string();
+        let mut out: Vec<(u64, f64)> = {
+            let q = self;
+            q.db.scan(&q.measurement)
+                .filter(|p| q.matches(p))
+                .filter_map(|p| p.fields.get(&field).map(|&v| (p.ts, v)))
+                .collect()
+        };
+        out.sort_by_key(|&(ts, _)| ts);
+        out
+    }
+
+    /// Count matching points.
+    pub fn count(self) -> usize {
+        let q = &self;
+        q.db.scan(&q.measurement).filter(|p| q.matches(p)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Db {
+        let mut db = Db::new();
+        for t in 0..20u64 {
+            db.insert(
+                Point::new("path_set", t)
+                    .tag("pid", if t % 2 == 0 { "7" } else { "8" })
+                    .tag("dst", "LLC")
+                    .field("hits", t as f64),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn filter_by_tag() {
+        let d = db();
+        assert_eq!(d.from("path_set").filter("pid", "7").count(), 10);
+        assert_eq!(d.from("path_set").filter("pid", "9").count(), 0);
+    }
+
+    #[test]
+    fn filters_compose_conjunctively() {
+        let d = db();
+        assert_eq!(d.from("path_set").filter("pid", "7").filter("dst", "LLC").count(), 10);
+        assert_eq!(d.from("path_set").filter("pid", "7").filter("dst", "L2").count(), 0);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let d = db();
+        let pts = d.from("path_set").range(5, 10).points();
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| (5..10).contains(&p.ts)));
+    }
+
+    #[test]
+    fn values_are_time_sorted() {
+        let mut d = Db::new();
+        d.insert(Point::new("m", 30).field("x", 3.0));
+        d.insert(Point::new("m", 10).field("x", 1.0));
+        d.insert(Point::new("m", 20).field("x", 2.0));
+        let v = d.from("m").values("x");
+        assert_eq!(v, vec![(10, 1.0), (20, 2.0), (30, 3.0)]);
+    }
+
+    #[test]
+    fn missing_field_rows_are_skipped() {
+        let mut d = Db::new();
+        d.insert(Point::new("m", 1).field("x", 1.0));
+        d.insert(Point::new("m", 2).field("y", 9.0));
+        assert_eq!(d.from("m").values("x").len(), 1);
+    }
+
+    #[test]
+    fn missing_tag_never_matches() {
+        let mut d = Db::new();
+        d.insert(Point::new("m", 1).field("x", 1.0));
+        assert_eq!(d.from("m").filter("core", "0").count(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graph-analytics traffic (GAP suite: BFS, PageRank, CC, SSSP…).
+//!
+//! The access signature of frontier-based graph processing: a sequential
+//! scan of a vertex's adjacency list (prefetch-friendly), then one
+//! *dependent* random access into the property array per neighbour
+//! (prefetch-hostile). The ratio of the two is set by the synthetic degree
+//! distribution — power-law, like the Kronecker/twitter inputs GAP uses.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simarch::request::MemOp;
+use simarch::TraceSource;
+
+/// A synthetic frontier-driven graph traversal.
+pub struct GraphTraversal {
+    /// Property array size in bytes (the random-access working set).
+    prop_bytes: u64,
+    /// Adjacency (CSR) region size in bytes (the streaming working set).
+    adj_bytes: u64,
+    rng: StdRng,
+    remaining: u64,
+    /// Remaining neighbours of the current vertex.
+    neighbours_left: u32,
+    adj_cursor: u64,
+    max_degree: u32,
+    work: u32,
+    /// Whether property accesses update (PageRank-style) or only read (BFS).
+    updates: bool,
+    pending_store: Option<u64>,
+}
+
+impl GraphTraversal {
+    /// `footprint` is split 1/3 property array, 2/3 adjacency lists —
+    /// roughly the CSR layout of the GAP inputs.
+    pub fn new(footprint: usize, total_ops: u64, seed: u64) -> Self {
+        GraphTraversal {
+            prop_bytes: footprint as u64 / 3,
+            adj_bytes: footprint as u64 * 2 / 3,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: total_ops,
+            neighbours_left: 0,
+            adj_cursor: 0,
+            max_degree: 64,
+            work: 2,
+            updates: false,
+            pending_store: None,
+        }
+    }
+
+    /// PageRank-style: every property access is a read-modify-write.
+    pub fn with_updates(mut self) -> Self {
+        self.updates = true;
+        self
+    }
+
+    pub fn work(mut self, work: u32) -> Self {
+        self.work = work;
+        self
+    }
+
+    fn pick_degree(&mut self) -> u32 {
+        // Discrete power-law: degree = max_degree / k for uniform k.
+        let k = self.rng.random_range(1..=self.max_degree);
+        (self.max_degree / k).max(1)
+    }
+}
+
+impl TraceSource for GraphTraversal {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if let Some(addr) = self.pending_store.take() {
+            return Some(MemOp::store(addr).with_work(0));
+        }
+        if self.neighbours_left == 0 {
+            // New vertex: jump to a random place in the adjacency region and
+            // stream from there.
+            self.neighbours_left = self.pick_degree();
+            self.adj_cursor = self.rng.random_range(0..self.adj_bytes / 64) * 64;
+        }
+        self.neighbours_left -= 1;
+        // Alternate: adjacency stream load, then dependent property access.
+        if self.neighbours_left % 2 == 1 {
+            let addr = self.prop_bytes + self.adj_cursor;
+            self.adj_cursor = (self.adj_cursor + 64) % self.adj_bytes;
+            Some(MemOp::load(addr).with_work(self.work))
+        } else {
+            let addr = self.rng.random_range(0..self.prop_bytes / 64) * 64;
+            if self.updates {
+                self.pending_store = Some(addr);
+            }
+            Some(MemOp::dependent_load(addr).with_work(self.work))
+        }
+    }
+
+    fn footprint(&self) -> usize {
+        (self.prop_bytes + self.adj_bytes) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simarch::request::AccessKind;
+
+    #[test]
+    fn mixes_streaming_and_dependent_accesses() {
+        let mut g = GraphTraversal::new(12 << 20, 20_000, 5);
+        let mut dependent = 0;
+        let mut streaming = 0;
+        while let Some(op) = g.next_op() {
+            match op.kind {
+                AccessKind::Load { dependent: true } => dependent += 1,
+                AccessKind::Load { dependent: false } => streaming += 1,
+                _ => {}
+            }
+        }
+        assert!(dependent > 1000, "dependent {dependent}");
+        assert!(streaming > 1000, "streaming {streaming}");
+    }
+
+    #[test]
+    fn adjacency_accesses_stay_in_adjacency_region() {
+        let fp = 12 << 20;
+        let prop = (fp as u64) / 3;
+        let mut g = GraphTraversal::new(fp, 5_000, 6);
+        while let Some(op) = g.next_op() {
+            if matches!(op.kind, AccessKind::Load { dependent: false }) {
+                assert!(op.vaddr >= prop, "stream access in property region");
+            } else {
+                assert!(op.vaddr < prop, "dependent access outside property region");
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_mode_pairs_load_with_store() {
+        let mut g = GraphTraversal::new(6 << 20, 10_000, 7).with_updates();
+        let mut prev: Option<MemOp> = None;
+        while let Some(op) = g.next_op() {
+            if matches!(op.kind, AccessKind::Store) {
+                let p = prev.expect("store must follow a load");
+                assert_eq!(p.vaddr, op.vaddr);
+                assert!(matches!(p.kind, AccessKind::Load { dependent: true }));
+            }
+            prev = Some(op);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut g = GraphTraversal::new(3 << 20, 100, seed);
+            std::iter::from_fn(move || g.next_op()).map(|o| o.vaddr).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

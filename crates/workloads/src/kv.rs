@@ -1,0 +1,228 @@
+//! Key-value store traffic: Redis/YCSB with Zipfian key popularity.
+//!
+//! The paper drives Redis with YCSB (§5.1) and uses YCSB-C with a Zipf
+//! pattern in the TPP case study (§5.8). Each record spans several cache
+//! lines; a read touches the whole record sequentially (after one dependent
+//! index lookup), an update rewrites it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simarch::request::MemOp;
+use simarch::TraceSource;
+
+/// YCSB core-workload operation mixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YcsbMix {
+    /// 50% reads / 50% updates.
+    A,
+    /// 95% reads / 5% updates.
+    B,
+    /// 100% reads.
+    C,
+}
+
+impl YcsbMix {
+    fn read_permille(self) -> u32 {
+        match self {
+            YcsbMix::A => 500,
+            YcsbMix::B => 950,
+            YcsbMix::C => 1000,
+        }
+    }
+}
+
+/// A Zipf sampler over `n` items with exponent `theta`, via inverse-CDF
+/// binary search on a precomputed table (exact, O(log n) per sample).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// The YCSB-over-Redis trace generator.
+pub struct ZipfKv {
+    zipf: Zipf,
+    record_lines: u64,
+    mix: YcsbMix,
+    rng: StdRng,
+    remaining: u64,
+    /// Queue of ops for the record currently being processed.
+    burst: Vec<MemOp>,
+    work: u32,
+}
+
+impl ZipfKv {
+    /// `footprint` bytes of records, each `record_bytes` long (rounded to
+    /// lines), Zipf exponent 0.99 (the YCSB default).
+    pub fn new(footprint: usize, record_bytes: usize, mix: YcsbMix, total_ops: u64, seed: u64) -> Self {
+        Self::with_theta(footprint, record_bytes, mix, total_ops, seed, 0.99)
+    }
+
+    /// As [`Self::new`] with an explicit Zipf exponent. Smaller `theta`
+    /// flattens the popularity curve: less of the working set stays
+    /// cache-resident and more traffic reaches the backing memory.
+    pub fn with_theta(
+        footprint: usize,
+        record_bytes: usize,
+        mix: YcsbMix,
+        total_ops: u64,
+        seed: u64,
+        theta: f64,
+    ) -> Self {
+        let record_lines = (record_bytes / 64).max(1) as u64;
+        let n_records = (footprint as u64 / (record_lines * 64)).max(1) as usize;
+        ZipfKv {
+            zipf: Zipf::new(n_records, theta),
+            record_lines,
+            mix,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: total_ops,
+            burst: Vec::new(),
+            work: 4,
+        }
+    }
+
+    pub fn work(mut self, work: u32) -> Self {
+        self.work = work;
+        self
+    }
+
+    fn begin_record(&mut self) {
+        let r = self.zipf.sample(&mut self.rng) as u64;
+        let base = r * self.record_lines * 64;
+        let is_read =
+            self.rng.random_range(0..1000u32) < self.mix.read_permille();
+        // Index lookup: one dependent load (the hash-table probe), then the
+        // record body, reversed so pops come out in order.
+        for i in (0..self.record_lines).rev() {
+            let addr = base + i * 64;
+            let op = if is_read { MemOp::load(addr) } else { MemOp::store(addr) };
+            self.burst.push(op.with_work(1));
+        }
+        self.burst.push(MemOp::dependent_load(base).with_work(self.work));
+    }
+}
+
+impl TraceSource for ZipfKv {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.burst.is_empty() {
+            self.begin_record();
+        }
+        self.remaining -= 1;
+        self.burst.pop()
+    }
+
+    fn footprint(&self) -> usize {
+        self.zipf.len() * self.record_lines as usize * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simarch::request::AccessKind;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut head = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 1% of keys take a large share (≈50%+).
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.4, "head share {frac}");
+    }
+
+    #[test]
+    fn zipf_samples_are_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn ycsb_c_never_stores() {
+        let mut kv = ZipfKv::new(1 << 22, 1024, YcsbMix::C, 5_000, 3);
+        while let Some(op) = kv.next_op() {
+            assert!(!matches!(op.kind, AccessKind::Store));
+        }
+    }
+
+    #[test]
+    fn ycsb_a_mixes_roughly_half_updates() {
+        let mut kv = ZipfKv::new(1 << 22, 1024, YcsbMix::A, 40_000, 3);
+        let mut stores = 0u64;
+        let mut total = 0u64;
+        while let Some(op) = kv.next_op() {
+            total += 1;
+            if matches!(op.kind, AccessKind::Store) {
+                stores += 1;
+            }
+        }
+        // Each update record = 1 dependent load + 16 stores ⇒ stores ≈ 47%.
+        let frac = stores as f64 / total as f64;
+        assert!((0.35..0.6).contains(&frac), "store fraction {frac}");
+    }
+
+    #[test]
+    fn record_access_is_one_probe_then_sequential_body() {
+        let mut kv = ZipfKv::new(1 << 20, 256, YcsbMix::C, 5, 9);
+        let probe = kv.next_op().unwrap();
+        assert!(matches!(probe.kind, AccessKind::Load { dependent: true }));
+        let mut prev = probe.vaddr;
+        for _ in 0..3 {
+            let op = kv.next_op().unwrap();
+            assert!(matches!(op.kind, AccessKind::Load { dependent: false }));
+            assert!(op.vaddr == prev || op.vaddr == prev + 64);
+            prev = op.vaddr;
+        }
+    }
+
+    #[test]
+    fn respects_total_ops_budget() {
+        let mut kv = ZipfKv::new(1 << 20, 4096, YcsbMix::B, 10, 1);
+        let mut n = 0;
+        while kv.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10, "must cut off mid-record at the op budget");
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — synthetic applications for the PathFinder reproduction
+//!
+//! The paper evaluates PathFinder with 77 applications from SPEC CPU 2017,
+//! PARSEC, SPLASH-2x, GAP, Redis/YCSB, plus the MLC/MBW/GUPS
+//! micro-benchmarks (paper Table 6). Running the real suites requires their
+//! inputs and days of machine time; what PathFinder actually observes is
+//! each program's *memory access behaviour* — locality, intensity,
+//! read/write mix, stride structure, phase changes. This crate provides
+//! deterministic generators for those behaviours and a registry that maps
+//! every paper application mnemonic onto a configured generator (with the
+//! paper's Table-6 working sets scaled by a documented factor; see
+//! DESIGN.md).
+//!
+//! All generators implement [`simarch::TraceSource`] and are pure functions
+//! of their seed.
+
+pub mod graph;
+pub mod kv;
+pub mod phase;
+pub mod random;
+pub mod stream;
+pub mod suite;
+pub mod swpf;
+
+pub use graph::GraphTraversal;
+pub use kv::{YcsbMix, ZipfKv};
+pub use phase::{ComputeBound, MixedPhase};
+pub use random::{Gups, PointerChase};
+pub use stream::{Mbw, Stencil, StreamGen};
+pub use swpf::SwPrefetchAhead;
+pub use suite::{app_names, build, AppClass, AppSpec};

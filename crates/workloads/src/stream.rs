@@ -1,0 +1,311 @@
+//! Streaming generators: sequential sweeps, copies, and stencils.
+//!
+//! These model the paper's bandwidth-bound applications: `519.lbm_r`,
+//! `503.bwaves_r`, `554.roms_r`, `649.fotonik3d_s`, STREAM, and the MBW
+//! micro-benchmark. Their signature behaviours: long unit-stride runs
+//! (hardware-prefetch friendly), large working sets, and a read/write mix
+//! set by the kernel.
+
+use simarch::request::MemOp;
+use simarch::TraceSource;
+
+/// A sequential sweep over one array with a configurable store mix.
+///
+/// `write_ratio` in 0..=1: fraction of accesses that are stores (interleaved
+/// deterministically). `work` is the non-memory work per access, which sets
+/// the natural request rate (0–2 for bandwidth-bound kernels, tens for
+/// compute-bound ones).
+pub struct StreamGen {
+    footprint: usize,
+    stride: u64,
+    write_permille: u32,
+    noise_permille: u32,
+    work: u32,
+    remaining: u64,
+    pos: u64,
+    n: u64,
+    lcg: u64,
+}
+
+impl StreamGen {
+    pub fn new(footprint: usize, total_ops: u64) -> Self {
+        StreamGen {
+            footprint,
+            stride: 64,
+            write_permille: 0,
+            noise_permille: 0,
+            work: 2,
+            remaining: total_ops,
+            pos: 0,
+            n: 0,
+            lcg: 0x2545_F491_4F6C_DD1D,
+        }
+    }
+
+    /// Set the store fraction (0.0–1.0).
+    pub fn write_ratio(mut self, ratio: f64) -> Self {
+        self.write_permille = (ratio.clamp(0.0, 1.0) * 1000.0) as u32;
+        self
+    }
+
+    /// Set the access stride in bytes.
+    pub fn stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0);
+        self.stride = stride;
+        self
+    }
+
+    /// Set the per-access compute work (cycles).
+    pub fn work(mut self, work: u32) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Irregularity: `permille` of accesses become dependent random loads
+    /// (pointer-ish detours real applications have; pure streams are
+    /// unrealistically prefetch-perfect).
+    pub fn noise(mut self, permille: u32) -> Self {
+        self.noise_permille = permille.min(1000);
+        self
+    }
+}
+
+impl TraceSource for StreamGen {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.n += 1;
+        if self.noise_permille > 0 {
+            self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (self.lcg >> 33) % 1000 < self.noise_permille as u64 {
+                let lines = (self.footprint / 64) as u64;
+                let addr = ((self.lcg >> 17) % lines) * 64;
+                return Some(MemOp::dependent_load(addr).with_work(self.work));
+            }
+        }
+        let addr = self.pos;
+        self.pos = (self.pos + self.stride) % self.footprint as u64;
+        // Deterministic permille interleaving of stores.
+        let is_store = (self.n * self.write_permille as u64) % 1000
+            < ((self.n - 1) * self.write_permille as u64) % 1000
+            || (self.write_permille >= 1000);
+        let op = if is_store { MemOp::store(addr) } else { MemOp::load(addr) };
+        Some(op.with_work(self.work))
+    }
+
+    fn footprint(&self) -> usize {
+        self.footprint
+    }
+}
+
+/// MBW-style memory copy: alternating load (source) / store (destination)
+/// over two disjoint halves of the footprint, with a rate limiter.
+///
+/// `target_fraction` throttles the offered bandwidth: 1.0 issues
+/// back-to-back, 0.2 inserts 4× idle work between accesses. This is the
+/// knob behind the paper's "vary the CXL traffic load from 20% to 100%"
+/// experiments (Cases 3 and 4).
+pub struct Mbw {
+    footprint: usize,
+    remaining: u64,
+    n: u64,
+    work: u32,
+}
+
+impl Mbw {
+    pub fn new(footprint: usize, total_ops: u64, target_fraction: f64) -> Self {
+        let f = target_fraction.clamp(0.05, 1.0);
+        // The device serves one 64B command every ~8 cycles; an offered
+        // load of `f` therefore means one access every `8/f` cycles. The
+        // throttle must exceed the MLP-covered latency to actually bite.
+        let work = (8.0 / f).round() as u32;
+        Mbw { footprint, remaining: total_ops, n: 0, work }
+    }
+}
+
+impl TraceSource for Mbw {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.n += 1;
+        let half = (self.footprint / 2) as u64;
+        let offset = (self.n / 2 * 64) % half;
+        let op = if self.n % 2 == 1 {
+            MemOp::load(offset) // source half
+        } else {
+            MemOp::store(half + offset) // destination half
+        };
+        Some(op.with_work(self.work))
+    }
+
+    fn footprint(&self) -> usize {
+        self.footprint
+    }
+}
+
+/// A multi-array stencil sweep (`k` concurrent streams, one written).
+///
+/// Models `554.roms_r` / `649.fotonik3d_s` / `fft`-style kernels: several
+/// simultaneous unit-stride streams at different base addresses — exactly
+/// the shape that keeps multiple L2 stream-prefetcher entries hot, which is
+/// why the paper sees HWPF dominate these applications' uncore traffic
+/// (Table 7: 59.3% of `649.fotonik3d_s` uncore accesses are HWPF).
+pub struct Stencil {
+    footprint: usize,
+    arrays: u64,
+    remaining: u64,
+    i: u64,
+    work: u32,
+    write_last: bool,
+    noise_permille: u32,
+    lcg: u64,
+}
+
+impl Stencil {
+    pub fn new(footprint: usize, arrays: usize, total_ops: u64) -> Self {
+        assert!(arrays >= 2);
+        Stencil {
+            footprint,
+            arrays: arrays as u64,
+            remaining: total_ops,
+            i: 0,
+            work: 3,
+            write_last: true,
+            noise_permille: 0,
+            lcg: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn work(mut self, work: u32) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Disable the output-array stores (read-only stencil).
+    pub fn read_only(mut self) -> Self {
+        self.write_last = false;
+        self
+    }
+
+    /// Irregularity, as in [`StreamGen::noise`].
+    pub fn noise(mut self, permille: u32) -> Self {
+        self.noise_permille = permille.min(1000);
+        self
+    }
+}
+
+impl TraceSource for Stencil {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.noise_permille > 0 {
+            self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (self.lcg >> 33) % 1000 < self.noise_permille as u64 {
+                let lines = (self.footprint / 64) as u64;
+                let addr = ((self.lcg >> 17) % lines) * 64;
+                return Some(MemOp::dependent_load(addr).with_work(self.work));
+            }
+        }
+        let region = (self.footprint as u64) / self.arrays;
+        let a = self.i % self.arrays;
+        let step = self.i / self.arrays;
+        let addr = a * region + (step * 64) % region;
+        self.i += 1;
+        let op = if self.write_last && a == self.arrays - 1 {
+            MemOp::store(addr)
+        } else {
+            MemOp::load(addr)
+        };
+        Some(op.with_work(self.work))
+    }
+
+    fn footprint(&self) -> usize {
+        self.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simarch::request::AccessKind;
+
+    fn drain(mut t: impl TraceSource) -> Vec<MemOp> {
+        let mut v = Vec::new();
+        while let Some(op) = t.next_op() {
+            v.push(op);
+        }
+        v
+    }
+
+    #[test]
+    fn stream_write_ratio_is_exact_over_long_runs() {
+        let ops = drain(StreamGen::new(1 << 20, 10_000).write_ratio(0.25));
+        let stores = ops.iter().filter(|o| matches!(o.kind, AccessKind::Store)).count();
+        assert!((2400..=2600).contains(&stores), "stores = {stores}");
+    }
+
+    #[test]
+    fn stream_pure_read_and_pure_write() {
+        let rd = drain(StreamGen::new(1 << 16, 1000).write_ratio(0.0));
+        assert!(rd.iter().all(|o| matches!(o.kind, AccessKind::Load { .. })));
+        let wr = drain(StreamGen::new(1 << 16, 1000).write_ratio(1.0));
+        assert!(wr.iter().all(|o| matches!(o.kind, AccessKind::Store)));
+    }
+
+    #[test]
+    fn stream_addresses_are_sequential_mod_footprint() {
+        let ops = drain(StreamGen::new(4096, 100));
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.vaddr, (i as u64 * 64) % 4096);
+        }
+    }
+
+    #[test]
+    fn mbw_alternates_halves() {
+        let ops = drain(Mbw::new(1 << 20, 100, 1.0));
+        let half = 1u64 << 19;
+        for pair in ops.chunks(2) {
+            assert!(pair[0].vaddr < half);
+            assert!(matches!(pair[0].kind, AccessKind::Load { .. }));
+            if pair.len() == 2 {
+                assert!(pair[1].vaddr >= half);
+                assert!(matches!(pair[1].kind, AccessKind::Store));
+            }
+        }
+    }
+
+    #[test]
+    fn mbw_rate_limit_scales_work() {
+        let fast = Mbw::new(1 << 20, 1, 1.0).next_op().unwrap().work;
+        let slow = Mbw::new(1 << 20, 1, 0.2).next_op().unwrap().work;
+        assert_eq!(fast, 8);
+        assert_eq!(slow, 40);
+    }
+
+    #[test]
+    fn stencil_interleaves_arrays_with_one_writer() {
+        let ops = drain(Stencil::new(4 << 20, 4, 400));
+        let region = (4u64 << 20) / 4;
+        for (i, op) in ops.iter().enumerate() {
+            let a = (i as u64) % 4;
+            assert!(op.vaddr / region == a, "op {i} in wrong array");
+            if a == 3 {
+                assert!(matches!(op.kind, AccessKind::Store));
+            } else {
+                assert!(matches!(op.kind, AccessKind::Load { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_read_only_never_stores() {
+        let ops = drain(Stencil::new(1 << 20, 3, 300).read_only());
+        assert!(ops.iter().all(|o| !matches!(o.kind, AccessKind::Store)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Software-prefetch instrumentation (paper §2.2, path #4):
+//! "explicit software prefetching, guided by programs, preloads data from
+//! memory, benefiting irregular data structure traversal."
+//!
+//! [`SwPrefetchAhead`] wraps any trace and inserts a `prefetcht0`-style
+//! operation `distance` ops ahead of each dependent load — the classic
+//! compiler/manual optimisation for pointer-chasing codes whose addresses
+//! are computable in advance (offset arrays, software pipelining).
+
+use std::collections::VecDeque;
+
+use simarch::request::{AccessKind, MemOp};
+use simarch::TraceSource;
+
+/// Wraps a trace; every dependent load's address is also emitted as a
+/// software prefetch `distance` operations earlier.
+pub struct SwPrefetchAhead<T: TraceSource> {
+    inner: T,
+    /// Look-ahead pipeline: `(op, prefetch_already_emitted)`.
+    window: VecDeque<(MemOp, bool)>,
+    distance: usize,
+    drained: bool,
+}
+
+impl<T: TraceSource> SwPrefetchAhead<T> {
+    pub fn new(inner: T, distance: usize) -> Self {
+        assert!(distance >= 1);
+        SwPrefetchAhead { inner, window: VecDeque::new(), distance, drained: false }
+    }
+
+    fn refill(&mut self) {
+        while !self.drained && self.window.len() < self.distance {
+            match self.inner.next_op() {
+                Some(op) => self.window.push_back((op, false)),
+                None => self.drained = true,
+            }
+        }
+    }
+}
+
+impl<T: TraceSource> TraceSource for SwPrefetchAhead<T> {
+    fn next_op(&mut self) -> Option<MemOp> {
+        self.refill();
+        // When a dependent load enters the far end of the window, emit its
+        // prefetch now — it lands `distance` ops before the load itself.
+        if let Some((tail, emitted)) = self.window.back_mut() {
+            if !*emitted && matches!(tail.kind, AccessKind::Load { dependent: true }) {
+                *emitted = true;
+                let addr = tail.vaddr;
+                return Some(MemOp::swpf(addr));
+            }
+        }
+        self.window.pop_front().map(|(op, _)| op)
+    }
+
+    fn footprint(&self) -> usize {
+        self.inner.footprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::PointerChase;
+
+    #[test]
+    fn prefetches_precede_their_loads() {
+        let inner = PointerChase::new(64 * 64, 32, 5);
+        let mut t = SwPrefetchAhead::new(inner, 4);
+        let mut ops = Vec::new();
+        while let Some(op) = t.next_op() {
+            ops.push(op);
+        }
+        let swpfs: Vec<(usize, u64)> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o.kind, AccessKind::SwPrefetch))
+            .map(|(i, o)| (i, o.vaddr))
+            .collect();
+        assert!(!swpfs.is_empty(), "wrapper must emit prefetches");
+        for (i, addr) in swpfs {
+            let found = ops[i + 1..]
+                .iter()
+                .any(|o| matches!(o.kind, AccessKind::Load { dependent: true }) && o.vaddr == addr);
+            assert!(found, "prefetch at {i} (addr {addr}) has no later demand load");
+        }
+    }
+
+    #[test]
+    fn all_original_ops_are_preserved_in_order() {
+        let n = 50u64;
+        let make = || PointerChase::new(128 * 64, n, 7);
+        let mut plain = Vec::new();
+        let mut src = make();
+        while let Some(op) = src.next_op() {
+            plain.push(op.vaddr);
+        }
+        let mut t = SwPrefetchAhead::new(make(), 3);
+        let mut demand = Vec::new();
+        while let Some(op) = t.next_op() {
+            if matches!(op.kind, AccessKind::Load { dependent: true }) {
+                demand.push(op.vaddr);
+            }
+        }
+        assert_eq!(demand, plain, "wrapping must preserve the demand stream");
+    }
+
+    #[test]
+    fn prefetch_leads_by_at_most_distance_ops() {
+        let inner = PointerChase::new(64 * 64, 20, 1);
+        let mut t = SwPrefetchAhead::new(inner, 2);
+        let mut ops = Vec::new();
+        while let Some(op) = t.next_op() {
+            ops.push(op);
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op.kind, AccessKind::SwPrefetch) {
+                let lead = ops[i + 1..]
+                    .iter()
+                    .position(|o| o.vaddr == op.vaddr && !matches!(o.kind, AccessKind::SwPrefetch))
+                    .expect("demand follows");
+                assert!(lead < 2 * 2 + 2, "lead {lead} too large");
+            }
+        }
+    }
+}

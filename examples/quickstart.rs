@@ -1,0 +1,47 @@
+//! Quickstart: profile one application running over CXL memory.
+//!
+//! ```text
+//! cargo run --release --example quickstart [app-name]
+//! ```
+//!
+//! Attaches a workload (default `649.fotonik3d_s`, the paper's Case-1
+//! subject) to core 0 with all pages on the CXL node, profiles it to
+//! completion, and prints the PathFinder report: the path map (Table-7
+//! style), the CXL-induced stall breakdown (Figure-6 style), and the
+//! culprit component.
+
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "649.fotonik3d_s".to_string());
+    let ops: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+
+    let Some(trace) = workloads::build(&app, ops, 42) else {
+        eprintln!("unknown application {app:?}; known apps:");
+        for name in workloads::app_names() {
+            eprintln!("  {name}");
+        }
+        std::process::exit(1);
+    };
+
+    println!("profiling {app} ({ops} ops) on the SPR machine, CXL memory policy\n");
+    let mut machine = Machine::new(MachineConfig::spr());
+    machine.attach(0, Workload::new(app, trace, MemPolicy::Cxl));
+
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    let report = profiler.run(2_000);
+    println!("{}", report.render());
+
+    // A taste of the materializer: LLC locality phases of core 0.
+    let windows = profiler
+        .materializer
+        .locality_windows(0, pathfinder::model::HitLevel::CxlMemory);
+    println!("CXL-traffic phases (epoch windows of consistent intensity):");
+    for w in windows.iter().take(8) {
+        println!("  epochs {:>4}..{:<4} mean {:.0} hits/epoch", w.start, w.end, w.mean);
+    }
+}

@@ -1,0 +1,137 @@
+//! TPP page tiering guided by PathFinder (paper Case 7, §5.8).
+//!
+//! ```text
+//! cargo run --release --example tiering_tpp [--colloid]
+//! ```
+//!
+//! Runs GUPS with a hot set (the paper's configuration: a hot subset of the
+//! table receiving 90% of accesses) over a mostly-CXL placement, with TPP
+//! disabled and then enabled. With TPP, the hot pages migrate to local DRAM
+//! and throughput rises; PFBuilder's traces confirm local hits up / CXL
+//! hits down — the Figure-13 shape. `--colloid` additionally gates TPP with
+//! the PathFinder-assisted dynamic Colloid (dominant-class latencies from
+//! PFEstimator).
+
+use pathfinder::estimator::{any_requests, cxl_requests, PfEstimator, Tier};
+use pathfinder::model::{HitLevel, PathGroup};
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+use tiering::{ClassLatencies, ColloidTpp, Migration, Tpp, TppConfig};
+use workloads::Gups;
+
+const OPS: u64 = 1_500_000;
+
+fn gups_machine() -> Machine {
+    let mut machine = Machine::new(MachineConfig::spr());
+    let gups = Gups::new(48 << 20, OPS, 7).hot_set(0.33, 0.9);
+    machine.attach(
+        0,
+        Workload::new("GUPS", Box::new(gups), MemPolicy::Interleave { cxl_fraction: 0.8 }),
+    );
+    machine
+}
+
+struct Outcome {
+    cycles: u64,
+    local_hits: u64,
+    cxl_hits: u64,
+    migrations: usize,
+}
+
+enum Mode {
+    Off,
+    Tpp,
+    DynamicColloid,
+}
+
+fn class_latencies(delta: &pmu::SystemDelta) -> ClassLatencies {
+    let w = PfEstimator::class_miss_weights(delta);
+    let lat = |p, t, default| PfEstimator::tor_latency(delta, p, t).unwrap_or(default);
+    ClassLatencies {
+        drd: (lat(PathGroup::Drd, Tier::Local, 200.0), lat(PathGroup::Drd, Tier::Cxl, 700.0)),
+        rfo: (lat(PathGroup::Rfo, Tier::Local, 220.0), lat(PathGroup::Rfo, Tier::Cxl, 750.0)),
+        hwpf: (
+            lat(PathGroup::HwPf, Tier::Local, 200.0),
+            lat(PathGroup::HwPf, Tier::Cxl, 700.0),
+        ),
+        drd_weight: w[0],
+        rfo_weight: w[1],
+        hwpf_weight: w[2],
+    }
+}
+
+fn run(mode: Mode) -> Outcome {
+    let mut profiler = Profiler::new(gups_machine(), ProfileSpec::default());
+    let mut tpp = Tpp::new(TppConfig::default());
+    let mut colloid = ColloidTpp::new(TppConfig::default(), true);
+    let mut migrations = 0;
+    loop {
+        let e = profiler.profile_epoch();
+        let migs: Vec<Migration> = match mode {
+            Mode::Off => Vec::new(),
+            Mode::Tpp => {
+                let m = profiler.machine();
+                tpp.epoch(&e.page_heat, &|asid, vpage| m.page_node(asid as usize, vpage))
+            }
+            Mode::DynamicColloid => {
+                let lat = class_latencies(&e.delta);
+                let cxl_share = cxl_requests(&e.delta, PathGroup::Drd) as f64
+                    / any_requests(&e.delta, PathGroup::Drd).max(1) as f64;
+                let m = profiler.machine();
+                colloid.epoch(
+                    &e.page_heat,
+                    &|asid, vpage| m.page_node(asid as usize, vpage),
+                    &lat,
+                    cxl_share,
+                )
+            }
+        };
+        let m = profiler.machine_mut();
+        for mig in migs {
+            if m.migrate_page(mig.asid as usize, mig.vpage, mig.to) {
+                migrations += 1;
+            }
+        }
+        if e.all_done {
+            break;
+        }
+    }
+    let report = profiler.report();
+    Outcome {
+        cycles: report.cycles,
+        local_hits: report.path_map.total.level_total(HitLevel::LocalDram),
+        cxl_hits: report.path_map.total.level_total(HitLevel::CxlMemory),
+        migrations,
+    }
+}
+
+fn main() {
+    let colloid = std::env::args().any(|a| a == "--colloid");
+    println!("GUPS, 48 MiB table, hot 33% of pages take 90% of traffic, 80% pages on CXL\n");
+
+    let off = run(Mode::Off);
+    let on = run(if colloid { Mode::DynamicColloid } else { Mode::Tpp });
+
+    let speedup = off.cycles as f64 / on.cycles as f64;
+    println!("{:<22} {:>14} {:>14} {:>12}", "", "TPP disabled", "TPP enabled", "change");
+    println!("{:<22} {:>14} {:>14} {:>11.2}x", "runtime (cycles)", off.cycles, on.cycles, speedup);
+    println!(
+        "{:<22} {:>14} {:>14} {:>11.2}x",
+        "local DRAM hits",
+        off.local_hits,
+        on.local_hits,
+        on.local_hits as f64 / off.local_hits.max(1) as f64
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>11.1}%",
+        "CXL memory hits",
+        off.cxl_hits,
+        on.cxl_hits,
+        100.0 * (1.0 - on.cxl_hits as f64 / off.cxl_hits.max(1) as f64)
+    );
+    println!("{:<22} {:>14} {:>14}", "pages migrated", 0, on.migrations);
+    println!(
+        "\nmode: {} (paper: TPP lifts GUPS throughput ~3x; dynamic Colloid adds ~1.1x)",
+        if colloid { "TPP + dynamic Colloid" } else { "plain TPP" }
+    );
+}

@@ -1,0 +1,162 @@
+//! Flow-conservation invariants across the PMU hierarchy.
+//!
+//! A real PMU's counters obey accounting identities because each counts a
+//! physical token crossing a physical boundary. The simulated PMUs must
+//! obey the same identities — this is what makes the profiler's arithmetic
+//! (shares, ratios, Little's law) meaningful. These tests run whole
+//! workloads and check the books balance.
+
+use pmu::{ChaEvent, CoreEvent, CxlEvent, M2pEvent, SystemDelta, TorDrdScen, TorRfoScen};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+fn run(app: &str, ops: u64, policy: MemPolicy) -> SystemDelta {
+    let mut m = Machine::new(MachineConfig::spr());
+    m.attach(0, Workload::new(app, workloads::build(app, ops, 9).unwrap(), policy));
+    let start = m.pmu.snapshot(0);
+    for _ in 0..3_000 {
+        if m.run_epoch().all_done {
+            break;
+        }
+    }
+    m.pmu.snapshot(m.now()).delta(&start)
+}
+
+/// Every M2S Req produces exactly one S2M DRS, which lands as one M2PCIe BL
+/// entry and one device read CAS; same for RwD → NDR → AK → write CAS.
+#[test]
+fn cxl_transaction_conservation() {
+    for app in ["STREAM", "GUPS", "505.mcf_r"] {
+        let d = run(app, 120_000, MemPolicy::Cxl);
+        let req = d.cxl_sum(CxlEvent::RxcPackBufInsertsMemReq);
+        let drs = d.cxl_sum(CxlEvent::TxcPackBufInsertsMemData);
+        let bl = d.m2p_sum(M2pEvent::TxcInsertsBl);
+        let rd_cas = d.cxl_sum(CxlEvent::DevMcRdCas);
+        assert_eq!(req, drs, "{app}: Req vs DRS");
+        assert_eq!(req, bl, "{app}: Req vs BL");
+        assert_eq!(req, rd_cas, "{app}: Req vs read CAS");
+        let rwd = d.cxl_sum(CxlEvent::RxcPackBufInsertsMemData);
+        let ndr = d.cxl_sum(CxlEvent::TxcPackBufInsertsMemReq);
+        let ak = d.m2p_sum(M2pEvent::TxcInsertsAk);
+        let wr_cas = d.cxl_sum(CxlEvent::DevMcWrCas);
+        assert_eq!(rwd, ndr, "{app}: RwD vs NDR");
+        assert_eq!(rwd, ak, "{app}: RwD vs AK");
+        assert_eq!(rwd, wr_cas, "{app}: RwD vs write CAS");
+        // M2PCIe ingress carries both directions' requests.
+        assert_eq!(d.m2p_sum(M2pEvent::RxcInserts), req + rwd, "{app}: ingress total");
+    }
+}
+
+/// Retired-load accounting: L1 hits + FB hits + L1 misses ≥ all loads that
+/// completed through those states; L2 hit + L2 miss = L2 demand lookups.
+#[test]
+fn core_cache_accounting() {
+    let d = run("503.bwaves_r", 150_000, MemPolicy::Cxl);
+    let l2_hit = d.core_sum(CoreEvent::L2RqstsDemandDataRdHit);
+    let l2_miss = d.core_sum(CoreEvent::L2RqstsDemandDataRdMiss);
+    let l2_refs = d.core_sum(CoreEvent::L2RqstsAllDemandDataRd);
+    assert_eq!(l2_hit + l2_miss, l2_refs, "L2 DRd hit+miss must equal references");
+    // Every offcore demand data read corresponds to an L2 DRd true miss.
+    assert_eq!(d.core_sum(CoreEvent::OffcoreRequestsDemandDataRd), l2_miss);
+    // Loads are partitioned into L1 hits, LFB merges, and true misses that
+    // allocated a fill; the first two plus the L2 lookups cover all loads.
+    let l1_hit = d.core_sum(CoreEvent::MemLoadRetiredL1Hit);
+    let fb_hit = d.core_sum(CoreEvent::MemLoadRetiredL1FbHit);
+    let l1_miss = d.core_sum(CoreEvent::MemLoadRetiredL1Miss);
+    let loads = d.core_sum(CoreEvent::MemTransRetiredLoadCount);
+    assert_eq!(l1_hit + l1_miss, loads, "L1 hit + L1 miss = retired loads");
+    assert!(fb_hit <= l1_miss, "FB merges are a subset of L1 misses");
+}
+
+/// TOR inserts with the CXL target must equal the device's Req count for a
+/// read-only CXL workload (every LLC miss toward CXL becomes one M2S Req).
+#[test]
+fn tor_vs_device_reads() {
+    let mut m = Machine::new(MachineConfig::spr());
+    m.attach(
+        0,
+        Workload::new(
+            "ro",
+            Box::new(simarch::trace::SeqReadTrace::new(32 << 20, 120_000)),
+            MemPolicy::Cxl,
+        ),
+    );
+    let start = m.pmu.snapshot(0);
+    for _ in 0..3_000 {
+        if m.run_epoch().all_done {
+            break;
+        }
+    }
+    let d = m.pmu.snapshot(m.now()).delta(&start);
+    let tor_cxl = d.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl))
+        + d.cha_sum(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissCxl))
+        + d.cha_sum(ChaEvent::TorInsertsIaRfo(TorRfoScen::MissCxl))
+        + d.cha_sum(ChaEvent::TorInsertsIaRfoPref(TorRfoScen::MissCxl));
+    let req = d.cxl_sum(CxlEvent::RxcPackBufInsertsMemReq);
+    assert_eq!(tor_cxl, req, "every CXL-target TOR entry is one M2S Req");
+}
+
+/// The ocr.* scenario counters must tile: any_response equals the sum of
+/// the disjoint destination scenarios.
+#[test]
+fn ocr_scenarios_tile_any_response() {
+    use pmu::RespScenario as S;
+    let d = run("649.fotonik3d_s", 150_000, MemPolicy::Interleave { cxl_fraction: 0.5 });
+    for mk in [CoreEvent::OcrDemandDataRd as fn(S) -> CoreEvent, CoreEvent::OcrRfo, CoreEvent::OcrL2HwPfDrd] {
+        let any = d.core_sum(mk(S::AnyResponse));
+        let parts = d.core_sum(mk(S::L3HitSnoopLocal))
+            + d.core_sum(mk(S::SncDistantL3))
+            + d.core_sum(mk(S::RemoteCacheHit))
+            + d.core_sum(mk(S::LocalDram))
+            + d.core_sum(mk(S::SncDistantDram))
+            + d.core_sum(mk(S::RemoteDram))
+            + d.core_sum(mk(S::CxlDram));
+        assert_eq!(any, parts, "scenario tiling for {:?}", mk(S::AnyResponse));
+    }
+}
+
+/// MissLocalCaches must equal the memory-destination scenarios (it is the
+/// complement of cache hits within any_response).
+#[test]
+fn miss_local_caches_is_memory_sum() {
+    use pmu::RespScenario as S;
+    let d = run("519.lbm_r", 150_000, MemPolicy::Interleave { cxl_fraction: 0.5 });
+    let miss = d.core_sum(CoreEvent::OcrDemandDataRd(S::MissLocalCaches));
+    let mem = d.core_sum(CoreEvent::OcrDemandDataRd(S::LocalDram))
+        + d.core_sum(CoreEvent::OcrDemandDataRd(S::SncDistantDram))
+        + d.core_sum(CoreEvent::OcrDemandDataRd(S::RemoteDram))
+        + d.core_sum(CoreEvent::OcrDemandDataRd(S::RemoteCacheHit))
+        + d.core_sum(CoreEvent::OcrDemandDataRd(S::CxlDram));
+    assert_eq!(miss, mem);
+}
+
+/// The nested stall hierarchy must be monotone:
+/// stalls_l1d ⊇ stalls_l2 ⊇ stalls_l3.
+#[test]
+fn stall_counters_are_nested() {
+    for policy in [MemPolicy::Local, MemPolicy::Cxl] {
+        let d = run("505.mcf_r", 80_000, policy);
+        let s1 = d.core_sum(CoreEvent::MemoryActivityStallsL1dMiss);
+        let s2 = d.core_sum(CoreEvent::MemoryActivityStallsL2Miss);
+        let s3 = d.core_sum(CoreEvent::CycleActivityStallsL3Miss);
+        assert!(s1 >= s2, "stalls_l1d {s1} < stalls_l2 {s2}");
+        assert!(s2 >= s3, "stalls_l2 {s2} < stalls_l3 {s3}");
+        assert!(s3 > 0, "a chase must stall below the LLC");
+    }
+}
+
+/// Occupancy ÷ inserts gives a sane mean latency at every station.
+#[test]
+fn occupancy_derived_latencies_are_sane() {
+    let d = run("GUPS", 120_000, MemPolicy::Cxl);
+    let cfg = MachineConfig::spr();
+    let tor_lat = d.cha_sum(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissCxl)) as f64
+        / d.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl)).max(1) as f64;
+    // A CXL round trip from the CHA is bounded below by link+media and above
+    // by a generously-queued multiple.
+    let floor = (cfg.flexbus_latency + cfg.cxl_media_latency) as f64;
+    assert!(tor_lat >= floor, "TOR CXL latency {tor_lat} below physical floor {floor}");
+    assert!(tor_lat < floor * 20.0, "TOR CXL latency {tor_lat} absurdly high");
+    let dev_lat = d.cxl_sum(CxlEvent::DevMcRpqOccupancy) as f64
+        / d.cxl_sum(CxlEvent::DevMcRdCas).max(1) as f64;
+    assert!(dev_lat >= cfg.cxl_media_latency as f64 * 0.9);
+}

@@ -1,0 +1,71 @@
+//! Whole-stack determinism: a run is a pure function of
+//! `(MachineConfig, workload spec, seed)` — byte-identical counters,
+//! reports, and materializer contents across repetitions.
+
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+fn run_once(seed: u64) -> (u64, String, usize) {
+    let mut machine = Machine::new(MachineConfig::tiny());
+    machine.attach(
+        0,
+        Workload::new(
+            "GUPS",
+            workloads::build("GUPS", 150_000, seed).unwrap(),
+            MemPolicy::Interleave { cxl_fraction: 0.5 },
+        ),
+    );
+    machine.attach(
+        1,
+        Workload::new("YCSB-B", workloads::build("YCSB-B", 150_000, seed).unwrap(), MemPolicy::Cxl),
+    );
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    let report = profiler.run(2_000);
+    // Drop the header line: it reports wall-clock profiler overhead, the
+    // one legitimately non-deterministic quantity.
+    let body: String =
+        report.render().lines().skip(1).collect::<Vec<_>>().join("\n");
+    (report.cycles, body, profiler.materializer.db.len())
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    let a = run_once(1234);
+    let b = run_once(1234);
+    assert_eq!(a.0, b.0, "cycle counts differ");
+    assert_eq!(a.1, b.1, "rendered reports differ");
+    assert_eq!(a.2, b.2, "materializer row counts differ");
+}
+
+#[test]
+fn different_seeds_different_execution() {
+    let a = run_once(1);
+    let b = run_once(2);
+    // Different random access patterns must change timing.
+    assert_ne!(a.1, b.1, "reports identical across seeds — RNG not plumbed through?");
+}
+
+#[test]
+fn counter_state_is_bit_identical_across_runs() {
+    let snap = |seed: u64| {
+        let mut m = Machine::new(MachineConfig::tiny());
+        m.attach(
+            0,
+            Workload::new("PR", workloads::build("PR", 80_000, seed).unwrap(), MemPolicy::Cxl),
+        );
+        m.run_to_completion(2_000);
+        m.pmu.snapshot(m.now())
+    };
+    let a = snap(7);
+    let b = snap(7);
+    for (x, y) in a.pmu.cores.iter().zip(b.pmu.cores.iter()) {
+        assert_eq!(x.raw(), y.raw());
+    }
+    assert_eq!(a.pmu.chas[0].raw(), b.pmu.chas[0].raw());
+    for (x, y) in a.pmu.imcs.iter().zip(b.pmu.imcs.iter()) {
+        assert_eq!(x.raw(), y.raw());
+    }
+    for (x, y) in a.pmu.cxls.iter().zip(b.pmu.cxls.iter()) {
+        assert_eq!(x.raw(), y.raw());
+    }
+}

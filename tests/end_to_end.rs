@@ -1,0 +1,151 @@
+//! Cross-crate integration: full profiler scenarios over the simulated
+//! machine, exercising workloads → simarch → pmu → pathfinder → tsdb.
+
+use pathfinder::model::{Component, HitLevel, PathGroup};
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use pathfinder::Report;
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+fn profile(app: &str, ops: u64, policy: MemPolicy, cfg: MachineConfig) -> Report {
+    let mut machine = Machine::new(cfg);
+    let trace = workloads::build(app, ops, 42).expect("registered app");
+    machine.attach(0, Workload::new(app, trace, policy));
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    profiler.run(3_000)
+}
+
+#[test]
+fn stencil_over_cxl_is_prefetch_dominated_at_the_uncore() {
+    // Case 1: for 649.fotonik3d_s the uncore hot path is HWPF and CXL
+    // memory hits far exceed local LLC hits (8.1x in the paper).
+    let r = profile("649.fotonik3d_s", 600_000, MemPolicy::Cxl, MachineConfig::spr());
+    let m = &r.path_map;
+    let total = m.total.uncore_total();
+    assert!(total > 0);
+    let (hot, share) = PathGroup::ALL
+        .iter()
+        .map(|&p| {
+            let v: u64 = HitLevel::ALL
+                .iter()
+                .filter(|l| l.is_uncore())
+                .map(|l| m.total.get(*l, p))
+                .sum();
+            (p, v as f64 / total as f64)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    assert_eq!(hot, PathGroup::HwPf, "uncore hot path must be HWPF (share {share:.2})");
+    let cxl = r.path_map.total.level_total(HitLevel::CxlMemory);
+    let llc = r.path_map.total.level_total(HitLevel::LocalLlc).max(1);
+    assert!(
+        cxl > 2 * llc,
+        "CXL hits ({cxl}) must dominate local LLC hits ({llc}) for a streaming CXL run"
+    );
+}
+
+#[test]
+fn pointer_chase_over_cxl_stalls_mostly_in_the_uncore() {
+    // Case 2 / Figure 6: for memory-latency-bound apps the DRd stall mass
+    // sits at FlexBus+MC and the CXL DIMM, not in the core caches.
+    let r = profile("505.mcf_r", 150_000, MemPolicy::Cxl, MachineConfig::spr());
+    let pct = r.stalls.percentages(PathGroup::Drd);
+    let uncore = pct[Component::Llc.idx()]
+        + pct[Component::Cha.idx()]
+        + pct[Component::FlexBusMc.idx()]
+        + pct[Component::CxlDimm.idx()];
+    assert!(r.stalls.path_total(PathGroup::Drd) > 0.0);
+    assert!(uncore > 50.0, "uncore stall share {uncore:.1}% too small");
+}
+
+#[test]
+fn local_run_attributes_zero_cxl_stall() {
+    let r = profile("505.mcf_r", 100_000, MemPolicy::Local, MachineConfig::spr());
+    assert_eq!(r.stalls.total(), 0.0);
+    assert_eq!(r.path_map.total.level_total(HitLevel::CxlMemory), 0);
+    assert!(r.path_map.total.level_total(HitLevel::LocalDram) > 0);
+}
+
+#[test]
+fn culprit_moves_to_flexbus_under_cxl_saturation() {
+    // Case 4/5: saturating the CXL device from several cores makes the
+    // shared FlexBus+MC (or the DIMM behind it) the culprit.
+    let mut machine = Machine::new(MachineConfig::spr());
+    for c in 0..4 {
+        machine.attach(
+            c,
+            Workload::new(
+                format!("MBW-{c}"),
+                workloads::build("MBW", 250_000, c as u64).unwrap(),
+                MemPolicy::Cxl,
+            ),
+        );
+    }
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    let r = profiler.run(3_000);
+    let culprit = r.culprit.expect("saturated run must have a culprit");
+    assert!(
+        matches!(culprit.component, Component::FlexBusMc | Component::CxlDimm),
+        "culprit was {:?}",
+        culprit
+    );
+}
+
+#[test]
+fn materializer_tracks_phase_changes_of_phased_apps() {
+    // Case 6: a gcc-like phased app produces clusterable locality windows.
+    let mut machine = Machine::new(MachineConfig::tiny());
+    machine.attach(
+        0,
+        Workload::new(
+            "602.gcc_s",
+            workloads::build("602.gcc_s", 900_000, 5).unwrap(),
+            MemPolicy::Cxl,
+        ),
+    );
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    profiler.run(3_000);
+    let windows = profiler.materializer.locality_windows(0, HitLevel::CxlMemory);
+    assert!(
+        windows.len() >= 2,
+        "phased app must show multiple locality windows, got {}",
+        windows.len()
+    );
+}
+
+#[test]
+fn emr_and_spr_share_counter_semantics() {
+    // §3.6 PMU generality: the same profiling pipeline runs unchanged on
+    // the EMR preset and shows the same qualitative shape.
+    for cfg in [MachineConfig::spr(), MachineConfig::emr()] {
+        let name = cfg.name;
+        let r = profile("519.lbm_r", 300_000, MemPolicy::Cxl, cfg);
+        assert!(r.path_map.total.level_total(HitLevel::CxlMemory) > 0, "{name}: no CXL hits");
+        assert!(r.stalls.total() > 0.0, "{name}: no stall attribution");
+    }
+}
+
+#[test]
+fn report_renders_all_sections() {
+    let r = profile("GUPS", 100_000, MemPolicy::Cxl, MachineConfig::tiny());
+    let text = r.render();
+    for needle in ["PathFinder report", "Path map", "stall breakdown", "culprit"] {
+        assert!(text.contains(needle), "missing section {needle:?}");
+    }
+}
+
+#[test]
+fn profiler_overhead_is_lightweight() {
+    // §5.9: PathFinder is lightweight — analysis costs a few percent of the
+    // application work and bounded memory. The simulator stands in for the
+    // application, so the bar here is generous but still meaningful.
+    let mut machine = Machine::new(MachineConfig::tiny());
+    machine.attach(
+        0,
+        Workload::new("STREAM", workloads::build("STREAM", 400_000, 1).unwrap(), MemPolicy::Cxl),
+    );
+    let mut profiler = Profiler::new(machine, ProfileSpec::default());
+    profiler.run(3_000);
+    let o = profiler.overhead();
+    assert!(o.cpu_fraction() < 0.5, "profiler used {:.1}% of CPU", 100.0 * o.cpu_fraction());
+    assert!(o.memory_bytes < 256 << 20, "profiler used {} bytes", o.memory_bytes);
+}

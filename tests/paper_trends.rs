@@ -1,0 +1,220 @@
+//! The §3 characterisation trends: local vs CXL comparisons of the core,
+//! CHA, and uncore PMUs (paper Figures 2, 3, 4). We do not match absolute
+//! numbers — the substrate is a simulator — but every *direction* the paper
+//! reports must hold.
+
+use pmu::{ChaEvent, CoreEvent, CxlEvent, IaScen, ImcEvent, M2pEvent, SystemDelta};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+/// Run an app under a policy and return the whole-run counter delta.
+fn run(app: &str, ops: u64, policy: MemPolicy, cfg: MachineConfig) -> (SystemDelta, u64) {
+    let mut m = Machine::new(cfg);
+    m.attach(0, Workload::new(app, workloads::build(app, ops, 7).unwrap(), policy));
+    let start = m.pmu.snapshot(0);
+    let mut last = None;
+    for _ in 0..5_000 {
+        let e = m.run_epoch();
+        let done = e.all_done;
+        last = Some(e.snapshot);
+        if done {
+            break;
+        }
+    }
+    let snap = last.expect("at least one epoch");
+    let cycles = snap.cycle;
+    (snap.delta(&start), cycles)
+}
+
+fn pair(app: &str, ops: u64) -> (SystemDelta, u64, SystemDelta, u64) {
+    let (dl, cl) = run(app, ops, MemPolicy::Local, MachineConfig::spr());
+    let (dc, cc) = run(app, ops, MemPolicy::Cxl, MachineConfig::spr());
+    (dl, cl, dc, cc)
+}
+
+#[test]
+fn fig2a_sb_stalls_grow_under_cxl_for_write_heavy_apps() {
+    let (dl, _, dc, _) = pair("519.lbm_r", 400_000);
+    let sb = |d: &SystemDelta| {
+        d.core_sum(CoreEvent::ResourceStallsSb) + d.core_sum(CoreEvent::ExeActivityBoundOnStores)
+    };
+    assert!(
+        sb(&dc) > sb(&dl),
+        "CXL SB stalls {} must exceed local {} (paper: 1.9-2.0x)",
+        sb(&dc),
+        sb(&dl)
+    );
+}
+
+#[test]
+fn fig2b_l1d_stall_and_response_grow_under_cxl() {
+    let (dl, _, dc, _) = pair("505.mcf_r", 120_000);
+    let stalls = |d: &SystemDelta| d.core_sum(CoreEvent::MemoryActivityStallsL1dMiss);
+    assert!(stalls(&dc) > stalls(&dl), "paper: 2.1x more L1D-miss stalls under CXL");
+    // Mean load latency must rise as well.
+    let lat = |d: &SystemDelta| {
+        d.core_sum(CoreEvent::MemTransRetiredLoadLatency) as f64
+            / d.core_sum(CoreEvent::MemTransRetiredLoadCount).max(1) as f64
+    };
+    assert!(
+        lat(&dc) > 1.5 * lat(&dl),
+        "CXL mean load latency {:.0} vs local {:.0}",
+        lat(&dc),
+        lat(&dl)
+    );
+}
+
+#[test]
+fn fig2e_l2_stalls_grow_under_cxl() {
+    let (dl, _, dc, _) = pair("505.mcf_r", 120_000);
+    let s = |d: &SystemDelta| d.core_sum(CoreEvent::MemoryActivityStallsL2Miss);
+    assert!(s(&dc) > s(&dl), "paper: 2.7x more L2-miss stalls under CXL");
+}
+
+#[test]
+fn fig3a_llc_stalls_grow_under_cxl() {
+    let (dl, _, dc, _) = pair("505.mcf_r", 120_000);
+    let s = |d: &SystemDelta| d.core_sum(CoreEvent::CycleActivityStallsL3Miss);
+    assert!(s(&dc) > s(&dl), "paper: 2.1x more LLC-miss stalls under CXL");
+}
+
+#[test]
+fn fig3c_miss_destinations_shift_from_dram_to_cxl() {
+    let (dl, _, dc, _) = pair("503.bwaves_r", 400_000);
+    let cxl_miss = |d: &SystemDelta| d.cha_sum(ChaEvent::TorInsertsIa(IaScen::MissCxl));
+    assert_eq!(cxl_miss(&dl), 0, "local run must have no CXL-target TOR inserts");
+    assert!(cxl_miss(&dc) > 0);
+}
+
+#[test]
+fn fig3de_miss_occupancy_rises_under_cxl() {
+    let (dl, cl, dc, cc) = pair("505.mcf_r", 120_000);
+    let occ = |d: &SystemDelta, cycles: u64| {
+        d.cha_sum(ChaEvent::TorOccupancyIa(IaScen::MissLlc)) as f64 / cycles.max(1) as f64
+    };
+    assert!(
+        occ(&dc, cc) > occ(&dl, cl),
+        "paper: LLC miss occupancy rises up to 4.8x under CXL"
+    );
+}
+
+#[test]
+fn fig4a_imc_queues_idle_under_cxl_traffic() {
+    let (dl, _, dc, _) = pair("STREAM", 400_000);
+    let rpq = |d: &SystemDelta| d.imc_sum(ImcEvent::RpqCyclesNe);
+    assert!(rpq(&dl) > 0, "local streaming must exercise the RPQ");
+    assert_eq!(rpq(&dc), 0, "paper Fig 4-a: CXL traffic bypasses the IMC");
+}
+
+#[test]
+fn fig4b_m2pcie_carries_the_cxl_loads_and_stores() {
+    let (dl, _, dc, _) = pair("519.lbm_r", 400_000);
+    assert_eq!(dl.m2p_sum(M2pEvent::TxcInsertsBl), 0);
+    assert!(dc.m2p_sum(M2pEvent::TxcInsertsBl) > 0, "CXL loads return BL data entries");
+    assert!(dc.m2p_sum(M2pEvent::TxcInsertsAk) > 0, "CXL stores return AK acknowledgements");
+    // M2S/S2M conservation at the device.
+    assert_eq!(
+        dc.cxl_sum(CxlEvent::RxcPackBufInsertsMemReq),
+        dc.m2p_sum(M2pEvent::TxcInsertsBl),
+        "every Req produces one DRS/BL"
+    );
+    assert_eq!(
+        dc.cxl_sum(CxlEvent::RxcPackBufInsertsMemData),
+        dc.m2p_sum(M2pEvent::TxcInsertsAk),
+        "every RwD produces one NDR/AK"
+    );
+}
+
+#[test]
+fn cxl_run_takes_longer_end_to_end() {
+    let (_, cl, _, cc) = pair("505.mcf_r", 100_000);
+    assert!(
+        cc as f64 > 1.5 * cl as f64,
+        "CXL run {cc} cycles must be well beyond local {cl} for a latency-bound app"
+    );
+}
+
+#[test]
+fn mlc_style_latency_calibration() {
+    // §2.3 headline numbers: local ~103ns, CXL ~355ns random-access latency.
+    // Pointer chasing measures pure load-to-use latency.
+    let cfg = MachineConfig::spr();
+    let measure = |policy| {
+        let mut m = Machine::new(cfg.clone());
+        let chase = workloads::PointerChase::new(32 << 20, 60_000, 3);
+        m.attach(0, Workload::new("mlc", Box::new(chase), policy));
+        let start = m.pmu.snapshot(0);
+        let mut last = None;
+        for _ in 0..2_000 {
+            let e = m.run_epoch();
+            let done = e.all_done;
+            last = Some(e.snapshot);
+            if done {
+                break;
+            }
+        }
+        let d = last.unwrap().delta(&start);
+        let lat_cycles = d.core_sum(CoreEvent::MemTransRetiredLoadLatency) as f64
+            / d.core_sum(CoreEvent::MemTransRetiredLoadCount).max(1) as f64;
+        cfg.cycles_to_ns((lat_cycles) as u64)
+    };
+    let local = measure(MemPolicy::Local);
+    let cxl = measure(MemPolicy::Cxl);
+    assert!((70.0..160.0).contains(&local), "local latency {local:.1} ns (paper 103.2)");
+    assert!((280.0..450.0).contains(&cxl), "cxl latency {cxl:.1} ns (paper 355.3)");
+    assert!(cxl / local > 2.0, "paper ratio ≈ 3.4x");
+}
+
+#[test]
+fn three_memory_tiers_order_correctly() {
+    // §2.3: local (103.2 ns) < NUMA remote (163.6 ns) < CXL (355.3 ns), and
+    // the bandwidth order is the reverse.
+    let cfg = MachineConfig::spr();
+    let lat = |policy| {
+        let mut m = Machine::new(cfg.clone());
+        let chase = workloads::PointerChase::new(32 << 20, 50_000, 3);
+        m.attach(0, Workload::new("mlc", Box::new(chase), policy));
+        let start = m.pmu.snapshot(0);
+        let mut last = None;
+        for _ in 0..3_000 {
+            let e = m.run_epoch();
+            let done = e.all_done;
+            last = Some(e.snapshot);
+            if done {
+                break;
+            }
+        }
+        let d = last.unwrap().delta(&start);
+        d.core_sum(CoreEvent::MemTransRetiredLoadLatency) as f64
+            / d.core_sum(CoreEvent::MemTransRetiredLoadCount).max(1) as f64
+    };
+    let local = lat(MemPolicy::Local);
+    let remote = lat(MemPolicy::RemoteNuma);
+    let cxl = lat(MemPolicy::Cxl);
+    assert!(local < remote, "local {local:.0} !< remote {remote:.0}");
+    assert!(remote < cxl, "remote {remote:.0} !< cxl {cxl:.0}");
+    // Paper ratios: remote/local ≈ 1.59, cxl/local ≈ 3.44.
+    assert!((1.2..2.2).contains(&(remote / local)), "remote/local {:.2}", remote / local);
+    assert!((2.4..4.5).contains(&(cxl / local)), "cxl/local {:.2}", cxl / local);
+}
+
+#[test]
+fn emr_shows_same_trends_with_smaller_deltas() {
+    // §3.6: EMR's larger LLC shrinks the stall increase but keeps the sign.
+    let app = "554.roms_r";
+    let ops = 300_000;
+    let ratio = |cfg: MachineConfig| {
+        let (dl, _, dc, _) = {
+            let (a, b) = (
+                run(app, ops, MemPolicy::Local, cfg.clone()),
+                run(app, ops, MemPolicy::Cxl, cfg),
+            );
+            (a.0, a.1, b.0, b.1)
+        };
+        dc.core_sum(CoreEvent::MemoryActivityStallsL1dMiss) as f64
+            / dl.core_sum(CoreEvent::MemoryActivityStallsL1dMiss).max(1) as f64
+    };
+    let spr = ratio(MachineConfig::spr());
+    let emr = ratio(MachineConfig::emr());
+    assert!(spr > 1.0, "SPR CXL/local stall ratio {spr:.2} must exceed 1");
+    assert!(emr > 1.0, "EMR CXL/local stall ratio {emr:.2} must exceed 1");
+}

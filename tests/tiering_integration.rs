@@ -1,0 +1,116 @@
+//! Case-7 integration: TPP over the live machine actually moves pages,
+//! shifts traffic from the CXL device to the IMC, and improves runtime.
+
+use pathfinder::model::HitLevel;
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+use tiering::{Tpp, TppConfig};
+use workloads::Gups;
+
+const OPS: u64 = 600_000;
+
+fn gups_machine(seed: u64) -> Machine {
+    let mut machine = Machine::new(MachineConfig::tiny());
+    let gups = Gups::new(16 << 20, OPS, seed).hot_set(0.25, 0.9);
+    machine.attach(
+        0,
+        Workload::new("GUPS", Box::new(gups), MemPolicy::Interleave { cxl_fraction: 0.9 }),
+    );
+    machine
+}
+
+struct Outcome {
+    cycles: u64,
+    local_hits: u64,
+    cxl_hits: u64,
+    migrations: usize,
+    cxl_resident_end: usize,
+}
+
+fn run(with_tpp: bool) -> Outcome {
+    let mut profiler = Profiler::new(gups_machine(9), ProfileSpec::default());
+    let mut tpp = Tpp::new(TppConfig { promote_threshold: 2.0, ..Default::default() });
+    let mut migrations = 0;
+    loop {
+        let e = profiler.profile_epoch();
+        if with_tpp {
+            let m = profiler.machine();
+            let migs = tpp.epoch(&e.page_heat, &|asid, vpage| m.page_node(asid as usize, vpage));
+            let m = profiler.machine_mut();
+            for mig in migs {
+                if m.migrate_page(mig.asid as usize, mig.vpage, mig.to) {
+                    migrations += 1;
+                }
+            }
+        }
+        if e.all_done {
+            break;
+        }
+    }
+    let r = profiler.report();
+    Outcome {
+        cycles: r.cycles,
+        local_hits: r.path_map.total.level_total(HitLevel::LocalDram),
+        cxl_hits: r.path_map.total.level_total(HitLevel::CxlMemory),
+        migrations,
+        cxl_resident_end: profiler.machine().cxl_resident_pages(0),
+    }
+}
+
+#[test]
+fn tpp_migrates_hot_pages_and_improves_gups() {
+    let off = run(false);
+    let on = run(true);
+
+    assert!(on.migrations > 50, "TPP migrated only {} pages", on.migrations);
+    assert!(
+        on.cxl_resident_end < off.cxl_resident_end,
+        "CXL residency must shrink: {} vs {}",
+        on.cxl_resident_end,
+        off.cxl_resident_end
+    );
+    // Figure-13 shape: local hits up, CXL hits down.
+    assert!(
+        on.local_hits > off.local_hits,
+        "local hits must rise ({} vs {})",
+        on.local_hits,
+        off.local_hits
+    );
+    assert!(
+        on.cxl_hits < off.cxl_hits,
+        "CXL hits must fall ({} vs {})",
+        on.cxl_hits,
+        off.cxl_hits
+    );
+    // Paper: GUPS throughput improves ~3x; demand only a solid win here.
+    assert!(
+        off.cycles as f64 / on.cycles as f64 > 1.2,
+        "TPP speedup only {:.2}x ({} vs {} cycles)",
+        off.cycles as f64 / on.cycles as f64,
+        off.cycles,
+        on.cycles
+    );
+}
+
+#[test]
+fn tpp_is_idempotent_once_hot_set_is_local() {
+    let mut profiler = Profiler::new(gups_machine(11), ProfileSpec::default());
+    let mut tpp = Tpp::new(TppConfig { promote_threshold: 2.0, ..Default::default() });
+    let mut last_burst = 0;
+    for _ in 0..60 {
+        let e = profiler.profile_epoch();
+        let m = profiler.machine();
+        let migs = tpp.epoch(&e.page_heat, &|asid, vpage| m.page_node(asid as usize, vpage));
+        last_burst = migs.len();
+        let m = profiler.machine_mut();
+        for mig in migs {
+            m.migrate_page(mig.asid as usize, mig.vpage, mig.to);
+        }
+        if e.all_done {
+            break;
+        }
+    }
+    // Once the hot set has been promoted, steady-state migration activity
+    // must die down (no thrashing).
+    assert!(last_burst < 32, "still migrating {last_burst} pages per epoch at steady state");
+}
