@@ -11,7 +11,11 @@ fn machine() -> Machine {
     let mut m = Machine::new(MachineConfig::spr());
     m.attach(
         0,
-        Workload::new("STREAM", workloads::build("STREAM", OPS, 1).unwrap(), MemPolicy::Cxl),
+        Workload::new(
+            "STREAM",
+            workloads::build("STREAM", OPS, 1).unwrap(),
+            MemPolicy::Cxl,
+        ),
     );
     m
 }

@@ -8,7 +8,10 @@ const OPS: u64 = 50_000;
 
 fn run(app: &str, policy: MemPolicy) {
     let mut m = Machine::new(MachineConfig::spr());
-    m.attach(0, Workload::new(app, workloads::build(app, OPS, 1).unwrap(), policy));
+    m.attach(
+        0,
+        Workload::new(app, workloads::build(app, OPS, 1).unwrap(), policy),
+    );
     m.run_to_completion(2_000);
 }
 

@@ -51,7 +51,11 @@ fn technique_costs(c: &mut Criterion) {
             let mut m = Machine::new(MachineConfig::spr());
             m.attach(
                 0,
-                Workload::new("STREAM", workloads::build("STREAM", 10_000, 1).unwrap(), MemPolicy::Cxl),
+                Workload::new(
+                    "STREAM",
+                    workloads::build("STREAM", 10_000, 1).unwrap(),
+                    MemPolicy::Cxl,
+                ),
             );
             m.run_epoch();
             m

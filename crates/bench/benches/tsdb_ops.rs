@@ -31,7 +31,12 @@ fn insert_bench(c: &mut Criterion) {
 fn query_bench(c: &mut Criterion) {
     let db = filled_db(10_000);
     c.bench_function("tsdb_filtered_values", |b| {
-        b.iter(|| db.from("path_set").filter("core", "2").filter("dst", "LLC").values("hits"))
+        b.iter(|| {
+            db.from("path_set")
+                .filter("core", "2")
+                .filter("dst", "LLC")
+                .values("hits")
+        })
     });
     c.bench_function("tsdb_range_count", |b| {
         b.iter(|| db.from("path_set").range(1_000, 9_000).count())
@@ -39,15 +44,20 @@ fn query_bench(c: &mut Criterion) {
 }
 
 fn tsa_bench(c: &mut Criterion) {
-    let series: Vec<(u64, f64)> =
-        (0..4_096u64).map(|t| (t, 100.0 + 30.0 * ((t % 16) as f64))).collect();
+    let series: Vec<(u64, f64)> = (0..4_096u64)
+        .map(|t| (t, 100.0 + 30.0 * ((t % 16) as f64)))
+        .collect();
     let data: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
-    c.bench_function("tsa_moving_average", |b| b.iter(|| ops::moving_average(&series, 32)));
+    c.bench_function("tsa_moving_average", |b| {
+        b.iter(|| ops::moving_average(&series, 32))
+    });
     c.bench_function("tsa_holt_winters_fit", |b| {
         let hw = tsa::HoltWinters::new(16);
         b.iter(|| hw.fit_forecast(&data, 16))
     });
-    c.bench_function("tsa_cluster_windows", |b| b.iter(|| tsa::cluster_windows(&data, 0.2, 1.0)));
+    c.bench_function("tsa_cluster_windows", |b| {
+        b.iter(|| tsa::cluster_windows(&data, 0.2, 1.0))
+    });
     c.bench_function("tsa_pearsonr", |b| {
         let other: Vec<f64> = data.iter().map(|v| v * 1.5 + 2.0).collect();
         b.iter(|| tsa::pearsonr(&data, &other))

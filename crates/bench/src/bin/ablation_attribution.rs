@@ -18,7 +18,7 @@ use pathfinder::model::{LatencyModel, PathGroup};
 use pmu::{CoreEvent, RespScenario};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     println!("Ablation — estimator accuracy against simulator ground truth ({ops} ops)\n");
 
@@ -82,14 +82,18 @@ fn main() {
          only the miss-target ratio. The CXL/local latency asymmetry (~3.4x)\n\
          makes the naive split under-blame CXL — the effect §5.3 describes."
     );
-    write_csv("ablation_attribution.csv", &headers, &rows);
+    write_csv("ablation_attribution.csv", &headers, &rows)?;
 
     // ---- Little's-law queue-estimate consistency ---------------------------
     println!("\nLittle's-law self-consistency (PFAnalyzer L1D queue vs direct λW):");
     let mut machine = Machine::new(MachineConfig::spr());
     machine.attach(
         0,
-        Workload::new("stream", workloads::build("STREAM", ops, 1).unwrap(), MemPolicy::Cxl),
+        Workload::new(
+            "stream",
+            workloads::build("STREAM", ops, 1).unwrap(),
+            MemPolicy::Cxl,
+        ),
     );
     let start = machine.pmu.snapshot(0);
     for _ in 0..3_000 {
@@ -104,8 +108,8 @@ fn main() {
     let misses = delta.core_sum(CoreEvent::MemLoadRetiredL1Miss) as f64;
     let clocks = delta.cycles() as f64;
     let manual = hits / clocks * lat.l1_hit + misses / clocks * lat.l1_tag;
-    let estimated =
-        q.get(PathGroup::Drd, pathfinder::model::Component::L1d);
+    let estimated = q.get(PathGroup::Drd, pathfinder::model::Component::L1d);
     println!("  manual λ·W = {manual:.6}, PFAnalyzer = {estimated:.6} (must match exactly)");
     assert!((manual - estimated).abs() < 1e-9);
+    Ok(())
 }

@@ -12,7 +12,7 @@ use pathfinder::model::HitLevel;
 use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     println!("Ablation — scheduling-epoch (snapshot) granularity sweep ({ops} ops)\n");
 
@@ -40,7 +40,9 @@ fn main() {
         );
         let mut profiler = Profiler::new(machine, ProfileSpec::default());
         let report = profiler.run(20_000);
-        let windows = profiler.materializer.locality_windows(0, HitLevel::CxlMemory);
+        let windows = profiler
+            .materializer
+            .locality_windows(0, HitLevel::CxlMemory);
         let o = profiler.overhead();
         rows.push(vec![
             epoch_cycles.to_string(),
@@ -58,5 +60,6 @@ fn main() {
          overhead trade PathFinder's 'max resource consumption' spec knob\n\
          controls (§4.1)."
     );
-    write_csv("ablation_epoch.csv", &headers, &rows);
+    write_csv("ablation_epoch.csv", &headers, &rows)?;
+    Ok(())
 }

@@ -9,7 +9,7 @@ use pmu::CoreEvent;
 use simarch::MemPolicy;
 use workloads::{PointerChase, StreamGen};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = platform_from_args();
     println!("MLC-style probe on {} ({} GHz)\n", cfg.name, cfg.freq_ghz);
 
@@ -61,5 +61,10 @@ fn main() {
     println!("\npaper SPR: local 103.2 ns / 131.1 GB/s ; NUMA 163.6 ns / 94.4 GB/s ;");
     println!("           CXL 355.3 ns / 17.6 GB/s");
     println!("(bandwidth is scaled with the 4-core machine slice; shape, not absolutes)");
-    write_csv(&format!("fig0_mlc_{}.csv", cfg.name.to_lowercase()), &headers, &rows);
+    write_csv(
+        &format!("fig0_mlc_{}.csv", cfg.name.to_lowercase()),
+        &headers,
+        &rows,
+    )?;
+    Ok(())
 }

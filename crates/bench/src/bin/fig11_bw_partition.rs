@@ -15,7 +15,7 @@ use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 use workloads::{Gups, Mbw};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     let gups = std::env::args().any(|a| a == "--gups");
     let kind = if gups { "GUPS" } else { "MBW" };
@@ -30,11 +30,18 @@ fn main() {
     let mut machine = Machine::new(MachineConfig::spr());
     for (i, &load) in loads.iter().enumerate() {
         let trace: Box<dyn simarch::TraceSource> = if gups {
-            Box::new(Gups::new(24 << 20, (ops as f64 * load) as u64, 11 + i as u64))
+            Box::new(Gups::new(
+                24 << 20,
+                (ops as f64 * load) as u64,
+                11 + i as u64,
+            ))
         } else {
             Box::new(Mbw::new(24 << 20, ops, load))
         };
-        machine.attach(i, Workload::new(format!("{kind}-{}", i + 1), trace, MemPolicy::Cxl));
+        machine.attach(
+            i,
+            Workload::new(format!("{kind}-{}", i + 1), trace, MemPolicy::Cxl),
+        );
     }
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
 
@@ -91,6 +98,12 @@ fn main() {
         }
     }
     let mut rows_csv = rows;
-    rows_csv.push(vec!["pearson_r".into(), String::new(), String::new(), format!("{r:.4}")]);
-    write_csv("fig11_bw_partition.csv", &headers, &rows_csv);
+    rows_csv.push(vec![
+        "pearson_r".into(),
+        String::new(),
+        String::new(),
+        format!("{r:.4}"),
+    ]);
+    write_csv("fig11_bw_partition.csv", &headers, &rows_csv)?;
+    Ok(())
 }

@@ -29,7 +29,10 @@ fn scenario(
     // which is precisely what Case 6 observes. The registry-scaled bwaves
     // (51 MiB) misses ~100% either way and would mask the effect.
     let bwaves = workloads::Stencil::new(6 << 20, 3, ops * 3).noise(30);
-    machine.attach(0, Workload::new("503.bwaves_r", Box::new(bwaves), MemPolicy::Cxl));
+    machine.attach(
+        0,
+        Workload::new("503.bwaves_r", Box::new(bwaves), MemPolicy::Cxl),
+    );
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
     let mut launched = false;
     let mut epoch = 0u64;
@@ -55,7 +58,9 @@ fn scenario(
             break;
         }
     }
-    let windows = profiler.materializer.locality_windows(0, HitLevel::CxlMemory);
+    let windows = profiler
+        .materializer
+        .locality_windows(0, HitLevel::CxlMemory);
     let report = profiler.report();
     let misses = report.path_map.per_core[0].level_total(HitLevel::CxlMemory);
     let corr = if neighbours.is_empty() {
@@ -63,19 +68,29 @@ fn scenario(
     } else {
         profiler.materializer.orthogonality(0, 1)
     };
-    println!("  [{label}] {} locality windows, {} CXL misses", windows.len(), misses);
+    println!(
+        "  [{label}] {} locality windows, {} CXL misses",
+        windows.len(),
+        misses
+    );
     (windows, misses, corr)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     println!("Figure 12 — 503.bwaves_r locality under co-location ({ops} ops per app)\n");
 
     let (w_solo, m_solo, _) = scenario("solo", ops, &[]);
-    let (w_lbm, m_lbm, r_lbm) =
-        scenario("(a) +519.lbm_r local", ops, &[("519.lbm_r", MemPolicy::Local)]);
-    let (w_roms, m_roms, r_roms) =
-        scenario("(b) +554.roms_r cxl", ops, &[("554.roms_r", MemPolicy::Cxl)]);
+    let (w_lbm, m_lbm, r_lbm) = scenario(
+        "(a) +519.lbm_r local",
+        ops,
+        &[("519.lbm_r", MemPolicy::Local)],
+    );
+    let (w_roms, m_roms, r_roms) = scenario(
+        "(b) +554.roms_r cxl",
+        ops,
+        &[("554.roms_r", MemPolicy::Cxl)],
+    );
     let (w_mix, m_mix, r_mix) = scenario(
         "(c) +lbm/mcf/roms mix",
         ops,
@@ -86,11 +101,22 @@ fn main() {
         ],
     );
 
-    let headers =
-        ["scenario", "locality windows", "bwaves CXL misses", "Δ vs solo", "corr w/ neighbour"];
+    let headers = [
+        "scenario",
+        "locality windows",
+        "bwaves CXL misses",
+        "Δ vs solo",
+        "corr w/ neighbour",
+    ];
     let fmt_corr = |r: Option<f64>| r.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
     let rows = vec![
-        vec!["solo".into(), w_solo.len().to_string(), m_solo.to_string(), "-".into(), "-".into()],
+        vec![
+            "solo".into(),
+            w_solo.len().to_string(),
+            m_solo.to_string(),
+            "-".into(),
+            "-".into(),
+        ],
         vec![
             "(a) +lbm local".into(),
             w_lbm.len().to_string(),
@@ -120,5 +146,6 @@ fn main() {
          LLC misses with lbm than with roms — lbm on local memory stays out of\n\
          bwaves' CXL path, roms on CXL contends with it)"
     );
-    write_csv("fig12_locality.csv", &headers, &rows);
+    write_csv("fig12_locality.csv", &headers, &rows)?;
+    Ok(())
 }

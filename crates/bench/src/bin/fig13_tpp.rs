@@ -12,10 +12,10 @@
 
 use bench::{ops_from_args, pct_change, print_table, ratio, write_csv};
 use pathfinder::estimator::{any_requests, cxl_requests, PfEstimator, Tier};
-#[allow(unused_imports)]
-use pmu::ChaEvent as _ChaEventForDocs;
 use pathfinder::model::{HitLevel, PathGroup};
 use pathfinder::profiler::{ProfileSpec, Profiler};
+#[allow(unused_imports)]
+use pmu::ChaEvent as _ChaEventForDocs;
 use pmu::M2pEvent;
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 use tiering::{ClassLatencies, ColloidTpp, Migration, Tpp, TppConfig};
@@ -60,9 +60,18 @@ fn class_latencies(delta: &pmu::SystemDelta) -> ClassLatencies {
     let w = PfEstimator::class_miss_weights(delta);
     let lat = |p, t, d| PfEstimator::tor_latency(delta, p, t).unwrap_or(d);
     ClassLatencies {
-        drd: (lat(PathGroup::Drd, Tier::Local, 200.0), lat(PathGroup::Drd, Tier::Cxl, 700.0)),
-        rfo: (lat(PathGroup::Rfo, Tier::Local, 220.0), lat(PathGroup::Rfo, Tier::Cxl, 750.0)),
-        hwpf: (lat(PathGroup::HwPf, Tier::Local, 200.0), lat(PathGroup::HwPf, Tier::Cxl, 700.0)),
+        drd: (
+            lat(PathGroup::Drd, Tier::Local, 200.0),
+            lat(PathGroup::Drd, Tier::Cxl, 700.0),
+        ),
+        rfo: (
+            lat(PathGroup::Rfo, Tier::Local, 220.0),
+            lat(PathGroup::Rfo, Tier::Cxl, 750.0),
+        ),
+        hwpf: (
+            lat(PathGroup::HwPf, Tier::Local, 200.0),
+            lat(PathGroup::HwPf, Tier::Cxl, 700.0),
+        ),
         drd_weight: w[0],
         rfo_weight: w[1],
         hwpf_weight: w[2],
@@ -73,9 +82,17 @@ fn run(app: &str, ops: u64, mode: Mode) -> Outcome {
     let mut machine = Machine::new(MachineConfig::spr());
     machine.attach(0, build_app(app, ops));
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
-    let mut tpp = Tpp::new(TppConfig { promote_threshold: 2.0, ..Default::default() });
-    let mut colloid =
-        ColloidTpp::new(TppConfig { promote_threshold: 2.0, ..Default::default() }, true);
+    let mut tpp = Tpp::new(TppConfig {
+        promote_threshold: 2.0,
+        ..Default::default()
+    });
+    let mut colloid = ColloidTpp::new(
+        TppConfig {
+            promote_threshold: 2.0,
+            ..Default::default()
+        },
+        true,
+    );
     // Per-epoch (occupancy, inserts) samples; the latency comparison uses
     // the final quarter of the run — steady state, after TPP's migration
     // burst (whose page-copy traffic would otherwise pollute the means).
@@ -86,8 +103,10 @@ fn run(app: &str, ops: u64, mode: Mode) -> Outcome {
     loop {
         let e = profiler.profile_epoch();
         cha_samples.push((
-            e.delta.cha_sum(pmu::ChaEvent::TorOccupancyIaDrd(pmu::TorDrdScen::MissCxl)),
-            e.delta.cha_sum(pmu::ChaEvent::TorInsertsIaDrd(pmu::TorDrdScen::MissCxl)),
+            e.delta
+                .cha_sum(pmu::ChaEvent::TorOccupancyIaDrd(pmu::TorDrdScen::MissCxl)),
+            e.delta
+                .cha_sum(pmu::ChaEvent::TorInsertsIaDrd(pmu::TorDrdScen::MissCxl)),
         ));
         // Device-side per-read residency (queue + media) — robust against
         // the per-insert distortion migration bursts cause at the M2PCIe.
@@ -106,7 +125,12 @@ fn run(app: &str, ops: u64, mode: Mode) -> Outcome {
                 let share = cxl_requests(&e.delta, PathGroup::Drd) as f64
                     / any_requests(&e.delta, PathGroup::Drd).max(1) as f64;
                 let m = profiler.machine();
-                colloid.epoch(&e.page_heat, &|a, v| m.page_node(a as usize, v), &lat, share)
+                colloid.epoch(
+                    &e.page_heat,
+                    &|a, v| m.page_node(a as usize, v),
+                    &lat,
+                    share,
+                )
             }
         };
         let m = profiler.machine_mut();
@@ -135,12 +159,22 @@ fn run(app: &str, ops: u64, mode: Mode) -> Outcome {
     // Whole-run m2p counters from the machine's live PMU, with the page-copy
     // traffic of migrations (64 lines each) subtracted so the numbers
     // reflect steady-state application traffic like the paper's.
-    let m2p_loads: u64 =
-        profiler.machine().pmu.m2ps.iter().map(|b| b.read(M2pEvent::TxcInsertsBl)).sum::<u64>()
-            .saturating_sub(promotions * 64);
-    let m2p_stores: u64 =
-        profiler.machine().pmu.m2ps.iter().map(|b| b.read(M2pEvent::TxcInsertsAk)).sum::<u64>()
-            .saturating_sub(demotions * 64);
+    let m2p_loads: u64 = profiler
+        .machine()
+        .pmu
+        .m2ps
+        .iter()
+        .map(|b| b.read(M2pEvent::TxcInsertsBl))
+        .sum::<u64>()
+        .saturating_sub(promotions * 64);
+    let m2p_stores: u64 = profiler
+        .machine()
+        .pmu
+        .m2ps
+        .iter()
+        .map(|b| b.read(M2pEvent::TxcInsertsAk))
+        .sum::<u64>()
+        .saturating_sub(demotions * 64);
     // Insert-weighted means over the steady-state tail.
     let tail_mean = |samples: &[(u64, u64)]| -> f64 {
         let start = samples.len() * 3 / 4;
@@ -160,7 +194,7 @@ fn run(app: &str, ops: u64, mode: Mode) -> Outcome {
     }
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     println!("Figure 13 — TPP off vs on, traced by PathFinder ({ops} ops per run)\n");
 
@@ -208,7 +242,12 @@ fn main() {
     println!("\nDynamic TPP+Colloid on GUPS:");
     let headers2 = ["mode", "cycles", "speedup vs off", "vs plain TPP"];
     let rows2 = vec![
-        vec!["off".into(), off.cycles.to_string(), "1.00x".into(), "-".into()],
+        vec![
+            "off".into(),
+            off.cycles.to_string(),
+            "1.00x".into(),
+            "-".into(),
+        ],
         vec![
             "TPP".into(),
             tpp.cycles.to_string(),
@@ -224,6 +263,7 @@ fn main() {
     ];
     print_table(&headers2, &rows2);
     println!("paper: the dynamic variant improves GUPS by ~1.1x over TPP+Colloid");
-    write_csv("fig13_tpp.csv", &headers, &rows);
-    write_csv("fig13_colloid.csv", &headers2, &rows2);
+    write_csv("fig13_tpp.csv", &headers, &rows)?;
+    write_csv("fig13_colloid.csv", &headers2, &rows2)?;
+    Ok(())
 }

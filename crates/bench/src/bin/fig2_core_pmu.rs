@@ -9,7 +9,10 @@
 //!
 //! `cargo run --release -p bench --bin fig2_core_pmu [--emr] [--ops N]`
 
-use bench::{ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine, write_csv, Pin, SIX_APPS};
+use bench::{
+    ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine, write_csv, Pin,
+    SIX_APPS,
+};
 use pmu::{CoreEvent, SystemDelta};
 use simarch::{MachineConfig, MemPolicy};
 use workloads::StreamGen;
@@ -18,11 +21,18 @@ fn run_app(cfg: &MachineConfig, app: &str, ops: u64, policy: MemPolicy) -> Syste
     run_machine(cfg.clone(), vec![Pin::app(0, app, ops, policy, 7)]).0
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = platform_from_args();
     let ops = ops_from_args();
-    println!("Figure 2{} — core PMU, local vs CXL ({} ops per run)\n",
-        if cfg.name == "EMR" { " [EMR variant = Figure 14]" } else { "" }, ops);
+    println!(
+        "Figure 2{} — core PMU, local vs CXL ({} ops per run)\n",
+        if cfg.name == "EMR" {
+            " [EMR variant = Figure 14]"
+        } else {
+            ""
+        },
+        ops
+    );
 
     // ---- (a) store-buffer stalls, RD+WR and WR-only ------------------------
     println!("(a) store-buffer-full stall cycles");
@@ -72,11 +82,22 @@ fn main() {
             wl.core_sum(CoreEvent::ExeActivityBoundOnStores) as f64,
         ),
     ]);
-    let headers_a =
-        ["app", "rdwr local", "rdwr cxl", "ratio", "wr local", "wr cxl", "ratio"];
+    let headers_a = [
+        "app",
+        "rdwr local",
+        "rdwr cxl",
+        "ratio",
+        "wr local",
+        "wr cxl",
+        "ratio",
+    ];
     print_table(&headers_a, &rows_a);
     println!("paper: 1.9x (RD+WR) and 2.0x (WR-only) average increase on SPR; 1.3x on EMR\n");
-    write_csv(&format!("fig2a_{}.csv", cfg.name.to_lowercase()), &headers_a, &rows_a);
+    write_csv(
+        &format!("fig2a_{}.csv", cfg.name.to_lowercase()),
+        &headers_a,
+        &rows_a,
+    )?;
 
     // ---- (b)-(f) one table per app pair ------------------------------------
     println!("(b)-(f) L1D / LFB / L2 execution and operation counters");
@@ -108,12 +129,18 @@ fn main() {
                 f(&l, CoreEvent::MemoryActivityStallsL1dMiss),
             ),
             ratio(wait(&c), wait(&l)),
-            pct_change(f(&c, CoreEvent::MemLoadRetiredL1Hit), f(&l, CoreEvent::MemLoadRetiredL1Hit)),
+            pct_change(
+                f(&c, CoreEvent::MemLoadRetiredL1Hit),
+                f(&l, CoreEvent::MemLoadRetiredL1Hit),
+            ),
             pct_change(
                 f(&c, CoreEvent::MemLoadRetiredL1FbHit),
                 f(&l, CoreEvent::MemLoadRetiredL1FbHit),
             ),
-            ratio(f(&c, CoreEvent::L1dPendMissFbFull), f(&l, CoreEvent::L1dPendMissFbFull)),
+            ratio(
+                f(&c, CoreEvent::L1dPendMissFbFull),
+                f(&l, CoreEvent::L1dPendMissFbFull),
+            ),
             ratio(
                 f(&c, CoreEvent::MemoryActivityStallsL2Miss),
                 f(&l, CoreEvent::MemoryActivityStallsL2Miss),
@@ -122,8 +149,14 @@ fn main() {
                 f(&c, CoreEvent::L2RqstsDemandDataRdHit),
                 f(&l, CoreEvent::L2RqstsDemandDataRdHit),
             ),
-            pct_change(f(&c, CoreEvent::L2RqstsRfoHit), f(&l, CoreEvent::L2RqstsRfoHit)),
-            pct_change(f(&c, CoreEvent::L2RqstsHwpfHit), f(&l, CoreEvent::L2RqstsHwpfHit)),
+            pct_change(
+                f(&c, CoreEvent::L2RqstsRfoHit),
+                f(&l, CoreEvent::L2RqstsRfoHit),
+            ),
+            pct_change(
+                f(&c, CoreEvent::L2RqstsHwpfHit),
+                f(&l, CoreEvent::L2RqstsHwpfHit),
+            ),
         ]);
     }
     print_table(&headers, &rows);
@@ -131,5 +164,10 @@ fn main() {
         "paper SPR: L1D stalls 2.1x, response wait 1.4x, DRd/RFO hits -22.8%,\n\
          L2 stalls 2.7x; EMR shows the same signs with smaller magnitudes"
     );
-    write_csv(&format!("fig2bf_{}.csv", cfg.name.to_lowercase()), &headers, &rows);
+    write_csv(
+        &format!("fig2bf_{}.csv", cfg.name.to_lowercase()),
+        &headers,
+        &rows,
+    )?;
+    Ok(())
 }

@@ -8,7 +8,10 @@
 //!
 //! `cargo run --release -p bench --bin fig3_cha_pmu [--emr] [--ops N]`
 
-use bench::{ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine, write_csv, Pin, SIX_APPS};
+use bench::{
+    ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine, write_csv, Pin,
+    SIX_APPS,
+};
 use pmu::{ChaEvent, CoreEvent, IaScen, SystemDelta, TorDrdScen, TorRfoScen};
 use simarch::{MachineConfig, MemPolicy};
 
@@ -20,19 +23,31 @@ struct RunPair {
 }
 
 fn pair(cfg: &MachineConfig, app: &str, ops: u64) -> RunPair {
-    let (l, lc) = run_machine(cfg.clone(), vec![Pin::app(0, app, ops, MemPolicy::Local, 7)]);
+    let (l, lc) = run_machine(
+        cfg.clone(),
+        vec![Pin::app(0, app, ops, MemPolicy::Local, 7)],
+    );
     let (c, cc) = run_machine(cfg.clone(), vec![Pin::app(0, app, ops, MemPolicy::Cxl, 7)]);
     RunPair { l, c, lc, cc }
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = platform_from_args();
     let ops = ops_from_args();
-    println!("Figure 3{} — CHA PMU, local vs CXL ({} ops per run)\n",
-        if cfg.name == "EMR" { " [EMR variant = Figure 15]" } else { "" }, ops);
+    println!(
+        "Figure 3{} — CHA PMU, local vs CXL ({} ops per run)\n",
+        if cfg.name == "EMR" {
+            " [EMR variant = Figure 15]"
+        } else {
+            ""
+        },
+        ops
+    );
 
-    let runs: Vec<(&str, RunPair)> =
-        SIX_APPS.iter().map(|&app| (app, pair(&cfg, app, ops))).collect();
+    let runs: Vec<(&str, RunPair)> = SIX_APPS
+        .iter()
+        .map(|&app| (app, pair(&cfg, app, ops)))
+        .collect();
 
     // ---- (a) LLC stalls + DRd TOR latency ---------------------------------
     println!("(a) core LLC stall cycles and DRd response time");
@@ -42,7 +57,9 @@ fn main() {
         let stall = |d: &SystemDelta| d.core_sum(CoreEvent::CycleActivityStallsL3Miss) as f64;
         let resp = |d: &SystemDelta| {
             let occ = d.cha_sum(ChaEvent::TorOccupancyIaDrd(TorDrdScen::Total)) as f64;
-            let ins = d.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::Total)).max(1) as f64;
+            let ins = d
+                .cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::Total))
+                .max(1) as f64;
             occ / ins
         };
         rows_a.push(vec![
@@ -53,12 +70,23 @@ fn main() {
     }
     print_table(&headers_a, &rows_a);
     println!("paper SPR: 2.1x stalls, 1.8x DRd response on average\n");
-    write_csv(&format!("fig3a_{}.csv", cfg.name.to_lowercase()), &headers_a, &rows_a);
+    write_csv(
+        &format!("fig3a_{}.csv", cfg.name.to_lowercase()),
+        &headers_a,
+        &rows_a,
+    )?;
 
     // ---- (b) LLC hit/miss breakdown per path ------------------------------
     println!("(b) LLC hit and miss change per path (CXL vs local)");
-    let headers_b =
-        ["app", "drd.hit Δ", "rfo.hit Δ", "hwpf.hit Δ", "drd.miss x", "rfo.miss x", "hwpf.miss x"];
+    let headers_b = [
+        "app",
+        "drd.hit Δ",
+        "rfo.hit Δ",
+        "hwpf.hit Δ",
+        "drd.miss x",
+        "rfo.miss x",
+        "hwpf.miss x",
+    ];
     let mut rows_b = Vec::new();
     for (app, r) in &runs {
         let g = |d: &SystemDelta, e| d.cha_sum(e) as f64;
@@ -92,7 +120,11 @@ fn main() {
     }
     print_table(&headers_b, &rows_b);
     println!("paper SPR: hits -46.5/-41.3/-62.2%, misses 4.2x/4.0x/5.3x (DRd/RFO/HWPF)\n");
-    write_csv(&format!("fig3b_{}.csv", cfg.name.to_lowercase()), &headers_b, &rows_b);
+    write_csv(
+        &format!("fig3b_{}.csv", cfg.name.to_lowercase()),
+        &headers_b,
+        &rows_b,
+    )?;
 
     // ---- (c) where missed LLC requests are served ---------------------------
     println!("(c) LLC-miss destinations under CXL (DRd path, share of misses)");
@@ -107,15 +139,31 @@ fn main() {
         let remote = g(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissRemote));
         let cxl = g(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl));
         let pct = |v: f64| format!("{:.1}%", 100.0 * v / miss);
-        rows_c.push(vec![app.to_string(), pct(ddr), pct(snoop), pct(remote), pct(cxl)]);
+        rows_c.push(vec![
+            app.to_string(),
+            pct(ddr),
+            pct(snoop),
+            pct(remote),
+            pct(cxl),
+        ]);
     }
     print_table(&headers_c, &rows_c);
     println!("paper: under CXL most DRd misses head to the CXL DIMM, with a\nsnoop-served share; local runs serve >99% from local DDR\n");
-    write_csv(&format!("fig3c_{}.csv", cfg.name.to_lowercase()), &headers_c, &rows_c);
+    write_csv(
+        &format!("fig3c_{}.csv", cfg.name.to_lowercase()),
+        &headers_c,
+        &rows_c,
+    )?;
 
     // ---- (d)/(e) occupancies ------------------------------------------------
     println!("(d)/(e) TOR hit / miss occupancy per cycle (log-scale plot in the paper)");
-    let headers_d = ["app", "hit occ local", "hit occ cxl", "miss occ local", "miss occ cxl"];
+    let headers_d = [
+        "app",
+        "hit occ local",
+        "hit occ cxl",
+        "miss occ local",
+        "miss occ cxl",
+    ];
     let mut rows_d = Vec::new();
     for (app, r) in &runs {
         let occ = |d: &SystemDelta, scen, cycles: u64| {
@@ -131,7 +179,11 @@ fn main() {
     }
     print_table(&headers_d, &rows_d);
     println!("paper SPR: hit occupancy down (-86%..-30%), miss occupancy up (1.1x-4.8x)\n");
-    write_csv(&format!("fig3de_{}.csv", cfg.name.to_lowercase()), &headers_d, &rows_d);
+    write_csv(
+        &format!("fig3de_{}.csv", cfg.name.to_lowercase()),
+        &headers_d,
+        &rows_d,
+    )?;
 
     // ---- (f) operation breakdown -------------------------------------------
     println!("(f) socket-level hits per path, CXL vs local");
@@ -164,5 +216,10 @@ fn main() {
     }
     print_table(&headers_f, &rows_f);
     println!("paper SPR: hits down -55.4/-48.0/-59.4/-44.2% (DRd/RFO/HWPF/DWr)");
-    write_csv(&format!("fig3f_{}.csv", cfg.name.to_lowercase()), &headers_f, &rows_f);
+    write_csv(
+        &format!("fig3f_{}.csv", cfg.name.to_lowercase()),
+        &headers_f,
+        &rows_f,
+    )?;
+    Ok(())
 }

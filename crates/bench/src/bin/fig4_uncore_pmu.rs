@@ -11,11 +11,18 @@ use pmu::{CxlEvent, ImcEvent, M2pEvent, SystemDelta};
 use simarch::MemPolicy;
 use workloads::StreamGen;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = platform_from_args();
     let ops = ops_from_args();
-    println!("Figure 4{} — uncore PMU, local vs CXL ({} ops per run)\n",
-        if cfg.name == "EMR" { " [EMR variant = Figure 16]" } else { "" }, ops);
+    println!(
+        "Figure 4{} — uncore PMU, local vs CXL ({} ops per run)\n",
+        if cfg.name == "EMR" {
+            " [EMR variant = Figure 16]"
+        } else {
+            ""
+        },
+        ops
+    );
 
     let run = |policy| -> (SystemDelta, u64) {
         run_machine(
@@ -33,10 +40,14 @@ fn main() {
 
     // ---- (a) RPQ / WPQ occupancy -------------------------------------------
     println!("(a) IMC pending-queue occupancy (entries per cycle, per channel avg)");
-    let headers_a = ["case", "RPQ occ", "WPQ occ", "RPQ ne-cycles", "WPQ ne-cycles"];
-    let occ = |d: &SystemDelta, e, cycles: u64| {
-        d.imc_sum(e) as f64 / cycles.max(1) as f64
-    };
+    let headers_a = [
+        "case",
+        "RPQ occ",
+        "WPQ occ",
+        "RPQ ne-cycles",
+        "WPQ ne-cycles",
+    ];
+    let occ = |d: &SystemDelta, e, cycles: u64| d.imc_sum(e) as f64 / cycles.max(1) as f64;
     let rows_a = vec![
         vec![
             "local".into(),
@@ -55,7 +66,11 @@ fn main() {
     ];
     print_table(&headers_a, &rows_a);
     println!("paper: little queueing inside the IMC for CXL streams — the CXL DIMM\nencloses device-side command queues, so the IMC can be ignored for\nCXL-only analysis\n");
-    write_csv(&format!("fig4a_{}.csv", cfg.name.to_lowercase()), &headers_a, &rows_a);
+    write_csv(
+        &format!("fig4a_{}.csv", cfg.name.to_lowercase()),
+        &headers_a,
+        &rows_a,
+    )?;
 
     // ---- (b) load/store breakdown -------------------------------------------
     println!("(b) DIMM load/store commands (local: IMC CAS; CXL: M2PCIe BL/AK)");
@@ -92,5 +107,10 @@ fn main() {
     // Consistency: every CXL command seen by the device.
     assert_eq!(cxl.cxl_sum(CxlEvent::DevMcRdCas), c_rd);
     assert_eq!(cxl.cxl_sum(CxlEvent::DevMcWrCas), c_wr);
-    write_csv(&format!("fig4b_{}.csv", cfg.name.to_lowercase()), &headers_b, &rows_b);
+    write_csv(
+        &format!("fig4b_{}.csv", cfg.name.to_lowercase()),
+        &headers_b,
+        &rows_b,
+    )?;
+    Ok(())
 }

@@ -13,9 +13,12 @@ use simarch::{MachineConfig, MemPolicy};
 
 const APPS: [&str; 6] = ["fft", "raytrace", "barnes", "freqmine", "BFS", "radix"];
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
-    println!("Figure 6 — CXL-induced stall breakdown per path ({} ops per run)\n", ops);
+    println!(
+        "Figure 6 — CXL-induced stall breakdown per path ({} ops per run)\n",
+        ops
+    );
 
     let mut headers = vec!["app", "path"];
     headers.extend(Component::ALL.iter().map(|c| c.label()));
@@ -32,7 +35,11 @@ fn main() {
             }
             let pct = report.stalls.percentages(path);
             let mut row = vec![app.to_string(), path.label().to_string()];
-            row.extend(Component::ALL.iter().map(|c| format!("{:.1}%", pct[c.idx()])));
+            row.extend(
+                Component::ALL
+                    .iter()
+                    .map(|c| format!("{:.1}%", pct[c.idx()])),
+            );
             rows.push(row);
         }
     }
@@ -42,5 +49,6 @@ fn main() {
          the in-core share shrinks from LLC toward L1D (locality filters it);\n\
          DWr paths put their residual SB share on top"
     );
-    write_csv("fig6_stall_breakdown.csv", &headers, &rows);
+    write_csv("fig6_stall_breakdown.csv", &headers, &rows)?;
+    Ok(())
 }

@@ -13,14 +13,34 @@ use pathfinder::model::{Component, PathGroup};
 use simarch::{MachineConfig, MemPolicy};
 use workloads::{Mbw, StreamGen};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
-    println!("Figures 7/8 — local+CXL interference sweep ({} ops per run)\n", ops);
+    println!(
+        "Figures 7/8 — local+CXL interference sweep ({} ops per run)\n",
+        ops
+    );
 
     let loads = [0.2, 0.4, 0.6, 0.8, 1.0];
-    let stall_headers =
-        ["cxl load", "SB", "L1D", "LFB", "L2", "LLC", "CHA", "FlexBus+MC", "CXL DIMM"];
-    let queue_headers = ["cxl load", "L1D q", "LFB q", "L2 q", "LLC q", "FlexBus q", "DIMM q"];
+    let stall_headers = [
+        "cxl load",
+        "SB",
+        "L1D",
+        "LFB",
+        "L2",
+        "LLC",
+        "CHA",
+        "FlexBus+MC",
+        "CXL DIMM",
+    ];
+    let queue_headers = [
+        "cxl load",
+        "L1D q",
+        "LFB q",
+        "L2 q",
+        "LLC q",
+        "FlexBus q",
+        "DIMM q",
+    ];
     let mut stall_rows = Vec::new();
     let mut queue_rows = Vec::new();
 
@@ -43,7 +63,10 @@ fn main() {
             ],
         );
         let s = |c: Component| {
-            let total: f64 = PathGroup::ALL.iter().map(|&p| report.stalls.get(p, c)).sum();
+            let total: f64 = PathGroup::ALL
+                .iter()
+                .map(|&p| report.stalls.get(p, c))
+                .sum();
             format!("{:.0}", total)
         };
         stall_rows.push(vec![
@@ -58,7 +81,10 @@ fn main() {
             s(Component::CxlDimm),
         ]);
         let q = |c: Component| {
-            let total: f64 = PathGroup::ALL.iter().map(|&p| report.mean_queues.get(p, c)).sum();
+            let total: f64 = PathGroup::ALL
+                .iter()
+                .map(|&p| report.mean_queues.get(p, c))
+                .sum();
             format!("{:.4}", total)
         };
         queue_rows.push(vec![
@@ -80,6 +106,7 @@ fn main() {
         "\npaper shape: SB/L1D/LFB/L2/LLC stall rises steeply with CXL load\n\
          (1.7x-2.4x from 20%->100%) while FlexBus/CHA queueing stays stable"
     );
-    write_csv("fig7_interference_stall.csv", &stall_headers, &stall_rows);
-    write_csv("fig8_interference_queue.csv", &queue_headers, &queue_rows);
+    write_csv("fig7_interference_stall.csv", &stall_headers, &stall_rows)?;
+    write_csv("fig8_interference_queue.csv", &queue_headers, &queue_rows)?;
+    Ok(())
 }

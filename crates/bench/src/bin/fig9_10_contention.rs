@@ -14,9 +14,12 @@ use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 use workloads::Mbw;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
-    println!("Figures 9/10 — concurrent CXL mFlow contention ({} ops per run)\n", ops);
+    println!(
+        "Figures 9/10 — concurrent CXL mFlow contention ({} ops per run)\n",
+        ops
+    );
 
     let loads = [0.2, 0.4, 0.6, 0.8, 1.0];
     let headers9 = [
@@ -30,8 +33,15 @@ fn main() {
         "CHA",
         "FlexBus+MC",
     ];
-    let headers10 =
-        ["neighbour load", "L1D q", "LFB q", "L2 q", "LLC q", "FlexBus DRd q", "FlexBus HWPF q"];
+    let headers10 = [
+        "neighbour load",
+        "L1D q",
+        "LFB q",
+        "L2 q",
+        "LLC q",
+        "FlexBus DRd q",
+        "FlexBus HWPF q",
+    ];
     let mut rows9 = Vec::new();
     let mut rows10 = Vec::new();
 
@@ -40,9 +50,14 @@ fn main() {
         // epochs (finer throughput resolution) and sees sustained
         // contention; theta 0.4 flattens the key popularity so the working
         // set exceeds the caches and the flow is genuinely CXL-bound.
-        let ycsb: Box<dyn simarch::TraceSource> = Box::new(
-            workloads::ZipfKv::with_theta(64 << 20, 1024, workloads::YcsbMix::C, ops * 4, 3, 0.4),
-        );
+        let ycsb: Box<dyn simarch::TraceSource> = Box::new(workloads::ZipfKv::with_theta(
+            64 << 20,
+            1024,
+            workloads::YcsbMix::C,
+            ops * 4,
+            3,
+            0.4,
+        ));
         let mut pins = vec![Pin::trace(0, "YCSB-C", ycsb, MemPolicy::Cxl)];
         for c in 1..4 {
             pins.push(Pin::trace(
@@ -87,8 +102,11 @@ fn main() {
             let machine = profiler.machine();
             let end = machine.pmu.snapshot(machine.now());
             let zero = pmu::SystemPmu::new(
-                end.pmu.cores.len(), end.pmu.chas.len(), end.pmu.imcs.len(),
-                end.pmu.m2ps.len(), end.pmu.cxls.len(),
+                end.pmu.cores.len(),
+                end.pmu.chas.len(),
+                end.pmu.imcs.len(),
+                end.pmu.m2ps.len(),
+                end.pmu.cxls.len(),
             )
             .snapshot(0);
             PfEstimator::breakdown_core(&end.delta(&zero), &lat, 0)
@@ -110,7 +128,10 @@ fn main() {
         ]);
         let q = |p: PathGroup, c: Component| format!("{:.4}", report.mean_queues.get(p, c));
         let qsum = |c: Component| {
-            let total: f64 = PathGroup::ALL.iter().map(|&p| report.mean_queues.get(p, c)).sum();
+            let total: f64 = PathGroup::ALL
+                .iter()
+                .map(|&p| report.mean_queues.get(p, c))
+                .sum();
             format!("{:.4}", total)
         };
         rows10.push(vec![
@@ -133,6 +154,7 @@ fn main() {
          FlexBus+MC queueing rises first and hardest (DRd 4.6x, HWPF 1.2x),\n\
          then LLC (3.4x) and the core-private components follow"
     );
-    write_csv("fig9_contention_stall.csv", &headers9, &rows9);
-    write_csv("fig10_contention_queue.csv", &headers10, &rows10);
+    write_csv("fig9_contention_stall.csv", &headers9, &rows9)?;
+    write_csv("fig10_contention_queue.csv", &headers10, &rows10)?;
+    Ok(())
 }

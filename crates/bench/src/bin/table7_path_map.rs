@@ -14,7 +14,7 @@ use pathfinder::model::{HitLevel, PathGroup};
 use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     println!("Table 7 — PFBuilder path maps over CXL memory ({ops} ops per run)\n");
 
@@ -29,8 +29,11 @@ fn main() {
         println!("per-core hot path: {} at {}", path.label(), level.label());
     }
     if let Some((path, share)) = report.path_map.uncore_hot_path(0) {
-        println!("uncore hot path: {} ({:.1}% of uncore accesses; paper 59.3% HWPF)",
-            path.label(), 100.0 * share);
+        println!(
+            "uncore hot path: {} ({:.1}% of uncore accesses; paper 59.3% HWPF)",
+            path.label(),
+            100.0 * share
+        );
     }
     if let Some(r) = report.path_map.cxl_to_llc_ratio(0) {
         println!("CXL hits / local LLC hits = {r:.1}x (paper 8.1x)");
@@ -45,7 +48,11 @@ fn main() {
     let mut machine = Machine::new(MachineConfig::spr());
     machine.attach(
         0,
-        Workload::new("602.gcc_s", workloads::build("602.gcc_s", ops * 2, 5).unwrap(), MemPolicy::Cxl),
+        Workload::new(
+            "602.gcc_s",
+            workloads::build("602.gcc_s", ops * 2, 5).unwrap(),
+            MemPolicy::Cxl,
+        ),
     );
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
     let mut snapshots = Vec::new();
@@ -58,9 +65,8 @@ fn main() {
     }
     // Pick one snapshot from each phase: gcc_like switches every 200k ops;
     // take an early and a late-phase epoch by RFO activity contrast.
-    let rfo_cxl = |d: &pmu::SystemDelta| {
-        d.core_sum(pmu::CoreEvent::OcrRfo(pmu::RespScenario::CxlDram))
-    };
+    let rfo_cxl =
+        |d: &pmu::SystemDelta| d.core_sum(pmu::CoreEvent::OcrRfo(pmu::RespScenario::CxlDram));
     let s1 = snapshots
         .iter()
         .min_by_key(|d| rfo_cxl(d))
@@ -86,7 +92,11 @@ fn main() {
         }
     };
     let rows = vec![
-        vec!["total core requests".into(), total1.to_string(), total2.to_string()],
+        vec![
+            "total core requests".into(),
+            total1.to_string(),
+            total2.to_string(),
+        ],
         vec![
             "requests ratio".into(),
             "1.0x".into(),
@@ -108,5 +118,6 @@ fn main() {
     println!("{}", m1.render(&[0]));
     println!("snapshot 2 path map:");
     println!("{}", m2.render(&[0]));
-    write_csv("table7_gcc_snapshots.csv", &headers, &rows);
+    write_csv("table7_gcc_snapshots.csv", &headers, &rows)?;
+    Ok(())
 }

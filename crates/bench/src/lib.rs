@@ -35,8 +35,7 @@ impl Pin {
         Pin {
             core,
             name: app.to_string(),
-            trace: workloads::build(app, ops, seed)
-                .unwrap_or_else(|| panic!("unknown app {app}")),
+            trace: workloads::build(app, ops, seed).unwrap_or_else(|| panic!("unknown app {app}")),
             policy,
         }
     }
@@ -48,7 +47,12 @@ impl Pin {
         trace: Box<dyn simarch::TraceSource>,
         policy: MemPolicy,
     ) -> Pin {
-        Pin { core, name: name.into(), trace, policy }
+        Pin {
+            core,
+            name: name.into(),
+            trace,
+            policy,
+        }
     }
 }
 
@@ -83,21 +87,23 @@ pub fn run_profiled(cfg: MachineConfig, pins: Vec<Pin>) -> (Report, Profiler) {
 }
 
 /// Output directory for CSV artefacts (`bench/out/`, created on demand).
-pub fn out_dir() -> PathBuf {
+pub fn out_dir() -> std::io::Result<PathBuf> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("out");
-    std::fs::create_dir_all(&dir).expect("create bench/out");
-    dir
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
-/// Write a CSV artefact and echo its path.
-pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    let path = out_dir().join(name);
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", headers.join(",")).unwrap();
+/// Write a CSV artefact and echo its path. I/O failures propagate so the
+/// figure binaries exit nonzero instead of panicking mid-run.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let path = out_dir()?.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", headers.join(","))?;
     for row in rows {
-        writeln!(f, "{}", row.join(",")).unwrap();
+        writeln!(f, "{}", row.join(","))?;
     }
     println!("\n[csv] {}", path.display());
+    Ok(())
 }
 
 /// Print an aligned table (re-exported from the profiler's report module).
@@ -125,8 +131,14 @@ pub fn pct_change(new: f64, old: f64) -> String {
 
 /// The six applications most figures of §3 use, chosen to span the
 /// behavioural classes.
-pub const SIX_APPS: [&str; 6] =
-    ["519.lbm_r", "503.bwaves_r", "505.mcf_r", "554.roms_r", "507.cactuBSSN_r", "649.fotonik3d_s"];
+pub const SIX_APPS: [&str; 6] = [
+    "519.lbm_r",
+    "503.bwaves_r",
+    "505.mcf_r",
+    "554.roms_r",
+    "507.cactuBSSN_r",
+    "649.fotonik3d_s",
+];
 
 /// Parse `--emr` from argv: all §3 figure binaries accept it to regenerate
 /// the EMR variants (paper Figures 14-16).

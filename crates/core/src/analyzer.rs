@@ -40,7 +40,11 @@ impl QueueEstimate {
             for c in Component::ALL {
                 let q = self.get(p, c);
                 if q > 0.0 && best.map(|b| q > b.queue_len).unwrap_or(true) {
-                    best = Some(Culprit { path: p, component: c, queue_len: q });
+                    best = Some(Culprit {
+                        path: p,
+                        component: c,
+                        queue_len: q,
+                    });
                 }
             }
         }
@@ -109,9 +113,13 @@ impl PfAnalyzer {
             let downstream = shares[p.idx()] * (m2p_occ + link_transfer + dev_occ);
             let excl_miss_occ = (miss_occ as f64 - downstream).max(0.0);
             let w_hit = lat.llc_hit;
-            let w_miss = if miss_ins > 0 { excl_miss_occ / miss_ins as f64 } else { 0.0 };
-            out.q[p.idx()][Component::Llc.idx()] = (hit_ins as f64 / clocks) * w_hit
-                + (miss_ins as f64 / clocks) * w_miss;
+            let w_miss = if miss_ins > 0 {
+                excl_miss_occ / miss_ins as f64
+            } else {
+                0.0
+            };
+            out.q[p.idx()][Component::Llc.idx()] =
+                (hit_ins as f64 / clocks) * w_hit + (miss_ins as f64 / clocks) * w_miss;
             // CHA queueing: the exclusive occupancy expressed directly as
             // entries per cycle (an occupancy integral / cycles IS a queue
             // length — no model needed where the hardware measures it).

@@ -45,11 +45,17 @@ fn parse_opts(args: &[String]) -> Opts {
             "--emr" => o.cfg = MachineConfig::emr(),
             "--ops" => {
                 i += 1;
-                o.ops = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                o.ops = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--seed" => {
                 i += 1;
-                o.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                o.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--policy" => {
                 i += 1;
@@ -93,7 +99,10 @@ fn main() {
             eprintln!("\n{total} counters across {} PMUs", counts.len());
         }
         Some("list-apps") => {
-            println!("{:<20} {:<10} {:>14} {:>14}", "name", "suite", "paper WS (MiB)", "scaled (MiB)");
+            println!(
+                "{:<20} {:<10} {:>14} {:>14}",
+                "name", "suite", "paper WS (MiB)", "scaled (MiB)"
+            );
             for a in workloads::suite::APPS {
                 println!(
                     "{:<20} {:<10} {:>14.1} {:>14.1}",
@@ -157,15 +166,18 @@ fn main() {
             for p in PathGroup::ALL {
                 if cxl.stalls.path_total(p) > 0.0 {
                     let pct = cxl.stalls.percentages(p);
+                    // total_cmp: percentages can be NaN when a path saw no
+                    // traffic, and user-selected app pairs can produce that.
                     let top = pathfinder::model::Component::ALL
                         .iter()
-                        .max_by(|a, b| pct[a.idx()].partial_cmp(&pct[b.idx()]).unwrap())
-                        .unwrap();
-                    println!(
-                        "{:<28} {:>37}",
-                        format!("{} stall concentrates at", p.label()),
-                        format!("{} ({:.1}%)", top.label(), pct[top.idx()])
-                    );
+                        .max_by(|a, b| pct[a.idx()].total_cmp(&pct[b.idx()]));
+                    if let Some(top) = top {
+                        println!(
+                            "{:<28} {:>37}",
+                            format!("{} stall concentrates at", p.label()),
+                            format!("{} ({:.1}%)", top.label(), pct[top.idx()])
+                        );
+                    }
                 }
             }
         }

@@ -93,7 +93,7 @@ impl PathMap {
                     .sum();
                 (p, v as f64 / total as f64)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Ratio of CXL-memory hits to local-LLC hits (Case 1: "CXL memory hits
@@ -155,8 +155,9 @@ pub struct PfBuilder;
 impl PfBuilder {
     /// Build the path map for one epoch digest.
     pub fn build(delta: &SystemDelta) -> PathMap {
-        let per_core: Vec<CoreMap> =
-            (0..delta.pmu.cores.len()).map(|c| Self::build_core(delta, c)).collect();
+        let per_core: Vec<CoreMap> = (0..delta.pmu.cores.len())
+            .map(|c| Self::build_core(delta, c))
+            .collect();
         let mut total = CoreMap::default();
         for m in &per_core {
             for l in 0..HitLevel::COUNT {
@@ -177,9 +178,24 @@ impl PfBuilder {
 
         // Core-private stations (Table 5, "Core" rows). RFO/DWr are not
         // observable at L1D/LFB (§5.9) — those cells stay zero.
-        set(&mut m, HitLevel::Sb, PathGroup::Dwr, b.read(CoreEvent::MemTransRetiredStoreCount));
-        set(&mut m, HitLevel::L1d, PathGroup::Drd, b.read(CoreEvent::MemLoadRetiredL1Hit));
-        set(&mut m, HitLevel::Lfb, PathGroup::Drd, b.read(CoreEvent::MemLoadRetiredL1FbHit));
+        set(
+            &mut m,
+            HitLevel::Sb,
+            PathGroup::Dwr,
+            b.read(CoreEvent::MemTransRetiredStoreCount),
+        );
+        set(
+            &mut m,
+            HitLevel::L1d,
+            PathGroup::Drd,
+            b.read(CoreEvent::MemLoadRetiredL1Hit),
+        );
+        set(
+            &mut m,
+            HitLevel::Lfb,
+            PathGroup::Drd,
+            b.read(CoreEvent::MemLoadRetiredL1FbHit),
+        );
         set(
             &mut m,
             HitLevel::L2,
@@ -187,9 +203,24 @@ impl PfBuilder {
             b.read(CoreEvent::L2RqstsDemandDataRdHit) + b.read(CoreEvent::L2RqstsSwpfHit),
         );
         // L2 RFO counters indiscriminately include demand + prefetch RFO.
-        set(&mut m, HitLevel::L2, PathGroup::Rfo, b.read(CoreEvent::L2RqstsRfoHit));
-        set(&mut m, HitLevel::L2, PathGroup::HwPf, b.read(CoreEvent::L2RqstsHwpfHit));
-        set(&mut m, HitLevel::L2, PathGroup::Dwr, b.read(CoreEvent::MemStoreRetiredL2Hit));
+        set(
+            &mut m,
+            HitLevel::L2,
+            PathGroup::Rfo,
+            b.read(CoreEvent::L2RqstsRfoHit),
+        );
+        set(
+            &mut m,
+            HitLevel::L2,
+            PathGroup::HwPf,
+            b.read(CoreEvent::L2RqstsHwpfHit),
+        );
+        set(
+            &mut m,
+            HitLevel::L2,
+            PathGroup::Dwr,
+            b.read(CoreEvent::MemStoreRetiredL2Hit),
+        );
 
         // Uncore destinations from the offcore-response scenario counters.
         let drd = |s| b.read(CoreEvent::OcrDemandDataRd(s)) + b.read(CoreEvent::OcrSwPf(s));
@@ -204,9 +235,19 @@ impl PfBuilder {
             (PathGroup::Rfo, &rfo),
             (PathGroup::HwPf, &hwpf),
         ] {
-            set(&mut m, HitLevel::LocalLlc, p, f(RespScenario::L3HitSnoopLocal));
+            set(
+                &mut m,
+                HitLevel::LocalLlc,
+                p,
+                f(RespScenario::L3HitSnoopLocal),
+            );
             set(&mut m, HitLevel::SncLlc, p, f(RespScenario::SncDistantL3));
-            set(&mut m, HitLevel::RemoteLlc, p, f(RespScenario::RemoteCacheHit));
+            set(
+                &mut m,
+                HitLevel::RemoteLlc,
+                p,
+                f(RespScenario::RemoteCacheHit),
+            );
             set(
                 &mut m,
                 HitLevel::LocalDram,
@@ -256,7 +297,11 @@ mod tests {
         let m = &map.per_core[0];
         assert_eq!(m.get(HitLevel::L1d, PathGroup::Drd), 470);
         assert_eq!(m.get(HitLevel::Lfb, PathGroup::Drd), 31);
-        assert_eq!(m.get(HitLevel::L2, PathGroup::Drd), 7, "SWPF merges into DRd");
+        assert_eq!(
+            m.get(HitLevel::L2, PathGroup::Drd),
+            7,
+            "SWPF merges into DRd"
+        );
         assert_eq!(m.get(HitLevel::L2, PathGroup::Rfo), 44);
         assert_eq!(m.get(HitLevel::Sb, PathGroup::Dwr), 78);
         // §5.9 limitation: RFO not observable at L1D/LFB.
@@ -289,7 +334,10 @@ mod tests {
     fn hot_path_and_ratios() {
         let d = delta_with(|p| {
             p.cores[0].add(CoreEvent::MemLoadRetiredL1Hit, 1000);
-            p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::L3HitSnoopLocal), 10);
+            p.cores[0].add(
+                CoreEvent::OcrDemandDataRd(RespScenario::L3HitSnoopLocal),
+                10,
+            );
             p.cores[0].add(CoreEvent::OcrDemandDataRd(RespScenario::CxlDram), 81);
             p.cores[0].add(CoreEvent::OcrL2HwPfDrd(RespScenario::CxlDram), 500);
         });

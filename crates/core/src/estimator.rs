@@ -23,7 +23,9 @@
 //! TPP+Colloid uses.
 
 use crate::model::{Component, LatencyModel, PathGroup};
-use pmu::{ChaEvent, CoreEvent, CxlEvent, M2pEvent, RespScenario, SystemDelta, TorDrdScen, TorRfoScen};
+use pmu::{
+    ChaEvent, CoreEvent, CxlEvent, M2pEvent, RespScenario, SystemDelta, TorDrdScen, TorRfoScen,
+};
 
 /// CXL-induced stall cycles per (path group, component).
 #[derive(Clone, Debug, Default)]
@@ -129,8 +131,7 @@ impl PfEstimator {
 
         // --- Uncore residency pools (CXL side, machine-wide), scaled to the
         // scope's share of machine-wide CXL traffic.
-        let machine_cxl: u64 =
-            PathGroup::ALL.iter().map(|&p| cxl_requests(delta, p)).sum();
+        let machine_cxl: u64 = PathGroup::ALL.iter().map(|&p| cxl_requests(delta, p)).sum();
         let scope_frac = cxl_total as f64 / machine_cxl.max(1) as f64;
         let tor_occ_cxl = tor_cxl_occupancy(delta) * scope_frac;
         let m2p_occ = delta.m2p_sum(M2pEvent::RxcOccupancy) as f64 * scope_frac;
@@ -350,7 +351,11 @@ mod tests {
         // All traffic is CXL-destined, so the latency-weighted share is 1 and
         // total attributed = L1D excl + LFB + L2 excl + uncore pool.
         let want = (700_000.0 - 650_000.0) + 10_000.0 + (650_000.0 - 600_000.0) + 600_000.0;
-        assert!((b.path_total(PathGroup::Drd) - want).abs() < 1.0, "{}", b.path_total(PathGroup::Drd));
+        assert!(
+            (b.path_total(PathGroup::Drd) - want).abs() < 1.0,
+            "{}",
+            b.path_total(PathGroup::Drd)
+        );
     }
 
     #[test]

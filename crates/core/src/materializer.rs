@@ -160,7 +160,10 @@ impl Materializer {
 
     /// The per-epoch ops series of one core (`app` measurement).
     pub fn ops_series(&self, core: usize) -> Vec<(u64, f64)> {
-        self.db.from("app").filter("core", core.to_string()).values("ops")
+        self.db
+            .from("app")
+            .filter("core", core.to_string())
+            .values("ops")
     }
 
     /// Compute-burst windows (§4.6: "computing burst"): phases of consistent
@@ -203,14 +206,17 @@ impl Materializer {
         if n == 0 {
             return (0, 0.0);
         }
-        counts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        counts.sort_by(|x, y| x.total_cmp(y));
         let total: f64 = counts.iter().sum();
         if total == 0.0 {
             return (n, 0.0);
         }
         // Gini via the sorted-rank formula.
-        let weighted: f64 =
-            counts.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * c).sum();
+        let weighted: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 1.0) * c)
+            .sum();
         let gini = (2.0 * weighted / (n as f64 * total)) - (n as f64 + 1.0) / n as f64;
         (n, gini.clamp(0.0, 1.0))
     }

@@ -81,7 +81,12 @@ pub enum PathGroup {
 }
 
 impl PathGroup {
-    pub const ALL: [PathGroup; 4] = [PathGroup::Drd, PathGroup::Rfo, PathGroup::HwPf, PathGroup::Dwr];
+    pub const ALL: [PathGroup; 4] = [
+        PathGroup::Drd,
+        PathGroup::Rfo,
+        PathGroup::HwPf,
+        PathGroup::Dwr,
+    ];
     pub const COUNT: usize = 4;
 
     pub fn idx(self) -> usize {
@@ -258,9 +263,17 @@ impl SystemModel {
     /// All possible mFlows for an application pinned to `core`:
     /// one per reachable DIMM.
     pub fn mflows_for(&self, core: usize, app: &str) -> Vec<MFlow> {
-        let mut v = vec![MFlow { core, dimm: MemNode::LocalDram, app: app.into() }];
+        let mut v = vec![MFlow {
+            core,
+            dimm: MemNode::LocalDram,
+            app: app.into(),
+        }];
         for d in 0..self.cxl_devices {
-            v.push(MFlow { core, dimm: MemNode::CxlDram(d as u8), app: app.into() });
+            v.push(MFlow {
+                core,
+                dimm: MemNode::CxlDram(d as u8),
+                app: app.into(),
+            });
         }
         v
     }
@@ -298,7 +311,12 @@ mod tests {
 
     #[test]
     fn mflow_bound_matches_paper() {
-        let m = SystemModel { cores: 4, llc_slices: 4, dram_channels: 2, cxl_devices: 2 };
+        let m = SystemModel {
+            cores: 4,
+            llc_slices: 4,
+            dram_channels: 2,
+            cxl_devices: 2,
+        };
         assert_eq!(m.max_mflows(), 12);
         assert_eq!(m.mflows_for(0, "app").len(), 3);
     }
@@ -313,7 +331,11 @@ mod tests {
 
     #[test]
     fn mflow_label_is_descriptive() {
-        let f = MFlow { core: 3, dimm: MemNode::CxlDram(0), app: "gups".into() };
+        let f = MFlow {
+            core: 3,
+            dimm: MemNode::CxlDram(0),
+            app: "gups".into(),
+        };
         assert_eq!(f.label(), "gups:core3<->cxl0");
     }
 }

@@ -7,7 +7,9 @@
 //! the profiling specification. §5.9's overhead claim (1.3% CPU, 38 MB) is
 //! tracked by [`Overhead`].
 
-use std::time::Instant;
+// Wall-clock time is used only for profiler self-overhead accounting
+// (§5.9) and never feeds the simulation model or report ordering.
+use std::time::Instant; // pflint::allow(wall-clock)
 
 use crate::analyzer::{Culprit, PfAnalyzer, QueueEstimate};
 use crate::builder::{PathMap, PfBuilder};
@@ -126,7 +128,11 @@ impl Report {
             .map(|&p| {
                 let pct = self.stalls.percentages(p);
                 let mut row = vec![p.label().to_string()];
-                row.extend(Component::ALL.iter().map(|c| crate::report::pct(pct[c.idx()])));
+                row.extend(
+                    Component::ALL
+                        .iter()
+                        .map(|c| crate::report::pct(pct[c.idx()])),
+                );
                 row
             })
             .collect();
@@ -212,9 +218,9 @@ impl Profiler {
 
     /// Run one scheduling epoch and apply the enabled techniques.
     pub fn profile_epoch(&mut self) -> ProfiledEpoch {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // pflint::allow(wall-clock)
         let er = self.machine.run_epoch();
-        let t1 = Instant::now();
+        let t1 = Instant::now(); // pflint::allow(wall-clock)
         self.overhead.machine_secs += (t1 - t0).as_secs_f64();
 
         let delta = er.snapshot.delta(&self.prev);
@@ -225,7 +231,11 @@ impl Profiler {
         }
 
         let apps = self.apps();
-        let path_map = if self.spec.build_paths { Some(PfBuilder::build(&delta)) } else { None };
+        let path_map = if self.spec.build_paths {
+            Some(PfBuilder::build(&delta))
+        } else {
+            None
+        };
         let stalls = if self.spec.estimate_stalls {
             Some(PfEstimator::breakdown(&delta, &self.lat))
         } else {
@@ -286,7 +296,8 @@ impl Profiler {
             if let Some(q) = &queues {
                 self.materializer.ingest_queues(ts, q);
             }
-            self.materializer.ingest_progress(ts, &er.ops_per_core, &apps);
+            self.materializer
+                .ingest_progress(ts, &er.ops_per_core, &apps);
         }
         self.overhead.profiler_secs += t1.elapsed().as_secs_f64();
 
@@ -367,7 +378,10 @@ mod tests {
 
     fn profiler_with(policy: MemPolicy, ops: usize) -> Profiler {
         let mut m = Machine::new(MachineConfig::tiny());
-        m.attach(0, Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, ops)), policy));
+        m.attach(
+            0,
+            Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, ops)), policy),
+        );
         Profiler::new(m, ProfileSpec::default())
     }
 
@@ -376,8 +390,16 @@ mod tests {
         let mut p = profiler_with(MemPolicy::Cxl, 20_000);
         let r = p.run(300);
         assert!(r.epochs > 0);
-        assert!(r.path_map.total.get(crate::model::HitLevel::CxlMemory, PathGroup::Drd) > 0);
-        assert!(r.stalls.total() > 0.0, "CXL run must attribute stall cycles");
+        assert!(
+            r.path_map
+                .total
+                .get(crate::model::HitLevel::CxlMemory, PathGroup::Drd)
+                > 0
+        );
+        assert!(
+            r.stalls.total() > 0.0,
+            "CXL run must attribute stall cycles"
+        );
         let text = r.render();
         assert!(text.contains("Path map"));
         assert!(text.contains("CXL Memory"));
@@ -389,7 +411,12 @@ mod tests {
         let mut p = profiler_with(MemPolicy::Local, 20_000);
         let r = p.run(300);
         assert_eq!(r.stalls.total(), 0.0);
-        assert_eq!(r.path_map.total.get(crate::model::HitLevel::CxlMemory, PathGroup::Drd), 0);
+        assert_eq!(
+            r.path_map
+                .total
+                .get(crate::model::HitLevel::CxlMemory, PathGroup::Drd),
+            0
+        );
     }
 
     #[test]
@@ -397,7 +424,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::tiny());
         m.attach(
             0,
-            Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, 5_000)), MemPolicy::Cxl),
+            Workload::new(
+                "t",
+                Box::new(SeqReadTrace::new(1 << 20, 5_000)),
+                MemPolicy::Cxl,
+            ),
         );
         let spec = ProfileSpec {
             build_paths: false,

@@ -68,7 +68,10 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

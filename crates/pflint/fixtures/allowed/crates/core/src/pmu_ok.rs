@@ -1,0 +1,10 @@
+// pflint fixture: valid counter references resolve cleanly.
+use pmu::{ChaEvent, CoreEvent, ImcEvent};
+
+pub fn sample() -> &'static str {
+    let _core = CoreEvent::InstRetired;
+    let _cha = ChaEvent::ClockTicks;
+    let _imc = ImcEvent::RpqInserts;
+    let _apps = ["519.lbm_r", "505.mcf_r"]; // app names, not counter names
+    "unc_m_rpq_inserts"
+}

@@ -1,0 +1,8 @@
+// pflint fixture: counter references that do not resolve in pmu::registry.
+use pmu::{CoreEvent, ImcEvent};
+
+pub fn sample() -> &'static str {
+    let _known = CoreEvent::InstRetired;
+    let _typo = ImcEvent::RpqInsertz;
+    "unc_m_cas_count.bogus"
+}

@@ -1,0 +1,14 @@
+// pflint fixture: deliberately nondeterministic simulator module.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadCore {
+    pub served: HashMap<u64, u64>,
+    pub port: FifoServer,
+}
+
+pub fn bad_epoch() -> u128 {
+    let t = Instant::now();
+    let _r = rand::thread_rng();
+    t.elapsed().as_nanos()
+}

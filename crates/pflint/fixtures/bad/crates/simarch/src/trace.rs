@@ -1,0 +1,4 @@
+// pflint fixture: input-facing module that panics on malformed input.
+pub fn parse(line: &str) -> u64 {
+    line.trim().parse::<u64>().unwrap()
+}

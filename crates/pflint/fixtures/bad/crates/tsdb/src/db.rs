@@ -1,0 +1,7 @@
+// pflint fixture: nondeterministic scan order plus panicking file I/O.
+use std::collections::HashSet;
+
+pub fn load(path: &str) -> HashSet<String> {
+    let text = std::fs::read_to_string(path).expect("tsdb read");
+    text.lines().map(|s| s.to_string()).collect()
+}

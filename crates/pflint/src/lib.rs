@@ -1,0 +1,598 @@
+//! pflint — the PathFinder workspace static-analysis pass.
+//!
+//! Three analyses keep the simulator honest:
+//!
+//! 1. **Determinism lint** ([`run_determinism`]): model code (`simarch`,
+//!    `core`, `tsdb`) must be bit-reproducible run-to-run, so hash-ordered
+//!    containers, wall-clock reads, and OS entropy are findings unless
+//!    explicitly suppressed.
+//! 2. **PMU-counter consistency** ([`run_pmu_consistency`]): every counter
+//!    referenced in `core`, `bench` and `tiering` — as a typed enum variant
+//!    or as a perf-style name string — must resolve against the `pmu`
+//!    registry (existence, bank, unit, description).
+//! 3. **Invariant-hook verification** ([`run_invariant_hooks`]): every
+//!    `simarch` module declaring a queue-bearing field (`FifoServer`,
+//!    `Coverage`, `BoundedWindow`) must register an `impl Invariants for`
+//!    hook, so the epoch-boundary conservation audit covers all flows.
+//!
+//! Suppression: append `// pflint::allow(<rule>)` to the offending line, or
+//! place it alone on the line above. Each suppression silences exactly one
+//! rule on exactly one line.
+//!
+//! The lint is textual by design — it runs in milliseconds with no
+//! dependencies beyond `pmu` (the registry ground truth) and needs no
+//! nightly compiler hooks. Test modules (`#[cfg(test)]` to end of file, the
+//! workspace convention) are exempt from the determinism and unwrap rules.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod rules {
+    //! Stable rule identifiers, usable in `pflint::allow(...)` comments.
+    pub const HASH_ITERATION: &str = "hashmap-iteration";
+    pub const WALL_CLOCK: &str = "wall-clock";
+    pub const OS_ENTROPY: &str = "os-entropy";
+    pub const UNWRAP_IN_IO: &str = "unwrap-in-io-paths";
+    pub const PMU_EVENT_UNKNOWN: &str = "pmu-event-unknown";
+    pub const PMU_VARIANT_UNKNOWN: &str = "pmu-variant-unknown";
+    pub const INVARIANT_HOOK_MISSING: &str = "invariant-hook-missing";
+
+    pub const ALL: &[&str] = &[
+        HASH_ITERATION,
+        WALL_CLOCK,
+        OS_ENTROPY,
+        UNWRAP_IN_IO,
+        PMU_EVENT_UNKNOWN,
+        PMU_VARIANT_UNKNOWN,
+        INVARIANT_HOOK_MISSING,
+    ];
+}
+
+/// One reported problem, anchored to `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Which determinism rules apply to one crate (per-crate configuration).
+#[derive(Clone, Debug)]
+pub struct CrateRules {
+    /// Path relative to the workspace root, e.g. `"crates/simarch/src"`.
+    pub rel_path: &'static str,
+    /// Determinism rules enforced under that path.
+    pub rules: &'static [&'static str],
+}
+
+/// The default per-crate determinism configuration. Model code gets the
+/// full set; `core` additionally bans unwraps on its report-building I/O
+/// boundary; the trace/config/tsdb input paths ban fresh unwraps outright.
+pub fn determinism_config() -> Vec<CrateRules> {
+    use rules::*;
+    vec![
+        CrateRules {
+            rel_path: "crates/simarch/src",
+            rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY],
+        },
+        CrateRules {
+            rel_path: "crates/core/src",
+            rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY],
+        },
+        CrateRules {
+            rel_path: "crates/tsdb/src",
+            rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY, UNWRAP_IN_IO],
+        },
+        // Input-facing modules: malformed traces/configs must surface as
+        // Result errors, not panics.
+        CrateRules {
+            rel_path: "crates/simarch/src/trace.rs",
+            rules: &[UNWRAP_IN_IO],
+        },
+        CrateRules {
+            rel_path: "crates/simarch/src/config.rs",
+            rules: &[UNWRAP_IN_IO],
+        },
+    ]
+}
+
+/// Crates whose PMU-event references are cross-checked against the registry.
+pub const PMU_SCAN_ROOTS: &[&str] = &[
+    "crates/core/src",
+    "crates/bench/src",
+    "crates/bench/benches",
+    "crates/tiering/src",
+];
+
+/// Directory whose modules must register conservation-invariant hooks.
+pub const INVARIANT_SCAN_ROOT: &str = "crates/simarch/src";
+
+// ---------------------------------------------------------------------
+// Source scanning plumbing
+// ---------------------------------------------------------------------
+
+/// A loaded source file, split into lines once.
+struct SourceFile {
+    lines: Vec<String>,
+    /// Index of the first `#[cfg(test)]` line, if any. By workspace
+    /// convention test modules sit at the end of the file, so everything
+    /// from here on is test code.
+    test_start: Option<usize>,
+}
+
+impl SourceFile {
+    fn load(path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let test_start = lines.iter().position(|l| l.trim() == "#[cfg(test)]");
+        Ok(SourceFile { lines, test_start })
+    }
+
+    fn is_test_line(&self, idx: usize) -> bool {
+        self.test_start.is_some_and(|t| idx >= t)
+    }
+
+    /// Is `rule` suppressed on line `idx` (0-based)? Checks the line itself
+    /// and a standalone comment on the line above.
+    fn is_suppressed(&self, idx: usize, rule: &str) -> bool {
+        let marker = format!("pflint::allow({rule})");
+        if self.lines[idx].contains(&marker) {
+            return true;
+        }
+        idx > 0 && {
+            let above = self.lines[idx - 1].trim();
+            above.starts_with("//") && above.contains(&marker)
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `root` (skipping `target/`).
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        if dir.is_file() {
+            if dir.extension().is_some_and(|e| e == "rs") {
+                out.push(dir);
+            }
+            continue;
+        }
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strip `//` line comments so commented-out code is not linted. Naive
+/// about `//` inside string literals, which model code does not contain.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis 1: determinism lint
+// ---------------------------------------------------------------------
+
+/// (rule, needle, advice) — a finding fires when `needle` appears in the
+/// code part of a non-test line and the rule is enabled for the crate.
+const DETERMINISM_PATTERNS: &[(&str, &str, &str)] = &[
+    (
+        rules::HASH_ITERATION,
+        "HashMap",
+        "hash iteration order is seed-dependent; use BTreeMap or sort before reporting",
+    ),
+    (
+        rules::HASH_ITERATION,
+        "HashSet",
+        "hash iteration order is seed-dependent; use BTreeSet or sort before reporting",
+    ),
+    (
+        rules::WALL_CLOCK,
+        "Instant::now",
+        "wall-clock reads make model output time-dependent",
+    ),
+    (
+        rules::WALL_CLOCK,
+        "SystemTime",
+        "wall-clock reads make model output time-dependent",
+    ),
+    (
+        rules::WALL_CLOCK,
+        "std::time::Instant",
+        "wall-clock in model code; gate or suppress",
+    ),
+    (
+        rules::OS_ENTROPY,
+        "thread_rng",
+        "OS-seeded RNG; use a seeded StdRng instead",
+    ),
+    (
+        rules::OS_ENTROPY,
+        "from_entropy",
+        "OS-seeded RNG; use seed_from_u64 instead",
+    ),
+    (
+        rules::OS_ENTROPY,
+        "OsRng",
+        "OS entropy source in model code",
+    ),
+    (
+        rules::UNWRAP_IN_IO,
+        ".unwrap()",
+        "input-facing module: propagate a Result instead",
+    ),
+    (
+        rules::UNWRAP_IN_IO,
+        ".expect(",
+        "input-facing module: propagate a Result instead",
+    ),
+];
+
+/// Run the determinism lint over one workspace with the given per-crate
+/// configuration. `root` is the workspace root.
+pub fn run_determinism_with(root: &Path, config: &[CrateRules]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for target in config {
+        let base = root.join(target.rel_path);
+        for file in rust_files(&base) {
+            let Ok(src) = SourceFile::load(&file) else {
+                continue;
+            };
+            for (idx, line) in src.lines.iter().enumerate() {
+                if src.is_test_line(idx) {
+                    break;
+                }
+                let code = code_part(line);
+                for &(rule, needle, advice) in DETERMINISM_PATTERNS {
+                    if !target.rules.contains(&rule) || !code.contains(needle) {
+                        continue;
+                    }
+                    if src.is_suppressed(idx, rule) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!("`{needle}`: {advice}"),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Determinism lint with the default workspace configuration.
+pub fn run_determinism(root: &Path) -> Vec<Finding> {
+    run_determinism_with(root, &determinism_config())
+}
+
+// ---------------------------------------------------------------------
+// Analysis 2: PMU-counter consistency
+// ---------------------------------------------------------------------
+
+/// Ground truth: valid variant identifiers per typed event enum, recovered
+/// from the live `pmu` crate (Debug names of `all()`), so the lint can
+/// never drift from the registry.
+fn enum_variants() -> Vec<(&'static str, BTreeSet<String>)> {
+    use pmu::{ChaEvent, CoreEvent, CxlEvent, ImcEvent, M2pEvent};
+    fn names<E: fmt::Debug>(all: Vec<E>) -> BTreeSet<String> {
+        all.iter()
+            .map(|e| {
+                let dbg = format!("{e:?}");
+                dbg.split(['(', ' ']).next().unwrap_or_default().to_string()
+            })
+            .collect()
+    }
+    vec![
+        ("CoreEvent", names(CoreEvent::all())),
+        ("ChaEvent", names(ChaEvent::all())),
+        ("ImcEvent", names(ImcEvent::all())),
+        ("M2pEvent", names(M2pEvent::all())),
+        ("CxlEvent", names(CxlEvent::all())),
+    ]
+}
+
+/// Extract `SomeEvent::Variant` references from a code line.
+fn variant_refs(code: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for enum_name in ["CoreEvent", "ChaEvent", "ImcEvent", "M2pEvent", "CxlEvent"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(enum_name) {
+            let at = from + pos;
+            from = at + enum_name.len();
+            // Must be a whole identifier followed by `::`.
+            if at > 0 {
+                let prev = code.as_bytes()[at - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            let rest = &code[from..];
+            let Some(tail) = rest.strip_prefix("::") else {
+                continue;
+            };
+            let variant: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if variant.is_empty() || !variant.chars().next().unwrap().is_ascii_uppercase() {
+                continue; // associated fns like `CoreEvent::all()` are fine
+            }
+            out.push((enum_name.to_string(), variant, at));
+        }
+    }
+    out
+}
+
+/// Extract perf-style event-name string literals from a code line. Only
+/// candidates that start with a known counter-family prefix are returned,
+/// so app names like `"519.lbm_r"` never false-positive.
+fn event_name_literals(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        let lit = &tail[..end];
+        rest = &tail[end + 1..];
+        let plausible = !lit.is_empty()
+            && lit
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+            && !pmu::registry::describe(lit).is_empty();
+        if plausible {
+            out.push(lit.to_string());
+        }
+    }
+    out
+}
+
+/// Cross-check every PMU-event reference in the configured crates against
+/// the registry. Typed variants must exist in their enum (which pins the
+/// bank); string names must resolve to a registry entry carrying a unit
+/// and a description.
+pub fn run_pmu_consistency(root: &Path) -> Vec<Finding> {
+    let variants = enum_variants();
+    let registry: BTreeSet<String> = pmu::registry::all_events()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    let mut findings = Vec::new();
+    for rel in PMU_SCAN_ROOTS {
+        for file in rust_files(&root.join(rel)) {
+            let Ok(src) = SourceFile::load(&file) else {
+                continue;
+            };
+            for (idx, line) in src.lines.iter().enumerate() {
+                let code = code_part(line);
+                for (enum_name, variant, _) in variant_refs(code) {
+                    let known = variants
+                        .iter()
+                        .find(|(n, _)| *n == enum_name)
+                        .is_some_and(|(_, set)| set.contains(&variant));
+                    if known || src.is_suppressed(idx, rules::PMU_VARIANT_UNKNOWN) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: rules::PMU_VARIANT_UNKNOWN,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{enum_name}::{variant}` is not a registered {enum_name} counter"
+                        ),
+                    });
+                }
+                for name in event_name_literals(code) {
+                    if registry.contains(&name) || src.is_suppressed(idx, rules::PMU_EVENT_UNKNOWN)
+                    {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: rules::PMU_EVENT_UNKNOWN,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "\"{name}\" looks like a counter name but is not in pmu::registry"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Analysis 3: conservation-invariant hook verification
+// ---------------------------------------------------------------------
+
+/// Queue-bearing field types whose owners must register invariant hooks.
+const QUEUE_TYPES: &[&str] = &["FifoServer", "Coverage", "BoundedWindow"];
+
+/// Does this code line declare a struct field of a queue-bearing type?
+/// Matches `name: FifoServer`, `name: Vec<Coverage>`, fully qualified
+/// paths, etc. — any `: ... Type` with the type used in field position.
+fn declares_queue_field(code: &str) -> Option<&'static str> {
+    let trimmed = code.trim_start();
+    // Field declarations, not uses: `ident: ... QueueType ... ,` — require
+    // a colon before the type name and exclude fn signatures/impl lines.
+    if trimmed.starts_with("fn ")
+        || trimmed.starts_with("pub fn ")
+        || trimmed.starts_with("impl")
+        || trimmed.starts_with("use ")
+    {
+        return None;
+    }
+    let colon = code.find(':')?;
+    let after = &code[colon..];
+    for ty in QUEUE_TYPES {
+        if let Some(pos) = after.find(ty) {
+            let bytes = after.as_bytes();
+            let end = pos + ty.len();
+            let left_ok =
+                pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+            let right_ok =
+                end >= after.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            // `Coverage::new()` etc. is a use, not a declaration.
+            let is_path_call = after[end..].starts_with("::");
+            if left_ok && right_ok && !is_path_call {
+                return Some(ty);
+            }
+        }
+    }
+    None
+}
+
+/// Verify that every module under [`INVARIANT_SCAN_ROOT`] that declares a
+/// queue-bearing field also contains at least one `impl Invariants for`.
+pub fn run_invariant_hooks(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in rust_files(&root.join(INVARIANT_SCAN_ROOT)) {
+        let Ok(src) = SourceFile::load(&file) else {
+            continue;
+        };
+        let mut first_decl: Option<(usize, &'static str)> = None;
+        let mut has_hook = false;
+        for (idx, line) in src.lines.iter().enumerate() {
+            if src.is_test_line(idx) {
+                break;
+            }
+            let code = code_part(line);
+            if code.contains("impl Invariants for")
+                || code.contains("impl crate::invariants::Invariants for")
+            {
+                has_hook = true;
+            }
+            if first_decl.is_none() {
+                if let Some(ty) = declares_queue_field(code) {
+                    if !src.is_suppressed(idx, rules::INVARIANT_HOOK_MISSING) {
+                        first_decl = Some((idx + 1, ty));
+                    }
+                }
+            }
+        }
+        if let Some((line, ty)) = first_decl {
+            if !has_hook {
+                findings.push(Finding {
+                    rule: rules::INVARIANT_HOOK_MISSING,
+                    file: file.clone(),
+                    line,
+                    message: format!(
+                        "module declares a `{ty}` field but registers no `impl Invariants for` hook"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Run all three analyses with the default configuration.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = run_determinism(root);
+    findings.extend(run_pmu_consistency(root));
+    findings.extend(run_invariant_hooks(root));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_refs_parses_qualified_paths() {
+        let refs = variant_refs("bank.inc(ImcEvent::RpqInserts); x(pmu::CoreEvent::InstRetired)");
+        assert!(refs
+            .iter()
+            .any(|(e, v, _)| e == "ImcEvent" && v == "RpqInserts"));
+        assert!(refs
+            .iter()
+            .any(|(e, v, _)| e == "CoreEvent" && v == "InstRetired"));
+    }
+
+    #[test]
+    fn variant_refs_skips_associated_fns() {
+        assert!(variant_refs("for e in CoreEvent::all() {}").is_empty());
+    }
+
+    #[test]
+    fn event_literals_require_known_family() {
+        assert_eq!(
+            event_name_literals(r#"x("unc_m_rpq_inserts")"#),
+            vec!["unc_m_rpq_inserts"]
+        );
+        assert!(event_name_literals(r#"run("519.lbm_r")"#).is_empty());
+        assert!(event_name_literals(r#"msg("hello world")"#).is_empty());
+    }
+
+    #[test]
+    fn queue_field_declarations_detected() {
+        assert_eq!(
+            declares_queue_field("    server: FifoServer,"),
+            Some("FifoServer")
+        );
+        assert_eq!(
+            declares_queue_field("    tor_ne: Vec<Coverage>,"),
+            Some("Coverage")
+        );
+        assert_eq!(
+            declares_queue_field("    pub sb: BoundedWindow,"),
+            Some("BoundedWindow")
+        );
+        assert_eq!(
+            declares_queue_field("        port: FifoServer::new(),"),
+            None
+        );
+        assert_eq!(
+            declares_queue_field("use crate::queues::{Coverage, FifoServer};"),
+            None
+        );
+        assert_eq!(
+            declares_queue_field("fn serve(&mut self) -> Coverage {"),
+            None
+        );
+    }
+
+    #[test]
+    fn code_part_strips_comments() {
+        assert_eq!(code_part("let x = 1; // HashMap here"), "let x = 1; ");
+        assert_eq!(code_part("// all comment"), "");
+    }
+}

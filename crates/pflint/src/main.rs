@@ -1,0 +1,37 @@
+//! pflint CLI: run the workspace static-analysis pass and report findings.
+//!
+//! Usage: `cargo run -p pflint [-- <workspace-root>]`. With no argument the
+//! workspace root is derived from the crate's own manifest directory, so
+//! the binary works from any cwd inside the repo.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = root.canonicalize().unwrap_or(root);
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "pflint: {} does not look like a workspace root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = pflint::run(&root);
+    for f in &findings {
+        // Report paths relative to the root for stable, clickable output.
+        let rel = f.file.strip_prefix(&root).unwrap_or(&f.file);
+        println!("{}:{}: [{}] {}", rel.display(), f.line, f.rule, f.message);
+    }
+    if findings.is_empty() {
+        println!("pflint: clean — determinism, PMU consistency, and invariant hooks all pass");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pflint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixture tests: seeded violations for all three analyses are detected and
+//! reported with file:line, while suppressed/test-only/hooked equivalents
+//! in the `allowed` tree produce zero findings.
+
+use std::path::{Path, PathBuf};
+
+use pflint::{rules, Finding};
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
+}
+
+/// Assert a finding exists for `rule` at `file` (suffix match) and `line`.
+fn assert_found(findings: &[Finding], rule: &str, file: &str, line: usize) {
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.line == line && ends_with(&f.file, file)),
+        "expected [{rule}] at {file}:{line}; got:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn ends_with(path: &Path, suffix: &str) -> bool {
+    path.to_string_lossy().ends_with(suffix)
+}
+
+#[test]
+fn bad_fixtures_trip_every_determinism_rule() {
+    let findings = pflint::run_determinism(&fixture_root("bad"));
+    assert_found(&findings, rules::HASH_ITERATION, "sim_state.rs", 2);
+    assert_found(&findings, rules::WALL_CLOCK, "sim_state.rs", 3);
+    assert_found(&findings, rules::HASH_ITERATION, "sim_state.rs", 6);
+    assert_found(&findings, rules::WALL_CLOCK, "sim_state.rs", 11);
+    assert_found(&findings, rules::OS_ENTROPY, "sim_state.rs", 12);
+    assert_found(&findings, rules::UNWRAP_IN_IO, "trace.rs", 3);
+    assert_found(&findings, rules::HASH_ITERATION, "db.rs", 2);
+    assert_found(&findings, rules::UNWRAP_IN_IO, "db.rs", 5);
+}
+
+#[test]
+fn bad_fixtures_trip_pmu_consistency() {
+    let findings = pflint::run_pmu_consistency(&fixture_root("bad"));
+    assert_found(&findings, rules::PMU_VARIANT_UNKNOWN, "pmu_refs.rs", 6);
+    assert_found(&findings, rules::PMU_EVENT_UNKNOWN, "pmu_refs.rs", 7);
+    // The valid CoreEvent::InstRetired reference on line 5 must NOT fire.
+    assert!(
+        !findings.iter().any(|f| f.line == 5),
+        "valid variant flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_fixtures_trip_invariant_hook_check() {
+    let findings = pflint::run_invariant_hooks(&fixture_root("bad"));
+    assert_found(&findings, rules::INVARIANT_HOOK_MISSING, "sim_state.rs", 7);
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly one hookless module seeded: {findings:?}"
+    );
+}
+
+#[test]
+fn allowed_fixtures_are_clean() {
+    let findings = pflint::run(&fixture_root("allowed"));
+    assert!(
+        findings.is_empty(),
+        "suppressions/hooks/test-exemption should silence everything:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn findings_render_as_file_line_rule_message() {
+    let findings = pflint::run_determinism(&fixture_root("bad"));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == rules::OS_ENTROPY)
+        .expect("entropy finding");
+    let rendered = f.to_string();
+    assert!(
+        rendered.contains("sim_state.rs:12"),
+        "bad anchor: {rendered}"
+    );
+    assert!(
+        rendered.contains("[os-entropy]"),
+        "bad rule tag: {rendered}"
+    );
+}

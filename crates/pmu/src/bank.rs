@@ -22,7 +22,10 @@ impl<E: Event> Default for Bank<E> {
 impl<E: Event> Bank<E> {
     /// A bank with all counters at zero.
     pub fn new() -> Self {
-        Bank { counters: vec![0; E::CARD], _marker: core::marker::PhantomData }
+        Bank {
+            counters: vec![0; E::CARD],
+            _marker: core::marker::PhantomData,
+        }
     }
 
     /// Increment `event` by one.
@@ -64,7 +67,10 @@ impl<E: Event> Bank<E> {
             .zip(earlier.counters.iter())
             .map(|(now, then)| now.saturating_sub(*then))
             .collect();
-        Bank { counters, _marker: core::marker::PhantomData }
+        Bank {
+            counters,
+            _marker: core::marker::PhantomData,
+        }
     }
 
     /// Element-wise sum, used to aggregate per-module banks (e.g. all CHA

@@ -373,8 +373,7 @@ pub enum CoreEvent {
 const CORE_SIMPLE: usize = 49;
 
 impl Event for CoreEvent {
-    const CARD: usize =
-        CORE_SIMPLE + L3HitSrc::COUNT + L3MissSrc::COUNT + 6 * RespScenario::COUNT;
+    const CARD: usize = CORE_SIMPLE + L3HitSrc::COUNT + L3MissSrc::COUNT + 6 * RespScenario::COUNT;
 
     fn index(self) -> usize {
         use CoreEvent::*;
@@ -495,9 +494,7 @@ impl Event for CoreEvent {
             MemTransRetiredStoreSample => "mem_trans_retired.store_sample".into(),
             MemTransRetiredStoreCount => "mem_trans_retired.store_count".into(),
             CycleActivityStallsL3Miss => "cycle_activity.stalls_l3_miss".into(),
-            OroL3MissDemandDataRd => {
-                "offcore_requests_outstanding.l3_miss_demand_data_rd".into()
-            }
+            OroL3MissDemandDataRd => "offcore_requests_outstanding.l3_miss_demand_data_rd".into(),
             MemLoadRetiredL3Hit => "mem_load_retired.l3_hit".into(),
             MemLoadRetiredL3Miss => "mem_load_retired.l3_miss".into(),
             LongestLatCacheMiss => "longest_lat_cache.miss".into(),
@@ -627,7 +624,12 @@ pub enum IaScen {
 
 impl IaScen {
     pub const COUNT: usize = 4;
-    pub const ALL: [IaScen; 4] = [IaScen::Total, IaScen::HitLlc, IaScen::MissLlc, IaScen::MissCxl];
+    pub const ALL: [IaScen; 4] = [
+        IaScen::Total,
+        IaScen::HitLlc,
+        IaScen::MissLlc,
+        IaScen::MissCxl,
+    ];
     pub fn idx(self) -> usize {
         match self {
             IaScen::Total => 0,
@@ -761,8 +763,13 @@ pub enum WbScen {
 
 impl WbScen {
     pub const COUNT: usize = 5;
-    pub const ALL: [WbScen; 5] =
-        [WbScen::EfToE, WbScen::EfToI, WbScen::MToE, WbScen::MToI, WbScen::SToI];
+    pub const ALL: [WbScen; 5] = [
+        WbScen::EfToE,
+        WbScen::EfToI,
+        WbScen::MToE,
+        WbScen::MToI,
+        WbScen::SToI,
+    ];
     pub fn idx(self) -> usize {
         match self {
             WbScen::EfToE => 0,
@@ -1161,7 +1168,14 @@ impl Event for M2pEvent {
 impl M2pEvent {
     pub fn all() -> Vec<M2pEvent> {
         use M2pEvent::*;
-        vec![ClockTicks, RxcCyclesNe, RxcInserts, RxcOccupancy, TxcInsertsAk, TxcInsertsBl]
+        vec![
+            ClockTicks,
+            RxcCyclesNe,
+            RxcInserts,
+            RxcOccupancy,
+            TxcInsertsAk,
+            TxcInsertsBl,
+        ]
     }
 }
 

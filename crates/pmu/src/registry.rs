@@ -19,8 +19,13 @@ pub enum PmuKind {
 }
 
 impl PmuKind {
-    pub const ALL: [PmuKind; 5] =
-        [PmuKind::Core, PmuKind::Cha, PmuKind::Imc, PmuKind::M2Pcie, PmuKind::CxlDevice];
+    pub const ALL: [PmuKind; 5] = [
+        PmuKind::Core,
+        PmuKind::Cha,
+        PmuKind::Imc,
+        PmuKind::M2Pcie,
+        PmuKind::CxlDevice,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -53,6 +58,220 @@ impl Scope {
     }
 }
 
+/// What one increment of a counter denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Discrete occurrences: instructions, inserts, lookups, CAS commands.
+    Events,
+    /// Clock cycles a condition held: stall, not-empty, full, clocktick.
+    Cycles,
+    /// Accumulated entry-cycles (an occupancy integral — divide by elapsed
+    /// cycles for the average number of resident entries).
+    EntryCycles,
+}
+
+impl Unit {
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Events => "events",
+            Unit::Cycles => "cycles",
+            Unit::EntryCycles => "entry-cycles",
+        }
+    }
+}
+
+/// Derive a counter's unit from its perf-style name. The naming grammar is
+/// uniform enough (Tables 1–4) that families, not per-event tables, decide:
+/// `*occupancy*` and `*outstanding*` accumulate entry-cycles each cycle,
+/// `*cycles*`/`*clockticks*`/`*stalls*`/`*_ne*`/`*_full*` count cycles a
+/// condition held, and everything else counts discrete events.
+pub fn unit_of(name: &str) -> Unit {
+    // "cycles_with_*" gates an outstanding counter to 0/1 per cycle, so it
+    // counts cycles even though the family is an occupancy integral.
+    if name.contains("cycles_with") {
+        return Unit::Cycles;
+    }
+    if name.contains("occupancy") || name.contains("outstanding") {
+        return Unit::EntryCycles;
+    }
+    if name.contains("cycles")
+        || name.contains("clockticks")
+        || name.contains("clk")
+        || name.contains("stalls")
+        || name.contains("_ne")
+        || name.contains("full")
+        || name.contains("bound_on")
+    {
+        return Unit::Cycles;
+    }
+    Unit::Events
+}
+
+/// Counter-family descriptions, longest-prefix matched against the
+/// perf-style name. One row per family of the paper's Tables 1–4.
+const FAMILIES: &[(&str, &str)] = &[
+    ("inst_retired", "instructions retired"),
+    ("cpu_clk_unhalted", "unhalted core clock cycles"),
+    (
+        "cycle_activity",
+        "cycles execution was starved while a demand miss was outstanding",
+    ),
+    (
+        "memory_activity",
+        "cycles stalled with a demand load miss outstanding",
+    ),
+    ("exe_activity", "cycles issue was bound on a resource"),
+    (
+        "resource_stalls",
+        "cycles allocation stalled on a full backend resource",
+    ),
+    (
+        "l1d_pend_miss",
+        "cycles the line-fill buffers were exhausted",
+    ),
+    ("l1d", "L1D cache line replacements"),
+    (
+        "l2_rqsts",
+        "L2 demand/prefetch requests by type and hit/miss",
+    ),
+    (
+        "longest_lat_cache",
+        "LLC references and misses as seen by the core",
+    ),
+    (
+        "mem_load_retired",
+        "retired loads by the cache level that served them",
+    ),
+    (
+        "mem_load_l3_hit_retired",
+        "retired loads that hit the LLC, by snoop data source",
+    ),
+    (
+        "mem_load_l3_miss_retired",
+        "retired loads that missed the LLC, by memory data source",
+    ),
+    (
+        "mem_store_retired",
+        "retired stores by the cache level that served them",
+    ),
+    (
+        "mem_trans_retired",
+        "retired memory transactions (load-latency sampling feed)",
+    ),
+    ("mem_inst_retired", "retired memory instructions by type"),
+    (
+        "offcore_requests_outstanding",
+        "offcore demand requests outstanding per cycle",
+    ),
+    (
+        "offcore_requests",
+        "offcore demand requests sent to the uncore",
+    ),
+    (
+        "ocr",
+        "offcore response: request type crossed with data source",
+    ),
+    (
+        "sw_prefetch_access",
+        "software prefetch instructions executed",
+    ),
+    ("unc_cha_clockticks", "CHA uncore clock cycles"),
+    ("unc_cha_llc_lookup", "LLC lookups by result"),
+    (
+        "unc_cha_sf_eviction",
+        "snoop-filter capacity evictions (back-invalidations)",
+    ),
+    ("unc_cha_sf_lookup", "snoop-filter lookups by result"),
+    ("unc_cha_snoop_resp", "snoop responses received by type"),
+    ("unc_cha_snoops_sent", "snoops sent to local/remote peers"),
+    (
+        "unc_cha_tor_inserts",
+        "TOR entry allocations by transaction class",
+    ),
+    (
+        "unc_cha_tor_occupancy",
+        "TOR entries resident per cycle by transaction class",
+    ),
+    ("unc_cha_tor", "TOR activity by transaction class"),
+    (
+        "unc_m_cas_count",
+        "DRAM CAS commands issued by the memory controller",
+    ),
+    ("unc_m_clockticks", "IMC DCLK cycles"),
+    (
+        "unc_m_rpq_cycles_ne",
+        "cycles the read pending queue was non-empty",
+    ),
+    ("unc_m_rpq_inserts", "read pending queue allocations"),
+    (
+        "unc_m_rpq_occupancy",
+        "read pending queue entries resident per cycle",
+    ),
+    (
+        "unc_m_wpq_cycles_ne",
+        "cycles the write pending queue was non-empty",
+    ),
+    ("unc_m_wpq_inserts", "write pending queue allocations"),
+    (
+        "unc_m_wpq_occupancy",
+        "write pending queue entries resident per cycle",
+    ),
+    ("unc_m2p_clockticks", "M2PCIe uncore clock cycles"),
+    (
+        "unc_m2p_rxc_cycles_ne",
+        "cycles the M2PCIe ingress queue was non-empty",
+    ),
+    ("unc_m2p_rxc_inserts", "M2PCIe ingress queue allocations"),
+    (
+        "unc_m2p_rxc_occupancy",
+        "M2PCIe ingress entries resident per cycle",
+    ),
+    (
+        "unc_m2p_txc_inserts",
+        "M2PCIe egress allocations by message class",
+    ),
+    ("unc_cxlcm_clockticks", "CXL link-layer clock cycles"),
+    (
+        "unc_cxlcm_rxc_pack_buf_full",
+        "cycles the Rx packing buffer was full",
+    ),
+    (
+        "unc_cxlcm_rxc_pack_buf_inserts",
+        "Rx packing-buffer allocations by message class",
+    ),
+    (
+        "unc_cxlcm_rxc_pack_buf_ne",
+        "cycles the Rx packing buffer was non-empty",
+    ),
+    (
+        "unc_cxlcm_rxc_pack_buf_occupancy",
+        "Rx packing-buffer entries resident per cycle",
+    ),
+    (
+        "unc_cxlcm_txc_pack_buf_inserts",
+        "Tx packing-buffer allocations by message class",
+    ),
+    ("unc_cxldev_mc_cas", "device memory-controller CAS commands"),
+    (
+        "unc_cxldev_mc_rpq_occupancy",
+        "device read-queue entries resident per cycle",
+    ),
+    (
+        "unc_cxldev_mc_wpq_occupancy",
+        "device write-queue entries resident per cycle",
+    ),
+];
+
+/// Family description for a perf-style event name (longest matching prefix).
+pub fn describe(name: &str) -> &'static str {
+    FAMILIES
+        .iter()
+        .filter(|(prefix, _)| name.starts_with(prefix))
+        .max_by_key(|(prefix, _)| prefix.len())
+        .map(|&(_, desc)| desc)
+        .unwrap_or("")
+}
+
 /// One registry entry.
 #[derive(Clone, Debug)]
 pub struct EventDesc {
@@ -60,6 +279,8 @@ pub struct EventDesc {
     pub scope: Scope,
     pub name: String,
     pub index: usize,
+    pub unit: Unit,
+    pub description: &'static str,
 }
 
 /// Enumerate every counter of every PMU, sub-events expanded.
@@ -69,6 +290,8 @@ pub fn all_events() -> Vec<EventDesc> {
         v.push(EventDesc {
             pmu: PmuKind::Core,
             scope: Scope::PerCore,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
             name: e.name(),
             index: e.index(),
         });
@@ -77,6 +300,8 @@ pub fn all_events() -> Vec<EventDesc> {
         v.push(EventDesc {
             pmu: PmuKind::Cha,
             scope: Scope::PerSocket,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
             name: e.name(),
             index: e.index(),
         });
@@ -85,6 +310,8 @@ pub fn all_events() -> Vec<EventDesc> {
         v.push(EventDesc {
             pmu: PmuKind::Imc,
             scope: Scope::PerChannel,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
             name: e.name(),
             index: e.index(),
         });
@@ -93,6 +320,8 @@ pub fn all_events() -> Vec<EventDesc> {
         v.push(EventDesc {
             pmu: PmuKind::M2Pcie,
             scope: Scope::PerSocket,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
             name: e.name(),
             index: e.index(),
         });
@@ -101,11 +330,18 @@ pub fn all_events() -> Vec<EventDesc> {
         v.push(EventDesc {
             pmu: PmuKind::CxlDevice,
             scope: Scope::PerDevice,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
             name: e.name(),
             index: e.index(),
         });
     }
     v
+}
+
+/// Look a counter up by its exact perf-style name.
+pub fn lookup(name: &str) -> Option<EventDesc> {
+    all_events().into_iter().find(|e| e.name == name)
 }
 
 /// Number of counters per PMU kind.
@@ -123,10 +359,12 @@ pub fn render_table() -> String {
     let mut out = String::new();
     for e in &events {
         out.push_str(&format!(
-            "{:<8} {:<12} {:<width$}\n",
+            "{:<8} {:<12} {:<13} {:<width$}  {}\n",
             e.pmu.label(),
             e.scope.label(),
+            e.unit.label(),
             e.name,
+            e.description,
             width = width
         ));
     }
@@ -156,6 +394,32 @@ mod tests {
     #[test]
     fn registry_has_at_least_the_papers_232_counters() {
         assert!(all_events().len() >= 232);
+    }
+
+    #[test]
+    fn every_event_has_a_description_and_unit() {
+        for e in all_events() {
+            assert!(
+                !e.description.is_empty(),
+                "no family description for {}",
+                e.name
+            );
+        }
+        assert_eq!(unit_of("unc_m_rpq_occupancy"), Unit::EntryCycles);
+        assert_eq!(unit_of("unc_m_rpq_cycles_ne"), Unit::Cycles);
+        assert_eq!(
+            unit_of("offcore_requests_outstanding.cycles_with_data_rd"),
+            Unit::Cycles
+        );
+        assert_eq!(unit_of("inst_retired.any"), Unit::Events);
+    }
+
+    #[test]
+    fn lookup_finds_exact_names_only() {
+        let e = lookup("resource_stalls.sb").expect("known counter");
+        assert_eq!(e.pmu, PmuKind::Core);
+        assert_eq!(e.unit, Unit::Cycles);
+        assert!(lookup("resource_stalls.sbx").is_none());
     }
 
     #[test]

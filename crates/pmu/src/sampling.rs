@@ -19,7 +19,11 @@ impl SamplingCounter {
     /// Create a counter firing every `period` events. `period` must be > 0.
     pub fn new(period: u64) -> Self {
         assert!(period > 0, "sampling period must be positive");
-        SamplingCounter { period, value: 0, overflows: 0 }
+        SamplingCounter {
+            period,
+            value: 0,
+            overflows: 0,
+        }
     }
 
     /// Count `n` events; returns the number of overflow interrupts this

@@ -45,7 +45,10 @@ impl SystemPmu {
 
     /// Capture the current counter values.
     pub fn snapshot(&self, cycle: u64) -> SystemSnapshot {
-        SystemSnapshot { cycle, pmu: self.clone() }
+        SystemSnapshot {
+            cycle,
+            pmu: self.clone(),
+        }
     }
 
     /// Reset every counter in every bank.
@@ -84,13 +87,36 @@ impl SystemSnapshot {
     /// Panics if the two snapshots come from machines with different
     /// topologies (different bank counts).
     pub fn delta(&self, earlier: &SystemSnapshot) -> SystemDelta {
-        assert_eq!(self.pmu.cores.len(), earlier.pmu.cores.len(), "topology mismatch");
-        assert_eq!(self.pmu.chas.len(), earlier.pmu.chas.len(), "topology mismatch");
-        assert_eq!(self.pmu.imcs.len(), earlier.pmu.imcs.len(), "topology mismatch");
-        assert_eq!(self.pmu.m2ps.len(), earlier.pmu.m2ps.len(), "topology mismatch");
-        assert_eq!(self.pmu.cxls.len(), earlier.pmu.cxls.len(), "topology mismatch");
+        assert_eq!(
+            self.pmu.cores.len(),
+            earlier.pmu.cores.len(),
+            "topology mismatch"
+        );
+        assert_eq!(
+            self.pmu.chas.len(),
+            earlier.pmu.chas.len(),
+            "topology mismatch"
+        );
+        assert_eq!(
+            self.pmu.imcs.len(),
+            earlier.pmu.imcs.len(),
+            "topology mismatch"
+        );
+        assert_eq!(
+            self.pmu.m2ps.len(),
+            earlier.pmu.m2ps.len(),
+            "topology mismatch"
+        );
+        assert_eq!(
+            self.pmu.cxls.len(),
+            earlier.pmu.cxls.len(),
+            "topology mismatch"
+        );
         fn zip<E: crate::event::Event>(a: &[Bank<E>], b: &[Bank<E>]) -> Vec<Bank<E>> {
-            a.iter().zip(b.iter()).map(|(now, then)| now.delta(then)).collect()
+            a.iter()
+                .zip(b.iter())
+                .map(|(now, then)| now.delta(then))
+                .collect()
         }
         SystemDelta {
             start_cycle: earlier.cycle,

@@ -99,10 +99,9 @@ impl SetAssocCache {
         self.lru_clock += 1;
         let clock = self.lru_clock;
         let set = self.set_of(line_addr);
-        self.sets[set].iter_mut().find(|l| l.tag == line_addr).map(|l| {
-            l.lru = clock;
-            l
-        })
+        let line = self.sets[set].iter_mut().find(|l| l.tag == line_addr)?;
+        line.lru = clock;
+        Some(line)
     }
 
     /// Look a line up without touching LRU (snoops, probes).
@@ -132,14 +131,27 @@ impl SetAssocCache {
             return None;
         }
         let evicted = if set.len() >= ways {
-            let (victim_idx, _) =
-                set.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("set non-empty");
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("set non-empty");
             let v = set.swap_remove(victim_idx);
-            Some(Eviction { line_addr: v.tag, state: v.state, was_prefetched: v.prefetched })
+            Some(Eviction {
+                line_addr: v.tag,
+                state: v.state,
+                was_prefetched: v.prefetched,
+            })
         } else {
             None
         };
-        set.push(Line { tag: line_addr, state, ready_at, prefetched, lru: clock });
+        set.push(Line {
+            tag: line_addr,
+            state,
+            ready_at,
+            prefetched,
+            lru: clock,
+        });
         evicted
     }
 
@@ -198,7 +210,9 @@ mod tests {
         c.insert(1, LineState::Exclusive, 0, false);
         c.insert(2, LineState::Exclusive, 0, false);
         c.lookup(1); // 1 becomes MRU
-        let ev = c.insert(3, LineState::Exclusive, 0, false).expect("must evict");
+        let ev = c
+            .insert(3, LineState::Exclusive, 0, false)
+            .expect("must evict");
         assert_eq!(ev.line_addr, 2);
         assert!(c.peek(1).is_some());
         assert!(c.peek(3).is_some());

@@ -12,6 +12,8 @@
 
 use crate::cache::{Eviction, LineState, SetAssocCache};
 use crate::config::MachineConfig;
+use crate::invariant;
+use crate::invariants::{Invariants, Violation};
 use crate::mem::{slice_of, MemNode};
 use crate::queues::{Coverage, FifoServer};
 use crate::request::ServeLoc;
@@ -90,7 +92,9 @@ struct DirEntry {
 /// private-cache lines in the socket.
 #[derive(Debug, Default)]
 pub struct SnoopFilter {
-    entries: std::collections::HashMap<u64, DirEntry>,
+    /// BTreeMap keeps directory iteration deterministic (hash order must
+    /// never influence victim selection or reported state).
+    entries: std::collections::BTreeMap<u64, DirEntry>,
     order: std::collections::VecDeque<u64>,
     capacity: usize,
 }
@@ -98,7 +102,7 @@ pub struct SnoopFilter {
 impl SnoopFilter {
     pub fn new(capacity: usize) -> Self {
         SnoopFilter {
-            entries: std::collections::HashMap::new(),
+            entries: std::collections::BTreeMap::new(),
             order: std::collections::VecDeque::new(),
             capacity: capacity.max(16),
         }
@@ -112,7 +116,13 @@ impl SnoopFilter {
             e.dirty |= dirty;
             return None;
         }
-        self.entries.insert(line, DirEntry { owners: 1 << core, dirty });
+        self.entries.insert(
+            line,
+            DirEntry {
+                owners: 1 << core,
+                dirty,
+            },
+        );
         self.order.push_back(line);
         if self.entries.len() > self.capacity {
             // FIFO victimisation; skip stale order entries.
@@ -162,6 +172,43 @@ impl SnoopFilter {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl Invariants for SnoopFilter {
+    fn component(&self) -> &'static str {
+        "cha::SnoopFilter"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        // Capacity bound: record() victimises before returning, so the
+        // directory never rests above its capacity.
+        invariant!(
+            out,
+            self.component(),
+            self.entries.len() <= self.capacity,
+            "directory overflow: entries={} capacity={}",
+            self.entries.len(),
+            self.capacity
+        );
+        // Ownership conservation: an entry with no owners must have been
+        // removed (clear() drops empties eagerly).
+        invariant!(
+            out,
+            self.component(),
+            self.entries.values().all(|e| e.owners != 0),
+            "ownerless directory entries present"
+        );
+        // The FIFO order queue tracks at least every live entry (it may
+        // additionally hold stale keys awaiting lazy cleanup).
+        invariant!(
+            out,
+            self.component(),
+            self.order.len() >= self.entries.len(),
+            "order queue lost entries: order={} entries={}",
+            self.order.len(),
+            self.entries.len()
+        );
     }
 }
 
@@ -244,7 +291,11 @@ impl ChaComplex {
                 l.state = LineState::Modified;
             }
             bank.inc(ChaEvent::LlcLookupHit);
-            let owners_to_invalidate = if rfo { self.sf.probe(line).map(|(o, _)| o) } else { None };
+            let owners_to_invalidate = if rfo {
+                self.sf.probe(line).map(|(o, _)| o)
+            } else {
+                None
+            };
             if let Some(owners) = owners_to_invalidate {
                 // Ownership transfer: peers must drop their copies; the
                 // machine handles the actual private-cache invalidations via
@@ -273,7 +324,10 @@ impl ChaComplex {
             }
             _ => {
                 bank.inc(ChaEvent::SfMiss);
-                ChaOutcome::Miss { depart: t, snc_distant }
+                ChaOutcome::Miss {
+                    depart: t,
+                    snc_distant,
+                }
             }
         }
     }
@@ -316,7 +370,11 @@ impl ChaComplex {
         bank.inc(ChaEvent::TorInsertsIaWb(scen));
         bank.add(ChaEvent::TorOccupancyIaWbMtoI, svc.finish - arrive);
         self.tor_ne[TorClass::Wb.idx()].add(arrive, svc.finish);
-        let state = if dirty { LineState::Modified } else { LineState::Exclusive };
+        let state = if dirty {
+            LineState::Modified
+        } else {
+            LineState::Exclusive
+        };
         let ev = self.slices[s].llc.insert(line, state, svc.finish, false);
         (svc.finish, ev)
     }
@@ -421,27 +479,53 @@ impl ChaComplex {
     /// coverage (Total scenarios).
     pub fn sync_counters(&mut self, bank: &mut Bank<ChaEvent>, epoch_cycles: u64) {
         bank.add(ChaEvent::ClockTicks, epoch_cycles);
-        for class in
-            [TorClass::Drd, TorClass::DrdPref, TorClass::Rfo, TorClass::RfoPref, TorClass::Wb]
-        {
+        for class in [
+            TorClass::Drd,
+            TorClass::DrdPref,
+            TorClass::Rfo,
+            TorClass::RfoPref,
+            TorClass::Wb,
+        ] {
             let cov = self.tor_ne[class.idx()].total();
             let delta = cov - self.synced_tor_ne[class.idx()];
             self.synced_tor_ne[class.idx()] = cov;
             match class {
-                TorClass::Drd => {
-                    bank.add(ChaEvent::TorThreshold1IaDrd(TorDrdScen::Total), delta)
-                }
+                TorClass::Drd => bank.add(ChaEvent::TorThreshold1IaDrd(TorDrdScen::Total), delta),
                 TorClass::DrdPref => {
                     bank.add(ChaEvent::TorThreshold1IaDrdPref(TorDrdScen::Total), delta)
                 }
-                TorClass::Rfo => {
-                    bank.add(ChaEvent::TorThreshold1IaRfo(TorRfoScen::Total), delta)
-                }
+                TorClass::Rfo => bank.add(ChaEvent::TorThreshold1IaRfo(TorRfoScen::Total), delta),
                 TorClass::RfoPref => {
                     bank.add(ChaEvent::TorThreshold1IaRfoPref(TorRfoScen::Total), delta)
                 }
                 TorClass::Wb => bank.add(ChaEvent::TorThreshold1Ia(IaScen::Total), delta),
             }
+        }
+    }
+}
+
+impl Invariants for ChaComplex {
+    fn component(&self) -> &'static str {
+        "cha::ChaComplex"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        for slice in &self.slices {
+            slice.port.collect_violations(out);
+        }
+        self.sf.collect_violations(out);
+        for (i, cov) in self.tor_ne.iter().enumerate() {
+            cov.collect_violations(out);
+            // The flushed TOR baseline can never run ahead of its coverage.
+            invariant!(
+                out,
+                self.component(),
+                self.synced_tor_ne[i] <= cov.total(),
+                "TOR class {} synced baseline ahead of coverage: synced={} total={}",
+                i,
+                self.synced_tor_ne[i],
+                cov.total()
+            );
         }
     }
 }
@@ -601,7 +685,10 @@ mod tests {
         assert_eq!(bank.read(ChaEvent::TorInsertsIaDrd(TorDrdScen::Total)), 1);
         assert_eq!(bank.read(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissLlc)), 1);
         assert_eq!(bank.read(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl)), 1);
-        assert_eq!(bank.read(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissCxl)), 700);
+        assert_eq!(
+            bank.read(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissCxl)),
+            700
+        );
         assert_eq!(bank.read(ChaEvent::TorInsertsIa(IaScen::MissCxl)), 1);
     }
 
@@ -616,8 +703,14 @@ mod tests {
             0,
             300,
         );
-        assert_eq!(bank.read(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::Total)), 1);
-        assert_eq!(bank.read(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissLocalDdr)), 1);
+        assert_eq!(
+            bank.read(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::Total)),
+            1
+        );
+        assert_eq!(
+            bank.read(ChaEvent::TorInsertsIaDrdPref(TorDrdScen::MissLocalDdr)),
+            1
+        );
         assert_eq!(bank.read(ChaEvent::TorInsertsIaDrd(TorDrdScen::Total)), 0);
     }
 
@@ -653,9 +746,15 @@ mod tests {
             250,
         );
         cha.sync_counters(&mut bank, 1_000);
-        assert_eq!(bank.read(ChaEvent::TorThreshold1IaDrd(TorDrdScen::Total)), 250);
+        assert_eq!(
+            bank.read(ChaEvent::TorThreshold1IaDrd(TorDrdScen::Total)),
+            250
+        );
         assert_eq!(bank.read(ChaEvent::ClockTicks), 1_000);
         cha.sync_counters(&mut bank, 1_000);
-        assert_eq!(bank.read(ChaEvent::TorThreshold1IaDrd(TorDrdScen::Total)), 250);
+        assert_eq!(
+            bank.read(ChaEvent::TorThreshold1IaDrd(TorDrdScen::Total)),
+            250
+        );
     }
 }

@@ -69,7 +69,12 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { l1_next_line: true, l2_stream: true, l2_distance: 24, l2_degree: 8 }
+        PrefetchConfig {
+            l1_next_line: true,
+            l2_stream: true,
+            l2_distance: 24,
+            l2_degree: 8,
+        }
     }
 }
 
@@ -160,7 +165,12 @@ impl MachineConfig {
             llc_slices: 4,
             dram_channels: 2,
             cxl_devices: 1,
-            l1d: CacheGeometry { size_bytes: 48 << 10, ways: 12, hit_latency: 5, tag_latency: 2 },
+            l1d: CacheGeometry {
+                size_bytes: 48 << 10,
+                ways: 12,
+                hit_latency: 5,
+                tag_latency: 2,
+            },
             l2: CacheGeometry {
                 size_bytes: 2 << 20,
                 ways: 16,
@@ -321,8 +331,14 @@ mod tests {
     fn policy_fraction_clamps() {
         assert_eq!(MemPolicy::Local.cxl_fraction(), 0.0);
         assert_eq!(MemPolicy::Cxl.cxl_fraction(), 1.0);
-        assert_eq!(MemPolicy::Interleave { cxl_fraction: 2.0 }.cxl_fraction(), 1.0);
-        assert_eq!(MemPolicy::Interleave { cxl_fraction: 0.25 }.cxl_fraction(), 0.25);
+        assert_eq!(
+            MemPolicy::Interleave { cxl_fraction: 2.0 }.cxl_fraction(),
+            1.0
+        );
+        assert_eq!(
+            MemPolicy::Interleave { cxl_fraction: 0.25 }.cxl_fraction(),
+            0.25
+        );
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! independent loads overlap up to the available memory-level parallelism.
 //! The stall-cycle accounting mirrors the paper's Table 1 counters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cache::SetAssocCache;
 use crate::config::MachineConfig;
+use crate::invariant;
+use crate::invariants::{Invariants, Violation};
 use crate::mem::AddressSpace;
 use crate::prefetch::StreamPrefetcher;
 use crate::queues::{BoundedWindow, Coverage};
@@ -37,15 +39,37 @@ impl CovCounter {
     }
 }
 
+impl Invariants for CovCounter {
+    fn component(&self) -> &'static str {
+        "core_model::CovCounter"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        self.cov.collect_violations(out);
+        // The flushed baseline can never run ahead of the accumulator —
+        // if it did, the next sync would underflow the free-running PMU.
+        invariant!(
+            out,
+            self.component(),
+            self.synced <= self.cov.total(),
+            "synced baseline ahead of coverage: synced={} total={}",
+            self.synced,
+            self.cov.total()
+        );
+    }
+}
+
 /// Ground-truth per-request accounting the simulator keeps *outside* the PMU
 /// — real hardware cannot see this; PathFinder's estimators are validated
 /// against it in the ablation benches.
 #[derive(Debug, Default, Clone)]
 pub struct GroundTruth {
     /// (path, serve location) → (requests, summed latency cycles).
-    pub served: HashMap<(PathClass, ServeLoc), (u64, u64)>,
+    /// BTreeMap, not HashMap: reports iterate this map, so its order must
+    /// not depend on hash seeds.
+    pub served: BTreeMap<(PathClass, ServeLoc), (u64, u64)>,
     /// True queueing delay experienced at each named component.
-    pub queue_delay: HashMap<&'static str, u64>,
+    pub queue_delay: BTreeMap<&'static str, u64>,
     /// Stall cycles whose blocking request was destined for CXL vs local.
     pub stall_cxl: u64,
     pub stall_local: u64,
@@ -94,9 +118,9 @@ pub struct CoreState {
     /// Last L1D-missing line, for ascending-pattern next-line detection.
     pub last_l1_miss_line: u64,
     /// In-flight fills by line address → completion cycle (LFB merge table).
-    pub inflight: HashMap<u64, u64>,
+    pub inflight: BTreeMap<u64, u64>,
     /// In-flight store drains by line address (store coalescing).
-    pub sb_inflight: HashMap<u64, u64>,
+    pub sb_inflight: BTreeMap<u64, u64>,
     pub prefetcher: StreamPrefetcher,
     pub workload: Option<WorkloadRun>,
     pub done: bool,
@@ -125,8 +149,8 @@ impl CoreState {
             superq: BoundedWindow::new(cfg.superq_entries),
             pfq: BoundedWindow::new(cfg.pfq_entries),
             last_l1_miss_line: u64::MAX,
-            inflight: HashMap::new(),
-            sb_inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
+            sb_inflight: BTreeMap::new(),
             prefetcher: StreamPrefetcher::new(&cfg.prefetch),
             workload: None,
             done: true,
@@ -142,13 +166,12 @@ impl CoreState {
 
     /// Attach a workload; the core becomes runnable.
     pub fn attach(&mut self, wl: Workload, asid: u16) {
-        let space = AddressSpace::new(
-            asid,
-            wl.trace.footprint(),
-            wl.policy,
-            wl.cxl_device,
-        );
-        self.workload = Some(WorkloadRun { name: wl.name, trace: wl.trace, space });
+        let space = AddressSpace::new(asid, wl.trace.footprint(), wl.policy, wl.cxl_device);
+        self.workload = Some(WorkloadRun {
+            name: wl.name,
+            trace: wl.trace,
+            space,
+        });
         self.done = false;
     }
 
@@ -163,14 +186,66 @@ impl CoreState {
         }
     }
 
+    /// Audit the ground truth against itself; used by `Invariants` below.
+    fn truth_violations(&self, out: &mut Vec<Violation>) {
+        let t = &self.truth;
+        // Every executed op is exactly one of load/store/software prefetch.
+        invariant!(
+            out,
+            "core_model::GroundTruth",
+            t.loads + t.stores + t.swpfs == t.ops,
+            "op kinds do not sum to ops: loads={} stores={} swpfs={} ops={}",
+            t.loads,
+            t.stores,
+            t.swpfs,
+            t.ops
+        );
+        // Every op is served at exactly one location, and serving happens
+        // synchronously within the step — so the per-location request
+        // counts must conserve the op count.
+        let served_total: u64 = t.served.values().map(|&(n, _)| n).sum();
+        invariant!(
+            out,
+            "core_model::GroundTruth",
+            served_total == t.ops,
+            "served requests do not conserve ops: served={} ops={}",
+            served_total,
+            t.ops
+        );
+    }
+
     /// Flush coverage counters into the PMU bank (epoch boundary).
     pub fn sync_counters(&mut self, bank: &mut Bank<CoreEvent>, epoch_cycles: u64) {
         bank.add(CoreEvent::CpuClkUnhalted, epoch_cycles);
-        self.cov_l1d_miss.sync(bank, CoreEvent::CycleActivityCyclesL1dMiss);
-        self.cov_l2_miss.sync(bank, CoreEvent::CycleActivityCyclesL2Miss);
-        self.cov_oro_data_rd.sync(bank, CoreEvent::OroCyclesWithDataRd);
-        self.cov_oro_demand_rd.sync(bank, CoreEvent::OroCyclesWithDemandDataRd);
-        self.cov_oro_demand_rfo.sync(bank, CoreEvent::OroCyclesWithDemandRfo);
+        self.cov_l1d_miss
+            .sync(bank, CoreEvent::CycleActivityCyclesL1dMiss);
+        self.cov_l2_miss
+            .sync(bank, CoreEvent::CycleActivityCyclesL2Miss);
+        self.cov_oro_data_rd
+            .sync(bank, CoreEvent::OroCyclesWithDataRd);
+        self.cov_oro_demand_rd
+            .sync(bank, CoreEvent::OroCyclesWithDemandDataRd);
+        self.cov_oro_demand_rfo
+            .sync(bank, CoreEvent::OroCyclesWithDemandRfo);
+    }
+}
+
+impl Invariants for CoreState {
+    fn component(&self) -> &'static str {
+        "core_model::CoreState"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        self.sb.collect_violations(out);
+        self.lfb.collect_violations(out);
+        self.superq.collect_violations(out);
+        self.pfq.collect_violations(out);
+        self.cov_l1d_miss.collect_violations(out);
+        self.cov_l2_miss.collect_violations(out);
+        self.cov_oro_data_rd.collect_violations(out);
+        self.cov_oro_demand_rd.collect_violations(out);
+        self.cov_oro_demand_rfo.collect_violations(out);
+        self.truth_violations(out);
     }
 }
 
@@ -190,7 +265,11 @@ mod tests {
     #[test]
     fn attach_makes_core_runnable_with_address_space() {
         let mut c = CoreState::new(1, &MachineConfig::tiny());
-        let wl = Workload::new("t", Box::new(SeqReadTrace::new(1 << 16, 10)), MemPolicy::Cxl);
+        let wl = Workload::new(
+            "t",
+            Box::new(SeqReadTrace::new(1 << 16, 10)),
+            MemPolicy::Cxl,
+        );
         c.attach(wl, 5);
         assert!(!c.done);
         let run = c.workload.as_ref().unwrap();

@@ -15,6 +15,8 @@
 //! DIMMs do not yet expose; the simulated device does.
 
 use crate::config::MachineConfig;
+use crate::invariant;
+use crate::invariants::{Invariants, Violation};
 use crate::queues::{Coverage, FifoServer};
 use pmu::{Bank, CxlEvent, M2pEvent};
 
@@ -111,7 +113,9 @@ impl CxlPort {
         m2p.inc(M2pEvent::RxcInserts);
         let in_svc = self.m2p_ingress.serve(arrive, 2, 1);
         // FlexBus up: a Req slot in a 68B flit.
-        let up = self.link_up.serve(in_svc.finish, self.latency_link / 2, self.gap_link);
+        let up = self
+            .link_up
+            .serve(in_svc.finish, self.latency_link / 2, self.gap_link);
         self.m2p_ne.add(arrive, up.start.max(in_svc.finish));
         m2p.add(M2pEvent::RxcOccupancy, up.start.max(in_svc.finish) - arrive);
         // Device Rx Mem-Request packing buffer + MC + media.
@@ -121,17 +125,24 @@ impl CxlPort {
             let over = (backlog - self.queue_cap + 1) * self.gap_dev;
             self.req_buf_full += over;
         }
-        let mc = self.dev_mc.serve(up.finish, self.latency_media, self.gap_dev);
+        let mc = self
+            .dev_mc
+            .serve(up.finish, self.latency_media, self.gap_dev);
         self.req_buf_ne.add(up.finish, mc.finish);
         dev.add(CxlEvent::RxcPackBufOccupancyMemReq, mc.finish - up.finish);
         dev.inc(CxlEvent::DevMcRdCas);
         dev.add(CxlEvent::DevMcRpqOccupancy, mc.finish - up.finish);
         // S2M DRS back over FlexBus.
         dev.inc(CxlEvent::TxcPackBufInsertsMemData);
-        let down = self.link_down.serve(mc.finish, self.latency_link / 2, self.gap_link);
+        let down = self
+            .link_down
+            .serve(mc.finish, self.latency_link / 2, self.gap_link);
         // M2PCIe egress: one BL (block data) entry per returned line.
         m2p.inc(M2pEvent::TxcInsertsBl);
-        CxlCompletion { finish: down.finish, device_wait: mc.start - up.finish }
+        CxlCompletion {
+            finish: down.finish,
+            device_wait: mc.start - up.finish,
+        }
     }
 
     /// A CXL.mem store: M2S RwD → media write → S2M NDR. Posted from the
@@ -146,7 +157,9 @@ impl CxlPort {
         let in_svc = self.m2p_ingress.serve(arrive, 2, 1);
         // RwD carries 64B of data: same link, data-buffer accounting. As in
         // `mem_load`, the ingress entry lives until the link takes the flit.
-        let up = self.link_up.serve(in_svc.finish, self.latency_link / 2, self.gap_link);
+        let up = self
+            .link_up
+            .serve(in_svc.finish, self.latency_link / 2, self.gap_link);
         self.m2p_ne.add(arrive, up.start.max(in_svc.finish));
         m2p.add(M2pEvent::RxcOccupancy, up.start.max(in_svc.finish) - arrive);
         dev.inc(CxlEvent::RxcPackBufInsertsMemData);
@@ -155,17 +168,24 @@ impl CxlPort {
             let over = (backlog - self.queue_cap + 1) * self.gap_dev;
             self.data_buf_full += over;
         }
-        let mc = self.dev_mc.serve(up.finish, self.latency_media, self.gap_dev);
+        let mc = self
+            .dev_mc
+            .serve(up.finish, self.latency_media, self.gap_dev);
         self.data_buf_ne.add(up.finish, mc.finish);
         dev.add(CxlEvent::RxcPackBufOccupancyMemData, mc.finish - up.finish);
         dev.inc(CxlEvent::DevMcWrCas);
         dev.add(CxlEvent::DevMcWpqOccupancy, mc.finish - up.finish);
         // S2M NDR completion.
         dev.inc(CxlEvent::TxcPackBufInsertsMemReq);
-        let down = self.link_down.serve(mc.finish, self.latency_link / 2, self.gap_link);
+        let down = self
+            .link_down
+            .serve(mc.finish, self.latency_link / 2, self.gap_link);
         // M2PCIe egress: one AK (acknowledgement) entry per completed store.
         m2p.inc(M2pEvent::TxcInsertsAk);
-        CxlCompletion { finish: down.finish, device_wait: mc.start - up.finish }
+        CxlCompletion {
+            finish: down.finish,
+            device_wait: mc.start - up.finish,
+        }
     }
 
     /// A background (kernel page-migration) read: counted by every PMU the
@@ -226,10 +246,47 @@ impl CxlPort {
         let dt = self.data_buf_ne.total();
         dev.add(CxlEvent::RxcPackBufNeMemData, dt - self.synced_data_ne);
         self.synced_data_ne = dt;
-        dev.add(CxlEvent::RxcPackBufFullMemReq, self.req_buf_full - self.synced_req_full);
+        dev.add(
+            CxlEvent::RxcPackBufFullMemReq,
+            self.req_buf_full - self.synced_req_full,
+        );
         self.synced_req_full = self.req_buf_full;
-        dev.add(CxlEvent::RxcPackBufFullMemData, self.data_buf_full - self.synced_data_full);
+        dev.add(
+            CxlEvent::RxcPackBufFullMemData,
+            self.data_buf_full - self.synced_data_full,
+        );
         self.synced_data_full = self.data_buf_full;
+    }
+}
+
+impl Invariants for CxlPort {
+    fn component(&self) -> &'static str {
+        "cxl::CxlPort"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        self.m2p_ingress.collect_violations(out);
+        self.link_up.collect_violations(out);
+        self.link_down.collect_violations(out);
+        self.dev_mc.collect_violations(out);
+        self.m2p_ne.collect_violations(out);
+        self.req_buf_ne.collect_violations(out);
+        self.data_buf_ne.collect_violations(out);
+        let baselines = [
+            ("m2p_ne", self.synced_m2p_ne, self.m2p_ne.total()),
+            ("req_buf_ne", self.synced_req_ne, self.req_buf_ne.total()),
+            ("data_buf_ne", self.synced_data_ne, self.data_buf_ne.total()),
+            ("req_buf_full", self.synced_req_full, self.req_buf_full),
+            ("data_buf_full", self.synced_data_full, self.data_buf_full),
+        ];
+        for (name, synced, total) in baselines {
+            invariant!(
+                out,
+                self.component(),
+                synced <= total,
+                "{name} synced baseline ahead of accumulator: synced={synced} total={total}"
+            );
+        }
     }
 }
 
@@ -238,7 +295,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (CxlPort, Bank<M2pEvent>, Bank<CxlEvent>) {
-        (CxlPort::new(&MachineConfig::spr()), Bank::new(), Bank::new())
+        (
+            CxlPort::new(&MachineConfig::spr()),
+            Bank::new(),
+            Bank::new(),
+        )
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! `machine.rs`.
 
 use crate::config::MachineConfig;
+use crate::invariant;
+use crate::invariants::{Invariants, Violation};
 use crate::mem::channel_of;
 use crate::queues::{Coverage, FifoServer};
 use pmu::{Bank, ImcEvent};
@@ -49,7 +51,9 @@ impl Imc {
     /// data is ready at the controller.
     pub fn read(&mut self, line: u64, arrive: u64, banks: &mut [Bank<ImcEvent>]) -> u64 {
         let ch = channel_of(line, self.channels.len());
-        let svc = self.channels[ch].server.serve(arrive, self.latency, self.gap);
+        let svc = self.channels[ch]
+            .server
+            .serve(arrive, self.latency, self.gap);
         self.channels[ch].rpq_ne.add(arrive, svc.finish);
         let bank = &mut banks[ch];
         bank.inc(ImcEvent::RpqInserts);
@@ -65,7 +69,9 @@ impl Imc {
     /// channel bandwidth is consumed and the WPQ occupancy is charged).
     pub fn write(&mut self, line: u64, arrive: u64, banks: &mut [Bank<ImcEvent>]) -> u64 {
         let ch = channel_of(line, self.channels.len());
-        let svc = self.channels[ch].server.serve(arrive, self.latency, self.gap);
+        let svc = self.channels[ch]
+            .server
+            .serve(arrive, self.latency, self.gap);
         self.channels[ch].wpq_ne.add(arrive, svc.finish);
         let bank = &mut banks[ch];
         bank.inc(ImcEvent::WpqInserts);
@@ -87,6 +93,32 @@ impl Imc {
             let wpq = channel.wpq_ne.total();
             bank.add(ImcEvent::WpqCyclesNe, wpq - self.synced_wpq[ch]);
             self.synced_wpq[ch] = wpq;
+        }
+    }
+}
+
+impl Invariants for Imc {
+    fn component(&self) -> &'static str {
+        "imc::Imc"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        for (ch, channel) in self.channels.iter().enumerate() {
+            channel.server.collect_violations(out);
+            channel.rpq_ne.collect_violations(out);
+            channel.wpq_ne.collect_violations(out);
+            invariant!(
+                out,
+                self.component(),
+                self.synced_rpq[ch] <= channel.rpq_ne.total(),
+                "channel {ch} RPQ synced baseline ahead of coverage"
+            );
+            invariant!(
+                out,
+                self.component(),
+                self.synced_wpq[ch] <= channel.wpq_ne.total(),
+                "channel {ch} WPQ synced baseline ahead of coverage"
+            );
         }
     }
 }

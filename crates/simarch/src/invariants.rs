@@ -1,0 +1,117 @@
+//! Conservation invariants for every queue-bearing component.
+//!
+//! The simulator's credibility rests on flow conservation: every request
+//! enqueued at a Clos stage must be dequeued, in flight, or dropped —
+//! nothing is created or lost in transit. Each queue-bearing module
+//! implements [`Invariants`] and reports any violated conservation laws;
+//! [`crate::Machine`] audits the whole hierarchy at every epoch boundary
+//! when built with `debug_assertions` or `--features invariants`.
+//!
+//! The `pflint` static-analysis pass verifies at CI time that every module
+//! declaring a `FifoServer`, `Coverage` or `BoundedWindow` field also
+//! registers an `impl Invariants for` hook, so new components cannot
+//! silently opt out.
+
+/// One violated conservation law.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which component the law belongs to (e.g. `"queues::BoundedWindow"`).
+    pub component: &'static str,
+    /// Human-readable statement of the violated law with observed values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.component, self.detail)
+    }
+}
+
+/// A component that can audit its own conservation invariants.
+///
+/// Implementations must be side-effect free: auditing a component twice in
+/// a row yields the same answer and perturbs no simulation state.
+pub trait Invariants {
+    /// Stable component name used in violation reports.
+    fn component(&self) -> &'static str;
+
+    /// Append every currently violated law to `out`. An empty `out` after
+    /// the call means the component is conservation-clean.
+    fn collect_violations(&self, out: &mut Vec<Violation>);
+}
+
+/// Audit one component and panic with the full list if any law is broken.
+pub fn assert_invariants(c: &dyn Invariants) {
+    let mut v = Vec::new();
+    c.collect_violations(&mut v);
+    if !v.is_empty() {
+        let lines: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        panic!(
+            "conservation invariant(s) violated in {}:\n  {}",
+            c.component(),
+            lines.join("\n  ")
+        );
+    }
+}
+
+/// Helper: push a violation when `law` does not hold.
+#[macro_export]
+macro_rules! invariant {
+    ($out:expr, $component:expr, $law:expr, $($fmt:tt)*) => {
+        if !$law {
+            $out.push($crate::invariants::Violation {
+                component: $component,
+                detail: format!($($fmt)*),
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Broken;
+    impl Invariants for Broken {
+        fn component(&self) -> &'static str {
+            "test::Broken"
+        }
+        fn collect_violations(&self, out: &mut Vec<Violation>) {
+            invariant!(
+                out,
+                self.component(),
+                1 + 1 == 3,
+                "arithmetic drifted: {}",
+                2
+            );
+        }
+    }
+
+    struct Clean;
+    impl Invariants for Clean {
+        fn component(&self) -> &'static str {
+            "test::Clean"
+        }
+        fn collect_violations(&self, _out: &mut Vec<Violation>) {}
+    }
+
+    #[test]
+    fn clean_component_passes() {
+        assert_invariants(&Clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation invariant")]
+    fn broken_component_panics_with_detail() {
+        assert_invariants(&Broken);
+    }
+
+    #[test]
+    fn violation_display_names_component() {
+        let v = Violation {
+            component: "x::Y",
+            detail: "a != b".into(),
+        };
+        assert_eq!(v.to_string(), "x::Y: a != b");
+    }
+}

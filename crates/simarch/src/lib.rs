@@ -38,6 +38,7 @@ pub mod config;
 pub mod core_model;
 pub mod cxl;
 pub mod imc;
+pub mod invariants;
 pub mod machine;
 pub mod mem;
 pub mod prefetch;
@@ -46,6 +47,7 @@ pub mod request;
 pub mod trace;
 
 pub use config::{MachineConfig, MemPolicy};
+pub use invariants::{Invariants, Violation};
 pub use machine::{EpochResult, Machine, RunSummary};
 pub use mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
 pub use request::{AccessKind, MemOp, ServeLoc};

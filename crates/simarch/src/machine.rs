@@ -7,7 +7,7 @@
 //! each scheduling epoch (§4.2) it produces a [`pmu::SystemSnapshot`] — the
 //! input to all four PathFinder techniques.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cache::{Eviction, LineState};
 use crate::cha::{ChaComplex, ChaOutcome};
@@ -15,11 +15,14 @@ use crate::config::MachineConfig;
 use crate::core_model::CoreState;
 use crate::cxl::CxlPort;
 use crate::imc::Imc;
+use crate::invariant;
+use crate::invariants::{Invariants, Violation};
 use crate::mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
 use crate::request::{AccessKind, ServeLoc};
 use crate::trace::Workload;
 use pmu::{
-    CoreEvent, L3HitSrc, L3MissSrc, PathClass, RespScenario, SystemPmu, SystemSnapshot,
+    CoreEvent, CxlEvent, ImcEvent, L3HitSrc, L3MissSrc, M2pEvent, PathClass, RespScenario,
+    SystemPmu, SystemSnapshot,
 };
 
 /// Result of running one scheduling epoch.
@@ -59,14 +62,20 @@ pub struct Machine {
     ports: Vec<CxlPort>,
     epoch_end: u64,
     epochs_run: u64,
-    page_heat: HashMap<(u16, u64), u32>,
+    page_heat: BTreeMap<(u16, u64), u32>,
     ops_at_last_epoch: Vec<u64>,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Machine {
         cfg.validate().expect("invalid machine configuration");
-        let pmu = SystemPmu::new(cfg.cores, 1, cfg.dram_channels, cfg.cxl_devices, cfg.cxl_devices);
+        let pmu = SystemPmu::new(
+            cfg.cores,
+            1,
+            cfg.dram_channels,
+            cfg.cxl_devices,
+            cfg.cxl_devices,
+        );
         Machine {
             pmu,
             cores: (0..cfg.cores).map(|i| CoreState::new(i, &cfg)).collect(),
@@ -76,7 +85,7 @@ impl Machine {
             ports: (0..cfg.cxl_devices).map(|_| CxlPort::new(&cfg)).collect(),
             epoch_end: 0,
             epochs_run: 0,
-            page_heat: HashMap::new(),
+            page_heat: BTreeMap::new(),
             ops_at_last_epoch: vec![0; cfg.cores],
             cfg,
         }
@@ -181,13 +190,19 @@ impl Machine {
 
     /// Pages of `core`'s space currently resident on CXL.
     pub fn cxl_resident_pages(&self, core: usize) -> usize {
-        self.cores[core].workload.as_ref().map_or(0, |w| w.space.cxl_resident_pages())
+        self.cores[core]
+            .workload
+            .as_ref()
+            .map_or(0, |w| w.space.cxl_resident_pages())
     }
 
     /// Current residency of a virtual page of `core`'s address space
     /// (`None` if the core has no workload or the page is untouched).
     pub fn page_node(&self, core: usize, vpage: u64) -> Option<MemNode> {
-        self.cores[core].workload.as_ref().and_then(|w| w.space.page_node(vpage))
+        self.cores[core]
+            .workload
+            .as_ref()
+            .and_then(|w| w.space.page_node(vpage))
     }
 
     /// Execute one scheduling epoch: run every core up to the next epoch
@@ -221,9 +236,17 @@ impl Machine {
         }
         self.epoch_end = end;
         self.epochs_run += 1;
-        let mut heat: Vec<(u16, u64, u32)> =
-            self.page_heat.drain().map(|((a, p), n)| (a, p, n)).collect();
-        heat.sort_unstable();
+        // Audit conservation across the whole Clos hierarchy at every epoch
+        // boundary. Active in debug builds (so `cargo test` always checks)
+        // and in release builds compiled with `--features invariants`.
+        #[cfg(any(debug_assertions, feature = "invariants"))]
+        crate::invariants::assert_invariants(self);
+        // BTreeMap iterates in key order, so the drained heat list is already
+        // sorted by (asid, page) — no hash-order laundering to undo.
+        let heat: Vec<(u16, u64, u32)> = std::mem::take(&mut self.page_heat)
+            .into_iter()
+            .map(|((a, p), n)| (a, p, n))
+            .collect();
         let ops_per_core: Vec<u64> = self
             .cores
             .iter()
@@ -238,6 +261,72 @@ impl Machine {
             page_heat: heat,
             ops_per_core,
             all_done: self.all_done(),
+        }
+    }
+
+    /// Cross-PMU flit/command conservation: counters that observe the same
+    /// traffic from different points of the path must agree.
+    fn pmu_conservation(&self, out: &mut Vec<Violation>) {
+        const C: &str = "machine::Machine(pmu)";
+        for (ch, bank) in self.pmu.imcs.iter().enumerate() {
+            let rd = bank.read(ImcEvent::CasCountRd);
+            let wr = bank.read(ImcEvent::CasCountWr);
+            let all = bank.read(ImcEvent::CasCountAll);
+            invariant!(
+                out,
+                C,
+                rd + wr == all,
+                "imc ch{ch}: cas rd({rd})+wr({wr}) != all({all})"
+            );
+            // Every CAS entered through the matching pending queue.
+            let rpq = bank.read(ImcEvent::RpqInserts);
+            let wpq = bank.read(ImcEvent::WpqInserts);
+            invariant!(
+                out,
+                C,
+                rpq == rd,
+                "imc ch{ch}: rpq inserts({rpq}) != rd cas({rd})"
+            );
+            invariant!(
+                out,
+                C,
+                wpq == wr,
+                "imc ch{ch}: wpq inserts({wpq}) != wr cas({wr})"
+            );
+        }
+        for (d, m2p) in self.pmu.m2ps.iter().enumerate() {
+            // Each CXL.mem transaction inserts one M2PCIe ingress entry and
+            // exactly one egress entry: BL data for loads, AK for stores.
+            let rx = m2p.read(M2pEvent::RxcInserts);
+            let bl = m2p.read(M2pEvent::TxcInsertsBl);
+            let ak = m2p.read(M2pEvent::TxcInsertsAk);
+            invariant!(
+                out,
+                C,
+                rx == bl + ak,
+                "m2p {d}: ingress({rx}) != bl({bl})+ak({ak})"
+            );
+        }
+        for (d, dev) in self.pmu.cxls.iter().enumerate() {
+            // M2S Req → read CAS → S2M DRS; M2S RwD → write CAS → S2M NDR.
+            let req_in = dev.read(CxlEvent::RxcPackBufInsertsMemReq);
+            let rd_cas = dev.read(CxlEvent::DevMcRdCas);
+            let drs_out = dev.read(CxlEvent::TxcPackBufInsertsMemData);
+            invariant!(
+                out,
+                C,
+                req_in == rd_cas && rd_cas == drs_out,
+                "cxl dev {d}: read flow not conserved: req({req_in}) cas({rd_cas}) drs({drs_out})"
+            );
+            let rwd_in = dev.read(CxlEvent::RxcPackBufInsertsMemData);
+            let wr_cas = dev.read(CxlEvent::DevMcWrCas);
+            let ndr_out = dev.read(CxlEvent::TxcPackBufInsertsMemReq);
+            invariant!(
+                out,
+                C,
+                rwd_in == wr_cas && wr_cas == ndr_out,
+                "cxl dev {d}: write flow not conserved: rwd({rwd_in}) cas({wr_cas}) ndr({ndr_out})"
+            );
         }
     }
 
@@ -282,8 +371,7 @@ impl Machine {
         let paddr = {
             let core = &mut self.cores[c];
             let run = core.workload.as_mut().expect("runnable core has workload");
-            let pa = run.space.translate(op.vaddr);
-            pa
+            run.space.translate(op.vaddr)
         };
         let vpage = op.vaddr / PAGE_SIZE as u64;
         *self.page_heat.entry((c as u16, vpage)).or_insert(0) += 1;
@@ -312,7 +400,10 @@ impl Machine {
         let t_issue = self.cores[c].time;
 
         // ---- L1D lookup -------------------------------------------------
-        let l1_state = self.cores[c].l1d.lookup(line).map(|l| (l.ready_at, l.prefetched));
+        let l1_state = self.cores[c]
+            .l1d
+            .lookup(line)
+            .map(|l| (l.ready_at, l.prefetched));
         if let Some((ready_at, _)) = l1_state {
             if let Some(l) = self.cores[c].l1d.lookup(line) {
                 l.prefetched = false;
@@ -321,13 +412,18 @@ impl Machine {
             if ready_at <= t_issue {
                 if demand {
                     bank.inc(CoreEvent::MemLoadRetiredL1Hit);
-                    bank.add(CoreEvent::MemTransRetiredLoadLatency, self.cfg.l1d.hit_latency);
+                    bank.add(
+                        CoreEvent::MemTransRetiredLoadLatency,
+                        self.cfg.l1d.hit_latency,
+                    );
                     bank.inc(CoreEvent::MemTransRetiredLoadCount);
                 }
                 if dependent {
                     self.cores[c].time += self.cfg.l1d.hit_latency;
                 }
-                self.cores[c].truth.record_served(path, ServeLoc::L1d, self.cfg.l1d.hit_latency);
+                self.cores[c]
+                    .truth
+                    .record_served(path, ServeLoc::L1d, self.cfg.l1d.hit_latency);
                 return;
             }
             // Present but still filling: the load misses L1 (data not yet
@@ -336,7 +432,19 @@ impl Machine {
                 bank.inc(CoreEvent::MemLoadRetiredL1Miss);
                 bank.inc(CoreEvent::MemLoadRetiredL1FbHit);
             }
-            self.finish_load(c, t_issue, ready_at, ServeLoc::Lfb, false, false, dependent, demand, node, path, 0);
+            self.finish_load(
+                c,
+                t_issue,
+                ready_at,
+                ServeLoc::Lfb,
+                false,
+                false,
+                dependent,
+                demand,
+                node,
+                path,
+                0,
+            );
             return;
         }
 
@@ -351,7 +459,19 @@ impl Machine {
                 if demand {
                     self.pmu.cores[c].inc(CoreEvent::MemLoadRetiredL1FbHit);
                 }
-                self.finish_load(c, t_issue, f, ServeLoc::Lfb, false, false, dependent, demand, node, path, 0);
+                self.finish_load(
+                    c,
+                    t_issue,
+                    f,
+                    ServeLoc::Lfb,
+                    false,
+                    false,
+                    dependent,
+                    demand,
+                    node,
+                    path,
+                    0,
+                );
                 return;
             }
         }
@@ -370,18 +490,23 @@ impl Machine {
         self.cores[c].last_l1_miss_line = line;
         let l1pf = crate::prefetch::l1_next_line(&self.cfg.prefetch, line)
             .filter(|_| demand && ascending)
-            .filter(|_| line % (PAGE_SIZE / CACHELINE) as u64 != (PAGE_SIZE / CACHELINE) as u64 - 1);
+            .filter(|_| {
+                line % (PAGE_SIZE / CACHELINE) as u64 != (PAGE_SIZE / CACHELINE) as u64 - 1
+            });
 
         // ---- L2 lookup --------------------------------------------------
         let t_l2 = t + self.cfg.l1d.tag_latency;
-        let (finish, loc, missed_l2, missed_l3) = self.l2_and_beyond(c, line, node, path, false, t_l2);
+        let (finish, loc, missed_l2, missed_l3) =
+            self.l2_and_beyond(c, line, node, path, false, t_l2);
 
         // Fill L1 + register in-flight.
         self.fill_l1(c, line, LineState::Exclusive, finish, t);
         self.cores[c].inflight.insert(line, finish);
         self.cores[c].lfb.commit(finish);
 
-        self.finish_load(c, t_issue, finish, loc, missed_l2, missed_l3, dependent, demand, node, path, blocked);
+        self.finish_load(
+            c, t_issue, finish, loc, missed_l2, missed_l3, dependent, demand, node, path, blocked,
+        );
 
         // Fire the L1 prefetcher after the demand is fully accounted.
         if let Some(pf_line) = l1pf {
@@ -442,7 +567,8 @@ impl Machine {
             } else {
                 // Present but not writable: ownership upgrade goes offcore.
                 self.count_l2_miss(c, path);
-                let (fin, loc, missed_l3) = self.offcore_access(c, line, node, path, true, t_l2 + self.cfg.l2.tag_latency);
+                let (fin, loc, missed_l3) =
+                    self.offcore_access(c, line, node, path, true, t_l2 + self.cfg.l2.tag_latency);
                 (fin, loc, true, missed_l3)
             }
         } else {
@@ -450,7 +576,11 @@ impl Machine {
             let (fin, loc, missed_l3) =
                 self.offcore_access(c, line, node, path, rfo, t_l2 + self.cfg.l2.tag_latency);
             // Fill L2.
-            let state = if rfo { LineState::Modified } else { LineState::Exclusive };
+            let state = if rfo {
+                LineState::Modified
+            } else {
+                LineState::Exclusive
+            };
             self.fill_l2(c, line, state, fin, !demand, t_l2);
             (fin, loc, true, missed_l3)
         };
@@ -508,7 +638,10 @@ impl Machine {
     ) -> (u64, ServeLoc, bool) {
         // Super-queue admission bounds offcore demand MLP; hardware
         // prefetches occupy their own XQ window instead.
-        let is_pf = matches!(path, PathClass::HwPfL1 | PathClass::HwPfL2Drd | PathClass::HwPfL2Rfo);
+        let is_pf = matches!(
+            path,
+            PathClass::HwPfL1 | PathClass::HwPfL2Drd | PathClass::HwPfL2Rfo
+        );
         let adm = if is_pf {
             self.cores[c].pfq.acquire(depart)
         } else {
@@ -517,16 +650,30 @@ impl Machine {
         let depart = adm.at;
         let mesh = self.cfg.mesh_latency;
         let arrive_cha = depart + mesh;
-        let outcome = self.cha.lookup(c, line, rfo, arrive_cha, &mut self.pmu.chas[0]);
+        let outcome = self
+            .cha
+            .lookup(c, line, rfo, arrive_cha, &mut self.pmu.chas[0]);
         let (finish_at_cha, loc, missed_l3) = match outcome {
-            ChaOutcome::LlcHit { finish, snc_distant } => {
+            ChaOutcome::LlcHit {
+                finish,
+                snc_distant,
+            } => {
                 if rfo {
                     self.invalidate_peers(c, line);
                 }
-                let loc = if snc_distant { ServeLoc::SncLlc } else { ServeLoc::LocalLlc };
+                let loc = if snc_distant {
+                    ServeLoc::SncLlc
+                } else {
+                    ServeLoc::LocalLlc
+                };
                 (finish, loc, false)
             }
-            ChaOutcome::PeerProbe { owners, dirty, finish, snc_distant: _ } => {
+            ChaOutcome::PeerProbe {
+                owners,
+                dirty,
+                finish,
+                snc_distant: _,
+            } => {
                 let found = self.probe_peers(c, line, owners, rfo);
                 let bank = &mut self.pmu.chas[0];
                 if found {
@@ -537,7 +684,11 @@ impl Machine {
                     });
                     // Serve from the peer cache; line is also installed in
                     // the LLC (the CHA caches the snoop data).
-                    let state = if rfo { LineState::Modified } else { LineState::Forward };
+                    let state = if rfo {
+                        LineState::Modified
+                    } else {
+                        LineState::Forward
+                    };
                     self.cha_fill(c, line, state, finish, false, depart);
                     (finish, ServeLoc::PeerCache, true)
                 } else {
@@ -545,14 +696,25 @@ impl Machine {
                     // Stale directory entry: pay the probe, then go to
                     // memory.
                     let (fin, loc) = self.memory_access(c, line, node, rfo, finish);
-                    let state = if rfo { LineState::Modified } else { LineState::Exclusive };
+                    let state = if rfo {
+                        LineState::Modified
+                    } else {
+                        LineState::Exclusive
+                    };
                     self.cha_fill(c, line, state, fin, false, depart);
                     (fin, loc, true)
                 }
             }
-            ChaOutcome::Miss { depart: d, snc_distant: _ } => {
+            ChaOutcome::Miss {
+                depart: d,
+                snc_distant: _,
+            } => {
                 let (fin, loc) = self.memory_access(c, line, node, rfo, d);
-                let state = if rfo { LineState::Modified } else { LineState::Exclusive };
+                let state = if rfo {
+                    LineState::Modified
+                } else {
+                    LineState::Exclusive
+                };
                 let prefetched = !matches!(path, PathClass::Drd | PathClass::Rfo | PathClass::Dwr);
                 self.cha_fill(c, line, state, fin, prefetched, depart);
                 (fin, loc, true)
@@ -560,7 +722,14 @@ impl Machine {
         };
         // TOR accounting: the entry lives from CHA arrival until the data
         // heads back to the core.
-        self.cha.account_tor(&mut self.pmu.chas[0], path, loc, node, arrive_cha, finish_at_cha);
+        self.cha.account_tor(
+            &mut self.pmu.chas[0],
+            path,
+            loc,
+            node,
+            arrive_cha,
+            finish_at_cha,
+        );
         let finish = finish_at_cha + mesh;
         if is_pf {
             self.cores[c].pfq.commit(finish);
@@ -638,10 +807,9 @@ impl Machine {
                     self.cfg.remote_latency + self.cfg.dram_latency,
                     self.cfg.remote_dram_gap,
                 );
-                self.cores[c].truth.add_queue_delay(
-                    "UPI",
-                    svc.start.saturating_sub(depart_cha + mesh),
-                );
+                self.cores[c]
+                    .truth
+                    .add_queue_delay("UPI", svc.start.saturating_sub(depart_cha + mesh));
                 (svc.finish + mesh, ServeLoc::RemoteDram)
             }
             MemNode::CxlDram(d) => {
@@ -675,8 +843,12 @@ impl Machine {
         now: u64,
     ) {
         let (ev, sf_victim) =
-            self.cha.fill(c, line, state, ready_at, prefetched, &mut self.pmu.chas[0]);
-        if let Some(Eviction { line_addr, state, .. }) = ev {
+            self.cha
+                .fill(c, line, state, ready_at, prefetched, &mut self.pmu.chas[0]);
+        if let Some(Eviction {
+            line_addr, state, ..
+        }) = ev
+        {
             self.evict_from_llc(line_addr, state, now);
         }
         if let Some((victim_line, owners)) = sf_victim {
@@ -764,11 +936,16 @@ impl Machine {
     /// the spill traffic (see [`Self::cha_fill`]).
     fn fill_l1(&mut self, c: usize, line: u64, state: LineState, ready_at: u64, now: u64) {
         let ev = self.cores[c].l1d.insert(line, state, ready_at, false);
-        if let Some(Eviction { line_addr, state, .. }) = ev {
+        if let Some(Eviction {
+            line_addr, state, ..
+        }) = ev
+        {
             self.pmu.cores[c].inc(CoreEvent::L1dReplacement);
             if state == LineState::Modified {
                 // Dirty spill into L2 (write-back cache).
-                let ev2 = self.cores[c].l2.insert(line_addr, LineState::Modified, ready_at, false);
+                let ev2 = self.cores[c]
+                    .l2
+                    .insert(line_addr, LineState::Modified, ready_at, false);
                 if let Some(e2) = ev2 {
                     self.spill_l2_victim(c, e2, now);
                 }
@@ -797,8 +974,12 @@ impl Machine {
         self.cha.sf.clear(ev.line_addr, c);
         if dirty {
             self.pmu.cores[c].inc(CoreEvent::OcrModifiedWriteAnyResponse);
-            let (_fin, llc_ev) =
-                self.cha.writeback(ev.line_addr, true, at + self.cfg.mesh_latency, &mut self.pmu.chas[0]);
+            let (_fin, llc_ev) = self.cha.writeback(
+                ev.line_addr,
+                true,
+                at + self.cfg.mesh_latency,
+                &mut self.pmu.chas[0],
+            );
             if let Some(e) = llc_ev {
                 self.evict_from_llc(e.line_addr, e.state, at);
             }
@@ -929,7 +1110,9 @@ impl Machine {
         if let Some(&f) = self.cores[c].sb_inflight.get(&line) {
             if f > t {
                 self.cores[c].sb.commit(f);
-                self.cores[c].truth.record_served(PathClass::Dwr, ServeLoc::StoreBuffer, 0);
+                self.cores[c]
+                    .truth
+                    .record_served(PathClass::Dwr, ServeLoc::StoreBuffer, 0);
                 let bank = &mut self.pmu.cores[c];
                 bank.inc(CoreEvent::MemTransRetiredStoreCount);
                 return;
@@ -937,7 +1120,10 @@ impl Machine {
         }
 
         // L1D write hit with ownership?
-        let l1 = self.cores[c].l1d.lookup(line).map(|l| (l.ready_at, l.state));
+        let l1 = self.cores[c]
+            .l1d
+            .lookup(line)
+            .map(|l| (l.ready_at, l.state));
         let drain = match l1 {
             Some((ready_at, state)) if state.writable() => {
                 if let Some(l) = self.cores[c].l1d.lookup(line) {
@@ -945,7 +1131,9 @@ impl Machine {
                 }
                 self.cha.sf.mark_dirty(line);
                 let d = ready_at.max(t) + self.cfg.l1d.hit_latency;
-                self.cores[c].truth.record_served(PathClass::Dwr, ServeLoc::L1d, d - t);
+                self.cores[c]
+                    .truth
+                    .record_served(PathClass::Dwr, ServeLoc::L1d, d - t);
                 d
             }
             _ => {
@@ -954,12 +1142,20 @@ impl Machine {
                 self.train_prefetcher(c, line, node, t);
                 let core = &mut self.cores[c];
                 core.cov_oro_demand_rfo.add(t, t + 1);
-                let (fin, _loc, _missed_l2, _missed_l3) =
-                    self.l2_and_beyond(c, line, node, PathClass::Rfo, true, t + self.cfg.l1d.tag_latency);
+                let (fin, _loc, _missed_l2, _missed_l3) = self.l2_and_beyond(
+                    c,
+                    line,
+                    node,
+                    PathClass::Rfo,
+                    true,
+                    t + self.cfg.l1d.tag_latency,
+                );
                 self.fill_l1(c, line, LineState::Modified, fin, t);
                 self.cha.sf.mark_dirty(line);
                 self.cores[c].cov_oro_demand_rfo.add(t, fin);
-                self.cores[c].truth.record_served(PathClass::Dwr, ServeLoc::L1d, fin - t);
+                self.cores[c]
+                    .truth
+                    .record_served(PathClass::Dwr, ServeLoc::L1d, fin - t);
                 fin + self.cfg.l1d.hit_latency
             }
         };
@@ -971,6 +1167,35 @@ impl Machine {
         let bank = &mut self.pmu.cores[c];
         bank.add(CoreEvent::MemTransRetiredStoreSample, drain - t);
         bank.inc(CoreEvent::MemTransRetiredStoreCount);
+    }
+}
+
+impl Invariants for Machine {
+    fn component(&self) -> &'static str {
+        "machine::Machine"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        for core in &self.cores {
+            core.collect_violations(out);
+        }
+        self.cha.collect_violations(out);
+        self.imc.collect_violations(out);
+        self.remote.collect_violations(out);
+        for port in &self.ports {
+            port.collect_violations(out);
+        }
+        for (i, core) in self.cores.iter().enumerate() {
+            invariant!(
+                out,
+                self.component(),
+                self.ops_at_last_epoch[i] <= core.ops_executed,
+                "core {i}: epoch op baseline ahead of execution: {} > {}",
+                self.ops_at_last_epoch[i],
+                core.ops_executed
+            );
+        }
+        self.pmu_conservation(out);
     }
 }
 
@@ -1016,7 +1241,10 @@ mod tests {
 
     fn run_one(policy: MemPolicy, ops: usize) -> (Machine, pmu::SystemSnapshot) {
         let mut m = Machine::new(MachineConfig::tiny());
-        m.attach(0, Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, ops)), policy));
+        m.attach(
+            0,
+            Workload::new("t", Box::new(SeqReadTrace::new(1 << 20, ops)), policy),
+        );
         let mut last = None;
         for _ in 0..200 {
             let e = m.run_epoch();
@@ -1032,9 +1260,18 @@ mod tests {
     #[test]
     fn local_run_uses_imc_not_cxl() {
         let (_m, snap) = run_one(MemPolicy::Local, 20_000);
-        let cas: u64 = snap.pmu.imcs.iter().map(|b| b.read(ImcEvent::CasCountRd)).sum();
-        let cxl: u64 =
-            snap.pmu.cxls.iter().map(|b| b.read(CxlEvent::RxcPackBufInsertsMemReq)).sum();
+        let cas: u64 = snap
+            .pmu
+            .imcs
+            .iter()
+            .map(|b| b.read(ImcEvent::CasCountRd))
+            .sum();
+        let cxl: u64 = snap
+            .pmu
+            .cxls
+            .iter()
+            .map(|b| b.read(CxlEvent::RxcPackBufInsertsMemReq))
+            .sum();
         assert!(cas > 0, "local reads must hit the IMC");
         assert_eq!(cxl, 0, "local run must not touch the CXL device");
     }
@@ -1042,13 +1279,30 @@ mod tests {
     #[test]
     fn cxl_run_bypasses_imc_reads() {
         let (_m, snap) = run_one(MemPolicy::Cxl, 20_000);
-        let cxl: u64 =
-            snap.pmu.cxls.iter().map(|b| b.read(CxlEvent::RxcPackBufInsertsMemReq)).sum();
-        let bl: u64 = snap.pmu.m2ps.iter().map(|b| b.read(M2pEvent::TxcInsertsBl)).sum();
+        let cxl: u64 = snap
+            .pmu
+            .cxls
+            .iter()
+            .map(|b| b.read(CxlEvent::RxcPackBufInsertsMemReq))
+            .sum();
+        let bl: u64 = snap
+            .pmu
+            .m2ps
+            .iter()
+            .map(|b| b.read(M2pEvent::TxcInsertsBl))
+            .sum();
         assert!(cxl > 0, "cxl run must reach the device");
         assert_eq!(cxl, bl, "every DRS must produce one M2PCIe BL entry");
-        let cas: u64 = snap.pmu.imcs.iter().map(|b| b.read(ImcEvent::CasCountRd)).sum();
-        assert_eq!(cas, 0, "paper Fig 4-a: CXL traffic bypasses the IMC read path");
+        let cas: u64 = snap
+            .pmu
+            .imcs
+            .iter()
+            .map(|b| b.read(ImcEvent::CasCountRd))
+            .sum();
+        assert_eq!(
+            cas, 0,
+            "paper Fig 4-a: CXL traffic bypasses the IMC read path"
+        );
     }
 
     #[test]
@@ -1064,7 +1318,14 @@ mod tests {
     fn l1_hits_dominate_small_working_set() {
         let mut m = Machine::new(MachineConfig::tiny());
         // 2 KiB working set fits L1D (4 KiB in tiny config).
-        m.attach(0, Workload::new("hot", Box::new(SeqReadTrace::new(2048, 50_000)), MemPolicy::Local));
+        m.attach(
+            0,
+            Workload::new(
+                "hot",
+                Box::new(SeqReadTrace::new(2048, 50_000)),
+                MemPolicy::Local,
+            ),
+        );
         let mut snap = None;
         for _ in 0..200 {
             let e = m.run_epoch();
@@ -1097,7 +1358,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::tiny());
         m.attach(
             0,
-            Workload::new("wr", Box::new(SeqRwTrace::new(1 << 20, 30_000, 2)), MemPolicy::Cxl),
+            Workload::new(
+                "wr",
+                Box::new(SeqRwTrace::new(1 << 20, 30_000, 2)),
+                MemPolicy::Cxl,
+            ),
         );
         let mut snap = None;
         for _ in 0..400 {
@@ -1108,17 +1373,36 @@ mod tests {
             }
         }
         let snap = snap.unwrap();
-        let rwd: u64 =
-            snap.pmu.cxls.iter().map(|b| b.read(CxlEvent::RxcPackBufInsertsMemData)).sum();
-        assert!(rwd > 0, "dirty evictions must become CXL.mem stores (M2S RwD)");
-        let ak: u64 = snap.pmu.m2ps.iter().map(|b| b.read(M2pEvent::TxcInsertsAk)).sum();
+        let rwd: u64 = snap
+            .pmu
+            .cxls
+            .iter()
+            .map(|b| b.read(CxlEvent::RxcPackBufInsertsMemData))
+            .sum();
+        assert!(
+            rwd > 0,
+            "dirty evictions must become CXL.mem stores (M2S RwD)"
+        );
+        let ak: u64 = snap
+            .pmu
+            .m2ps
+            .iter()
+            .map(|b| b.read(M2pEvent::TxcInsertsAk))
+            .sum();
         assert_eq!(rwd, ak, "every NDR yields an M2PCIe AK entry");
     }
 
     #[test]
     fn page_heat_is_reported_and_drained() {
         let mut m = Machine::new(MachineConfig::tiny());
-        m.attach(0, Workload::new("t", Box::new(SeqReadTrace::new(1 << 16, 5_000)), MemPolicy::Local));
+        m.attach(
+            0,
+            Workload::new(
+                "t",
+                Box::new(SeqReadTrace::new(1 << 16, 5_000)),
+                MemPolicy::Local,
+            ),
+        );
         let e1 = m.run_epoch();
         assert!(!e1.page_heat.is_empty());
         let total: u32 = e1.page_heat.iter().map(|(_, _, n)| n).sum();
@@ -1130,7 +1414,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::tiny());
         m.attach(
             0,
-            Workload::new("t", Box::new(SeqReadTrace::new(1 << 16, 200_000)), MemPolicy::Cxl),
+            Workload::new(
+                "t",
+                Box::new(SeqReadTrace::new(1 << 16, 200_000)),
+                MemPolicy::Cxl,
+            ),
         );
         m.run_epoch();
         let before = m.cxl_resident_pages(0);
@@ -1140,10 +1428,23 @@ mod tests {
         }
         assert_eq!(m.cxl_resident_pages(0), 0);
         // After migration new fills come from local DRAM.
-        let cas_before: u64 = m.pmu.imcs.iter().map(|b| b.read(ImcEvent::CasCountRd)).sum();
+        let cas_before: u64 = m
+            .pmu
+            .imcs
+            .iter()
+            .map(|b| b.read(ImcEvent::CasCountRd))
+            .sum();
         m.run_epoch();
-        let cas_after: u64 = m.pmu.imcs.iter().map(|b| b.read(ImcEvent::CasCountRd)).sum();
-        assert!(cas_after > cas_before, "post-migration reads must hit the IMC");
+        let cas_after: u64 = m
+            .pmu
+            .imcs
+            .iter()
+            .map(|b| b.read(ImcEvent::CasCountRd))
+            .sum();
+        assert!(
+            cas_after > cas_before,
+            "post-migration reads must hit the IMC"
+        );
     }
 
     #[test]
@@ -1160,8 +1461,22 @@ mod tests {
     #[test]
     fn two_cores_share_the_llc() {
         let mut m = Machine::new(MachineConfig::tiny());
-        m.attach(0, Workload::new("a", Box::new(SeqReadTrace::new(1 << 20, 20_000)), MemPolicy::Local));
-        m.attach(1, Workload::new("b", Box::new(SeqReadTrace::new(1 << 20, 20_000)), MemPolicy::Local));
+        m.attach(
+            0,
+            Workload::new(
+                "a",
+                Box::new(SeqReadTrace::new(1 << 20, 20_000)),
+                MemPolicy::Local,
+            ),
+        );
+        m.attach(
+            1,
+            Workload::new(
+                "b",
+                Box::new(SeqReadTrace::new(1 << 20, 20_000)),
+                MemPolicy::Local,
+            ),
+        );
         let summary = m.run_to_completion(500);
         assert_eq!(summary.ops_per_core, vec![20_000, 20_000]);
         assert!(m.all_done());
@@ -1171,7 +1486,13 @@ mod tests {
     #[should_panic(expected = "already has a workload")]
     fn double_attach_panics() {
         let mut m = Machine::new(MachineConfig::tiny());
-        m.attach(0, Workload::new("a", Box::new(SeqReadTrace::new(1024, 10)), MemPolicy::Local));
-        m.attach(0, Workload::new("b", Box::new(SeqReadTrace::new(1024, 10)), MemPolicy::Local));
+        m.attach(
+            0,
+            Workload::new("a", Box::new(SeqReadTrace::new(1024, 10)), MemPolicy::Local),
+        );
+        m.attach(
+            0,
+            Workload::new("b", Box::new(SeqReadTrace::new(1024, 10)), MemPolicy::Local),
+        );
     }
 }

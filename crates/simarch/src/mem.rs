@@ -272,8 +272,7 @@ mod tests {
     #[test]
     fn interleave_fraction_is_respected() {
         let f = 0.3;
-        let mut s =
-            AddressSpace::new(2, 4 << 20, MemPolicy::Interleave { cxl_fraction: f }, 0);
+        let mut s = AddressSpace::new(2, 4 << 20, MemPolicy::Interleave { cxl_fraction: f }, 0);
         let n = s.n_pages();
         for p in 0..n {
             s.translate(p as u64 * PAGE_SIZE as u64);
@@ -284,8 +283,7 @@ mod tests {
 
     #[test]
     fn translate_is_stable_after_first_touch() {
-        let mut s =
-            AddressSpace::new(3, 1 << 20, MemPolicy::Interleave { cxl_fraction: 0.5 }, 1);
+        let mut s = AddressSpace::new(3, 1 << 20, MemPolicy::Interleave { cxl_fraction: 0.5 }, 1);
         let a1 = s.translate(0x1234);
         let a2 = s.translate(0x1234);
         assert_eq!(a1, a2);

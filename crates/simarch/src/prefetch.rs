@@ -92,8 +92,12 @@ impl StreamPrefetcher {
         }
         // New stream: allocate, evicting the LRU entry if full.
         if self.table.len() >= 16 {
-            let (idx, _) =
-                self.table.iter().enumerate().min_by_key(|(_, e)| e.lru).expect("non-empty");
+            let (idx, _) = self
+                .table
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("non-empty");
             self.table.swap_remove(idx);
         }
         self.table.push(StreamEntry {
@@ -142,7 +146,11 @@ mod tests {
 
     #[test]
     fn stream_runs_ahead_bounded_by_distance() {
-        let cfg = PrefetchConfig { l2_distance: 4, l2_degree: 8, ..Default::default() };
+        let cfg = PrefetchConfig {
+            l2_distance: 4,
+            l2_degree: 8,
+            ..Default::default()
+        };
         let mut p = StreamPrefetcher::new(&cfg);
         p.observe(10);
         p.observe(11);
@@ -183,7 +191,10 @@ mod tests {
 
     #[test]
     fn disabled_prefetcher_is_silent() {
-        let cfg = PrefetchConfig { l2_stream: false, ..Default::default() };
+        let cfg = PrefetchConfig {
+            l2_stream: false,
+            ..Default::default()
+        };
         let mut p = StreamPrefetcher::new(&cfg);
         p.observe(1);
         p.observe(2);
@@ -202,7 +213,10 @@ mod tests {
     #[test]
     fn next_line_respects_config() {
         let on = PrefetchConfig::default();
-        let off = PrefetchConfig { l1_next_line: false, ..Default::default() };
+        let off = PrefetchConfig {
+            l1_next_line: false,
+            ..Default::default()
+        };
         assert_eq!(l1_next_line(&on, 9), Some(10));
         assert_eq!(l1_next_line(&off, 9), None);
     }

@@ -18,6 +18,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::invariant;
+use crate::invariants::{Invariants, Violation};
+
 /// A FIFO server with deterministic service time and issue gap.
 #[derive(Clone, Debug, Default)]
 pub struct FifoServer {
@@ -60,7 +63,10 @@ impl FifoServer {
         self.busy += gap;
         self.queue_delay += start - arrival;
         self.served += 1;
-        Service { start, finish: start + service }
+        Service {
+            start,
+            finish: start + service,
+        }
     }
 
     /// The earliest cycle a new request could start service.
@@ -81,6 +87,34 @@ impl FifoServer {
     /// Requests served so far.
     pub fn served(&self) -> u64 {
         self.served
+    }
+}
+
+impl Invariants for FifoServer {
+    fn component(&self) -> &'static str {
+        "queues::FifoServer"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        // Work conservation: the server cannot have been busy for longer
+        // than its issue horizon (idle gaps only push next_free further).
+        invariant!(
+            out,
+            self.component(),
+            self.busy <= self.next_free,
+            "busy cycles exceed issue horizon: busy={} next_free={}",
+            self.busy,
+            self.next_free
+        );
+        // Nothing served ⇒ no busy time and no queueing delay charged.
+        invariant!(
+            out,
+            self.component(),
+            self.served > 0 || (self.busy == 0 && self.queue_delay == 0),
+            "idle server accumulated work: busy={} queue_delay={}",
+            self.busy,
+            self.queue_delay
+        );
     }
 }
 
@@ -126,11 +160,34 @@ impl Coverage {
     }
 }
 
+impl Invariants for Coverage {
+    fn component(&self) -> &'static str {
+        "queues::Coverage"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        // A union of intervals inside [0, covered_until) can never cover
+        // more than covered_until cycles.
+        invariant!(
+            out,
+            self.component(),
+            self.covered <= self.covered_until,
+            "covered cycles exceed high water: covered={} until={}",
+            self.covered,
+            self.covered_until
+        );
+    }
+}
+
 /// A finite window of in-flight entries keyed by completion cycle.
 #[derive(Clone, Debug)]
 pub struct BoundedWindow {
     capacity: usize,
     inflight: BinaryHeap<Reverse<u64>>,
+    /// Entries admitted (committed) over the window's lifetime.
+    committed: u64,
+    /// Entries retired (completed and dropped) over the window's lifetime.
+    retired: u64,
 }
 
 /// Result of acquiring a window slot.
@@ -145,7 +202,12 @@ pub struct Admission {
 impl BoundedWindow {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        BoundedWindow { capacity, inflight: BinaryHeap::new() }
+        BoundedWindow {
+            capacity,
+            inflight: BinaryHeap::new(),
+            committed: 0,
+            retired: 0,
+        }
     }
 
     /// Drop entries that completed at or before `now`.
@@ -153,6 +215,7 @@ impl BoundedWindow {
         while let Some(&Reverse(f)) = self.inflight.peek() {
             if f <= now {
                 self.inflight.pop();
+                self.retired += 1;
             } else {
                 break;
             }
@@ -165,17 +228,25 @@ impl BoundedWindow {
     pub fn acquire(&mut self, now: u64) -> Admission {
         self.retire(now);
         if self.inflight.len() < self.capacity {
-            return Admission { at: now, blocked: 0 };
+            return Admission {
+                at: now,
+                blocked: 0,
+            };
         }
         // Window full: wait for the earliest completion.
         let Reverse(earliest) = self.inflight.pop().expect("full window is non-empty");
+        self.retired += 1;
         debug_assert!(earliest > now);
-        Admission { at: earliest, blocked: earliest - now }
+        Admission {
+            at: earliest,
+            blocked: earliest - now,
+        }
     }
 
     /// Register the completion time of the entry admitted by the last
     /// [`Self::acquire`].
     pub fn commit(&mut self, finish: u64) {
+        self.committed += 1;
         self.inflight.push(Reverse(finish));
     }
 
@@ -193,6 +264,45 @@ impl BoundedWindow {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Entries admitted over the window's lifetime.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Entries retired over the window's lifetime.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+impl Invariants for BoundedWindow {
+    fn component(&self) -> &'static str {
+        "queues::BoundedWindow"
+    }
+
+    fn collect_violations(&self, out: &mut Vec<Violation>) {
+        // Flow conservation: every entry ever committed is either retired
+        // or still in flight — the window neither creates nor loses them.
+        invariant!(
+            out,
+            self.component(),
+            self.committed == self.retired + self.inflight.len() as u64,
+            "flow not conserved: committed={} retired={} in_flight={}",
+            self.committed,
+            self.retired,
+            self.inflight.len()
+        );
+        // The finite window can never hold more than its capacity.
+        invariant!(
+            out,
+            self.component(),
+            self.inflight.len() <= self.capacity,
+            "occupancy exceeds capacity: in_flight={} capacity={}",
+            self.inflight.len(),
+            self.capacity
+        );
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +313,13 @@ mod tests {
     fn idle_server_serves_immediately() {
         let mut s = FifoServer::new();
         let r = s.serve(100, 50, 10);
-        assert_eq!(r, Service { start: 100, finish: 150 });
+        assert_eq!(
+            r,
+            Service {
+                start: 100,
+                finish: 150
+            }
+        );
         assert_eq!(r.wait(100), 0);
     }
 
@@ -259,7 +375,13 @@ mod tests {
         w.commit(200);
         // Full now; next acquire at t=10 must wait for the t=100 completion.
         let c = w.acquire(10);
-        assert_eq!(c, Admission { at: 100, blocked: 90 });
+        assert_eq!(
+            c,
+            Admission {
+                at: 100,
+                blocked: 90
+            }
+        );
         w.commit(300);
         assert_eq!(w.outstanding(150), 2); // 200 and 300 remain
     }

@@ -28,19 +28,35 @@ pub struct MemOp {
 
 impl MemOp {
     pub fn load(vaddr: u64) -> MemOp {
-        MemOp { vaddr, kind: AccessKind::Load { dependent: false }, work: 1 }
+        MemOp {
+            vaddr,
+            kind: AccessKind::Load { dependent: false },
+            work: 1,
+        }
     }
 
     pub fn dependent_load(vaddr: u64) -> MemOp {
-        MemOp { vaddr, kind: AccessKind::Load { dependent: true }, work: 1 }
+        MemOp {
+            vaddr,
+            kind: AccessKind::Load { dependent: true },
+            work: 1,
+        }
     }
 
     pub fn store(vaddr: u64) -> MemOp {
-        MemOp { vaddr, kind: AccessKind::Store, work: 1 }
+        MemOp {
+            vaddr,
+            kind: AccessKind::Store,
+            work: 1,
+        }
     }
 
     pub fn swpf(vaddr: u64) -> MemOp {
-        MemOp { vaddr, kind: AccessKind::SwPrefetch, work: 0 }
+        MemOp {
+            vaddr,
+            kind: AccessKind::SwPrefetch,
+            work: 0,
+        }
     }
 
     pub fn with_work(mut self, work: u32) -> MemOp {
@@ -52,7 +68,7 @@ impl MemOp {
 /// Where a request was ultimately served from — the egress stage of its
 /// path. This is the simulator's ground truth; the PMU exposes it through
 /// the `ocr.*` scenario counters and the CHA TOR target counters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ServeLoc {
     /// Store absorbed by the store buffer (store-to-line coalescing).
     StoreBuffer,
@@ -95,7 +111,10 @@ impl ServeLoc {
 
     /// True if this location is past the LLC (a memory destination).
     pub fn is_memory(self) -> bool {
-        matches!(self, ServeLoc::LocalDram | ServeLoc::RemoteDram | ServeLoc::CxlDram)
+        matches!(
+            self,
+            ServeLoc::LocalDram | ServeLoc::RemoteDram | ServeLoc::CxlDram
+        )
     }
 }
 
@@ -128,8 +147,14 @@ mod tests {
 
     #[test]
     fn op_constructors_set_kinds() {
-        assert!(matches!(MemOp::load(4).kind, AccessKind::Load { dependent: false }));
-        assert!(matches!(MemOp::dependent_load(4).kind, AccessKind::Load { dependent: true }));
+        assert!(matches!(
+            MemOp::load(4).kind,
+            AccessKind::Load { dependent: false }
+        ));
+        assert!(matches!(
+            MemOp::dependent_load(4).kind,
+            AccessKind::Load { dependent: true }
+        ));
         assert!(matches!(MemOp::store(4).kind, AccessKind::Store));
         assert!(matches!(MemOp::swpf(4).kind, AccessKind::SwPrefetch));
         assert_eq!(MemOp::load(4).with_work(9).work, 9);

@@ -35,7 +35,12 @@ impl Workload {
         trace: Box<dyn TraceSource>,
         policy: MemPolicy,
     ) -> Workload {
-        Workload { name: name.into(), trace, policy, cxl_device: 0 }
+        Workload {
+            name: name.into(),
+            trace,
+            policy,
+            cxl_device: 0,
+        }
     }
 }
 
@@ -52,7 +57,13 @@ pub struct SeqReadTrace {
 
 impl SeqReadTrace {
     pub fn new(footprint: usize, total_ops: usize) -> Self {
-        SeqReadTrace { footprint, stride: 64, remaining: total_ops, pos: 0, work: 2 }
+        SeqReadTrace {
+            footprint,
+            stride: 64,
+            remaining: total_ops,
+            pos: 0,
+            work: 2,
+        }
     }
 
     pub fn with_work(mut self, work: u32) -> Self {
@@ -87,7 +98,11 @@ pub struct SeqRwTrace {
 impl SeqRwTrace {
     pub fn new(footprint: usize, total_ops: usize, write_every: usize) -> Self {
         assert!(write_every > 0);
-        SeqRwTrace { inner: SeqReadTrace::new(footprint, total_ops), write_every, n: 0 }
+        SeqRwTrace {
+            inner: SeqReadTrace::new(footprint, total_ops),
+            write_every,
+            n: 0,
+        }
     }
 }
 
@@ -95,7 +110,7 @@ impl TraceSource for SeqRwTrace {
     fn next_op(&mut self) -> Option<MemOp> {
         let op = self.inner.next_op()?;
         self.n += 1;
-        if self.n % self.write_every == 0 {
+        if self.n.is_multiple_of(self.write_every) {
             Some(MemOp::store(op.vaddr).with_work(op.work))
         } else {
             Some(op)

@@ -36,7 +36,10 @@ pub struct HeatTracker {
 
 impl HeatTracker {
     pub fn new() -> Self {
-        HeatTracker { heat: HashMap::new(), decay: 0.5 }
+        HeatTracker {
+            heat: HashMap::new(),
+            decay: 0.5,
+        }
     }
 
     /// Fold one epoch's heat samples in (after decaying history).
@@ -65,7 +68,7 @@ impl HeatTracker {
             .filter(|(_, &h)| h >= threshold)
             .map(|(&(a, p), &h)| (a, p, h))
             .collect();
-        v.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         v
     }
 
@@ -77,7 +80,7 @@ impl HeatTracker {
             .filter(|(_, &h)| h < threshold)
             .map(|(&(a, p), &h)| (a, p, h))
             .collect();
-        v.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         v
     }
 
@@ -152,7 +155,11 @@ impl Tpp {
                 break;
             }
             if matches!(node_of(asid, vpage), Some(n) if n.is_cxl()) {
-                out.push(Migration { asid, vpage, to: MemNode::LocalDram });
+                out.push(Migration {
+                    asid,
+                    vpage,
+                    to: MemNode::LocalDram,
+                });
                 self.local_pages.insert((asid, vpage), ());
                 self.promoted += 1;
             }
@@ -173,7 +180,11 @@ impl Tpp {
                 if self.local_pages.contains_key(&(asid, vpage))
                     && matches!(node_of(asid, vpage), Some(MemNode::LocalDram))
                 {
-                    out.push(Migration { asid, vpage, to: MemNode::CxlDram(0) });
+                    out.push(Migration {
+                        asid,
+                        vpage,
+                        to: MemNode::CxlDram(0),
+                    });
                     self.local_pages.remove(&(asid, vpage));
                     self.demoted += 1;
                     excess -= 1;
@@ -213,7 +224,13 @@ pub enum Balance {
 impl Colloid {
     /// Decide from per-tier observed latencies (cycles) and request shares
     /// (fractions summing to ≈1).
-    pub fn decide(&self, local_lat: f64, cxl_lat: f64, local_share: f64, cxl_share: f64) -> Balance {
+    pub fn decide(
+        &self,
+        local_lat: f64,
+        cxl_lat: f64,
+        local_share: f64,
+        cxl_share: f64,
+    ) -> Balance {
         let l = local_lat * local_share;
         let c = cxl_lat * cxl_share;
         if l + c == 0.0 {
@@ -273,7 +290,11 @@ pub struct ColloidTpp {
 
 impl ColloidTpp {
     pub fn new(cfg: TppConfig, dynamic: bool) -> Self {
-        ColloidTpp { tpp: Tpp::new(cfg), colloid: Colloid::default(), dynamic }
+        ColloidTpp {
+            tpp: Tpp::new(cfg),
+            colloid: Colloid::default(),
+            dynamic,
+        }
     }
 
     /// Decide migrations for one epoch given the class latencies PathFinder
@@ -285,8 +306,14 @@ impl ColloidTpp {
         lat: &ClassLatencies,
         cxl_share: f64,
     ) -> Vec<Migration> {
-        let (local_l, cxl_l) = if self.dynamic { lat.dominant().1 } else { lat.drd };
-        let verdict = self.colloid.decide(local_l, cxl_l, 1.0 - cxl_share, cxl_share);
+        let (local_l, cxl_l) = if self.dynamic {
+            lat.dominant().1
+        } else {
+            lat.drd
+        };
+        let verdict = self
+            .colloid
+            .decide(local_l, cxl_l, 1.0 - cxl_share, cxl_share);
         match verdict {
             Balance::PromoteToLocal => self.tpp.epoch(heat, node_of),
             Balance::Hold => {
@@ -302,7 +329,11 @@ impl ColloidTpp {
                         break;
                     }
                     if matches!(node_of(asid, vpage), Some(MemNode::LocalDram)) {
-                        out.push(Migration { asid, vpage, to: MemNode::CxlDram(0) });
+                        out.push(Migration {
+                            asid,
+                            vpage,
+                            to: MemNode::CxlDram(0),
+                        });
                     }
                 }
                 out
@@ -349,13 +380,23 @@ mod tests {
         let mut tpp = Tpp::new(TppConfig::default());
         let heat: Vec<(u16, u64, u32)> = vec![(0, 10, 100), (0, 11, 1)];
         let migs = tpp.epoch(&heat, &on_cxl);
-        assert_eq!(migs, vec![Migration { asid: 0, vpage: 10, to: MemNode::LocalDram }]);
+        assert_eq!(
+            migs,
+            vec![Migration {
+                asid: 0,
+                vpage: 10,
+                to: MemNode::LocalDram
+            }]
+        );
         assert_eq!(tpp.stats().0, 1);
     }
 
     #[test]
     fn tpp_respects_promote_budget() {
-        let cfg = TppConfig { promote_budget: 3, ..Default::default() };
+        let cfg = TppConfig {
+            promote_budget: 3,
+            ..Default::default()
+        };
         let mut tpp = Tpp::new(cfg);
         let heat: Vec<(u16, u64, u32)> = (0..10).map(|p| (0u16, p as u64, 50u32)).collect();
         let migs = tpp.epoch(&heat, &on_cxl);
@@ -364,7 +405,10 @@ mod tests {
 
     #[test]
     fn tpp_promotes_hottest_first() {
-        let cfg = TppConfig { promote_budget: 1, ..Default::default() };
+        let cfg = TppConfig {
+            promote_budget: 1,
+            ..Default::default()
+        };
         let mut tpp = Tpp::new(cfg);
         let migs = tpp.epoch(&[(0, 1, 5), (0, 2, 500)], &on_cxl);
         assert_eq!(migs[0].vpage, 2);
@@ -379,7 +423,10 @@ mod tests {
 
     #[test]
     fn tpp_demotes_under_local_pressure() {
-        let cfg = TppConfig { local_budget_pages: 2, ..Default::default() };
+        let cfg = TppConfig {
+            local_budget_pages: 2,
+            ..Default::default()
+        };
         let mut tpp = Tpp::new(cfg);
         // Three warm local pages; one must be demoted (the coldest).
         let heat: Vec<(u16, u64, u32)> = vec![(0, 1, 1), (0, 2, 1), (0, 3, 1)];
@@ -427,12 +474,20 @@ mod tests {
     #[test]
     fn colloid_tpp_gates_promotion() {
         let mut ct = ColloidTpp::new(TppConfig::default(), false);
-        let lat = ClassLatencies { drd: (700.0, 200.0), drd_weight: 1.0, ..Default::default() };
+        let lat = ClassLatencies {
+            drd: (700.0, 200.0),
+            drd_weight: 1.0,
+            ..Default::default()
+        };
         // Local slower than CXL → no promotions even for hot CXL pages.
         let migs = ct.epoch(&[(0, 1, 100)], &on_cxl, &lat, 0.5);
         assert!(migs.is_empty());
         // Flip the latencies → promotion resumes.
-        let lat2 = ClassLatencies { drd: (200.0, 700.0), drd_weight: 1.0, ..Default::default() };
+        let lat2 = ClassLatencies {
+            drd: (200.0, 700.0),
+            drd_weight: 1.0,
+            ..Default::default()
+        };
         let migs2 = ct.epoch(&[(0, 1, 100)], &on_cxl, &lat2, 0.5);
         assert_eq!(migs2.len(), 1);
     }

@@ -1,6 +1,6 @@
 //! The store: append-only series keyed by measurement + tags.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::point::Point;
 use crate::query::Query;
@@ -8,8 +8,10 @@ use crate::query::Query;
 /// An in-memory time-series database.
 #[derive(Debug, Default)]
 pub struct Db {
-    /// series key → points in insertion (time) order.
-    series: HashMap<String, Vec<Point>>,
+    /// series key → points in insertion (time) order. BTreeMap so that
+    /// scans visit series in key order: points with tied timestamps from
+    /// different series would otherwise surface in hash order.
+    series: BTreeMap<String, Vec<Point>>,
     points: usize,
 }
 
@@ -22,7 +24,10 @@ impl Db {
     /// sorted lazily on query.
     pub fn insert(&mut self, point: Point) {
         self.points += 1;
-        self.series.entry(point.series_key()).or_default().push(point);
+        self.series
+            .entry(point.series_key())
+            .or_default()
+            .push(point);
     }
 
     /// Total points stored.
@@ -50,7 +55,10 @@ impl Db {
         self.series
             .iter()
             .filter(move |(key, _)| {
-                key.split(',').next().map(|m| m == measurement).unwrap_or(false)
+                key.split(',')
+                    .next()
+                    .map(|m| m == measurement)
+                    .unwrap_or(false)
             })
             .flat_map(|(_, pts)| pts.iter())
     }
@@ -88,7 +96,11 @@ mod tests {
                     .tag("core", "1")
                     .field("hits", 2.0 * t as f64),
             );
-            db.insert(Point::new("vertex", t * 100).tag("hw", "L2").field("occ", 1.0));
+            db.insert(
+                Point::new("vertex", t * 100)
+                    .tag("hw", "L2")
+                    .field("occ", 1.0),
+            );
         }
         db
     }

@@ -4,18 +4,24 @@
 
 /// Minimum value, `None` on an empty series.
 pub fn min(series: &[(u64, f64)]) -> Option<f64> {
-    series.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
-        None => Some(v),
-        Some(a) => Some(a.min(v)),
-    })
+    series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.min(v)),
+        })
 }
 
 /// Maximum value.
 pub fn max(series: &[(u64, f64)]) -> Option<f64> {
-    series.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
-        None => Some(v),
-        Some(a) => Some(a.max(v)),
-    })
+    series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
 }
 
 /// Sum of values.
@@ -35,8 +41,7 @@ pub fn mean(series: &[(u64, f64)]) -> Option<f64> {
 /// Population standard deviation.
 pub fn stddev(series: &[(u64, f64)]) -> Option<f64> {
     let m = mean(series)?;
-    let var =
-        series.iter().map(|&(_, v)| (v - m) * (v - m)).sum::<f64>() / series.len() as f64;
+    let var = series.iter().map(|&(_, v)| (v - m) * (v - m)).sum::<f64>() / series.len() as f64;
     Some(var.sqrt())
 }
 
@@ -72,7 +77,10 @@ mod tests {
     use super::*;
 
     fn s(vals: &[f64]) -> Vec<(u64, f64)> {
-        vals.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, v))
+            .collect()
     }
 
     #[test]

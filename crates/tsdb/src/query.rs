@@ -26,7 +26,12 @@ pub struct Query<'a> {
 
 impl<'a> Query<'a> {
     pub(crate) fn new(db: &'a Db, measurement: &str) -> Query<'a> {
-        Query { db, measurement: measurement.into(), tag_filters: Vec::new(), range: None }
+        Query {
+            db,
+            measurement: measurement.into(),
+            tag_filters: Vec::new(),
+            range: None,
+        }
     }
 
     /// Require an exact tag match (Flux `filter(fn: (r) => r.k == v)`).
@@ -54,8 +59,12 @@ impl<'a> Query<'a> {
 
     /// Materialise matching points, time-sorted.
     pub fn points(self) -> Vec<Point> {
-        let mut out: Vec<Point> =
-            self.db.scan(&self.measurement).filter(|p| self.matches(p)).cloned().collect();
+        let mut out: Vec<Point> = self
+            .db
+            .scan(&self.measurement)
+            .filter(|p| self.matches(p))
+            .cloned()
+            .collect();
         out.sort_by_key(|p| p.ts);
         out
     }
@@ -109,8 +118,20 @@ mod tests {
     #[test]
     fn filters_compose_conjunctively() {
         let d = db();
-        assert_eq!(d.from("path_set").filter("pid", "7").filter("dst", "LLC").count(), 10);
-        assert_eq!(d.from("path_set").filter("pid", "7").filter("dst", "L2").count(), 0);
+        assert_eq!(
+            d.from("path_set")
+                .filter("pid", "7")
+                .filter("dst", "LLC")
+                .count(),
+            10
+        );
+        assert_eq!(
+            d.from("path_set")
+                .filter("pid", "7")
+                .filter("dst", "L2")
+                .count(),
+            0
+        );
     }
 
     #[test]

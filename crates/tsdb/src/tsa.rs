@@ -45,7 +45,12 @@ pub struct HoltWinters {
 impl HoltWinters {
     pub fn new(season: usize) -> Self {
         assert!(season >= 2, "season length must be ≥ 2");
-        HoltWinters { alpha: 0.5, beta: 0.1, gamma: 0.3, season }
+        HoltWinters {
+            alpha: 0.5,
+            beta: 0.1,
+            gamma: 0.3,
+            season,
+        }
     }
 
     /// Fit on `data` (needs ≥ 2 full seasons) and forecast `horizon` steps.
@@ -130,16 +135,22 @@ pub fn decompose(data: &[f64], m: usize) -> Option<Decomposition> {
         phase_sum[i % m] += data[i] - trend[i];
         phase_n[i % m] += 1;
     }
-    let mut phase_mean: Vec<f64> =
-        phase_sum.iter().zip(&phase_n).map(|(s, &c)| s / c.max(1) as f64).collect();
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_n)
+        .map(|(s, &c)| s / c.max(1) as f64)
+        .collect();
     let grand = phase_mean.iter().sum::<f64>() / m as f64;
     for v in &mut phase_mean {
         *v -= grand;
     }
     let seasonal: Vec<f64> = (0..n).map(|i| phase_mean[i % m]).collect();
-    let residual: Vec<f64> =
-        (0..n).map(|i| data[i] - trend[i] - seasonal[i]).collect();
-    Some(Decomposition { trend, seasonal, residual })
+    let residual: Vec<f64> = (0..n).map(|i| data[i] - trend[i] - seasonal[i]).collect();
+    Some(Decomposition {
+        trend,
+        seasonal,
+        residual,
+    })
 }
 
 /// Anomalous sample indices: residuals beyond `k` standard deviations of
@@ -157,7 +168,11 @@ pub fn anomalies(data: &[f64], m: usize, k: f64) -> Vec<usize> {
     let interior = &d.residual[half..d.residual.len() - half];
     let n = interior.len() as f64;
     let mean = interior.iter().sum::<f64>() / n;
-    let var = interior.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    let var = interior
+        .iter()
+        .map(|r| (r - mean) * (r - mean))
+        .sum::<f64>()
+        / n;
     let sd = var.sqrt();
     if sd == 0.0 {
         return Vec::new();
@@ -207,14 +222,22 @@ pub fn cluster_windows(data: &[f64], rel_tol: f64, abs_tol: f64) -> Vec<Window> 
         let mean = sum / (i - start) as f64;
         let tol = (mean.abs() * rel_tol).max(abs_tol);
         if (v - mean).abs() > tol {
-            out.push(Window { start, end: i, mean });
+            out.push(Window {
+                start,
+                end: i,
+                mean,
+            });
             start = i;
             sum = v;
         } else {
             sum += v;
         }
     }
-    out.push(Window { start, end: data.len(), mean: sum / (data.len() - start) as f64 });
+    out.push(Window {
+        start,
+        end: data.len(),
+        mean: sum / (data.len() - start) as f64,
+    });
     out
 }
 
@@ -275,8 +298,9 @@ mod tests {
     #[test]
     fn decompose_recovers_trend_and_season() {
         let m = 8;
-        let data: Vec<f64> =
-            (0..96).map(|t| 2.0 * t as f64 + 15.0 * ((t % m) as f64 - 3.5)).collect();
+        let data: Vec<f64> = (0..96)
+            .map(|t| 2.0 * t as f64 + 15.0 * ((t % m) as f64 - 3.5))
+            .collect();
         let d = decompose(&data, m).unwrap();
         // The seasonal component must be m-periodic and zero-mean.
         for i in 0..m {
@@ -299,8 +323,7 @@ mod tests {
     #[test]
     fn anomalies_flag_injected_spikes() {
         let m = 8;
-        let mut data: Vec<f64> =
-            (0..96).map(|t| 100.0 + 10.0 * ((t % m) as f64)).collect();
+        let mut data: Vec<f64> = (0..96).map(|t| 100.0 + 10.0 * ((t % m) as f64)).collect();
         data[40] += 500.0; // inject an anomaly
         data[77] -= 400.0;
         let hits = anomalies(&data, m, 4.0);
@@ -322,7 +345,14 @@ mod tests {
         data.extend(vec![10.0; 20]);
         let w = cluster_windows(&data, 0.2, 1.0);
         assert_eq!(w.len(), 3);
-        assert_eq!(w[0], Window { start: 0, end: 50, mean: 10.0 });
+        assert_eq!(
+            w[0],
+            Window {
+                start: 0,
+                end: 50,
+                mean: 10.0
+            }
+        );
         assert_eq!(w[1].start, 50);
         assert_eq!(w[1].end, 80);
         assert_eq!(w[2].end, 100);
@@ -339,6 +369,13 @@ mod tests {
     fn clustering_empty_and_singleton() {
         assert!(cluster_windows(&[], 0.1, 0.1).is_empty());
         let w = cluster_windows(&[5.0], 0.1, 0.1);
-        assert_eq!(w, vec![Window { start: 0, end: 1, mean: 5.0 }]);
+        assert_eq!(
+            w,
+            vec![Window {
+                start: 0,
+                end: 1,
+                mean: 5.0
+            }]
+        );
     }
 }

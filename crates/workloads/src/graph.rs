@@ -153,7 +153,9 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut g = GraphTraversal::new(3 << 20, 100, seed);
-            std::iter::from_fn(move || g.next_op()).map(|o| o.vaddr).collect::<Vec<_>>()
+            std::iter::from_fn(move || g.next_op())
+                .map(|o| o.vaddr)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -82,7 +82,13 @@ pub struct ZipfKv {
 impl ZipfKv {
     /// `footprint` bytes of records, each `record_bytes` long (rounded to
     /// lines), Zipf exponent 0.99 (the YCSB default).
-    pub fn new(footprint: usize, record_bytes: usize, mix: YcsbMix, total_ops: u64, seed: u64) -> Self {
+    pub fn new(
+        footprint: usize,
+        record_bytes: usize,
+        mix: YcsbMix,
+        total_ops: u64,
+        seed: u64,
+    ) -> Self {
         Self::with_theta(footprint, record_bytes, mix, total_ops, seed, 0.99)
     }
 
@@ -118,16 +124,20 @@ impl ZipfKv {
     fn begin_record(&mut self) {
         let r = self.zipf.sample(&mut self.rng) as u64;
         let base = r * self.record_lines * 64;
-        let is_read =
-            self.rng.random_range(0..1000u32) < self.mix.read_permille();
+        let is_read = self.rng.random_range(0..1000u32) < self.mix.read_permille();
         // Index lookup: one dependent load (the hash-table probe), then the
         // record body, reversed so pops come out in order.
         for i in (0..self.record_lines).rev() {
             let addr = base + i * 64;
-            let op = if is_read { MemOp::load(addr) } else { MemOp::store(addr) };
+            let op = if is_read {
+                MemOp::load(addr)
+            } else {
+                MemOp::store(addr)
+            };
             self.burst.push(op.with_work(1));
         }
-        self.burst.push(MemOp::dependent_load(base).with_work(self.work));
+        self.burst
+            .push(MemOp::dependent_load(base).with_work(self.work));
     }
 }
 

@@ -27,5 +27,5 @@ pub use kv::{YcsbMix, ZipfKv};
 pub use phase::{ComputeBound, MixedPhase};
 pub use random::{Gups, PointerChase};
 pub use stream::{Mbw, Stencil, StreamGen};
-pub use swpf::SwPrefetchAhead;
 pub use suite::{app_names, build, AppClass, AppSpec};
+pub use swpf::SwPrefetchAhead;

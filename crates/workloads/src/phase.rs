@@ -60,8 +60,20 @@ impl MixedPhase {
         MixedPhase::new(
             footprint,
             vec![
-                Phase { ops: 200_000, write_ratio: 0.05, random_ratio: 0.3, work: 6, ws_fraction: 0.25 },
-                Phase { ops: 200_000, write_ratio: 0.45, random_ratio: 0.7, work: 2, ws_fraction: 1.0 },
+                Phase {
+                    ops: 200_000,
+                    write_ratio: 0.05,
+                    random_ratio: 0.3,
+                    work: 6,
+                    ws_fraction: 0.25,
+                },
+                Phase {
+                    ops: 200_000,
+                    write_ratio: 0.45,
+                    random_ratio: 0.7,
+                    work: 2,
+                    ws_fraction: 1.0,
+                },
             ],
             total_ops,
             seed,
@@ -118,7 +130,12 @@ pub struct ComputeBound {
 
 impl ComputeBound {
     pub fn new(footprint: usize, total_ops: u64, work: u32, seed: u64) -> Self {
-        ComputeBound { footprint, rng: StdRng::seed_from_u64(seed), remaining: total_ops, work }
+        ComputeBound {
+            footprint,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: total_ops,
+            work,
+        }
     }
 }
 
@@ -145,8 +162,20 @@ mod tests {
     #[test]
     fn phases_rotate_at_their_op_budget() {
         let phases = vec![
-            Phase { ops: 10, write_ratio: 0.0, random_ratio: 0.0, work: 1, ws_fraction: 1.0 },
-            Phase { ops: 10, write_ratio: 1.0, random_ratio: 0.0, work: 1, ws_fraction: 1.0 },
+            Phase {
+                ops: 10,
+                write_ratio: 0.0,
+                random_ratio: 0.0,
+                work: 1,
+                ws_fraction: 1.0,
+            },
+            Phase {
+                ops: 10,
+                write_ratio: 1.0,
+                random_ratio: 0.0,
+                work: 1,
+                ws_fraction: 1.0,
+            },
         ];
         let mut m = MixedPhase::new(1 << 16, phases, 40, 1);
         let mut stores_by_chunk = [0usize; 4];
@@ -182,8 +211,13 @@ mod tests {
 
     #[test]
     fn ws_fraction_limits_addresses() {
-        let phases =
-            vec![Phase { ops: 1000, write_ratio: 0.0, random_ratio: 1.0, work: 1, ws_fraction: 0.1 }];
+        let phases = vec![Phase {
+            ops: 1000,
+            write_ratio: 0.0,
+            random_ratio: 1.0,
+            work: 1,
+            ws_fraction: 0.1,
+        }];
         let mut m = MixedPhase::new(1 << 20, phases, 1000, 2);
         let limit = ((1u64 << 20) as f64 * 0.1) as u64;
         while let Some(op) = m.next_op() {

@@ -97,7 +97,10 @@ pub struct PointerChase {
 impl PointerChase {
     pub fn new(footprint: usize, total_ops: u64, seed: u64) -> Self {
         let n = (footprint / 64).max(2);
-        assert!(n <= u32::MAX as usize, "footprint too large for a u32 cycle");
+        assert!(
+            n <= u32::MAX as usize,
+            "footprint too large for a u32 cycle"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Sattolo's algorithm: a uniformly random single cycle.
         let mut next: Vec<u32> = (0..n as u32).collect();
@@ -105,7 +108,12 @@ impl PointerChase {
             let j = rng.random_range(0..i);
             next.swap(i, j);
         }
-        PointerChase { next, cur: 0, remaining: total_ops, work: 1 }
+        PointerChase {
+            next,
+            cur: 0,
+            remaining: total_ops,
+            work: 1,
+        }
     }
 
     pub fn work(mut self, work: u32) -> Self {
@@ -144,7 +152,10 @@ mod tests {
             assert!(matches!(pair[0].kind, AccessKind::Load { dependent: true }));
             if pair.len() == 2 {
                 assert!(matches!(pair[1].kind, AccessKind::Store));
-                assert_eq!(pair[0].vaddr, pair[1].vaddr, "RMW must store where it loaded");
+                assert_eq!(
+                    pair[0].vaddr, pair[1].vaddr,
+                    "RMW must store where it loaded"
+                );
             }
         }
     }
@@ -178,7 +189,9 @@ mod tests {
     fn gups_is_deterministic_per_seed() {
         let collect = |seed| {
             let mut g = Gups::new(1 << 20, 50, seed);
-            std::iter::from_fn(move || g.next_op()).map(|o| o.vaddr).collect::<Vec<_>>()
+            std::iter::from_fn(move || g.next_op())
+                .map(|o| o.vaddr)
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(5), collect(5));
         assert_ne!(collect(5), collect(6));
@@ -191,7 +204,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         while let Some(op) = p.next_op() {
             assert!(matches!(op.kind, AccessKind::Load { dependent: true }));
-            assert!(seen.insert(op.vaddr), "revisited {} within one lap", op.vaddr);
+            assert!(
+                seen.insert(op.vaddr),
+                "revisited {} within one lap",
+                op.vaddr
+            );
         }
         assert_eq!(seen.len(), n_lines);
     }

@@ -78,7 +78,10 @@ impl TraceSource for StreamGen {
         self.remaining -= 1;
         self.n += 1;
         if self.noise_permille > 0 {
-            self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if (self.lcg >> 33) % 1000 < self.noise_permille as u64 {
                 let lines = (self.footprint / 64) as u64;
                 let addr = ((self.lcg >> 17) % lines) * 64;
@@ -91,7 +94,11 @@ impl TraceSource for StreamGen {
         let is_store = (self.n * self.write_permille as u64) % 1000
             < ((self.n - 1) * self.write_permille as u64) % 1000
             || (self.write_permille >= 1000);
-        let op = if is_store { MemOp::store(addr) } else { MemOp::load(addr) };
+        let op = if is_store {
+            MemOp::store(addr)
+        } else {
+            MemOp::load(addr)
+        };
         Some(op.with_work(self.work))
     }
 
@@ -121,7 +128,12 @@ impl Mbw {
         // load of `f` therefore means one access every `8/f` cycles. The
         // throttle must exceed the MLP-covered latency to actually bite.
         let work = (8.0 / f).round() as u32;
-        Mbw { footprint, remaining: total_ops, n: 0, work }
+        Mbw {
+            footprint,
+            remaining: total_ops,
+            n: 0,
+            work,
+        }
     }
 }
 
@@ -205,7 +217,10 @@ impl TraceSource for Stencil {
         }
         self.remaining -= 1;
         if self.noise_permille > 0 {
-            self.lcg = self.lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if (self.lcg >> 33) % 1000 < self.noise_permille as u64 {
                 let lines = (self.footprint / 64) as u64;
                 let addr = ((self.lcg >> 17) % lines) * 64;
@@ -246,7 +261,10 @@ mod tests {
     #[test]
     fn stream_write_ratio_is_exact_over_long_runs() {
         let ops = drain(StreamGen::new(1 << 20, 10_000).write_ratio(0.25));
-        let stores = ops.iter().filter(|o| matches!(o.kind, AccessKind::Store)).count();
+        let stores = ops
+            .iter()
+            .filter(|o| matches!(o.kind, AccessKind::Store))
+            .count();
         assert!((2400..=2600).contains(&stores), "stores = {stores}");
     }
 

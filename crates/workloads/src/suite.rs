@@ -63,92 +63,502 @@ impl AppSpec {
 /// Every registered application.
 pub const APPS: &[AppSpec] = &[
     // --- SPEC CPU 2017 ----------------------------------------------------
-    AppSpec { name: "500.perlbench_r", suite: "SPEC", paper_ws_mib: 202.5, class: AppClass::Phased },
-    AppSpec { name: "502.gcc_r", suite: "SPEC", paper_ws_mib: 1366.9, class: AppClass::Phased },
-    AppSpec { name: "503.bwaves_r", suite: "SPEC", paper_ws_mib: 822.3, class: AppClass::Stencil { arrays: 3 } },
-    AppSpec { name: "505.mcf_r", suite: "SPEC", paper_ws_mib: 609.1, class: AppClass::PointerChase },
-    AppSpec { name: "507.cactuBSSN_r", suite: "SPEC", paper_ws_mib: 789.5, class: AppClass::Stencil { arrays: 6 } },
-    AppSpec { name: "508.namd_r", suite: "SPEC", paper_ws_mib: 162.5, class: AppClass::Compute { work: 20 } },
-    AppSpec { name: "510.parest_r", suite: "SPEC", paper_ws_mib: 419.4, class: AppClass::Stream { write_ratio: 0.15 } },
-    AppSpec { name: "511.povray_r", suite: "SPEC", paper_ws_mib: 7.0, class: AppClass::Compute { work: 30 } },
-    AppSpec { name: "519.lbm_r", suite: "SPEC", paper_ws_mib: 410.5, class: AppClass::Stream { write_ratio: 0.5 } },
-    AppSpec { name: "520.omnetpp_r", suite: "SPEC", paper_ws_mib: 242.0, class: AppClass::PointerChase },
-    AppSpec { name: "521.wrf_r", suite: "SPEC", paper_ws_mib: 178.8, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "523.xalancbmk_r", suite: "SPEC", paper_ws_mib: 481.0, class: AppClass::PointerChase },
-    AppSpec { name: "525.x264_r", suite: "SPEC", paper_ws_mib: 156.0, class: AppClass::Stream { write_ratio: 0.3 } },
-    AppSpec { name: "526.blender_r", suite: "SPEC", paper_ws_mib: 633.7, class: AppClass::Compute { work: 12 } },
-    AppSpec { name: "531.deepsjeng_r", suite: "SPEC", paper_ws_mib: 699.5, class: AppClass::Compute { work: 15 } },
-    AppSpec { name: "541.leela_r", suite: "SPEC", paper_ws_mib: 24.7, class: AppClass::Compute { work: 25 } },
-    AppSpec { name: "548.exchange2_r", suite: "SPEC", paper_ws_mib: 2.5, class: AppClass::Compute { work: 40 } },
-    AppSpec { name: "549.fotonik3d_r", suite: "SPEC", paper_ws_mib: 848.4, class: AppClass::Stencil { arrays: 5 } },
-    AppSpec { name: "554.roms_r", suite: "SPEC", paper_ws_mib: 841.6, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "557.xz_r", suite: "SPEC", paper_ws_mib: 775.4, class: AppClass::Stream { write_ratio: 0.35 } },
-    AppSpec { name: "602.gcc_s", suite: "SPEC", paper_ws_mib: 7620.2, class: AppClass::Phased },
-    AppSpec { name: "605.mcf_s", suite: "SPEC", paper_ws_mib: 3960.8, class: AppClass::PointerChase },
-    AppSpec { name: "619.lbm_s", suite: "SPEC", paper_ws_mib: 3224.5, class: AppClass::Stream { write_ratio: 0.5 } },
-    AppSpec { name: "649.fotonik3d_s", suite: "SPEC", paper_ws_mib: 9642.8, class: AppClass::Stencil { arrays: 5 } },
-    AppSpec { name: "654.roms_s", suite: "SPEC", paper_ws_mib: 10386.9, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "600.perlbench_s", suite: "SPEC", paper_ws_mib: 202.5, class: AppClass::Phased },
-    AppSpec { name: "603.bwaves_s", suite: "SPEC", paper_ws_mib: 11467.1, class: AppClass::Stencil { arrays: 3 } },
-    AppSpec { name: "607.cactuBSSN_s", suite: "SPEC", paper_ws_mib: 6724.0, class: AppClass::Stencil { arrays: 6 } },
-    AppSpec { name: "620.omnetpp_s", suite: "SPEC", paper_ws_mib: 242.3, class: AppClass::PointerChase },
-    AppSpec { name: "621.wrf_s", suite: "SPEC", paper_ws_mib: 177.8, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "623.xalancbmk_s", suite: "SPEC", paper_ws_mib: 481.8, class: AppClass::PointerChase },
-    AppSpec { name: "625.x264_s", suite: "SPEC", paper_ws_mib: 156.0, class: AppClass::Stream { write_ratio: 0.3 } },
-    AppSpec { name: "627.cam4_s", suite: "SPEC", paper_ws_mib: 873.6, class: AppClass::Stencil { arrays: 5 } },
-    AppSpec { name: "628.pop2_s", suite: "SPEC", paper_ws_mib: 1434.3, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "631.deepsjeng_s", suite: "SPEC", paper_ws_mib: 6879.5, class: AppClass::Compute { work: 15 } },
-    AppSpec { name: "638.imagick_s", suite: "SPEC", paper_ws_mib: 7007.8, class: AppClass::Stream { write_ratio: 0.4 } },
-    AppSpec { name: "641.leela_s", suite: "SPEC", paper_ws_mib: 25.0, class: AppClass::Compute { work: 25 } },
-    AppSpec { name: "644.nab_s", suite: "SPEC", paper_ws_mib: 561.3, class: AppClass::Compute { work: 18 } },
-    AppSpec { name: "648.exchange2_s", suite: "SPEC", paper_ws_mib: 2.5, class: AppClass::Compute { work: 40 } },
-    AppSpec { name: "657.xz_s", suite: "SPEC", paper_ws_mib: 15344.0, class: AppClass::Stream { write_ratio: 0.35 } },
-    AppSpec { name: "521.wrf_r_alt", suite: "SPEC", paper_ws_mib: 178.8, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "527.cam4_r", suite: "SPEC", paper_ws_mib: 856.0, class: AppClass::Stencil { arrays: 5 } },
-    AppSpec { name: "538.imagick_r", suite: "SPEC", paper_ws_mib: 286.5, class: AppClass::Stream { write_ratio: 0.4 } },
-    AppSpec { name: "544.nab_r", suite: "SPEC", paper_ws_mib: 146.3, class: AppClass::Compute { work: 18 } },
+    AppSpec {
+        name: "500.perlbench_r",
+        suite: "SPEC",
+        paper_ws_mib: 202.5,
+        class: AppClass::Phased,
+    },
+    AppSpec {
+        name: "502.gcc_r",
+        suite: "SPEC",
+        paper_ws_mib: 1366.9,
+        class: AppClass::Phased,
+    },
+    AppSpec {
+        name: "503.bwaves_r",
+        suite: "SPEC",
+        paper_ws_mib: 822.3,
+        class: AppClass::Stencil { arrays: 3 },
+    },
+    AppSpec {
+        name: "505.mcf_r",
+        suite: "SPEC",
+        paper_ws_mib: 609.1,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "507.cactuBSSN_r",
+        suite: "SPEC",
+        paper_ws_mib: 789.5,
+        class: AppClass::Stencil { arrays: 6 },
+    },
+    AppSpec {
+        name: "508.namd_r",
+        suite: "SPEC",
+        paper_ws_mib: 162.5,
+        class: AppClass::Compute { work: 20 },
+    },
+    AppSpec {
+        name: "510.parest_r",
+        suite: "SPEC",
+        paper_ws_mib: 419.4,
+        class: AppClass::Stream { write_ratio: 0.15 },
+    },
+    AppSpec {
+        name: "511.povray_r",
+        suite: "SPEC",
+        paper_ws_mib: 7.0,
+        class: AppClass::Compute { work: 30 },
+    },
+    AppSpec {
+        name: "519.lbm_r",
+        suite: "SPEC",
+        paper_ws_mib: 410.5,
+        class: AppClass::Stream { write_ratio: 0.5 },
+    },
+    AppSpec {
+        name: "520.omnetpp_r",
+        suite: "SPEC",
+        paper_ws_mib: 242.0,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "521.wrf_r",
+        suite: "SPEC",
+        paper_ws_mib: 178.8,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "523.xalancbmk_r",
+        suite: "SPEC",
+        paper_ws_mib: 481.0,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "525.x264_r",
+        suite: "SPEC",
+        paper_ws_mib: 156.0,
+        class: AppClass::Stream { write_ratio: 0.3 },
+    },
+    AppSpec {
+        name: "526.blender_r",
+        suite: "SPEC",
+        paper_ws_mib: 633.7,
+        class: AppClass::Compute { work: 12 },
+    },
+    AppSpec {
+        name: "531.deepsjeng_r",
+        suite: "SPEC",
+        paper_ws_mib: 699.5,
+        class: AppClass::Compute { work: 15 },
+    },
+    AppSpec {
+        name: "541.leela_r",
+        suite: "SPEC",
+        paper_ws_mib: 24.7,
+        class: AppClass::Compute { work: 25 },
+    },
+    AppSpec {
+        name: "548.exchange2_r",
+        suite: "SPEC",
+        paper_ws_mib: 2.5,
+        class: AppClass::Compute { work: 40 },
+    },
+    AppSpec {
+        name: "549.fotonik3d_r",
+        suite: "SPEC",
+        paper_ws_mib: 848.4,
+        class: AppClass::Stencil { arrays: 5 },
+    },
+    AppSpec {
+        name: "554.roms_r",
+        suite: "SPEC",
+        paper_ws_mib: 841.6,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "557.xz_r",
+        suite: "SPEC",
+        paper_ws_mib: 775.4,
+        class: AppClass::Stream { write_ratio: 0.35 },
+    },
+    AppSpec {
+        name: "602.gcc_s",
+        suite: "SPEC",
+        paper_ws_mib: 7620.2,
+        class: AppClass::Phased,
+    },
+    AppSpec {
+        name: "605.mcf_s",
+        suite: "SPEC",
+        paper_ws_mib: 3960.8,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "619.lbm_s",
+        suite: "SPEC",
+        paper_ws_mib: 3224.5,
+        class: AppClass::Stream { write_ratio: 0.5 },
+    },
+    AppSpec {
+        name: "649.fotonik3d_s",
+        suite: "SPEC",
+        paper_ws_mib: 9642.8,
+        class: AppClass::Stencil { arrays: 5 },
+    },
+    AppSpec {
+        name: "654.roms_s",
+        suite: "SPEC",
+        paper_ws_mib: 10386.9,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "600.perlbench_s",
+        suite: "SPEC",
+        paper_ws_mib: 202.5,
+        class: AppClass::Phased,
+    },
+    AppSpec {
+        name: "603.bwaves_s",
+        suite: "SPEC",
+        paper_ws_mib: 11467.1,
+        class: AppClass::Stencil { arrays: 3 },
+    },
+    AppSpec {
+        name: "607.cactuBSSN_s",
+        suite: "SPEC",
+        paper_ws_mib: 6724.0,
+        class: AppClass::Stencil { arrays: 6 },
+    },
+    AppSpec {
+        name: "620.omnetpp_s",
+        suite: "SPEC",
+        paper_ws_mib: 242.3,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "621.wrf_s",
+        suite: "SPEC",
+        paper_ws_mib: 177.8,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "623.xalancbmk_s",
+        suite: "SPEC",
+        paper_ws_mib: 481.8,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "625.x264_s",
+        suite: "SPEC",
+        paper_ws_mib: 156.0,
+        class: AppClass::Stream { write_ratio: 0.3 },
+    },
+    AppSpec {
+        name: "627.cam4_s",
+        suite: "SPEC",
+        paper_ws_mib: 873.6,
+        class: AppClass::Stencil { arrays: 5 },
+    },
+    AppSpec {
+        name: "628.pop2_s",
+        suite: "SPEC",
+        paper_ws_mib: 1434.3,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "631.deepsjeng_s",
+        suite: "SPEC",
+        paper_ws_mib: 6879.5,
+        class: AppClass::Compute { work: 15 },
+    },
+    AppSpec {
+        name: "638.imagick_s",
+        suite: "SPEC",
+        paper_ws_mib: 7007.8,
+        class: AppClass::Stream { write_ratio: 0.4 },
+    },
+    AppSpec {
+        name: "641.leela_s",
+        suite: "SPEC",
+        paper_ws_mib: 25.0,
+        class: AppClass::Compute { work: 25 },
+    },
+    AppSpec {
+        name: "644.nab_s",
+        suite: "SPEC",
+        paper_ws_mib: 561.3,
+        class: AppClass::Compute { work: 18 },
+    },
+    AppSpec {
+        name: "648.exchange2_s",
+        suite: "SPEC",
+        paper_ws_mib: 2.5,
+        class: AppClass::Compute { work: 40 },
+    },
+    AppSpec {
+        name: "657.xz_s",
+        suite: "SPEC",
+        paper_ws_mib: 15344.0,
+        class: AppClass::Stream { write_ratio: 0.35 },
+    },
+    AppSpec {
+        name: "521.wrf_r_alt",
+        suite: "SPEC",
+        paper_ws_mib: 178.8,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "527.cam4_r",
+        suite: "SPEC",
+        paper_ws_mib: 856.0,
+        class: AppClass::Stencil { arrays: 5 },
+    },
+    AppSpec {
+        name: "538.imagick_r",
+        suite: "SPEC",
+        paper_ws_mib: 286.5,
+        class: AppClass::Stream { write_ratio: 0.4 },
+    },
+    AppSpec {
+        name: "544.nab_r",
+        suite: "SPEC",
+        paper_ws_mib: 146.3,
+        class: AppClass::Compute { work: 18 },
+    },
     // --- PARSEC -----------------------------------------------------------
-    AppSpec { name: "blackscholes", suite: "PARSEC", paper_ws_mib: 612.0, class: AppClass::Stream { write_ratio: 0.2 } },
-    AppSpec { name: "canneal", suite: "PARSEC", paper_ws_mib: 850.5, class: AppClass::PointerChase },
-    AppSpec { name: "dedup", suite: "PARSEC", paper_ws_mib: 1443.0, class: AppClass::Kv { mix: YcsbMix::A } },
-    AppSpec { name: "freqmine", suite: "PARSEC", paper_ws_mib: 631.9, class: AppClass::Graph { updates: true } },
-    AppSpec { name: "raytrace", suite: "PARSEC", paper_ws_mib: 1282.7, class: AppClass::Graph { updates: false } },
-    AppSpec { name: "streamcluster", suite: "PARSEC", paper_ws_mib: 109.0, class: AppClass::Stream { write_ratio: 0.1 } },
-    AppSpec { name: "blackscholes_l", suite: "PARSEC", paper_ws_mib: 612.0, class: AppClass::Stream { write_ratio: 0.2 } },
-    AppSpec { name: "bodytrack", suite: "PARSEC", paper_ws_mib: 32.9, class: AppClass::Compute { work: 14 } },
-    AppSpec { name: "facesim", suite: "PARSEC", paper_ws_mib: 304.3, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "ferret", suite: "PARSEC", paper_ws_mib: 97.9, class: AppClass::Kv { mix: YcsbMix::B } },
-    AppSpec { name: "fluidanimate", suite: "PARSEC", paper_ws_mib: 519.5, class: AppClass::Stencil { arrays: 3 } },
-    AppSpec { name: "swaptions", suite: "PARSEC", paper_ws_mib: 5.5, class: AppClass::Compute { work: 22 } },
-    AppSpec { name: "vips", suite: "PARSEC", paper_ws_mib: 37.5, class: AppClass::Stream { write_ratio: 0.3 } },
-    AppSpec { name: "x264", suite: "PARSEC", paper_ws_mib: 80.0, class: AppClass::Stream { write_ratio: 0.3 } },
+    AppSpec {
+        name: "blackscholes",
+        suite: "PARSEC",
+        paper_ws_mib: 612.0,
+        class: AppClass::Stream { write_ratio: 0.2 },
+    },
+    AppSpec {
+        name: "canneal",
+        suite: "PARSEC",
+        paper_ws_mib: 850.5,
+        class: AppClass::PointerChase,
+    },
+    AppSpec {
+        name: "dedup",
+        suite: "PARSEC",
+        paper_ws_mib: 1443.0,
+        class: AppClass::Kv { mix: YcsbMix::A },
+    },
+    AppSpec {
+        name: "freqmine",
+        suite: "PARSEC",
+        paper_ws_mib: 631.9,
+        class: AppClass::Graph { updates: true },
+    },
+    AppSpec {
+        name: "raytrace",
+        suite: "PARSEC",
+        paper_ws_mib: 1282.7,
+        class: AppClass::Graph { updates: false },
+    },
+    AppSpec {
+        name: "streamcluster",
+        suite: "PARSEC",
+        paper_ws_mib: 109.0,
+        class: AppClass::Stream { write_ratio: 0.1 },
+    },
+    AppSpec {
+        name: "blackscholes_l",
+        suite: "PARSEC",
+        paper_ws_mib: 612.0,
+        class: AppClass::Stream { write_ratio: 0.2 },
+    },
+    AppSpec {
+        name: "bodytrack",
+        suite: "PARSEC",
+        paper_ws_mib: 32.9,
+        class: AppClass::Compute { work: 14 },
+    },
+    AppSpec {
+        name: "facesim",
+        suite: "PARSEC",
+        paper_ws_mib: 304.3,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "ferret",
+        suite: "PARSEC",
+        paper_ws_mib: 97.9,
+        class: AppClass::Kv { mix: YcsbMix::B },
+    },
+    AppSpec {
+        name: "fluidanimate",
+        suite: "PARSEC",
+        paper_ws_mib: 519.5,
+        class: AppClass::Stencil { arrays: 3 },
+    },
+    AppSpec {
+        name: "swaptions",
+        suite: "PARSEC",
+        paper_ws_mib: 5.5,
+        class: AppClass::Compute { work: 22 },
+    },
+    AppSpec {
+        name: "vips",
+        suite: "PARSEC",
+        paper_ws_mib: 37.5,
+        class: AppClass::Stream { write_ratio: 0.3 },
+    },
+    AppSpec {
+        name: "x264",
+        suite: "PARSEC",
+        paper_ws_mib: 80.0,
+        class: AppClass::Stream { write_ratio: 0.3 },
+    },
     // --- SPLASH-2x ---------------------------------------------------------
-    AppSpec { name: "barnes", suite: "SPLASH2X", paper_ws_mib: 1584.0, class: AppClass::Graph { updates: true } },
-    AppSpec { name: "fft", suite: "SPLASH2X", paper_ws_mib: 12291.0, class: AppClass::Stencil { arrays: 2 } },
-    AppSpec { name: "lu_cb", suite: "SPLASH2X", paper_ws_mib: 502.0, class: AppClass::Stencil { arrays: 3 } },
-    AppSpec { name: "ocean_cp", suite: "SPLASH2X", paper_ws_mib: 3546.5, class: AppClass::Stencil { arrays: 4 } },
-    AppSpec { name: "radix", suite: "SPLASH2X", paper_ws_mib: 4097.5, class: AppClass::Gups },
-    AppSpec { name: "water_spatial", suite: "SPLASH2X", paper_ws_mib: 669.5, class: AppClass::Compute { work: 10 } },
-    AppSpec { name: "water_nsquared", suite: "SPLASH2X", paper_ws_mib: 28.5, class: AppClass::Compute { work: 12 } },
-    AppSpec { name: "lu_ncb", suite: "SPLASH2X", paper_ws_mib: 501.5, class: AppClass::Stencil { arrays: 3 } },
-    AppSpec { name: "radiosity", suite: "SPLASH2X", paper_ws_mib: 1442.5, class: AppClass::Graph { updates: true } },
-    AppSpec { name: "raytrace_s", suite: "SPLASH2X", paper_ws_mib: 22.5, class: AppClass::Graph { updates: false } },
-    AppSpec { name: "volrend", suite: "SPLASH2X", paper_ws_mib: 54.0, class: AppClass::Compute { work: 16 } },
-    AppSpec { name: "ocean_ncp", suite: "SPLASH2X", paper_ws_mib: 3546.5, class: AppClass::Stencil { arrays: 4 } },
+    AppSpec {
+        name: "barnes",
+        suite: "SPLASH2X",
+        paper_ws_mib: 1584.0,
+        class: AppClass::Graph { updates: true },
+    },
+    AppSpec {
+        name: "fft",
+        suite: "SPLASH2X",
+        paper_ws_mib: 12291.0,
+        class: AppClass::Stencil { arrays: 2 },
+    },
+    AppSpec {
+        name: "lu_cb",
+        suite: "SPLASH2X",
+        paper_ws_mib: 502.0,
+        class: AppClass::Stencil { arrays: 3 },
+    },
+    AppSpec {
+        name: "ocean_cp",
+        suite: "SPLASH2X",
+        paper_ws_mib: 3546.5,
+        class: AppClass::Stencil { arrays: 4 },
+    },
+    AppSpec {
+        name: "radix",
+        suite: "SPLASH2X",
+        paper_ws_mib: 4097.5,
+        class: AppClass::Gups,
+    },
+    AppSpec {
+        name: "water_spatial",
+        suite: "SPLASH2X",
+        paper_ws_mib: 669.5,
+        class: AppClass::Compute { work: 10 },
+    },
+    AppSpec {
+        name: "water_nsquared",
+        suite: "SPLASH2X",
+        paper_ws_mib: 28.5,
+        class: AppClass::Compute { work: 12 },
+    },
+    AppSpec {
+        name: "lu_ncb",
+        suite: "SPLASH2X",
+        paper_ws_mib: 501.5,
+        class: AppClass::Stencil { arrays: 3 },
+    },
+    AppSpec {
+        name: "radiosity",
+        suite: "SPLASH2X",
+        paper_ws_mib: 1442.5,
+        class: AppClass::Graph { updates: true },
+    },
+    AppSpec {
+        name: "raytrace_s",
+        suite: "SPLASH2X",
+        paper_ws_mib: 22.5,
+        class: AppClass::Graph { updates: false },
+    },
+    AppSpec {
+        name: "volrend",
+        suite: "SPLASH2X",
+        paper_ws_mib: 54.0,
+        class: AppClass::Compute { work: 16 },
+    },
+    AppSpec {
+        name: "ocean_ncp",
+        suite: "SPLASH2X",
+        paper_ws_mib: 3546.5,
+        class: AppClass::Stencil { arrays: 4 },
+    },
     // --- GAP ----------------------------------------------------------------
-    AppSpec { name: "BFS", suite: "GAP", paper_ws_mib: 15778.0, class: AppClass::Graph { updates: false } },
-    AppSpec { name: "PR", suite: "GAP", paper_ws_mib: 12616.1, class: AppClass::Graph { updates: true } },
-    AppSpec { name: "CC", suite: "GAP", paper_ws_mib: 12381.1, class: AppClass::Graph { updates: true } },
-    AppSpec { name: "SSSP", suite: "GAP", paper_ws_mib: 36456.3, class: AppClass::Graph { updates: true } },
-    AppSpec { name: "TC", suite: "GAP", paper_ws_mib: 21027.0, class: AppClass::Graph { updates: false } },
-    AppSpec { name: "BC", suite: "GAP", paper_ws_mib: 13394.5, class: AppClass::Graph { updates: true } },
+    AppSpec {
+        name: "BFS",
+        suite: "GAP",
+        paper_ws_mib: 15778.0,
+        class: AppClass::Graph { updates: false },
+    },
+    AppSpec {
+        name: "PR",
+        suite: "GAP",
+        paper_ws_mib: 12616.1,
+        class: AppClass::Graph { updates: true },
+    },
+    AppSpec {
+        name: "CC",
+        suite: "GAP",
+        paper_ws_mib: 12381.1,
+        class: AppClass::Graph { updates: true },
+    },
+    AppSpec {
+        name: "SSSP",
+        suite: "GAP",
+        paper_ws_mib: 36456.3,
+        class: AppClass::Graph { updates: true },
+    },
+    AppSpec {
+        name: "TC",
+        suite: "GAP",
+        paper_ws_mib: 21027.0,
+        class: AppClass::Graph { updates: false },
+    },
+    AppSpec {
+        name: "BC",
+        suite: "GAP",
+        paper_ws_mib: 13394.5,
+        class: AppClass::Graph { updates: true },
+    },
     // --- Micro-benchmarks ----------------------------------------------------
-    AppSpec { name: "GUPS", suite: "MICRO", paper_ws_mib: 4096.0, class: AppClass::Gups },
-    AppSpec { name: "MBW", suite: "MICRO", paper_ws_mib: 1024.0, class: AppClass::Copy },
-    AppSpec { name: "STREAM", suite: "MICRO", paper_ws_mib: 2048.0, class: AppClass::Stream { write_ratio: 0.33 } },
-    AppSpec { name: "YCSB-A", suite: "MICRO", paper_ws_mib: 2048.0, class: AppClass::Kv { mix: YcsbMix::A } },
-    AppSpec { name: "YCSB-B", suite: "MICRO", paper_ws_mib: 2048.0, class: AppClass::Kv { mix: YcsbMix::B } },
-    AppSpec { name: "YCSB-C", suite: "MICRO", paper_ws_mib: 2048.0, class: AppClass::Kv { mix: YcsbMix::C } },
+    AppSpec {
+        name: "GUPS",
+        suite: "MICRO",
+        paper_ws_mib: 4096.0,
+        class: AppClass::Gups,
+    },
+    AppSpec {
+        name: "MBW",
+        suite: "MICRO",
+        paper_ws_mib: 1024.0,
+        class: AppClass::Copy,
+    },
+    AppSpec {
+        name: "STREAM",
+        suite: "MICRO",
+        paper_ws_mib: 2048.0,
+        class: AppClass::Stream { write_ratio: 0.33 },
+    },
+    AppSpec {
+        name: "YCSB-A",
+        suite: "MICRO",
+        paper_ws_mib: 2048.0,
+        class: AppClass::Kv { mix: YcsbMix::A },
+    },
+    AppSpec {
+        name: "YCSB-B",
+        suite: "MICRO",
+        paper_ws_mib: 2048.0,
+        class: AppClass::Kv { mix: YcsbMix::B },
+    },
+    AppSpec {
+        name: "YCSB-C",
+        suite: "MICRO",
+        paper_ws_mib: 2048.0,
+        class: AppClass::Kv { mix: YcsbMix::C },
+    },
 ];
 
 /// Look an application up by its paper mnemonic.
@@ -176,9 +586,11 @@ pub fn build_spec(app: &AppSpec, total_ops: u64, seed: u64) -> Box<dyn TraceSour
     match app.class {
         // Registry streams carry 3% irregular dependent accesses — real
         // kernels are never perfectly prefetchable.
-        AppClass::Stream { write_ratio } => {
-            Box::new(StreamGen::new(ws, total_ops).write_ratio(write_ratio).noise(30))
-        }
+        AppClass::Stream { write_ratio } => Box::new(
+            StreamGen::new(ws, total_ops)
+                .write_ratio(write_ratio)
+                .noise(30),
+        ),
         AppClass::Stencil { arrays } => Box::new(Stencil::new(ws, arrays, total_ops).noise(30)),
         AppClass::PointerChase => Box::new(PointerChase::new(ws, total_ops, seed)),
         AppClass::Gups => Box::new(Gups::new(ws, total_ops, seed)),

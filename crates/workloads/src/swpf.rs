@@ -25,7 +25,12 @@ pub struct SwPrefetchAhead<T: TraceSource> {
 impl<T: TraceSource> SwPrefetchAhead<T> {
     pub fn new(inner: T, distance: usize) -> Self {
         assert!(distance >= 1);
-        SwPrefetchAhead { inner, window: VecDeque::new(), distance, drained: false }
+        SwPrefetchAhead {
+            inner,
+            window: VecDeque::new(),
+            distance,
+            drained: false,
+        }
     }
 
     fn refill(&mut self) {
@@ -82,7 +87,10 @@ mod tests {
             let found = ops[i + 1..]
                 .iter()
                 .any(|o| matches!(o.kind, AccessKind::Load { dependent: true }) && o.vaddr == addr);
-            assert!(found, "prefetch at {i} (addr {addr}) has no later demand load");
+            assert!(
+                found,
+                "prefetch at {i} (addr {addr}) has no later demand load"
+            );
         }
     }
 

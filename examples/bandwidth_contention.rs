@@ -28,12 +28,20 @@ fn main() {
     let mut machine = Machine::new(MachineConfig::spr());
     for (i, &load) in loads.iter().enumerate() {
         let trace: Box<dyn simarch::TraceSource> = match kind.as_str() {
-            "gups" => Box::new(Gups::new(24 << 20, (ops as f64 * load * 4.0) as u64, 11 + i as u64)),
+            "gups" => Box::new(Gups::new(
+                24 << 20,
+                (ops as f64 * load * 4.0) as u64,
+                11 + i as u64,
+            )),
             _ => Box::new(Mbw::new(24 << 20, ops, load)),
         };
         machine.attach(
             i,
-            Workload::new(format!("{}-{}", kind.to_uppercase(), i + 1), trace, MemPolicy::Cxl),
+            Workload::new(
+                format!("{}-{}", kind.to_uppercase(), i + 1),
+                trace,
+                MemPolicy::Cxl,
+            ),
         );
     }
 
@@ -70,10 +78,21 @@ fn main() {
     let freq: Vec<f64> = req_freq.iter().map(|&f| f as f64).collect();
     let r = Materializer::correlate(&freq, &bw).unwrap_or(f64::NAN);
 
-    println!("four {} instances sharing one CXL device\n", kind.to_uppercase());
-    println!("{:<10} {:>16} {:>16}", "mFlow", "CXL req freq", "app BW (B/cy)");
+    println!(
+        "four {} instances sharing one CXL device\n",
+        kind.to_uppercase()
+    );
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "mFlow", "CXL req freq", "app BW (B/cy)"
+    );
     for c in 0..loads.len() {
-        println!("{:<10} {:>16} {:>16.4}", format!("{}-{}", kind.to_uppercase(), c + 1), req_freq[c], bw[c]);
+        println!(
+            "{:<10} {:>16} {:>16.4}",
+            format!("{}-{}", kind.to_uppercase(), c + 1),
+            req_freq[c],
+            bw[c]
+        );
     }
     println!("\nPearson r(request frequency, bandwidth) = {r:.3}   (paper: 0.998)");
     match report.culprit {

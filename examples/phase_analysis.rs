@@ -52,13 +52,25 @@ fn main() {
     // 1+2: scope and overall statistics.
     let series = profiler.materializer.hit_series(0, HitLevel::CxlMemory);
     let data: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
-    let (min, max, mean) = profiler.materializer.scope_stats(0, HitLevel::CxlMemory).unwrap();
-    println!("CXL-hit series over {} epochs: min {min:.0}, max {max:.0}, mean {mean:.0}\n", data.len());
+    let (min, max, mean) = profiler
+        .materializer
+        .scope_stats(0, HitLevel::CxlMemory)
+        .unwrap();
+    println!(
+        "CXL-hit series over {} epochs: min {min:.0}, max {max:.0}, mean {mean:.0}\n",
+        data.len()
+    );
 
     // 3: phase windows.
     println!("phase windows (consistent CXL intensity):");
-    for w in profiler.materializer.locality_windows(0, HitLevel::CxlMemory) {
-        println!("  epochs {:>3}..{:<3} mean {:>9.0} hits/epoch", w.start, w.end, w.mean);
+    for w in profiler
+        .materializer
+        .locality_windows(0, HitLevel::CxlMemory)
+    {
+        println!(
+            "  epochs {:>3}..{:<3} mean {:>9.0} hits/epoch",
+            w.start, w.end, w.mean
+        );
     }
 
     // 4: seasonality and anomalies. The gcc-like program alternates two
@@ -70,11 +82,18 @@ fn main() {
         .first()
         .map(|w| (w.len() * 2).max(2))
         .unwrap_or(4);
-    match profiler.materializer.predictability(0, HitLevel::CxlMemory, season) {
+    match profiler
+        .materializer
+        .predictability(0, HitLevel::CxlMemory, season)
+    {
         Some(err) => println!(
             "\nHolt-Winters relative fit error at season {season}: {err:.2} \
              ({} — paper: regular patterns indicate predictable accesses)",
-            if err < 0.6 { "predictable" } else { "irregular" }
+            if err < 0.6 {
+                "predictable"
+            } else {
+                "irregular"
+            }
         ),
         None => println!("\nseries too short for Holt-Winters at season {season}"),
     }

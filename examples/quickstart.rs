@@ -14,7 +14,9 @@ use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "649.fotonik3d_s".to_string());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "649.fotonik3d_s".to_string());
     let ops: u64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -42,6 +44,9 @@ fn main() {
         .locality_windows(0, pathfinder::model::HitLevel::CxlMemory);
     println!("CXL-traffic phases (epoch windows of consistent intensity):");
     for w in windows.iter().take(8) {
-        println!("  epochs {:>4}..{:<4} mean {:.0} hits/epoch", w.start, w.end, w.mean);
+        println!(
+            "  epochs {:>4}..{:<4} mean {:.0} hits/epoch",
+            w.start, w.end, w.mean
+        );
     }
 }

@@ -26,7 +26,11 @@ fn gups_machine() -> Machine {
     let gups = Gups::new(48 << 20, OPS, 7).hot_set(0.33, 0.9);
     machine.attach(
         0,
-        Workload::new("GUPS", Box::new(gups), MemPolicy::Interleave { cxl_fraction: 0.8 }),
+        Workload::new(
+            "GUPS",
+            Box::new(gups),
+            MemPolicy::Interleave { cxl_fraction: 0.8 },
+        ),
     );
     machine
 }
@@ -48,8 +52,14 @@ fn class_latencies(delta: &pmu::SystemDelta) -> ClassLatencies {
     let w = PfEstimator::class_miss_weights(delta);
     let lat = |p, t, default| PfEstimator::tor_latency(delta, p, t).unwrap_or(default);
     ClassLatencies {
-        drd: (lat(PathGroup::Drd, Tier::Local, 200.0), lat(PathGroup::Drd, Tier::Cxl, 700.0)),
-        rfo: (lat(PathGroup::Rfo, Tier::Local, 220.0), lat(PathGroup::Rfo, Tier::Cxl, 750.0)),
+        drd: (
+            lat(PathGroup::Drd, Tier::Local, 200.0),
+            lat(PathGroup::Drd, Tier::Cxl, 700.0),
+        ),
+        rfo: (
+            lat(PathGroup::Rfo, Tier::Local, 220.0),
+            lat(PathGroup::Rfo, Tier::Cxl, 750.0),
+        ),
         hwpf: (
             lat(PathGroup::HwPf, Tier::Local, 200.0),
             lat(PathGroup::HwPf, Tier::Cxl, 700.0),
@@ -71,7 +81,9 @@ fn run(mode: Mode) -> Outcome {
             Mode::Off => Vec::new(),
             Mode::Tpp => {
                 let m = profiler.machine();
-                tpp.epoch(&e.page_heat, &|asid, vpage| m.page_node(asid as usize, vpage))
+                tpp.epoch(&e.page_heat, &|asid, vpage| {
+                    m.page_node(asid as usize, vpage)
+                })
             }
             Mode::DynamicColloid => {
                 let lat = class_latencies(&e.delta);
@@ -110,11 +122,21 @@ fn main() {
     println!("GUPS, 48 MiB table, hot 33% of pages take 90% of traffic, 80% pages on CXL\n");
 
     let off = run(Mode::Off);
-    let on = run(if colloid { Mode::DynamicColloid } else { Mode::Tpp });
+    let on = run(if colloid {
+        Mode::DynamicColloid
+    } else {
+        Mode::Tpp
+    });
 
     let speedup = off.cycles as f64 / on.cycles as f64;
-    println!("{:<22} {:>14} {:>14} {:>12}", "", "TPP disabled", "TPP enabled", "change");
-    println!("{:<22} {:>14} {:>14} {:>11.2}x", "runtime (cycles)", off.cycles, on.cycles, speedup);
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "", "TPP disabled", "TPP enabled", "change"
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>11.2}x",
+        "runtime (cycles)", off.cycles, on.cycles, speedup
+    );
     println!(
         "{:<22} {:>14} {:>14} {:>11.2}x",
         "local DRAM hits",
@@ -132,6 +154,10 @@ fn main() {
     println!("{:<22} {:>14} {:>14}", "pages migrated", 0, on.migrations);
     println!(
         "\nmode: {} (paper: TPP lifts GUPS throughput ~3x; dynamic Colloid adds ~1.1x)",
-        if colloid { "TPP + dynamic Colloid" } else { "plain TPP" }
+        if colloid {
+            "TPP + dynamic Colloid"
+        } else {
+            "plain TPP"
+        }
     );
 }

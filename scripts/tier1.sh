@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI (and a reviewer) requires before merge.
+# Runs the release build, the full test suite, formatting, clippy with
+# warnings denied, and the pflint static-analysis pass (STATIC_ANALYSIS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo fmt --check
+run cargo clippy --workspace -- -D warnings
+run cargo run --release -p pflint
+
+echo "tier1: all gates passed"

@@ -11,7 +11,10 @@ use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
 fn run(app: &str, ops: u64, policy: MemPolicy) -> SystemDelta {
     let mut m = Machine::new(MachineConfig::spr());
-    m.attach(0, Workload::new(app, workloads::build(app, ops, 9).unwrap(), policy));
+    m.attach(
+        0,
+        Workload::new(app, workloads::build(app, ops, 9).unwrap(), policy),
+    );
     let start = m.pmu.snapshot(0);
     for _ in 0..3_000 {
         if m.run_epoch().all_done {
@@ -42,7 +45,11 @@ fn cxl_transaction_conservation() {
         assert_eq!(rwd, ak, "{app}: RwD vs AK");
         assert_eq!(rwd, wr_cas, "{app}: RwD vs write CAS");
         // M2PCIe ingress carries both directions' requests.
-        assert_eq!(d.m2p_sum(M2pEvent::RxcInserts), req + rwd, "{app}: ingress total");
+        assert_eq!(
+            d.m2p_sum(M2pEvent::RxcInserts),
+            req + rwd,
+            "{app}: ingress total"
+        );
     }
 }
 
@@ -54,7 +61,11 @@ fn core_cache_accounting() {
     let l2_hit = d.core_sum(CoreEvent::L2RqstsDemandDataRdHit);
     let l2_miss = d.core_sum(CoreEvent::L2RqstsDemandDataRdMiss);
     let l2_refs = d.core_sum(CoreEvent::L2RqstsAllDemandDataRd);
-    assert_eq!(l2_hit + l2_miss, l2_refs, "L2 DRd hit+miss must equal references");
+    assert_eq!(
+        l2_hit + l2_miss,
+        l2_refs,
+        "L2 DRd hit+miss must equal references"
+    );
     // Every offcore demand data read corresponds to an L2 DRd true miss.
     assert_eq!(d.core_sum(CoreEvent::OffcoreRequestsDemandDataRd), l2_miss);
     // Loads are partitioned into L1 hits, LFB merges, and true misses that
@@ -100,8 +111,16 @@ fn tor_vs_device_reads() {
 #[test]
 fn ocr_scenarios_tile_any_response() {
     use pmu::RespScenario as S;
-    let d = run("649.fotonik3d_s", 150_000, MemPolicy::Interleave { cxl_fraction: 0.5 });
-    for mk in [CoreEvent::OcrDemandDataRd as fn(S) -> CoreEvent, CoreEvent::OcrRfo, CoreEvent::OcrL2HwPfDrd] {
+    let d = run(
+        "649.fotonik3d_s",
+        150_000,
+        MemPolicy::Interleave { cxl_fraction: 0.5 },
+    );
+    for mk in [
+        CoreEvent::OcrDemandDataRd as fn(S) -> CoreEvent,
+        CoreEvent::OcrRfo,
+        CoreEvent::OcrL2HwPfDrd,
+    ] {
         let any = d.core_sum(mk(S::AnyResponse));
         let parts = d.core_sum(mk(S::L3HitSnoopLocal))
             + d.core_sum(mk(S::SncDistantL3))
@@ -119,7 +138,11 @@ fn ocr_scenarios_tile_any_response() {
 #[test]
 fn miss_local_caches_is_memory_sum() {
     use pmu::RespScenario as S;
-    let d = run("519.lbm_r", 150_000, MemPolicy::Interleave { cxl_fraction: 0.5 });
+    let d = run(
+        "519.lbm_r",
+        150_000,
+        MemPolicy::Interleave { cxl_fraction: 0.5 },
+    );
     let miss = d.core_sum(CoreEvent::OcrDemandDataRd(S::MissLocalCaches));
     let mem = d.core_sum(CoreEvent::OcrDemandDataRd(S::LocalDram))
         + d.core_sum(CoreEvent::OcrDemandDataRd(S::SncDistantDram))
@@ -150,12 +173,19 @@ fn occupancy_derived_latencies_are_sane() {
     let d = run("GUPS", 120_000, MemPolicy::Cxl);
     let cfg = MachineConfig::spr();
     let tor_lat = d.cha_sum(ChaEvent::TorOccupancyIaDrd(TorDrdScen::MissCxl)) as f64
-        / d.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl)).max(1) as f64;
+        / d.cha_sum(ChaEvent::TorInsertsIaDrd(TorDrdScen::MissCxl))
+            .max(1) as f64;
     // A CXL round trip from the CHA is bounded below by link+media and above
     // by a generously-queued multiple.
     let floor = (cfg.flexbus_latency + cfg.cxl_media_latency) as f64;
-    assert!(tor_lat >= floor, "TOR CXL latency {tor_lat} below physical floor {floor}");
-    assert!(tor_lat < floor * 20.0, "TOR CXL latency {tor_lat} absurdly high");
+    assert!(
+        tor_lat >= floor,
+        "TOR CXL latency {tor_lat} below physical floor {floor}"
+    );
+    assert!(
+        tor_lat < floor * 20.0,
+        "TOR CXL latency {tor_lat} absurdly high"
+    );
     let dev_lat = d.cxl_sum(CxlEvent::DevMcRpqOccupancy) as f64
         / d.cxl_sum(CxlEvent::DevMcRdCas).max(1) as f64;
     assert!(dev_lat >= cfg.cxl_media_latency as f64 * 0.9);

@@ -17,14 +17,22 @@ fn run_once(seed: u64) -> (u64, String, usize) {
     );
     machine.attach(
         1,
-        Workload::new("YCSB-B", workloads::build("YCSB-B", 150_000, seed).unwrap(), MemPolicy::Cxl),
+        Workload::new(
+            "YCSB-B",
+            workloads::build("YCSB-B", 150_000, seed).unwrap(),
+            MemPolicy::Cxl,
+        ),
     );
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
     let report = profiler.run(2_000);
     // Drop the header line: it reports wall-clock profiler overhead, the
     // one legitimately non-deterministic quantity.
-    let body: String =
-        report.render().lines().skip(1).collect::<Vec<_>>().join("\n");
+    let body: String = report
+        .render()
+        .lines()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .join("\n");
     (report.cycles, body, profiler.materializer.db.len())
 }
 
@@ -42,7 +50,10 @@ fn different_seeds_different_execution() {
     let a = run_once(1);
     let b = run_once(2);
     // Different random access patterns must change timing.
-    assert_ne!(a.1, b.1, "reports identical across seeds — RNG not plumbed through?");
+    assert_ne!(
+        a.1, b.1,
+        "reports identical across seeds — RNG not plumbed through?"
+    );
 }
 
 #[test]
@@ -51,7 +62,11 @@ fn counter_state_is_bit_identical_across_runs() {
         let mut m = Machine::new(MachineConfig::tiny());
         m.attach(
             0,
-            Workload::new("PR", workloads::build("PR", 80_000, seed).unwrap(), MemPolicy::Cxl),
+            Workload::new(
+                "PR",
+                workloads::build("PR", 80_000, seed).unwrap(),
+                MemPolicy::Cxl,
+            ),
         );
         m.run_to_completion(2_000);
         m.pmu.snapshot(m.now())

@@ -18,7 +18,12 @@ fn profile(app: &str, ops: u64, policy: MemPolicy, cfg: MachineConfig) -> Report
 fn stencil_over_cxl_is_prefetch_dominated_at_the_uncore() {
     // Case 1: for 649.fotonik3d_s the uncore hot path is HWPF and CXL
     // memory hits far exceed local LLC hits (8.1x in the paper).
-    let r = profile("649.fotonik3d_s", 600_000, MemPolicy::Cxl, MachineConfig::spr());
+    let r = profile(
+        "649.fotonik3d_s",
+        600_000,
+        MemPolicy::Cxl,
+        MachineConfig::spr(),
+    );
     let m = &r.path_map;
     let total = m.total.uncore_total();
     assert!(total > 0);
@@ -34,7 +39,11 @@ fn stencil_over_cxl_is_prefetch_dominated_at_the_uncore() {
         })
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    assert_eq!(hot, PathGroup::HwPf, "uncore hot path must be HWPF (share {share:.2})");
+    assert_eq!(
+        hot,
+        PathGroup::HwPf,
+        "uncore hot path must be HWPF (share {share:.2})"
+    );
     let cxl = r.path_map.total.level_total(HitLevel::CxlMemory);
     let llc = r.path_map.total.level_total(HitLevel::LocalLlc).max(1);
     assert!(
@@ -104,7 +113,9 @@ fn materializer_tracks_phase_changes_of_phased_apps() {
     );
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
     profiler.run(3_000);
-    let windows = profiler.materializer.locality_windows(0, HitLevel::CxlMemory);
+    let windows = profiler
+        .materializer
+        .locality_windows(0, HitLevel::CxlMemory);
     assert!(
         windows.len() >= 2,
         "phased app must show multiple locality windows, got {}",
@@ -119,7 +130,10 @@ fn emr_and_spr_share_counter_semantics() {
     for cfg in [MachineConfig::spr(), MachineConfig::emr()] {
         let name = cfg.name;
         let r = profile("519.lbm_r", 300_000, MemPolicy::Cxl, cfg);
-        assert!(r.path_map.total.level_total(HitLevel::CxlMemory) > 0, "{name}: no CXL hits");
+        assert!(
+            r.path_map.total.level_total(HitLevel::CxlMemory) > 0,
+            "{name}: no CXL hits"
+        );
         assert!(r.stalls.total() > 0.0, "{name}: no stall attribution");
     }
 }
@@ -128,7 +142,12 @@ fn emr_and_spr_share_counter_semantics() {
 fn report_renders_all_sections() {
     let r = profile("GUPS", 100_000, MemPolicy::Cxl, MachineConfig::tiny());
     let text = r.render();
-    for needle in ["PathFinder report", "Path map", "stall breakdown", "culprit"] {
+    for needle in [
+        "PathFinder report",
+        "Path map",
+        "stall breakdown",
+        "culprit",
+    ] {
         assert!(text.contains(needle), "missing section {needle:?}");
     }
 }
@@ -141,11 +160,23 @@ fn profiler_overhead_is_lightweight() {
     let mut machine = Machine::new(MachineConfig::tiny());
     machine.attach(
         0,
-        Workload::new("STREAM", workloads::build("STREAM", 400_000, 1).unwrap(), MemPolicy::Cxl),
+        Workload::new(
+            "STREAM",
+            workloads::build("STREAM", 400_000, 1).unwrap(),
+            MemPolicy::Cxl,
+        ),
     );
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
     profiler.run(3_000);
     let o = profiler.overhead();
-    assert!(o.cpu_fraction() < 0.5, "profiler used {:.1}% of CPU", 100.0 * o.cpu_fraction());
-    assert!(o.memory_bytes < 256 << 20, "profiler used {} bytes", o.memory_bytes);
+    assert!(
+        o.cpu_fraction() < 0.5,
+        "profiler used {:.1}% of CPU",
+        100.0 * o.cpu_fraction()
+    );
+    assert!(
+        o.memory_bytes < 256 << 20,
+        "profiler used {} bytes",
+        o.memory_bytes
+    );
 }

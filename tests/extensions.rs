@@ -84,7 +84,10 @@ fn two_cxl_devices_isolate_traffic() {
     // must stay on its own port.
     let req0 = d.pmu.cxls[0].read(CxlEvent::RxcPackBufInsertsMemReq);
     let req1 = d.pmu.cxls[1].read(CxlEvent::RxcPackBufInsertsMemReq);
-    assert!(req0 > 0 && req1 > 0, "both devices must see traffic ({req0}, {req1})");
+    assert!(
+        req0 > 0 && req1 > 0,
+        "both devices must see traffic ({req0}, {req1})"
+    );
     let ratio = req0 as f64 / req1 as f64;
     assert!((0.5..2.0).contains(&ratio), "traffic imbalance {ratio}");
     assert_eq!(
@@ -124,7 +127,10 @@ fn devload_telemetry_tracks_saturation() {
     }
     // Device backlog drains at epoch boundaries, so at least at some point
     // during saturation the QoS class must have escalated past Light.
-    assert!(seen_loaded, "DevLoad never escalated under 4-core saturation");
+    assert!(
+        seen_loaded,
+        "DevLoad never escalated under 4-core saturation"
+    );
 }
 
 #[test]
@@ -137,10 +143,17 @@ fn swpf_merges_into_drd_path_at_the_uncore() {
     let chase = PointerChase::new(16 << 20, 40_000, 3);
     m.attach(
         0,
-        Workload::new("swpf", Box::new(SwPrefetchAhead::new(chase, 8)), MemPolicy::Cxl),
+        Workload::new(
+            "swpf",
+            Box::new(SwPrefetchAhead::new(chase, 8)),
+            MemPolicy::Cxl,
+        ),
     );
     let d = run_machine(m, 3_000);
     let map = PfBuilder::build(&d);
     let drd_cxl = map.per_core[0].get(HitLevel::CxlMemory, PathGroup::Drd);
-    assert!(drd_cxl > 0, "SWPF-carried traffic must appear on the DRd path");
+    assert!(
+        drd_cxl > 0,
+        "SWPF-carried traffic must appear on the DRd path"
+    );
 }

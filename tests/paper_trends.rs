@@ -9,7 +9,10 @@ use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 /// Run an app under a policy and return the whole-run counter delta.
 fn run(app: &str, ops: u64, policy: MemPolicy, cfg: MachineConfig) -> (SystemDelta, u64) {
     let mut m = Machine::new(cfg);
-    m.attach(0, Workload::new(app, workloads::build(app, ops, 7).unwrap(), policy));
+    m.attach(
+        0,
+        Workload::new(app, workloads::build(app, ops, 7).unwrap(), policy),
+    );
     let start = m.pmu.snapshot(0);
     let mut last = None;
     for _ in 0..5_000 {
@@ -49,7 +52,10 @@ fn fig2a_sb_stalls_grow_under_cxl_for_write_heavy_apps() {
 fn fig2b_l1d_stall_and_response_grow_under_cxl() {
     let (dl, _, dc, _) = pair("505.mcf_r", 120_000);
     let stalls = |d: &SystemDelta| d.core_sum(CoreEvent::MemoryActivityStallsL1dMiss);
-    assert!(stalls(&dc) > stalls(&dl), "paper: 2.1x more L1D-miss stalls under CXL");
+    assert!(
+        stalls(&dc) > stalls(&dl),
+        "paper: 2.1x more L1D-miss stalls under CXL"
+    );
     // Mean load latency must rise as well.
     let lat = |d: &SystemDelta| {
         d.core_sum(CoreEvent::MemTransRetiredLoadLatency) as f64
@@ -74,14 +80,21 @@ fn fig2e_l2_stalls_grow_under_cxl() {
 fn fig3a_llc_stalls_grow_under_cxl() {
     let (dl, _, dc, _) = pair("505.mcf_r", 120_000);
     let s = |d: &SystemDelta| d.core_sum(CoreEvent::CycleActivityStallsL3Miss);
-    assert!(s(&dc) > s(&dl), "paper: 2.1x more LLC-miss stalls under CXL");
+    assert!(
+        s(&dc) > s(&dl),
+        "paper: 2.1x more LLC-miss stalls under CXL"
+    );
 }
 
 #[test]
 fn fig3c_miss_destinations_shift_from_dram_to_cxl() {
     let (dl, _, dc, _) = pair("503.bwaves_r", 400_000);
     let cxl_miss = |d: &SystemDelta| d.cha_sum(ChaEvent::TorInsertsIa(IaScen::MissCxl));
-    assert_eq!(cxl_miss(&dl), 0, "local run must have no CXL-target TOR inserts");
+    assert_eq!(
+        cxl_miss(&dl),
+        0,
+        "local run must have no CXL-target TOR inserts"
+    );
     assert!(cxl_miss(&dc) > 0);
 }
 
@@ -109,8 +122,14 @@ fn fig4a_imc_queues_idle_under_cxl_traffic() {
 fn fig4b_m2pcie_carries_the_cxl_loads_and_stores() {
     let (dl, _, dc, _) = pair("519.lbm_r", 400_000);
     assert_eq!(dl.m2p_sum(M2pEvent::TxcInsertsBl), 0);
-    assert!(dc.m2p_sum(M2pEvent::TxcInsertsBl) > 0, "CXL loads return BL data entries");
-    assert!(dc.m2p_sum(M2pEvent::TxcInsertsAk) > 0, "CXL stores return AK acknowledgements");
+    assert!(
+        dc.m2p_sum(M2pEvent::TxcInsertsBl) > 0,
+        "CXL loads return BL data entries"
+    );
+    assert!(
+        dc.m2p_sum(M2pEvent::TxcInsertsAk) > 0,
+        "CXL stores return AK acknowledgements"
+    );
     // M2S/S2M conservation at the device.
     assert_eq!(
         dc.cxl_sum(CxlEvent::RxcPackBufInsertsMemReq),
@@ -159,8 +178,14 @@ fn mlc_style_latency_calibration() {
     };
     let local = measure(MemPolicy::Local);
     let cxl = measure(MemPolicy::Cxl);
-    assert!((70.0..160.0).contains(&local), "local latency {local:.1} ns (paper 103.2)");
-    assert!((280.0..450.0).contains(&cxl), "cxl latency {cxl:.1} ns (paper 355.3)");
+    assert!(
+        (70.0..160.0).contains(&local),
+        "local latency {local:.1} ns (paper 103.2)"
+    );
+    assert!(
+        (280.0..450.0).contains(&cxl),
+        "cxl latency {cxl:.1} ns (paper 355.3)"
+    );
     assert!(cxl / local > 2.0, "paper ratio ≈ 3.4x");
 }
 
@@ -193,8 +218,16 @@ fn three_memory_tiers_order_correctly() {
     assert!(local < remote, "local {local:.0} !< remote {remote:.0}");
     assert!(remote < cxl, "remote {remote:.0} !< cxl {cxl:.0}");
     // Paper ratios: remote/local ≈ 1.59, cxl/local ≈ 3.44.
-    assert!((1.2..2.2).contains(&(remote / local)), "remote/local {:.2}", remote / local);
-    assert!((2.4..4.5).contains(&(cxl / local)), "cxl/local {:.2}", cxl / local);
+    assert!(
+        (1.2..2.2).contains(&(remote / local)),
+        "remote/local {:.2}",
+        remote / local
+    );
+    assert!(
+        (2.4..4.5).contains(&(cxl / local)),
+        "cxl/local {:.2}",
+        cxl / local
+    );
 }
 
 #[test]
@@ -215,6 +248,12 @@ fn emr_shows_same_trends_with_smaller_deltas() {
     };
     let spr = ratio(MachineConfig::spr());
     let emr = ratio(MachineConfig::emr());
-    assert!(spr > 1.0, "SPR CXL/local stall ratio {spr:.2} must exceed 1");
-    assert!(emr > 1.0, "EMR CXL/local stall ratio {emr:.2} must exceed 1");
+    assert!(
+        spr > 1.0,
+        "SPR CXL/local stall ratio {spr:.2} must exceed 1"
+    );
+    assert!(
+        emr > 1.0,
+        "EMR CXL/local stall ratio {emr:.2} must exceed 1"
+    );
 }

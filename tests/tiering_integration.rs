@@ -14,7 +14,11 @@ fn gups_machine(seed: u64) -> Machine {
     let gups = Gups::new(16 << 20, OPS, seed).hot_set(0.25, 0.9);
     machine.attach(
         0,
-        Workload::new("GUPS", Box::new(gups), MemPolicy::Interleave { cxl_fraction: 0.9 }),
+        Workload::new(
+            "GUPS",
+            Box::new(gups),
+            MemPolicy::Interleave { cxl_fraction: 0.9 },
+        ),
     );
     machine
 }
@@ -29,13 +33,18 @@ struct Outcome {
 
 fn run(with_tpp: bool) -> Outcome {
     let mut profiler = Profiler::new(gups_machine(9), ProfileSpec::default());
-    let mut tpp = Tpp::new(TppConfig { promote_threshold: 2.0, ..Default::default() });
+    let mut tpp = Tpp::new(TppConfig {
+        promote_threshold: 2.0,
+        ..Default::default()
+    });
     let mut migrations = 0;
     loop {
         let e = profiler.profile_epoch();
         if with_tpp {
             let m = profiler.machine();
-            let migs = tpp.epoch(&e.page_heat, &|asid, vpage| m.page_node(asid as usize, vpage));
+            let migs = tpp.epoch(&e.page_heat, &|asid, vpage| {
+                m.page_node(asid as usize, vpage)
+            });
             let m = profiler.machine_mut();
             for mig in migs {
                 if m.migrate_page(mig.asid as usize, mig.vpage, mig.to) {
@@ -62,7 +71,11 @@ fn tpp_migrates_hot_pages_and_improves_gups() {
     let off = run(false);
     let on = run(true);
 
-    assert!(on.migrations > 50, "TPP migrated only {} pages", on.migrations);
+    assert!(
+        on.migrations > 50,
+        "TPP migrated only {} pages",
+        on.migrations
+    );
     assert!(
         on.cxl_resident_end < off.cxl_resident_end,
         "CXL residency must shrink: {} vs {}",
@@ -95,12 +108,17 @@ fn tpp_migrates_hot_pages_and_improves_gups() {
 #[test]
 fn tpp_is_idempotent_once_hot_set_is_local() {
     let mut profiler = Profiler::new(gups_machine(11), ProfileSpec::default());
-    let mut tpp = Tpp::new(TppConfig { promote_threshold: 2.0, ..Default::default() });
+    let mut tpp = Tpp::new(TppConfig {
+        promote_threshold: 2.0,
+        ..Default::default()
+    });
     let mut last_burst = 0;
     for _ in 0..60 {
         let e = profiler.profile_epoch();
         let m = profiler.machine();
-        let migs = tpp.epoch(&e.page_heat, &|asid, vpage| m.page_node(asid as usize, vpage));
+        let migs = tpp.epoch(&e.page_heat, &|asid, vpage| {
+            m.page_node(asid as usize, vpage)
+        });
         last_burst = migs.len();
         let m = profiler.machine_mut();
         for mig in migs {
@@ -112,5 +130,8 @@ fn tpp_is_idempotent_once_hot_set_is_local() {
     }
     // Once the hot set has been promoted, steady-state migration activity
     // must die down (no thrashing).
-    assert!(last_burst < 32, "still migrating {last_burst} pages per epoch at steady state");
+    assert!(
+        last_burst < 32,
+        "still migrating {last_burst} pages per epoch at steady state"
+    );
 }

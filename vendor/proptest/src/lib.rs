@@ -1,0 +1,285 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of the proptest API the workspace tests use:
+//! the `proptest!` macro, `ProptestConfig::with_cases`, integer-range and
+//! tuple strategies, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for a test-only
+//! stand-in: cases are generated from a fixed seed (fully deterministic
+//! run-to-run, which suits this repo's determinism policy), and failing
+//! cases are reported but **not shrunk**.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error type produced by `prop_assert!` and friends.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError};
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Drives the per-case loop for one `proptest!` test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Deterministic per-case RNG: the stream depends only on the case
+        /// index, so failures reproduce exactly across runs and machines.
+        pub fn rng_for(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(0x5EED_CAFE ^ (case as u64).wrapping_mul(0x9E37_79B9))
+        }
+    }
+}
+
+/// A generator of values for one `proptest!` binding.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// A fixed value, always produced verbatim.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Strategy producing `Vec`s whose length is drawn from `len`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::test_runner::TestCaseError;
+    pub use super::{Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! {
+            ($crate::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(config);
+            for case in 0..runner.cases() {
+                let mut __pt_rng = runner.rng_for(case);
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __pt_rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 1u64..100,
+            (a, b) in (0u8..10, 5usize..=9),
+            v in crate::collection::vec((0u64..50, 1u64..4), 1..20),
+        ) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (p, q) in v {
+                prop_assert!(p < 50, "p out of range: {}", p);
+                prop_assert!(q >= 1 && q < 4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_assert_panics_with_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(unused)]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
