@@ -19,6 +19,7 @@ use pmu::{CoreEvent, RespScenario};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!("Ablation — estimator accuracy against simulator ground truth ({ops} ops)\n");
 
@@ -111,5 +112,6 @@ fn main() -> std::io::Result<()> {
     let estimated = q.get(PathGroup::Drd, pathfinder::model::Component::L1d);
     println!("  manual λ·W = {manual:.6}, PFAnalyzer = {estimated:.6} (must match exactly)");
     assert!((manual - estimated).abs() < 1e-9);
+    obs.finish()?;
     Ok(())
 }

@@ -13,6 +13,7 @@ use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!("Ablation — scheduling-epoch (snapshot) granularity sweep ({ops} ops)\n");
 
@@ -61,5 +62,6 @@ fn main() -> std::io::Result<()> {
          controls (§4.1)."
     );
     write_csv("ablation_epoch.csv", &headers, &rows)?;
+    obs.finish()?;
     Ok(())
 }

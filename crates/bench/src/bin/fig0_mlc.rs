@@ -10,6 +10,7 @@ use simarch::MemPolicy;
 use workloads::{PointerChase, StreamGen};
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let cfg = platform_from_args();
     println!("MLC-style probe on {} ({} GHz)\n", cfg.name, cfg.freq_ghz);
 
@@ -66,5 +67,6 @@ fn main() -> std::io::Result<()> {
         &headers,
         &rows,
     )?;
+    obs.finish()?;
     Ok(())
 }

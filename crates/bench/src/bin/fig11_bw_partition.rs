@@ -16,6 +16,7 @@ use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 use workloads::{Gups, Mbw};
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     let gups = std::env::args().any(|a| a == "--gups");
     let kind = if gups { "GUPS" } else { "MBW" };
@@ -105,5 +106,6 @@ fn main() -> std::io::Result<()> {
         format!("{r:.4}"),
     ]);
     write_csv("fig11_bw_partition.csv", &headers, &rows_csv)?;
+    obs.finish()?;
     Ok(())
 }

@@ -77,6 +77,7 @@ fn scenario(
 }
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!("Figure 12 — 503.bwaves_r locality under co-location ({ops} ops per app)\n");
 
@@ -147,5 +148,6 @@ fn main() -> std::io::Result<()> {
          bwaves' CXL path, roms on CXL contends with it)"
     );
     write_csv("fig12_locality.csv", &headers, &rows)?;
+    obs.finish()?;
     Ok(())
 }

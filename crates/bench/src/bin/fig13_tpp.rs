@@ -195,6 +195,7 @@ fn run(app: &str, ops: u64, mode: Mode) -> Outcome {
 }
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!("Figure 13 — TPP off vs on, traced by PathFinder ({ops} ops per run)\n");
 
@@ -265,5 +266,6 @@ fn main() -> std::io::Result<()> {
     println!("paper: the dynamic variant improves GUPS by ~1.1x over TPP+Colloid");
     write_csv("fig13_tpp.csv", &headers, &rows)?;
     write_csv("fig13_colloid.csv", &headers2, &rows2)?;
+    obs.finish()?;
     Ok(())
 }

@@ -22,6 +22,7 @@ fn run_app(cfg: &MachineConfig, app: &str, ops: u64, policy: MemPolicy) -> Syste
 }
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let cfg = platform_from_args();
     let ops = ops_from_args();
     println!(
@@ -169,5 +170,6 @@ fn main() -> std::io::Result<()> {
         &headers,
         &rows,
     )?;
+    obs.finish()?;
     Ok(())
 }

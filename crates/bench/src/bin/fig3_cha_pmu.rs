@@ -32,6 +32,7 @@ fn pair(cfg: &MachineConfig, app: &str, ops: u64) -> RunPair {
 }
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let cfg = platform_from_args();
     let ops = ops_from_args();
     println!(
@@ -221,5 +222,6 @@ fn main() -> std::io::Result<()> {
         &headers_f,
         &rows_f,
     )?;
+    obs.finish()?;
     Ok(())
 }

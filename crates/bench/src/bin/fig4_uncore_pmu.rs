@@ -12,6 +12,7 @@ use simarch::MemPolicy;
 use workloads::StreamGen;
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let cfg = platform_from_args();
     let ops = ops_from_args();
     println!(
@@ -112,5 +113,6 @@ fn main() -> std::io::Result<()> {
         &headers_b,
         &rows_b,
     )?;
+    obs.finish()?;
     Ok(())
 }

@@ -14,6 +14,7 @@ use simarch::{MachineConfig, MemPolicy};
 const APPS: [&str; 6] = ["fft", "raytrace", "barnes", "freqmine", "BFS", "radix"];
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!(
         "Figure 6 — CXL-induced stall breakdown per path ({} ops per run)\n",
@@ -50,5 +51,6 @@ fn main() -> std::io::Result<()> {
          DWr paths put their residual SB share on top"
     );
     write_csv("fig6_stall_breakdown.csv", &headers, &rows)?;
+    obs.finish()?;
     Ok(())
 }

@@ -14,6 +14,7 @@ use simarch::{MachineConfig, MemPolicy};
 use workloads::{Mbw, StreamGen};
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!(
         "Figures 7/8 — local+CXL interference sweep ({} ops per run)\n",
@@ -108,5 +109,6 @@ fn main() -> std::io::Result<()> {
     );
     write_csv("fig7_interference_stall.csv", &stall_headers, &stall_rows)?;
     write_csv("fig8_interference_queue.csv", &queue_headers, &queue_rows)?;
+    obs.finish()?;
     Ok(())
 }

@@ -15,6 +15,7 @@ use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 use workloads::Mbw;
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!(
         "Figures 9/10 — concurrent CXL mFlow contention ({} ops per run)\n",
@@ -156,5 +157,6 @@ fn main() -> std::io::Result<()> {
     );
     write_csv("fig9_contention_stall.csv", &headers9, &rows9)?;
     write_csv("fig10_contention_queue.csv", &headers10, &rows10)?;
+    obs.finish()?;
     Ok(())
 }

@@ -15,6 +15,7 @@ use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 
 fn main() -> std::io::Result<()> {
+    let obs = bench::obs_session();
     let ops = ops_from_args();
     println!("Table 7 — PFBuilder path maps over CXL memory ({ops} ops per run)\n");
 
@@ -119,5 +120,6 @@ fn main() -> std::io::Result<()> {
     println!("snapshot 2 path map:");
     println!("{}", m2.render(&[0]));
     write_csv("table7_gcc_snapshots.csv", &headers, &rows)?;
+    obs.finish()?;
     Ok(())
 }

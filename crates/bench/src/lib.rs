@@ -140,6 +140,15 @@ pub const SIX_APPS: [&str; 6] = [
     "649.fotonik3d_s",
 ];
 
+/// Start an observability session from the process argv. Every figure
+/// binary accepts `--timings`, `--timings-json <path>`, and
+/// `--trace-json <path>` (see OBSERVABILITY.md); call
+/// [`obs::cli::Session::finish`] before returning so the artefacts are
+/// written.
+pub fn obs_session() -> obs::cli::Session {
+    obs::cli::Session::from_env()
+}
+
 /// Parse `--emr` from argv: all §3 figure binaries accept it to regenerate
 /// the EMR variants (paper Figures 14-16).
 pub fn platform_from_args() -> MachineConfig {

@@ -11,7 +11,14 @@
 //!   --ops N                      operation budget (default 500000)
 //!   --emr                        use the EMR platform preset
 //!   --seed N                     workload seed (default 42)
+//!   --timings                    print the phase-timing table after the run
+//!   --timings-json <path>        write per-phase timings + metrics JSON
+//!   --trace-json <path>          write Chrome trace-event JSON
 //! ```
+//!
+//! The three `--timings*`/`--trace-json` flags enable the `obs` recorder
+//! (see OBSERVABILITY.md); without them no wall clock is read and output is
+//! byte-identical to an instrumented run.
 
 use pathfinder::model::{HitLevel, PathGroup};
 use pathfinder::profiler::{ProfileSpec, Profiler};
@@ -20,7 +27,8 @@ use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 fn usage() -> ! {
     eprintln!(
         "usage: pathfinder <list-counters|list-apps|profile <app>|compare <app>>\n\
-         \x20  [--policy local|remote|cxl|mix:<f>] [--ops N] [--emr] [--seed N]"
+         \x20  [--policy local|remote|cxl|mix:<f>] [--ops N] [--emr] [--seed N]\n\
+         \x20  [--timings] [--timings-json <path>] [--trace-json <path>]"
     );
     std::process::exit(2);
 }
@@ -89,8 +97,10 @@ fn profile(app: &str, o: &Opts) -> (pathfinder::Report, Profiler) {
     (report, profiler)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn main() -> std::io::Result<()> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (obs_args, args) = obs::cli::ObsArgs::strip(&raw);
+    let session = obs::cli::Session::new(obs_args);
     match args.first().map(String::as_str) {
         Some("list-counters") => {
             print!("{}", pmu::registry::render_table());
@@ -130,6 +140,9 @@ fn main() {
             );
             let (report, _profiler) = profile(&app, &o);
             println!("{}", report.render());
+            if obs::is_enabled() {
+                print!("{}", report.overhead.render());
+            }
         }
         Some("compare") => {
             let app = args.get(1).cloned().unwrap_or_else(|| usage());
@@ -183,4 +196,5 @@ fn main() {
         }
         _ => usage(),
     }
+    session.finish()
 }

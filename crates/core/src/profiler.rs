@@ -7,10 +7,9 @@
 //! the profiling specification. §5.9's overhead claim (1.3% CPU, 38 MB) is
 //! tracked by [`Overhead`].
 
-// Wall-clock time is used only for profiler self-overhead accounting
-// (§5.9) and never feeds the simulation model or report ordering.
-use std::time::Instant; // pflint::allow(wall-clock)
-
+// Wall-clock time is observed only through the `obs` crate's span recorder
+// (§5.9 self-overhead accounting) and never feeds the simulation model or
+// report ordering; with obs disabled no clock is read at all.
 use crate::analyzer::{Culprit, PfAnalyzer, QueueEstimate};
 use crate::builder::{PathMap, PfBuilder};
 use crate::estimator::{PfEstimator, StallBreakdown};
@@ -48,13 +47,17 @@ impl Default for ProfileSpec {
 }
 
 /// Profiler self-overhead (§5.9).
+///
+/// Wall-time fields are populated from `obs` span measurements and stay
+/// zero when observability is disabled (`obs::enable()` not called);
+/// `memory_bytes` is always real retained state and never needs a clock.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Overhead {
     /// Wall time spent simulating the machine (the "application").
     pub machine_secs: f64,
     /// Wall time spent in PathFinder's own analysis.
     pub profiler_secs: f64,
-    /// Resident bytes of profiler state (DB + snapshots).
+    /// Resident bytes of profiler state (DB + retained snapshot).
     pub memory_bytes: usize,
 }
 
@@ -67,6 +70,19 @@ impl Overhead {
         } else {
             self.profiler_secs / total
         }
+    }
+
+    /// Render the §5.9 overhead lines (CPU split + memory). Wall-clock
+    /// derived, so this is kept out of [`Report::render`] and only shown
+    /// when timings were requested.
+    pub fn render(&self) -> String {
+        format!(
+            "overhead: {:.2}% CPU ({:.3} s machine + {:.3} s profiler), {:.1} MB profiler state\n",
+            100.0 * self.cpu_fraction(),
+            self.machine_secs,
+            self.profiler_secs,
+            self.memory_bytes as f64 / 1e6,
+        )
     }
 }
 
@@ -108,12 +124,15 @@ pub struct Report {
 impl Report {
     /// Render the headline report: path map, stall breakdown, culprit.
     pub fn render(&self) -> String {
+        // Deterministic by construction: nothing here derives from wall
+        // time, so obs-enabled and obs-disabled runs render byte-identically
+        // (wall-clock overhead lives in [`Overhead::render`], shown only
+        // under `--timings`).
         let mut out = String::new();
         out.push_str(&format!(
-            "PathFinder report: {} epochs, {:.2} ms simulated, overhead {:.2}% CPU / {:.1} MB\n\n",
+            "PathFinder report: {} epochs, {:.2} ms simulated, {:.1} MB profiler state\n\n",
             self.epochs,
             self.cycles as f64 / self.freq_ghz / 1e6,
-            100.0 * self.overhead.cpu_fraction(),
             self.overhead.memory_bytes as f64 / 1e6,
         ));
         out.push_str("== Path map (hits per level, all cores) ==\n");
@@ -217,12 +236,19 @@ impl Profiler {
     }
 
     /// Run one scheduling epoch and apply the enabled techniques.
+    ///
+    /// Each phase runs under an `obs` span (`epoch.machine`,
+    /// `epoch.profiler`, and per-technique `technique.*` spans); the
+    /// measured durations feed this profiler's own [`Overhead`] so that
+    /// multiple profilers in one process never cross-contaminate.
     pub fn profile_epoch(&mut self) -> ProfiledEpoch {
-        let t0 = Instant::now(); // pflint::allow(wall-clock)
+        let span_machine = obs::span!("epoch.machine");
         let er = self.machine.run_epoch();
-        let t1 = Instant::now(); // pflint::allow(wall-clock)
-        self.overhead.machine_secs += (t1 - t0).as_secs_f64();
+        if let Some(d) = span_machine.finish() {
+            self.overhead.machine_secs += d.as_secs_f64();
+        }
 
+        let span_profiler = obs::span!("epoch.profiler");
         let delta = er.snapshot.delta(&self.prev);
         self.prev = er.snapshot;
         self.epoch += 1;
@@ -232,16 +258,19 @@ impl Profiler {
 
         let apps = self.apps();
         let path_map = if self.spec.build_paths {
+            let _t = obs::span!("technique.builder");
             Some(PfBuilder::build(&delta))
         } else {
             None
         };
         let stalls = if self.spec.estimate_stalls {
+            let _t = obs::span!("technique.estimator");
             Some(PfEstimator::breakdown(&delta, &self.lat))
         } else {
             None
         };
         let queues = if self.spec.analyze_queues {
+            let _t = obs::span!("technique.analyzer");
             Some(PfAnalyzer::analyze(&delta, &self.lat))
         } else {
             None
@@ -289,6 +318,7 @@ impl Profiler {
         }
 
         if self.spec.materialize && self.epoch as usize <= self.spec.max_db_epochs {
+            let _t = obs::span!("technique.materializer");
             let ts = delta.end_cycle;
             if let Some(map) = &path_map {
                 self.materializer.ingest_path_map(ts, map, &apps);
@@ -299,7 +329,9 @@ impl Profiler {
             self.materializer
                 .ingest_progress(ts, &er.ops_per_core, &apps);
         }
-        self.overhead.profiler_secs += t1.elapsed().as_secs_f64();
+        if let Some(d) = span_profiler.finish() {
+            self.overhead.profiler_secs += d.as_secs_f64();
+        }
 
         ProfiledEpoch {
             epoch: self.epoch,
@@ -328,12 +360,21 @@ impl Profiler {
         self.report()
     }
 
+    /// Real retained profiler state (§5.9): the time-series DB plus the
+    /// one PMU snapshot kept for the next epoch digest. Deterministic —
+    /// no clock involved — and mirrored into the `overhead.memory_bytes`
+    /// obs gauge whenever observability is on.
+    fn retained_bytes(&self) -> usize {
+        let bytes = self.materializer.footprint_bytes() + self.prev.footprint_bytes();
+        obs::metrics::gauge_set("overhead.memory_bytes", bytes as f64);
+        bytes
+    }
+
     /// Snapshot the current run-level report.
     pub fn report(&self) -> Report {
         let cores = self.machine.config().cores;
         let mut overhead = self.overhead;
-        overhead.memory_bytes =
-            self.materializer.footprint_bytes() + self.machine.pmu.footprint_bytes() * 2;
+        overhead.memory_bytes = self.retained_bytes();
         Report {
             epochs: self.epoch,
             cycles: self.machine.now(),
@@ -364,8 +405,7 @@ impl Profiler {
     /// Current overhead accounting.
     pub fn overhead(&self) -> Overhead {
         let mut o = self.overhead;
-        o.memory_bytes =
-            self.materializer.footprint_bytes() + self.machine.pmu.footprint_bytes() * 2;
+        o.memory_bytes = self.retained_bytes();
         o
     }
 }
@@ -453,12 +493,28 @@ mod tests {
     }
 
     #[test]
-    fn overhead_is_tracked() {
+    fn overhead_is_tracked_when_obs_enabled() {
+        obs::enable();
         let mut p = profiler_with(MemPolicy::Local, 10_000);
         p.run(200);
         let o = p.overhead();
         assert!(o.machine_secs > 0.0);
         assert!(o.memory_bytes > 0);
         assert!(o.cpu_fraction() < 1.0);
+        assert!(o.render().contains("% CPU"));
+    }
+
+    #[test]
+    fn memory_overhead_is_clock_free() {
+        // memory_bytes must be real retained state, present even with obs
+        // off (wall-time fields stay zero in that case).
+        let mut p = profiler_with(MemPolicy::Local, 5_000);
+        p.run(100);
+        let o = p.report().overhead;
+        assert!(o.memory_bytes > 0);
+        assert!(
+            o.memory_bytes >= p.materializer.footprint_bytes(),
+            "retained state must cover the tsdb"
+        );
     }
 }

@@ -1,0 +1,40 @@
+//! Validate a `--timings-json` artefact: parse it and require the given
+//! phases. Used by `scripts/tier1.sh` to gate the observability contract.
+//!
+//! Usage: `obs_validate <timings.json> [required-phase ...]`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: obs_validate <timings.json> [required-phase ...]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let required: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+    match obs::export::validate_timings(&text, &required) {
+        Ok(names) => {
+            println!(
+                "obs_validate: {path} ok — {} phases{}",
+                names.len(),
+                if required.is_empty() {
+                    String::new()
+                } else {
+                    format!(", required {required:?} present")
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_validate: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

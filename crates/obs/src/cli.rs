@@ -1,0 +1,163 @@
+//! Shared CLI glue for the observability flags.
+//!
+//! Every figure binary and the `pathfinder` CLI accept the same three
+//! flags:
+//!
+//! * `--timings` — print the human-readable phase-timing table after the
+//!   run.
+//! * `--timings-json <path>` — write the `pathfinder-obs-v1` timings JSON
+//!   (see [`crate::export::timings_json`]).
+//! * `--trace-json <path>` — write a Chrome trace-event file loadable in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! Any of the three enables the recorder for the duration of the run;
+//! without them no clock is ever read (zero-cost disabled path). Usage:
+//!
+//! ```no_run
+//! let session = obs::cli::Session::from_env();
+//! // ... run the workload ...
+//! session.finish().unwrap();
+//! ```
+
+use std::path::PathBuf;
+
+/// Parsed observability flags.
+#[derive(Clone, Debug, Default)]
+pub struct ObsArgs {
+    /// Print the phase-timing table on stdout after the run.
+    pub timings: bool,
+    /// Write the timings JSON document here.
+    pub timings_json: Option<PathBuf>,
+    /// Write the Chrome trace-event JSON here.
+    pub trace_json: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    /// Scan an argv slice for the obs flags, ignoring everything else.
+    pub fn parse(args: &[String]) -> ObsArgs {
+        ObsArgs::strip(args).0
+    }
+
+    /// Scan the process argv (skipping the program name).
+    pub fn from_env() -> ObsArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ObsArgs::parse(&args)
+    }
+
+    /// Split an argv slice into the obs flags and the remaining arguments —
+    /// for binaries with strict parsers that reject unknown flags.
+    pub fn strip(args: &[String]) -> (ObsArgs, Vec<String>) {
+        let mut o = ObsArgs::default();
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--timings" => o.timings = true,
+                "--timings-json" => {
+                    i += 1;
+                    o.timings_json = args.get(i).map(PathBuf::from);
+                }
+                "--trace-json" => {
+                    i += 1;
+                    o.trace_json = args.get(i).map(PathBuf::from);
+                }
+                other => rest.push(other.to_string()),
+            }
+            i += 1;
+        }
+        (o, rest)
+    }
+
+    /// True when any flag asked for observability.
+    pub fn requested(&self) -> bool {
+        self.timings || self.timings_json.is_some() || self.trace_json.is_some()
+    }
+}
+
+/// RAII-style session: enables the recorder on construction when any flag
+/// was given, and exports the requested artefacts in [`Session::finish`].
+pub struct Session {
+    args: ObsArgs,
+}
+
+impl Session {
+    /// Build a session from explicit flags.
+    pub fn new(args: ObsArgs) -> Session {
+        if args.requested() {
+            crate::reset();
+            crate::enable();
+        }
+        Session { args }
+    }
+
+    /// Build a session from the process argv.
+    pub fn from_env() -> Session {
+        Session::new(ObsArgs::from_env())
+    }
+
+    /// Export the requested artefacts and disable the recorder. A no-op
+    /// when no flag was given.
+    pub fn finish(self) -> std::io::Result<()> {
+        if !self.args.requested() {
+            return Ok(());
+        }
+        crate::disable();
+        if self.args.timings {
+            println!("\n{}", crate::export::phase_table());
+        }
+        if let Some(path) = &self.args.timings_json {
+            std::fs::write(path, crate::export::timings_json())?;
+            println!("[timings-json] {}", path.display());
+        }
+        if let Some(path) = &self.args.trace_json {
+            std::fs::write(path, crate::export::chrome_trace_json())?;
+            println!("[trace-json] {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_picks_up_all_three_flags() {
+        let o = ObsArgs::parse(&argv(&[
+            "--ops",
+            "100",
+            "--timings",
+            "--timings-json",
+            "t.json",
+            "--trace-json",
+            "trace.json",
+        ]));
+        assert!(o.timings);
+        assert_eq!(
+            o.timings_json.as_deref(),
+            Some(std::path::Path::new("t.json"))
+        );
+        assert_eq!(
+            o.trace_json.as_deref(),
+            Some(std::path::Path::new("trace.json"))
+        );
+        assert!(o.requested());
+    }
+
+    #[test]
+    fn strip_preserves_foreign_args_in_order() {
+        let (o, rest) = ObsArgs::strip(&argv(&["--policy", "cxl", "--timings", "--ops", "7"]));
+        assert!(o.timings);
+        assert_eq!(rest, argv(&["--policy", "cxl", "--ops", "7"]));
+    }
+
+    #[test]
+    fn no_flags_means_not_requested() {
+        let o = ObsArgs::parse(&argv(&["--emr"]));
+        assert!(!o.requested());
+    }
+}

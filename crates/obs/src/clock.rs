@@ -1,0 +1,40 @@
+//! The workspace's single wall-clock choke point.
+//!
+//! Every simulator/profiler crate is forbidden from reading wall time
+//! directly (pflint's `wall-clock` rule); the one sanctioned read lives
+//! here, and pflint's `obs-choke-point` rule verifies that `Instant` never
+//! appears anywhere else in this crate either. Span timestamps are
+//! nanoseconds since the process-wide origin, which is pinned on the first
+//! read (normally by [`crate::enable`]).
+
+use std::sync::OnceLock;
+// The sanctioned wall-clock type; confined to this module.
+use std::time::Instant; // pflint::allow(wall-clock)
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the pinned origin. The first call pins the
+/// origin and returns 0.
+pub fn now_ns() -> u64 {
+    let origin = ORIGIN.get_or_init(Instant::now); // pflint::allow(wall-clock)
+    origin.elapsed().as_nanos() as u64
+}
+
+/// Pin the origin (idempotent) and return 0ns. Split out so [`crate::enable`]
+/// can pin before the first span opens.
+pub fn origin_ns() -> u64 {
+    now_ns();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

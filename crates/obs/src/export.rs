@@ -1,0 +1,241 @@
+//! Exporters: human-readable phase table, Chrome trace-event JSON, and the
+//! combined timings JSON (phases + metrics).
+//!
+//! The Chrome trace loads directly into `chrome://tracing` or
+//! <https://ui.perfetto.dev>: each closed span becomes one complete (`X`)
+//! event with microsecond timestamps. The timings JSON is the machine
+//! contract validated by `scripts/tier1.sh` (schema `pathfinder-obs-v1`).
+
+use std::fmt::Write as _;
+
+use crate::json::{escape, fmt_f64};
+use crate::metrics;
+use crate::span::{self, PhaseSnapshot};
+
+/// The observed wall-clock window: `max(ts+dur) - min(ts)` over all
+/// recorded events, in nanoseconds (0 when nothing was recorded).
+pub fn wall_ns() -> u64 {
+    let events = span::events();
+    let start = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    let end = events.iter().map(|e| e.ts_ns + e.dur_ns).max().unwrap_or(0);
+    end.saturating_sub(start)
+}
+
+/// Fraction of the observed window covered by outermost (minimum-depth)
+/// phases — the "can you see where the time goes" number the acceptance
+/// bar of ISSUE 2 asks for.
+pub fn coverage() -> f64 {
+    let phases = span::phases();
+    let wall = wall_ns();
+    if wall == 0 {
+        return 0.0;
+    }
+    let min_depth = phases.iter().map(|p| p.depth).min().unwrap_or(0);
+    let top: u64 = phases
+        .iter()
+        .filter(|p| p.depth == min_depth)
+        .map(|p| p.total_ns)
+        .sum();
+    (top as f64 / wall as f64).min(1.0)
+}
+
+/// The human-readable phase-timing table (`--timings`).
+pub fn phase_table() -> String {
+    let phases = span::phases();
+    let wall = wall_ns().max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>12} {:>10} {:>10} {:>10} {:>7}",
+        "phase", "count", "total ms", "mean us", "p95 us", "max us", "% wall"
+    );
+    for p in &phases {
+        let mean_us = if p.count > 0 {
+            p.total_ns as f64 / p.count as f64 / 1e3
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>12.3} {:>10.1} {:>10.1} {:>10.1} {:>6.1}%",
+            p.name,
+            p.count,
+            p.total_ns as f64 / 1e6,
+            mean_us,
+            p.hist.p95 as f64 / 1e3,
+            p.max_ns as f64 / 1e3,
+            100.0 * p.total_ns as f64 / wall as f64,
+        );
+    }
+    let m = metrics::snapshot();
+    if !(m.counters.is_empty() && m.gauges.is_empty() && m.hists.is_empty()) {
+        let _ = writeln!(out, "\n{:<36} {:>18}", "metric", "value");
+        for (name, v) in &m.counters {
+            let _ = writeln!(out, "{:<36} {:>18}", name, v);
+        }
+        for (name, v) in &m.gauges {
+            let _ = writeln!(out, "{:<36} {:>18.1}", name, v);
+        }
+        for (name, h) in &m.hists {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>18}",
+                name,
+                format!("p50={} p95={} p99={} (n={})", h.p50, h.p95, h.p99, h.count)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nwall {:.3} ms, coverage {:.1}%, {} events ({} dropped)",
+        wall_ns() as f64 / 1e6,
+        100.0 * coverage(),
+        span::events().len(),
+        span::dropped_events(),
+    );
+    out
+}
+
+/// Chrome trace-event JSON (`--trace-json`): complete events, microsecond
+/// units, one `pid`, dense `tid`s.
+pub fn chrome_trace_json() -> String {
+    let events = span::events();
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+            escape(e.name),
+            e.tid,
+            fmt_f64(e.ts_ns as f64 / 1e3),
+            fmt_f64(e.dur_ns as f64 / 1e3),
+            e.depth,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn phase_json(p: &PhaseSnapshot) -> String {
+    let mean_ns = if p.count > 0 {
+        p.total_ns as f64 / p.count as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\"max_ns\":{},\
+         \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"depth\":{}}}",
+        escape(&p.name),
+        p.count,
+        p.total_ns,
+        fmt_f64(mean_ns),
+        p.max_ns,
+        p.hist.p50,
+        p.hist.p95,
+        p.hist.p99,
+        p.depth,
+    )
+}
+
+/// The combined timings document (`--timings-json`), schema
+/// `pathfinder-obs-v1`.
+pub fn timings_json() -> String {
+    let phases = span::phases();
+    let m = metrics::snapshot();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"pathfinder-obs-v1\",\"wall_ns\":{},\"coverage\":{},\
+         \"dropped_events\":{},\"phases\":[",
+        wall_ns(),
+        fmt_f64(coverage()),
+        span::dropped_events(),
+    );
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&phase_json(p));
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (name, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(name), v);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in m.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(name), fmt_f64(*v));
+    }
+    out.push_str("},\"histograms\":[");
+    for (i, (name, h)) in m.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\
+             \"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape(name),
+            h.count,
+            h.min,
+            h.max,
+            fmt_f64(h.mean),
+            h.p50,
+            h.p95,
+            h.p99,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Validate a `pathfinder-obs-v1` timings document: it must parse, carry
+/// the schema marker, and contain every `required_phase`. Returns the
+/// parsed phase names on success.
+pub fn validate_timings(text: &str, required_phases: &[&str]) -> Result<Vec<String>, String> {
+    let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some("pathfinder-obs-v1") => {}
+        other => return Err(format!("bad or missing schema marker: {other:?}")),
+    }
+    let phases = doc
+        .get("phases")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing phases array")?;
+    let names: Vec<String> = phases
+        .iter()
+        .filter_map(|p| p.get("name").and_then(|n| n.as_str()).map(str::to_string))
+        .collect();
+    for required in required_phases {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!(
+                "mandatory phase {required:?} missing (have: {names:?})"
+            ));
+        }
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_missing_phase() {
+        let doc = r#"{"schema":"pathfinder-obs-v1","phases":[{"name":"a"}]}"#;
+        assert!(validate_timings(doc, &["a"]).is_ok());
+        assert!(validate_timings(doc, &["a", "b"]).is_err());
+        assert!(validate_timings("{}", &[]).is_err());
+        assert!(validate_timings("not json", &[]).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+// The sanctioned choke-point shape: one Instant::now call site, marked.
+use std::time::Instant; // pflint::allow(wall-clock)
+
+pub fn now_ns() -> u64 {
+    static ORIGIN: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    let origin = ORIGIN.get_or_init(Instant::now); // pflint::allow(wall-clock)
+    origin.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,4 @@
+// Clock access outside clock.rs must route through the choke point.
+pub fn stamp() -> u64 {
+    crate::clock::now_ns()
+}

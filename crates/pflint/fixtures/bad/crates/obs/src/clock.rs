@@ -1,0 +1,9 @@
+// Two violations: the call site is unmarked, and there are two of them
+// (the second is marked but still pushes the count past one).
+pub fn now_ns() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn again_ns() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64 // pflint::allow(wall-clock)
+}

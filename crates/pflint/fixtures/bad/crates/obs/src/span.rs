@@ -1,0 +1,4 @@
+// Violation: names a wall-clock type outside the clock.rs choke point.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

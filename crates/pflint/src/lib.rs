@@ -14,6 +14,11 @@
 //!    `simarch` module declaring a queue-bearing field (`FifoServer`,
 //!    `Coverage`, `BoundedWindow`) must register an `impl Invariants for`
 //!    hook, so the epoch-boundary conservation audit covers all flows.
+//! 4. **Observability choke point** ([`run_obs_choke_point`]): the `obs`
+//!    crate is the only sanctioned home for wall-clock reads, and inside it
+//!    `Instant` may appear only in `clock.rs`, with exactly one
+//!    `Instant::now` call site carrying a `pflint::allow(wall-clock)`
+//!    marker. Everything else must go through `obs::clock::now_ns`.
 //!
 //! Suppression: append `// pflint::allow(<rule>)` to the offending line, or
 //! place it alone on the line above. Each suppression silences exactly one
@@ -37,6 +42,7 @@ pub mod rules {
     pub const PMU_EVENT_UNKNOWN: &str = "pmu-event-unknown";
     pub const PMU_VARIANT_UNKNOWN: &str = "pmu-variant-unknown";
     pub const INVARIANT_HOOK_MISSING: &str = "invariant-hook-missing";
+    pub const OBS_CHOKE_POINT: &str = "obs-choke-point";
 
     pub const ALL: &[&str] = &[
         HASH_ITERATION,
@@ -46,6 +52,7 @@ pub mod rules {
         PMU_EVENT_UNKNOWN,
         PMU_VARIANT_UNKNOWN,
         INVARIANT_HOOK_MISSING,
+        OBS_CHOKE_POINT,
     ];
 }
 
@@ -97,6 +104,18 @@ pub fn determinism_config() -> Vec<CrateRules> {
         CrateRules {
             rel_path: "crates/tsdb/src",
             rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY, UNWRAP_IN_IO],
+        },
+        // The figure binaries share artefacts with the model runs; a clock
+        // or entropy read there would silently vary regenerated CSVs.
+        CrateRules {
+            rel_path: "crates/bench/src",
+            rules: &[WALL_CLOCK, OS_ENTROPY],
+        },
+        // The observability layer itself: every clock read must route
+        // through the clock.rs choke point (see `run_obs_choke_point`).
+        CrateRules {
+            rel_path: "crates/obs/src",
+            rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY],
         },
         // Input-facing modules: malformed traces/configs must surface as
         // Result errors, not panics.
@@ -521,14 +540,95 @@ pub fn run_invariant_hooks(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
+// Analysis 4: observability choke point
+// ---------------------------------------------------------------------
+
+/// The one source directory allowed to read the wall clock.
+pub const OBS_SCAN_ROOT: &str = "crates/obs/src";
+
+/// The one file inside it allowed to name `Instant`.
+pub const OBS_CLOCK_FILE: &str = "clock.rs";
+
+/// Verify the wall-clock choke point: within `crates/obs/src`, the type
+/// `Instant` (and `SystemTime`) may be named only in `clock.rs`, and that
+/// file must contain exactly one `Instant::now` call site, carrying a
+/// `pflint::allow(wall-clock)` marker. Combined with the determinism lint
+/// over the model crates (which bans `Instant` outright), this pins every
+/// clock read in the workspace to one audited line.
+pub fn run_obs_choke_point(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut now_sites = 0usize;
+    let base = root.join(OBS_SCAN_ROOT);
+    if !base.is_dir() {
+        // No obs crate in this tree (fixture workspaces): nothing to police.
+        return findings;
+    }
+    for file in rust_files(&base) {
+        let in_clock = file.file_name().is_some_and(|n| n == OBS_CLOCK_FILE);
+        let Ok(src) = SourceFile::load(&file) else {
+            continue;
+        };
+        for (idx, line) in src.lines.iter().enumerate() {
+            if src.is_test_line(idx) {
+                break;
+            }
+            let code = code_part(line);
+            if !code.contains("Instant") && !code.contains("SystemTime") {
+                continue;
+            }
+            if !in_clock {
+                if src.is_suppressed(idx, rules::OBS_CHOKE_POINT) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: rules::OBS_CHOKE_POINT,
+                    file: file.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "wall-clock type outside the `{OBS_CLOCK_FILE}` choke point; \
+                         use obs::clock::now_ns instead"
+                    ),
+                });
+                continue;
+            }
+            if code.contains("Instant::now") {
+                now_sites += 1;
+                if !src.is_suppressed(idx, rules::WALL_CLOCK) {
+                    findings.push(Finding {
+                        rule: rules::OBS_CHOKE_POINT,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: "the choke-point clock read must carry \
+                                  `pflint::allow(wall-clock)`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    if now_sites != 1 {
+        findings.push(Finding {
+            rule: rules::OBS_CHOKE_POINT,
+            file: root.join(OBS_SCAN_ROOT).join(OBS_CLOCK_FILE),
+            line: 1,
+            message: format!(
+                "expected exactly one `Instant::now` call site in the choke point, found {now_sites}"
+            ),
+        });
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------
 
-/// Run all three analyses with the default configuration.
+/// Run all four analyses with the default configuration.
 pub fn run(root: &Path) -> Vec<Finding> {
     let mut findings = run_determinism(root);
     findings.extend(run_pmu_consistency(root));
     findings.extend(run_invariant_hooks(root));
+    findings.extend(run_obs_choke_point(root));
     findings
 }
 
@@ -594,5 +694,84 @@ mod tests {
     fn code_part_strips_comments() {
         assert_eq!(code_part("let x = 1; // HashMap here"), "let x = 1; ");
         assert_eq!(code_part("// all comment"), "");
+    }
+
+    /// Build a throwaway workspace with the given `crates/obs/src` files.
+    fn obs_fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("pflint-fixture-{name}"));
+        let src = root.join("crates/obs/src");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&src).unwrap();
+        for (file, text) in files {
+            std::fs::write(src.join(file), text).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn choke_point_accepts_the_sanctioned_shape() {
+        let root = obs_fixture(
+            "ok",
+            &[(
+                "clock.rs",
+                "use std::time::Instant; // pflint::allow(wall-clock)\n\
+                 pub fn now() -> u64 { Instant::now().elapsed().as_nanos() as u64 } // pflint::allow(wall-clock)\n",
+            )],
+        );
+        assert!(run_obs_choke_point(&root).is_empty());
+    }
+
+    #[test]
+    fn choke_point_rejects_instant_outside_clock_rs() {
+        let root = obs_fixture(
+            "stray",
+            &[
+                (
+                    "clock.rs",
+                    "pub fn now() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 } // pflint::allow(wall-clock)\n",
+                ),
+                ("span.rs", "fn ts() { let _ = std::time::Instant::now(); }\n"),
+            ],
+        );
+        let findings = run_obs_choke_point(&root);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == rules::OBS_CHOKE_POINT && f.file.ends_with("span.rs")));
+    }
+
+    #[test]
+    fn choke_point_requires_exactly_one_clock_read() {
+        let root = obs_fixture(
+            "dup",
+            &[(
+                "clock.rs",
+                "fn a() { let _ = Instant::now(); } // pflint::allow(wall-clock)\n\
+                 fn b() { let _ = Instant::now(); } // pflint::allow(wall-clock)\n",
+            )],
+        );
+        let findings = run_obs_choke_point(&root);
+        assert!(
+            findings.iter().any(|f| f.message.contains("found 2")),
+            "{findings:?}"
+        );
+
+        let none = obs_fixture("none", &[("clock.rs", "pub fn now() -> u64 { 0 }\n")]);
+        let findings = run_obs_choke_point(&none);
+        assert!(findings.iter().any(|f| f.message.contains("found 0")));
+    }
+
+    #[test]
+    fn choke_point_requires_the_allow_marker() {
+        let root = obs_fixture(
+            "unmarked",
+            &[(
+                "clock.rs",
+                "pub fn now() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n",
+            )],
+        );
+        let findings = run_obs_choke_point(&root);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("pflint::allow(wall-clock)")));
     }
 }

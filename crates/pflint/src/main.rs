@@ -28,7 +28,10 @@ fn main() -> ExitCode {
         println!("{}:{}: [{}] {}", rel.display(), f.line, f.rule, f.message);
     }
     if findings.is_empty() {
-        println!("pflint: clean — determinism, PMU consistency, and invariant hooks all pass");
+        println!(
+            "pflint: clean — determinism, PMU consistency, invariant hooks, \
+             and the obs clock choke point all pass"
+        );
         ExitCode::SUCCESS
     } else {
         eprintln!("pflint: {} finding(s)", findings.len());

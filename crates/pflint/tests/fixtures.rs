@@ -68,6 +68,20 @@ fn bad_fixtures_trip_invariant_hook_check() {
 }
 
 #[test]
+fn bad_fixtures_trip_obs_choke_point() {
+    let findings = pflint::run_obs_choke_point(&fixture_root("bad"));
+    // Unmarked Instant::now inside clock.rs.
+    assert_found(&findings, rules::OBS_CHOKE_POINT, "clock.rs", 4);
+    // Instant named outside clock.rs.
+    assert_found(&findings, rules::OBS_CHOKE_POINT, "span.rs", 2);
+    // More than one call site in the choke point.
+    assert!(
+        findings.iter().any(|f| f.message.contains("found 2")),
+        "call-site count not enforced: {findings:?}"
+    );
+}
+
+#[test]
 fn allowed_fixtures_are_clean() {
     let findings = pflint::run(&fixture_root("allowed"));
     assert!(

@@ -82,6 +82,12 @@ pub struct SystemSnapshot {
 }
 
 impl SystemSnapshot {
+    /// Resident bytes of the retained snapshot (§5.9 overhead accounting):
+    /// the counter copy plus the struct header.
+    pub fn footprint_bytes(&self) -> usize {
+        core::mem::size_of::<SystemSnapshot>() + self.pmu.footprint_bytes()
+    }
+
     /// The per-epoch digest: `self - earlier` for every counter.
     ///
     /// Panics if the two snapshots come from machines with different

@@ -209,30 +209,36 @@ impl Machine {
     /// boundary, then flush and snapshot all PMUs.
     pub fn run_epoch(&mut self) -> EpochResult {
         let end = self.epoch_end + self.cfg.epoch_cycles;
-        loop {
-            // Run the globally-earliest core so shared-resource arrivals are
-            // interleaved in near-perfect time order.
-            let next = (0..self.cores.len())
-                .filter(|&i| !self.cores[i].done && self.cores[i].time < end)
-                .min_by_key(|&i| self.cores[i].time);
-            let Some(c) = next else { break };
-            self.step_core(c);
-        }
-        for core in &mut self.cores {
-            if core.time < end {
-                core.time = end;
+        {
+            let _step = obs::span!("epoch.step");
+            loop {
+                // Run the globally-earliest core so shared-resource arrivals
+                // are interleaved in near-perfect time order.
+                let next = (0..self.cores.len())
+                    .filter(|&i| !self.cores[i].done && self.cores[i].time < end)
+                    .min_by_key(|&i| self.cores[i].time);
+                let Some(c) = next else { break };
+                self.step_core(c);
             }
-            core.gc_inflight();
         }
-        // Counter flush.
-        let ec = self.cfg.epoch_cycles;
-        for (i, core) in self.cores.iter_mut().enumerate() {
-            core.sync_counters(&mut self.pmu.cores[i], ec);
-        }
-        self.cha.sync_counters(&mut self.pmu.chas[0], ec);
-        self.imc.sync_counters(&mut self.pmu.imcs, ec);
-        for (d, port) in self.ports.iter_mut().enumerate() {
-            port.sync_counters(&mut self.pmu.m2ps[d], &mut self.pmu.cxls[d], ec);
+        {
+            let _drain = obs::span!("epoch.drain");
+            for core in &mut self.cores {
+                if core.time < end {
+                    core.time = end;
+                }
+                core.gc_inflight();
+            }
+            // Counter flush.
+            let ec = self.cfg.epoch_cycles;
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                core.sync_counters(&mut self.pmu.cores[i], ec);
+            }
+            self.cha.sync_counters(&mut self.pmu.chas[0], ec);
+            self.imc.sync_counters(&mut self.pmu.imcs, ec);
+            for (d, port) in self.ports.iter_mut().enumerate() {
+                port.sync_counters(&mut self.pmu.m2ps[d], &mut self.pmu.cxls[d], ec);
+            }
         }
         self.epoch_end = end;
         self.epochs_run += 1;
@@ -240,7 +246,13 @@ impl Machine {
         // boundary. Active in debug builds (so `cargo test` always checks)
         // and in release builds compiled with `--features invariants`.
         #[cfg(any(debug_assertions, feature = "invariants"))]
-        crate::invariants::assert_invariants(self);
+        {
+            let audit = obs::span!("epoch.audit");
+            crate::invariants::assert_invariants(self);
+            if let Some(d) = audit.finish() {
+                obs::metrics::observe("epoch.audit_ns", d.as_nanos() as u64);
+            }
+        }
         // BTreeMap iterates in key order, so the drained heat list is already
         // sorted by (asid, page) — no hash-order laundering to undo.
         let heat: Vec<(u16, u64, u32)> = std::mem::take(&mut self.page_heat)

@@ -13,6 +13,9 @@ pub struct Db {
     /// different series would otherwise surface in hash order.
     series: BTreeMap<String, Vec<Point>>,
     points: usize,
+    /// Retained bytes, maintained incrementally on insert (point payloads
+    /// plus series keys) so §5.9 overhead accounting is O(1), not a scan.
+    retained: usize,
 }
 
 impl Db {
@@ -24,10 +27,15 @@ impl Db {
     /// sorted lazily on query.
     pub fn insert(&mut self, point: Point) {
         self.points += 1;
-        self.series
-            .entry(point.series_key())
-            .or_default()
-            .push(point);
+        self.retained += point.retained_bytes();
+        let key = point.series_key();
+        let new_series = !self.series.contains_key(&key);
+        if new_series {
+            self.retained += key.len();
+            obs::metrics::counter_add("tsdb.series", 1);
+        }
+        self.series.entry(key).or_default().push(point);
+        obs::metrics::counter_add("tsdb.points", 1);
     }
 
     /// Total points stored.
@@ -63,19 +71,11 @@ impl Db {
             .flat_map(|(_, pts)| pts.iter())
     }
 
-    /// Approximate resident bytes (overhead accounting, §5.9).
+    /// Resident bytes of retained state (overhead accounting, §5.9):
+    /// every point's [`Point::retained_bytes`] plus the series keys,
+    /// maintained incrementally so this is O(1).
     pub fn footprint_bytes(&self) -> usize {
-        let mut total = 0;
-        for (key, pts) in &self.series {
-            total += key.len();
-            for p in pts {
-                total += p.measurement.len()
-                    + 8
-                    + p.tags.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
-                    + p.fields.keys().map(|k| k.len() + 8).sum::<usize>();
-            }
-        }
-        total
+        self.retained
     }
 }
 

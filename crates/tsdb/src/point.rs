@@ -35,6 +35,25 @@ impl Point {
         self
     }
 
+    /// Resident bytes of this record: the struct itself plus every owned
+    /// heap allocation (string contents and per-entry map nodes). This is
+    /// the per-point term of the §5.9 retained-memory accounting.
+    pub fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Point>()
+            + self.measurement.len()
+            + self
+                .tags
+                .iter()
+                .map(|(k, v)| size_of::<(String, String)>() + k.len() + v.len())
+                .sum::<usize>()
+            + self
+                .fields
+                .keys()
+                .map(|k| size_of::<(String, f64)>() + k.len())
+                .sum::<usize>()
+    }
+
     /// The series key: measurement plus the sorted tag set.
     pub fn series_key(&self) -> String {
         let mut key = self.measurement.clone();

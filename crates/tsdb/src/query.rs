@@ -59,6 +59,8 @@ impl<'a> Query<'a> {
 
     /// Materialise matching points, time-sorted.
     pub fn points(self) -> Vec<Point> {
+        let _span = obs::span!("tsdb.query");
+        obs::metrics::counter_add("tsdb.queries", 1);
         let mut out: Vec<Point> = self
             .db
             .scan(&self.measurement)
@@ -72,6 +74,8 @@ impl<'a> Query<'a> {
     /// Materialise one field as a `(ts, value)` series, time-sorted; points
     /// lacking the field are skipped.
     pub fn values(self, field: &str) -> Vec<(u64, f64)> {
+        let _span = obs::span!("tsdb.query");
+        obs::metrics::counter_add("tsdb.queries", 1);
         let field = field.to_string();
         let mut out: Vec<(u64, f64)> = {
             let q = self;
@@ -86,6 +90,8 @@ impl<'a> Query<'a> {
 
     /// Count matching points.
     pub fn count(self) -> usize {
+        let _span = obs::span!("tsdb.query");
+        obs::metrics::counter_add("tsdb.queries", 1);
         let q = &self;
         q.db.scan(&q.measurement).filter(|p| q.matches(p)).count()
     }

@@ -16,4 +16,14 @@ run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 run cargo run --release -p pflint
 
+# Observability acceptance (OBSERVABILITY.md): a figure run with
+# --timings-json must emit valid pathfinder-obs-v1 JSON containing the two
+# mandatory top-level phases.
+obs_out="$(mktemp -d)"
+trap 'rm -rf "$obs_out"' EXIT
+run cargo run --release -p bench --bin fig6_stall_breakdown -- \
+    --timings-json "$obs_out/timings.json"
+run cargo run --release -p obs --bin obs_validate -- \
+    "$obs_out/timings.json" epoch.machine epoch.profiler
+
 echo "tier1: all gates passed"
