@@ -12,7 +12,7 @@ fn run(app: &str, policy: MemPolicy) {
         0,
         Workload::new(app, workloads::build(app, OPS, 1).unwrap(), policy),
     );
-    m.run_to_completion(2_000);
+    m.run_to_completion(2_000).expect("machine must not stall");
 }
 
 fn machine_throughput(c: &mut Criterion) {
@@ -49,7 +49,7 @@ fn multicore_scaling(c: &mut Criterion) {
                         ),
                     );
                 }
-                m.run_to_completion(2_000);
+                m.run_to_completion(2_000).expect("machine must not stall");
             })
         });
     }

@@ -2,9 +2,10 @@
 //! for local DRAM vs CXL memory.
 //!
 //! Paper (SPR): local 103.2 ns / 131.1 GB/s; CXL 355.3 ns / 17.6 GB/s.
-//! `cargo run --release -p bench --bin fig0_mlc [--emr]`
+//! `cargo run --release -p bench --bin fig0_mlc [--emr] [--jobs N]`
 
-use bench::{platform_from_args, print_table, run_machine, write_csv, Pin};
+use bench::scenario::map_scenarios;
+use bench::{jobs_from_args, platform_from_args, print_table, run_machine, write_csv, Pin};
 use pmu::CoreEvent;
 use simarch::MemPolicy;
 use workloads::{PointerChase, StreamGen};
@@ -14,8 +15,8 @@ fn main() -> std::io::Result<()> {
     let cfg = platform_from_args();
     println!("MLC-style probe on {} ({} GHz)\n", cfg.name, cfg.freq_ghz);
 
-    let mut rows = Vec::new();
-    for policy in [MemPolicy::Local, MemPolicy::RemoteNuma, MemPolicy::Cxl] {
+    let policies = [MemPolicy::Local, MemPolicy::RemoteNuma, MemPolicy::Cxl];
+    let rows = map_scenarios(jobs_from_args(), &policies, |_, &policy| {
         // Idle latency: single dependent pointer chase, per-op time is the
         // load-to-use latency.
         let chase = PointerChase::new(32 << 20, 60_000, 3);
@@ -50,12 +51,12 @@ fn main() -> std::io::Result<()> {
             MemPolicy::Cxl => "CXL DIMM",
             _ => unreachable!(),
         };
-        rows.push(vec![
+        vec![
             label.to_string(),
             format!("{lat_ns:.1}"),
             format!("{gbps:.1}"),
-        ]);
-    }
+        ]
+    });
 
     let headers = ["medium", "idle latency (ns)", "loaded BW (GB/s)"];
     print_table(&headers, &rows);

@@ -8,9 +8,10 @@
 //! Paper: LLC misses of bwaves drop 20.6% co-running with lbm vs roms —
 //! lbm is the friendlier neighbour.
 //!
-//! `cargo run --release -p bench --bin fig12_locality [--ops N]`
+//! `cargo run --release -p bench --bin fig12_locality [--ops N] [--jobs N]`
 
-use bench::{ops_from_args, print_table, write_csv};
+use bench::scenario::map_scenarios;
+use bench::{jobs_from_args, ops_from_args, print_table, write_csv};
 use pathfinder::model::HitLevel;
 use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
@@ -19,7 +20,6 @@ use simarch::{Machine, MachineConfig, MemPolicy, Workload};
 /// the run. Returns (bwaves LLC-hit windows, bwaves total CXL misses,
 /// co-run correlation with neighbour 1 if any).
 fn scenario(
-    label: &str,
     ops: u64,
     neighbours: &[(&str, MemPolicy)],
 ) -> (Vec<tsdb::tsa::Window>, u64, Option<f64>) {
@@ -68,11 +68,6 @@ fn scenario(
     } else {
         profiler.materializer.orthogonality(0, 1)
     };
-    println!(
-        "  [{label}] {} locality windows, {} CXL misses",
-        windows.len(),
-        misses
-    );
     (windows, misses, corr)
 }
 
@@ -81,26 +76,34 @@ fn main() -> std::io::Result<()> {
     let ops = ops_from_args();
     println!("Figure 12 — 503.bwaves_r locality under co-location ({ops} ops per app)\n");
 
-    let (w_solo, m_solo, _) = scenario("solo", ops, &[]);
-    let (w_lbm, m_lbm, r_lbm) = scenario(
-        "(a) +519.lbm_r local",
-        ops,
-        &[("519.lbm_r", MemPolicy::Local)],
-    );
-    let (w_roms, m_roms, r_roms) = scenario(
-        "(b) +554.roms_r cxl",
-        ops,
-        &[("554.roms_r", MemPolicy::Cxl)],
-    );
-    let (w_mix, m_mix, r_mix) = scenario(
-        "(c) +lbm/mcf/roms mix",
-        ops,
-        &[
-            ("519.lbm_r", MemPolicy::Local),
-            ("505.mcf_r", MemPolicy::Local),
-            ("554.roms_r", MemPolicy::Cxl),
-        ],
-    );
+    // Four independent co-location grids; the per-scenario progress lines
+    // print from the merged results so `--jobs N` output matches serial.
+    let grid: [(&str, Vec<(&str, MemPolicy)>); 4] = [
+        ("solo", vec![]),
+        (
+            "(a) +519.lbm_r local",
+            vec![("519.lbm_r", MemPolicy::Local)],
+        ),
+        ("(b) +554.roms_r cxl", vec![("554.roms_r", MemPolicy::Cxl)]),
+        (
+            "(c) +lbm/mcf/roms mix",
+            vec![
+                ("519.lbm_r", MemPolicy::Local),
+                ("505.mcf_r", MemPolicy::Local),
+                ("554.roms_r", MemPolicy::Cxl),
+            ],
+        ),
+    ];
+    let results = map_scenarios(jobs_from_args(), &grid, |_, (_, neighbours)| {
+        scenario(ops, neighbours)
+    });
+    for ((label, _), (w, m, _)) in grid.iter().zip(&results) {
+        println!("  [{label}] {} locality windows, {} CXL misses", w.len(), m);
+    }
+    let (w_solo, m_solo, _) = &results[0];
+    let (w_lbm, m_lbm, r_lbm) = &results[1];
+    let (w_roms, m_roms, r_roms) = &results[2];
+    let (w_mix, m_mix, r_mix) = &results[3];
 
     let headers = [
         "scenario",
@@ -122,22 +125,22 @@ fn main() -> std::io::Result<()> {
             "(a) +lbm local".into(),
             w_lbm.len().to_string(),
             m_lbm.to_string(),
-            bench::pct_change(m_lbm as f64, m_solo as f64),
-            fmt_corr(r_lbm),
+            bench::pct_change(*m_lbm as f64, *m_solo as f64),
+            fmt_corr(*r_lbm),
         ],
         vec![
             "(b) +roms cxl".into(),
             w_roms.len().to_string(),
             m_roms.to_string(),
-            bench::pct_change(m_roms as f64, m_solo as f64),
-            fmt_corr(r_roms),
+            bench::pct_change(*m_roms as f64, *m_solo as f64),
+            fmt_corr(*r_roms),
         ],
         vec![
             "(c) three-app mix".into(),
             w_mix.len().to_string(),
             m_mix.to_string(),
-            bench::pct_change(m_mix as f64, m_solo as f64),
-            fmt_corr(r_mix),
+            bench::pct_change(*m_mix as f64, *m_solo as f64),
+            fmt_corr(*r_mix),
         ],
     ];
     print_table(&headers, &rows);

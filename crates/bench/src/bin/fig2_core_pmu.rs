@@ -7,11 +7,12 @@
 //! (e) L2-miss stall cycles and data responses;
 //! (f) L2 operation breakdown per path.
 //!
-//! `cargo run --release -p bench --bin fig2_core_pmu [--emr] [--ops N]`
+//! `cargo run --release -p bench --bin fig2_core_pmu [--emr] [--ops N] [--jobs N]`
 
+use bench::scenario::map_scenarios;
 use bench::{
-    ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine, write_csv, Pin,
-    SIX_APPS,
+    jobs_from_args, ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine,
+    write_csv, Pin, SIX_APPS,
 };
 use pmu::{CoreEvent, SystemDelta};
 use simarch::{MachineConfig, MemPolicy};
@@ -35,22 +36,31 @@ fn main() -> std::io::Result<()> {
         ops
     );
 
+    // Every run is an independent machine and a pure function of its grid
+    // cell, so the whole local/CXL grid fans out at once; sections (a) and
+    // (b)-(f) then read from the merged, app-ordered pairs.
+    let jobs = jobs_from_args();
+    let pairs = map_scenarios(jobs, &SIX_APPS, |_, &app| {
+        (
+            run_app(&cfg, app, ops, MemPolicy::Local),
+            run_app(&cfg, app, ops, MemPolicy::Cxl),
+        )
+    });
+
     // ---- (a) store-buffer stalls, RD+WR and WR-only ------------------------
     println!("(a) store-buffer-full stall cycles");
     let mut rows_a = Vec::new();
-    for app in SIX_APPS {
-        let local = run_app(&cfg, app, ops, MemPolicy::Local);
-        let cxl = run_app(&cfg, app, ops, MemPolicy::Cxl);
+    for (app, (local, cxl)) in SIX_APPS.iter().zip(&pairs) {
         let rdwr = |d: &SystemDelta| d.core_sum(CoreEvent::ResourceStallsSb) as f64;
         let wr = |d: &SystemDelta| d.core_sum(CoreEvent::ExeActivityBoundOnStores) as f64;
         rows_a.push(vec![
             app.to_string(),
-            format!("{:.0}", rdwr(&local)),
-            format!("{:.0}", rdwr(&cxl)),
-            ratio(rdwr(&cxl), rdwr(&local)),
-            format!("{:.0}", wr(&local)),
-            format!("{:.0}", wr(&cxl)),
-            ratio(wr(&cxl), wr(&local)),
+            format!("{:.0}", rdwr(local)),
+            format!("{:.0}", rdwr(cxl)),
+            ratio(rdwr(cxl), rdwr(local)),
+            format!("{:.0}", wr(local)),
+            format!("{:.0}", wr(cxl)),
+            ratio(wr(cxl), wr(local)),
         ]);
     }
     // A dedicated write-only run makes the WR-only columns meaningful even
@@ -67,7 +77,10 @@ fn main() -> std::io::Result<()> {
         )
         .0
     };
-    let (wl, wc) = (wr_only(MemPolicy::Local), wr_only(MemPolicy::Cxl));
+    let wr_runs = map_scenarios(jobs, &[MemPolicy::Local, MemPolicy::Cxl], |_, &p| {
+        wr_only(p)
+    });
+    let (wl, wc) = (&wr_runs[0], &wr_runs[1]);
     rows_a.push(vec![
         "WR-only-stream".into(),
         format!("{}", wl.core_sum(CoreEvent::ResourceStallsSb)),
@@ -115,9 +128,7 @@ fn main() -> std::io::Result<()> {
         "l2.hwpf.hits Δ",
     ];
     let mut rows = Vec::new();
-    for app in SIX_APPS {
-        let l = run_app(&cfg, app, ops, MemPolicy::Local);
-        let c = run_app(&cfg, app, ops, MemPolicy::Cxl);
+    for (app, (l, c)) in SIX_APPS.iter().zip(&pairs) {
         let f = |d: &SystemDelta, e| d.core_sum(e) as f64;
         let wait = |d: &SystemDelta| {
             f(d, CoreEvent::MemTransRetiredLoadLatency)
@@ -126,37 +137,37 @@ fn main() -> std::io::Result<()> {
         rows.push(vec![
             app.to_string(),
             ratio(
-                f(&c, CoreEvent::MemoryActivityStallsL1dMiss),
-                f(&l, CoreEvent::MemoryActivityStallsL1dMiss),
+                f(c, CoreEvent::MemoryActivityStallsL1dMiss),
+                f(l, CoreEvent::MemoryActivityStallsL1dMiss),
             ),
-            ratio(wait(&c), wait(&l)),
+            ratio(wait(c), wait(l)),
             pct_change(
-                f(&c, CoreEvent::MemLoadRetiredL1Hit),
-                f(&l, CoreEvent::MemLoadRetiredL1Hit),
+                f(c, CoreEvent::MemLoadRetiredL1Hit),
+                f(l, CoreEvent::MemLoadRetiredL1Hit),
             ),
             pct_change(
-                f(&c, CoreEvent::MemLoadRetiredL1FbHit),
-                f(&l, CoreEvent::MemLoadRetiredL1FbHit),
+                f(c, CoreEvent::MemLoadRetiredL1FbHit),
+                f(l, CoreEvent::MemLoadRetiredL1FbHit),
             ),
             ratio(
-                f(&c, CoreEvent::L1dPendMissFbFull),
-                f(&l, CoreEvent::L1dPendMissFbFull),
+                f(c, CoreEvent::L1dPendMissFbFull),
+                f(l, CoreEvent::L1dPendMissFbFull),
             ),
             ratio(
-                f(&c, CoreEvent::MemoryActivityStallsL2Miss),
-                f(&l, CoreEvent::MemoryActivityStallsL2Miss),
+                f(c, CoreEvent::MemoryActivityStallsL2Miss),
+                f(l, CoreEvent::MemoryActivityStallsL2Miss),
             ),
             pct_change(
-                f(&c, CoreEvent::L2RqstsDemandDataRdHit),
-                f(&l, CoreEvent::L2RqstsDemandDataRdHit),
+                f(c, CoreEvent::L2RqstsDemandDataRdHit),
+                f(l, CoreEvent::L2RqstsDemandDataRdHit),
             ),
             pct_change(
-                f(&c, CoreEvent::L2RqstsRfoHit),
-                f(&l, CoreEvent::L2RqstsRfoHit),
+                f(c, CoreEvent::L2RqstsRfoHit),
+                f(l, CoreEvent::L2RqstsRfoHit),
             ),
             pct_change(
-                f(&c, CoreEvent::L2RqstsHwpfHit),
-                f(&l, CoreEvent::L2RqstsHwpfHit),
+                f(c, CoreEvent::L2RqstsHwpfHit),
+                f(l, CoreEvent::L2RqstsHwpfHit),
             ),
         ]);
     }

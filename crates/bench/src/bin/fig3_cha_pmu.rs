@@ -6,11 +6,12 @@
 //! (d)/(e) hit and miss occupancies;
 //! (f) LLC operation breakdown.
 //!
-//! `cargo run --release -p bench --bin fig3_cha_pmu [--emr] [--ops N]`
+//! `cargo run --release -p bench --bin fig3_cha_pmu [--emr] [--ops N] [--jobs N]`
 
+use bench::scenario::map_scenarios;
 use bench::{
-    ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine, write_csv, Pin,
-    SIX_APPS,
+    jobs_from_args, ops_from_args, pct_change, platform_from_args, print_table, ratio, run_machine,
+    write_csv, Pin, SIX_APPS,
 };
 use pmu::{ChaEvent, CoreEvent, IaScen, SystemDelta, TorDrdScen, TorRfoScen};
 use simarch::{MachineConfig, MemPolicy};
@@ -47,7 +48,10 @@ fn main() -> std::io::Result<()> {
 
     let runs: Vec<(&str, RunPair)> = SIX_APPS
         .iter()
-        .map(|&app| (app, pair(&cfg, app, ops)))
+        .copied()
+        .zip(map_scenarios(jobs_from_args(), &SIX_APPS, |_, &app| {
+            pair(&cfg, app, ops)
+        }))
         .collect();
 
     // ---- (a) LLC stalls + DRd TOR latency ---------------------------------

@@ -4,9 +4,12 @@
 //!     the device-side MC queues instead of the host IMC;
 //! (b) load/store command breakdown at the DIMM (IMC CAS vs M2PCIe BL/AK).
 //!
-//! `cargo run --release -p bench --bin fig4_uncore_pmu [--emr] [--ops N]`
+//! `cargo run --release -p bench --bin fig4_uncore_pmu [--emr] [--ops N] [--jobs N]`
 
-use bench::{ops_from_args, platform_from_args, print_table, run_machine, write_csv, Pin};
+use bench::scenario::map_scenarios;
+use bench::{
+    jobs_from_args, ops_from_args, platform_from_args, print_table, run_machine, write_csv, Pin,
+};
 use pmu::{CxlEvent, ImcEvent, M2pEvent, SystemDelta};
 use simarch::MemPolicy;
 use workloads::StreamGen;
@@ -36,8 +39,13 @@ fn main() -> std::io::Result<()> {
             )],
         )
     };
-    let (local, lc) = run(MemPolicy::Local);
-    let (cxl, cc) = run(MemPolicy::Cxl);
+    let mut runs = map_scenarios(
+        jobs_from_args(),
+        &[MemPolicy::Local, MemPolicy::Cxl],
+        |_, &p| run(p),
+    );
+    let (cxl, cc) = runs.pop().unwrap();
+    let (local, lc) = runs.pop().unwrap();
 
     // ---- (a) RPQ / WPQ occupancy -------------------------------------------
     println!("(a) IMC pending-queue occupancy (entries per cycle, per channel avg)");

@@ -5,9 +5,10 @@
 //! raytrace peaks at FlexBus+MC with 67.1%; the HWPF stall at FlexBus+MC
 //! correlates with DRd stalls at L1D/L2 (prefetcher effectiveness).
 //!
-//! `cargo run --release -p bench --bin fig6_stall_breakdown [--ops N]`
+//! `cargo run --release -p bench --bin fig6_stall_breakdown [--ops N] [--jobs N]`
 
-use bench::{ops_from_args, print_table, run_profiled, write_csv, Pin};
+use bench::scenario::map_scenarios;
+use bench::{jobs_from_args, ops_from_args, print_table, run_profiled, write_csv, Pin};
 use pathfinder::model::{Component, PathGroup};
 use simarch::{MachineConfig, MemPolicy};
 
@@ -25,11 +26,15 @@ fn main() -> std::io::Result<()> {
     headers.extend(Component::ALL.iter().map(|c| c.label()));
     let mut rows = Vec::new();
 
-    for app in APPS {
-        let (report, _p) = run_profiled(
+    // One independent machine per app: fan the grid out, render in app order.
+    let reports = map_scenarios(jobs_from_args(), &APPS, |_, &app| {
+        run_profiled(
             MachineConfig::spr(),
             vec![Pin::app(0, app, ops, MemPolicy::Cxl, 5)],
-        );
+        )
+        .0
+    });
+    for (app, report) in APPS.iter().zip(&reports) {
         for path in PathGroup::ALL {
             if report.stalls.path_total(path) <= 0.0 {
                 continue;

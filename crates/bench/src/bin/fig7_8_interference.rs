@@ -6,9 +6,10 @@
 //! FlexBus+MC. Paper shape: core-side stalls grow 1.7x-2.4x while the
 //! FlexBus and CHA queueing stays comparatively stable.
 //!
-//! `cargo run --release -p bench --bin fig7_8_interference [--ops N]`
+//! `cargo run --release -p bench --bin fig7_8_interference [--ops N] [--jobs N]`
 
-use bench::{ops_from_args, print_table, run_profiled, write_csv, Pin};
+use bench::scenario::map_scenarios;
+use bench::{jobs_from_args, ops_from_args, print_table, run_profiled, write_csv, Pin};
 use pathfinder::model::{Component, PathGroup};
 use simarch::{MachineConfig, MemPolicy};
 use workloads::{Mbw, StreamGen};
@@ -42,10 +43,9 @@ fn main() -> std::io::Result<()> {
         "FlexBus q",
         "DIMM q",
     ];
-    let mut stall_rows = Vec::new();
-    let mut queue_rows = Vec::new();
-
-    for load in loads {
+    // Each sweep point is its own machine; fan them out and render in
+    // load order.
+    let per_load = map_scenarios(jobs_from_args(), &loads, |_, &load| {
         let (report, _p) = run_profiled(
             MachineConfig::spr(),
             vec![
@@ -70,7 +70,7 @@ fn main() -> std::io::Result<()> {
                 .sum();
             format!("{:.0}", total)
         };
-        stall_rows.push(vec![
+        let stall_row = vec![
             format!("{:.0}%", load * 100.0),
             s(Component::Sb),
             s(Component::L1d),
@@ -80,7 +80,7 @@ fn main() -> std::io::Result<()> {
             s(Component::Cha),
             s(Component::FlexBusMc),
             s(Component::CxlDimm),
-        ]);
+        ];
         let q = |c: Component| {
             let total: f64 = PathGroup::ALL
                 .iter()
@@ -88,7 +88,7 @@ fn main() -> std::io::Result<()> {
                 .sum();
             format!("{:.4}", total)
         };
-        queue_rows.push(vec![
+        let queue_row = vec![
             format!("{:.0}%", load * 100.0),
             q(Component::L1d),
             q(Component::Lfb),
@@ -96,8 +96,10 @@ fn main() -> std::io::Result<()> {
             q(Component::Llc),
             q(Component::FlexBusMc),
             q(Component::CxlDimm),
-        ]);
-    }
+        ];
+        (stall_row, queue_row)
+    });
+    let (stall_rows, queue_rows): (Vec<_>, Vec<_>) = per_load.into_iter().unzip();
 
     println!("Figure 7 — CXL-induced stall cycles per component");
     print_table(&stall_headers, &stall_rows);

@@ -6,9 +6,10 @@
 //! YCSB throughput -77.4%, FlexBus+MC latency 4.3x, contention manifests
 //! first in the uncore and propagates into the private core components.
 //!
-//! `cargo run --release -p bench --bin fig9_10_contention [--ops N]`
+//! `cargo run --release -p bench --bin fig9_10_contention [--ops N] [--jobs N]`
 
-use bench::{ops_from_args, print_table, write_csv, Pin};
+use bench::scenario::map_scenarios;
+use bench::{jobs_from_args, ops_from_args, print_table, write_csv, Pin};
 use pathfinder::model::{Component, PathGroup};
 use pathfinder::profiler::{ProfileSpec, Profiler};
 use simarch::{Machine, MachineConfig, MemPolicy, Workload};
@@ -43,10 +44,9 @@ fn main() -> std::io::Result<()> {
         "FlexBus DRd q",
         "FlexBus HWPF q",
     ];
-    let mut rows9 = Vec::new();
-    let mut rows10 = Vec::new();
-
-    for load in loads {
+    // Each sweep point is an independent machine + profiler; fan them out
+    // and render in load order.
+    let per_load = map_scenarios(jobs_from_args(), &loads, |_, &load| {
         // YCSB runs 4x the neighbour budget so its lifetime spans many
         // epochs (finer throughput resolution) and sees sustained
         // contention; theta 0.4 flattens the key popularity so the working
@@ -116,7 +116,7 @@ fn main() -> std::io::Result<()> {
             let total: f64 = PathGroup::ALL.iter().map(|&p| ycsb_stalls.get(p, c)).sum();
             format!("{:.0}", total)
         };
-        rows9.push(vec![
+        let row9 = vec![
             format!("{:.0}%", load * 100.0),
             format!("{:.0}", tput),
             s(Component::Sb),
@@ -126,7 +126,7 @@ fn main() -> std::io::Result<()> {
             s(Component::Llc),
             s(Component::Cha),
             s(Component::FlexBusMc),
-        ]);
+        ];
         let q = |p: PathGroup, c: Component| format!("{:.4}", report.mean_queues.get(p, c));
         let qsum = |c: Component| {
             let total: f64 = PathGroup::ALL
@@ -135,7 +135,7 @@ fn main() -> std::io::Result<()> {
                 .sum();
             format!("{:.4}", total)
         };
-        rows10.push(vec![
+        let row10 = vec![
             format!("{:.0}%", load * 100.0),
             qsum(Component::L1d),
             qsum(Component::Lfb),
@@ -143,8 +143,10 @@ fn main() -> std::io::Result<()> {
             qsum(Component::Llc),
             q(PathGroup::Drd, Component::FlexBusMc),
             q(PathGroup::HwPf, Component::FlexBusMc),
-        ]);
-    }
+        ];
+        (row9, row10)
+    });
+    let (rows9, rows10): (Vec<_>, Vec<_>) = per_load.into_iter().unzip();
 
     println!("Figure 9 — YCSB throughput and CXL-induced stall per component");
     print_table(&headers9, &rows9);

@@ -6,6 +6,8 @@
 //! counter delta, and write results both as an aligned text table on stdout
 //! and as CSV under `bench/out/`.
 
+pub mod scenario;
+
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -157,6 +159,13 @@ pub fn platform_from_args() -> MachineConfig {
     } else {
         MachineConfig::spr()
     }
+}
+
+/// Parse `--jobs N` from argv: every figure binary accepts it to fan its
+/// scenario grid across worker threads (output stays byte-identical to
+/// `--jobs 1`; see [`scenario::map_scenarios`]).
+pub fn jobs_from_args() -> scenario::Jobs {
+    scenario::Jobs::from_args()
 }
 
 /// Parse `--ops N` from argv.

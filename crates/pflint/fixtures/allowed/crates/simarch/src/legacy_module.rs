@@ -1,0 +1,5 @@
+//! Suppression: an explicitly-allowed counters-free module stays out of
+//! the registration audit.
+
+// pflint::allow(module-counter-registration)
+impl SimModule for SuppressedLegacyModule {}

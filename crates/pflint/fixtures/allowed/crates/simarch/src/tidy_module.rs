@@ -1,0 +1,8 @@
+//! A well-formed SimModule: the counter list goes through `registered`,
+//! which debug-asserts every name against pmu::registry.
+
+impl crate::module::SimModule for TidyModule {
+    fn counters(&self) -> &'static [&'static str] {
+        crate::module::registered(&["inst_retired.any"])
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: a SimModule advertising counters without routing the
+//! list through `crate::module::registered`, so nothing pins the names to
+//! the pmu registry.
+
+impl SimModule for RogueModule {
+    fn counters(&self) -> &'static [&'static str] {
+        &["inst_retired.any", "unc_m_cas_count.rd"]
+    }
+}

@@ -14,7 +14,11 @@
 //!    `simarch` module declaring a queue-bearing field (`FifoServer`,
 //!    `Coverage`, `BoundedWindow`) must register an `impl Invariants for`
 //!    hook, so the epoch-boundary conservation audit covers all flows.
-//! 4. **Observability choke point** ([`run_obs_choke_point`]): the `obs`
+//! 4. **Module counter registration** ([`run_module_registration`]): every
+//!    `impl SimModule for` in `simarch` must route its `counters()` list
+//!    through `crate::module::registered`, which pins each advertised name
+//!    to the `pmu` registry.
+//! 5. **Observability choke point** ([`run_obs_choke_point`]): the `obs`
 //!    crate is the only sanctioned home for wall-clock reads, and inside it
 //!    `Instant` may appear only in `clock.rs`, with exactly one
 //!    `Instant::now` call site carrying a `pflint::allow(wall-clock)`
@@ -43,6 +47,7 @@ pub mod rules {
     pub const PMU_VARIANT_UNKNOWN: &str = "pmu-variant-unknown";
     pub const INVARIANT_HOOK_MISSING: &str = "invariant-hook-missing";
     pub const OBS_CHOKE_POINT: &str = "obs-choke-point";
+    pub const MODULE_COUNTER_REGISTRATION: &str = "module-counter-registration";
 
     pub const ALL: &[&str] = &[
         HASH_ITERATION,
@@ -53,6 +58,7 @@ pub mod rules {
         PMU_VARIANT_UNKNOWN,
         INVARIANT_HOOK_MISSING,
         OBS_CHOKE_POINT,
+        MODULE_COUNTER_REGISTRATION,
     ];
 }
 
@@ -540,7 +546,60 @@ pub fn run_invariant_hooks(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
-// Analysis 4: observability choke point
+// Analysis 4: module counter registration
+// ---------------------------------------------------------------------
+
+/// Directory whose `SimModule` implementations are audited.
+pub const MODULE_SCAN_ROOT: &str = "crates/simarch/src";
+
+/// Verify that every `impl SimModule for` under [`MODULE_SCAN_ROOT`] routes
+/// its counter list through `crate::module::registered`, which debug-asserts
+/// each name against `pmu::registry`. A module returning a hand-written
+/// slice would silently drift from the registry the moment a counter is
+/// renamed; the `registered` choke point turns that into a test failure.
+pub fn run_module_registration(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in rust_files(&root.join(MODULE_SCAN_ROOT)) {
+        let Ok(src) = SourceFile::load(&file) else {
+            continue;
+        };
+        let mut first_impl: Option<usize> = None;
+        let mut has_registration = false;
+        for (idx, line) in src.lines.iter().enumerate() {
+            if src.is_test_line(idx) {
+                break;
+            }
+            let code = code_part(line);
+            if code.contains("registered(") {
+                has_registration = true;
+            }
+            if first_impl.is_none()
+                && (code.contains("impl SimModule for")
+                    || code.contains("impl crate::module::SimModule for"))
+                && !src.is_suppressed(idx, rules::MODULE_COUNTER_REGISTRATION)
+            {
+                first_impl = Some(idx + 1);
+            }
+        }
+        if let Some(line) = first_impl {
+            if !has_registration {
+                findings.push(Finding {
+                    rule: rules::MODULE_COUNTER_REGISTRATION,
+                    file: file.clone(),
+                    line,
+                    message: "`impl SimModule` must route `counters()` through \
+                              `crate::module::registered` so the names stay \
+                              pinned to pmu::registry"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Analysis 5: observability choke point
 // ---------------------------------------------------------------------
 
 /// The one source directory allowed to read the wall clock.
@@ -623,11 +682,12 @@ pub fn run_obs_choke_point(root: &Path) -> Vec<Finding> {
 // Entry point
 // ---------------------------------------------------------------------
 
-/// Run all four analyses with the default configuration.
+/// Run all five analyses with the default configuration.
 pub fn run(root: &Path) -> Vec<Finding> {
     let mut findings = run_determinism(root);
     findings.extend(run_pmu_consistency(root));
     findings.extend(run_invariant_hooks(root));
+    findings.extend(run_module_registration(root));
     findings.extend(run_obs_choke_point(root));
     findings
 }

@@ -82,6 +82,22 @@ fn bad_fixtures_trip_obs_choke_point() {
 }
 
 #[test]
+fn bad_fixtures_trip_module_registration() {
+    let findings = pflint::run_module_registration(&fixture_root("bad"));
+    assert_found(
+        &findings,
+        rules::MODULE_COUNTER_REGISTRATION,
+        "rogue_module.rs",
+        5,
+    );
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly one unregistered module seeded: {findings:?}"
+    );
+}
+
+#[test]
 fn allowed_fixtures_are_clean() {
     let findings = pflint::run(&fixture_root("allowed"));
     assert!(

@@ -504,6 +504,43 @@ impl ChaComplex {
     }
 }
 
+impl crate::module::SimModule for ChaComplex {
+    fn stage_id(&self) -> crate::module::StageId {
+        crate::module::StageId::cha()
+    }
+
+    fn name(&self) -> &'static str {
+        "module.cha"
+    }
+
+    fn tick(&mut self, _until: u64) {}
+
+    fn drain(&mut self, pmu: &mut pmu::SystemPmu, epoch_cycles: u64) {
+        self.sync_counters(&mut pmu.chas[0], epoch_cycles);
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        crate::module::registered(&[
+            "unc_cha_clockticks",
+            "unc_cha_llc_lookup.hit",
+            "unc_cha_llc_lookup.miss",
+            "unc_cha_sf_lookup.hit",
+            "unc_cha_sf_lookup.miss",
+            "unc_cha_sf_eviction",
+            "unc_cha_snoop_resp.hitm",
+            "unc_cha_snoop_resp.hit",
+            "unc_cha_snoop_resp.miss",
+        ])
+    }
+
+    fn occupancy(&self, now: u64) -> u64 {
+        self.slices
+            .iter()
+            .map(|s| s.port.next_free().saturating_sub(now))
+            .sum()
+    }
+}
+
 impl Invariants for ChaComplex {
     fn component(&self) -> &'static str {
         "cha::ChaComplex"

@@ -1,0 +1,74 @@
+//! Cross-PMU flit/command conservation checks.
+//!
+//! Counters that observe the same traffic from different points of the path
+//! must agree: CAS splits, pending-queue inserts, M2PCIe ingress/egress,
+//! and the CXL.mem read/write flows. `Machine`'s `Invariants` impl runs
+//! these at every epoch boundary (debug builds and `--features invariants`).
+
+use crate::invariant;
+use crate::invariants::Violation;
+use pmu::{CxlEvent, ImcEvent, M2pEvent, SystemPmu};
+
+pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
+    const C: &str = "machine::Machine(pmu)";
+    for (ch, bank) in pmu.imcs.iter().enumerate() {
+        let rd = bank.read(ImcEvent::CasCountRd);
+        let wr = bank.read(ImcEvent::CasCountWr);
+        let all = bank.read(ImcEvent::CasCountAll);
+        invariant!(
+            out,
+            C,
+            rd + wr == all,
+            "imc ch{ch}: cas rd({rd})+wr({wr}) != all({all})"
+        );
+        // Every CAS entered through the matching pending queue.
+        let rpq = bank.read(ImcEvent::RpqInserts);
+        let wpq = bank.read(ImcEvent::WpqInserts);
+        invariant!(
+            out,
+            C,
+            rpq == rd,
+            "imc ch{ch}: rpq inserts({rpq}) != rd cas({rd})"
+        );
+        invariant!(
+            out,
+            C,
+            wpq == wr,
+            "imc ch{ch}: wpq inserts({wpq}) != wr cas({wr})"
+        );
+    }
+    for (d, m2p) in pmu.m2ps.iter().enumerate() {
+        // Each CXL.mem transaction inserts one M2PCIe ingress entry and
+        // exactly one egress entry: BL data for loads, AK for stores.
+        let rx = m2p.read(M2pEvent::RxcInserts);
+        let bl = m2p.read(M2pEvent::TxcInsertsBl);
+        let ak = m2p.read(M2pEvent::TxcInsertsAk);
+        invariant!(
+            out,
+            C,
+            rx == bl + ak,
+            "m2p {d}: ingress({rx}) != bl({bl})+ak({ak})"
+        );
+    }
+    for (d, dev) in pmu.cxls.iter().enumerate() {
+        // M2S Req → read CAS → S2M DRS; M2S RwD → write CAS → S2M NDR.
+        let req_in = dev.read(CxlEvent::RxcPackBufInsertsMemReq);
+        let rd_cas = dev.read(CxlEvent::DevMcRdCas);
+        let drs_out = dev.read(CxlEvent::TxcPackBufInsertsMemData);
+        invariant!(
+            out,
+            C,
+            req_in == rd_cas && rd_cas == drs_out,
+            "cxl dev {d}: read flow not conserved: req({req_in}) cas({rd_cas}) drs({drs_out})"
+        );
+        let rwd_in = dev.read(CxlEvent::RxcPackBufInsertsMemData);
+        let wr_cas = dev.read(CxlEvent::DevMcWrCas);
+        let ndr_out = dev.read(CxlEvent::TxcPackBufInsertsMemReq);
+        invariant!(
+            out,
+            C,
+            rwd_in == wr_cas && wr_cas == ndr_out,
+            "cxl dev {d}: write flow not conserved: rwd({rwd_in}) cas({wr_cas}) ndr({ndr_out})"
+        );
+    }
+}

@@ -230,6 +230,52 @@ impl CoreState {
     }
 }
 
+impl crate::module::SimModule for CoreState {
+    fn stage_id(&self) -> crate::module::StageId {
+        crate::module::StageId::core(self.id)
+    }
+
+    fn name(&self) -> &'static str {
+        "module.core"
+    }
+
+    fn tick(&mut self, until: u64) {
+        if self.time < until {
+            self.time = until;
+        }
+        self.gc_inflight();
+    }
+
+    fn drain(&mut self, pmu: &mut pmu::SystemPmu, epoch_cycles: u64) {
+        self.sync_counters(&mut pmu.cores[self.id], epoch_cycles);
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        crate::module::registered(&[
+            "cpu_clk_unhalted.thread",
+            "inst_retired.any",
+            "mem_load_retired.l1_hit",
+            "mem_load_retired.l1_miss",
+            "mem_load_retired.l2_miss",
+            "l2_rqsts.references",
+            "l2_rqsts.miss",
+            "offcore_requests.all_requests",
+            "l1d_pend_miss.fb_full",
+            "resource_stalls.sb",
+            "cycle_activity.cycles_l1d_miss",
+            "cycle_activity.cycles_l2_miss",
+            "offcore_requests_outstanding.cycles_with_data_rd",
+        ])
+    }
+
+    fn occupancy(&self, now: u64) -> u64 {
+        (self.sb.occupancy_at(now)
+            + self.lfb.occupancy_at(now)
+            + self.superq.occupancy_at(now)
+            + self.pfq.occupancy_at(now)) as u64
+    }
+}
+
 impl Invariants for CoreState {
     fn component(&self) -> &'static str {
         "core_model::CoreState"

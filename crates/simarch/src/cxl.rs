@@ -32,6 +32,9 @@ pub enum DevLoad {
 /// One CXL Type-3 endpoint: M2PCIe bridge + FlexBus link + device.
 #[derive(Debug)]
 pub struct CxlPort {
+    /// Device index: selects this port's M2PCIe and device banks in the
+    /// system PMU.
+    dev: usize,
     /// M2PCIe ingress (requests from the mesh).
     m2p_ingress: FifoServer,
     m2p_ne: Coverage,
@@ -69,8 +72,9 @@ pub struct CxlCompletion {
 }
 
 impl CxlPort {
-    pub fn new(cfg: &MachineConfig) -> Self {
+    pub fn new(cfg: &MachineConfig, dev: usize) -> Self {
         CxlPort {
+            dev,
             m2p_ingress: FifoServer::new(),
             m2p_ne: Coverage::new(),
             synced_m2p_ne: 0,
@@ -259,6 +263,44 @@ impl CxlPort {
     }
 }
 
+impl crate::module::SimModule for CxlPort {
+    fn stage_id(&self) -> crate::module::StageId {
+        crate::module::StageId::cxl(self.dev)
+    }
+
+    fn name(&self) -> &'static str {
+        "module.cxl"
+    }
+
+    fn tick(&mut self, _until: u64) {}
+
+    fn drain(&mut self, pmu: &mut pmu::SystemPmu, epoch_cycles: u64) {
+        let pmu::SystemPmu { m2ps, cxls, .. } = pmu;
+        self.sync_counters(&mut m2ps[self.dev], &mut cxls[self.dev], epoch_cycles);
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        crate::module::registered(&[
+            "unc_m2p_clockticks",
+            "unc_m2p_rxc_inserts.all",
+            "unc_m2p_rxc_cycles_ne.all",
+            "unc_m2p_txc_inserts.ak",
+            "unc_m2p_txc_inserts.bl",
+            "unc_cxlcm_clockticks",
+            "unc_cxlcm_rxc_pack_buf_inserts.mem_req",
+            "unc_cxlcm_rxc_pack_buf_inserts.mem_data",
+            "unc_cxlcm_txc_pack_buf_inserts.mem_req",
+            "unc_cxlcm_txc_pack_buf_inserts.mem_data",
+            "unc_cxldev_mc_cas.rd",
+            "unc_cxldev_mc_cas.wr",
+        ])
+    }
+
+    fn occupancy(&self, now: u64) -> u64 {
+        self.backlog(now)
+    }
+}
+
 impl Invariants for CxlPort {
     fn component(&self) -> &'static str {
         "cxl::CxlPort"
@@ -296,7 +338,7 @@ mod tests {
 
     fn setup() -> (CxlPort, Bank<M2pEvent>, Bank<CxlEvent>) {
         (
-            CxlPort::new(&MachineConfig::spr()),
+            CxlPort::new(&MachineConfig::spr(), 0),
             Bank::new(),
             Bank::new(),
         )

@@ -97,6 +97,44 @@ impl Imc {
     }
 }
 
+impl crate::module::SimModule for Imc {
+    fn stage_id(&self) -> crate::module::StageId {
+        crate::module::StageId::imc()
+    }
+
+    fn name(&self) -> &'static str {
+        "module.imc"
+    }
+
+    fn tick(&mut self, _until: u64) {}
+
+    fn drain(&mut self, pmu: &mut pmu::SystemPmu, epoch_cycles: u64) {
+        self.sync_counters(&mut pmu.imcs, epoch_cycles);
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        crate::module::registered(&[
+            "unc_m_clockticks",
+            "unc_m_cas_count.all",
+            "unc_m_cas_count.rd",
+            "unc_m_cas_count.wr",
+            "unc_m_rpq_inserts",
+            "unc_m_wpq_inserts",
+            "unc_m_rpq_cycles_ne",
+            "unc_m_wpq_cycles_ne",
+            "unc_m_rpq_occupancy",
+            "unc_m_wpq_occupancy",
+        ])
+    }
+
+    fn occupancy(&self, now: u64) -> u64 {
+        self.channels
+            .iter()
+            .map(|ch| ch.server.next_free().saturating_sub(now))
+            .sum()
+    }
+}
+
 impl Invariants for Imc {
     fn component(&self) -> &'static str {
         "imc::Imc"

@@ -35,20 +35,26 @@
 pub mod cache;
 pub mod cha;
 pub mod config;
+mod conservation;
 pub mod core_model;
 pub mod cxl;
+mod datapath;
 pub mod imc;
 pub mod invariants;
 pub mod machine;
 pub mod mem;
+pub mod module;
 pub mod prefetch;
 pub mod queues;
+pub mod remote;
 pub mod request;
 pub mod trace;
 
 pub use config::{MachineConfig, MemPolicy};
 pub use invariants::{Invariants, Violation};
-pub use machine::{EpochResult, Machine, RunSummary};
+pub use machine::{EpochResult, Machine, RunSummary, StallError};
 pub use mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
+pub use module::{Edge, SimModule, StageId, StageKind, Topology};
+pub use remote::RemoteSocket;
 pub use request::{AccessKind, MemOp, ServeLoc};
 pub use trace::{TraceSource, Workload};

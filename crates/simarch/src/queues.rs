@@ -256,6 +256,12 @@ impl BoundedWindow {
         self.inflight.len()
     }
 
+    /// Entries still in flight at `now`, without retiring completed ones —
+    /// a read-only gauge for `SimModule::occupancy`.
+    pub fn occupancy_at(&self, now: u64) -> usize {
+        self.inflight.iter().filter(|Reverse(f)| *f > now).count()
+    }
+
     /// The earliest in-flight completion, if any.
     pub fn earliest(&self) -> Option<u64> {
         self.inflight.peek().map(|Reverse(f)| *f)
@@ -400,5 +406,102 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_window_rejected() {
         let _ = BoundedWindow::new(0);
+    }
+
+    // ---- backpressure edges (module-level, no Machine involved) ---------
+
+    #[test]
+    fn full_window_rejects_until_earliest_completion() {
+        let mut w = BoundedWindow::new(3);
+        for fin in [100, 200, 300] {
+            let a = w.acquire(0);
+            assert_eq!(a.blocked, 0);
+            w.commit(fin);
+        }
+        // Full: each further acquire is pushed to the earliest completion,
+        // in completion order, never earlier.
+        let a = w.acquire(0);
+        assert_eq!(
+            a,
+            Admission {
+                at: 100,
+                blocked: 100
+            }
+        );
+        w.commit(400);
+        let b = w.acquire(0);
+        assert_eq!(
+            b,
+            Admission {
+                at: 200,
+                blocked: 200
+            }
+        );
+        w.commit(500);
+        let c = w.acquire(250);
+        assert_eq!(
+            c,
+            Admission {
+                at: 300,
+                blocked: 50
+            }
+        );
+    }
+
+    #[test]
+    fn window_drains_in_completion_order() {
+        let mut w = BoundedWindow::new(4);
+        // Commit out of order; the window must retire earliest-first.
+        for fin in [400, 100, 300, 200] {
+            w.acquire(0);
+            w.commit(fin);
+        }
+        assert_eq!(w.earliest(), Some(100));
+        assert_eq!(w.outstanding(150), 3);
+        assert_eq!(w.earliest(), Some(200));
+        assert_eq!(w.outstanding(350), 1);
+        assert_eq!(w.earliest(), Some(400));
+        assert_eq!(w.outstanding(400), 0);
+        assert_eq!(w.retired(), w.committed());
+    }
+
+    #[test]
+    fn window_credit_returns_exactly_one_slot_per_retirement() {
+        let mut w = BoundedWindow::new(2);
+        w.acquire(0);
+        w.commit(100);
+        w.acquire(0);
+        w.commit(100);
+        // Both entries retire at the same cycle; both credits come back, and
+        // the two freed slots admit exactly two requests without blocking.
+        let a = w.acquire(100);
+        assert_eq!(a.blocked, 0);
+        w.commit(250);
+        let b = w.acquire(100);
+        assert_eq!(b.blocked, 0);
+        w.commit(250);
+        // Third request finds no credit until t=250.
+        let c = w.acquire(100);
+        assert_eq!(
+            c,
+            Admission {
+                at: 250,
+                blocked: 150
+            }
+        );
+    }
+
+    #[test]
+    fn occupancy_at_is_read_only() {
+        let mut w = BoundedWindow::new(4);
+        for fin in [100, 200, 300] {
+            w.acquire(0);
+            w.commit(fin);
+        }
+        assert_eq!(w.occupancy_at(0), 3);
+        assert_eq!(w.occupancy_at(150), 2);
+        assert_eq!(w.occupancy_at(300), 0);
+        // The gauge retired nothing: a mutable query still sees all three.
+        assert_eq!(w.outstanding(0), 3);
     }
 }

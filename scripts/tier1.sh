@@ -26,4 +26,12 @@ run cargo run --release -p bench --bin fig6_stall_breakdown -- \
 run cargo run --release -p obs --bin obs_validate -- \
     "$obs_out/timings.json" epoch.machine epoch.profiler
 
+# Scenario fan-out acceptance (DESIGN.md): the same figure under --jobs 2
+# must print byte-identical output to a serial run. Complements the
+# in-process tests by catching stray printing from inside a worker.
+echo "==> fig6_stall_breakdown --jobs 2 vs serial (byte-identical stdout)"
+./target/release/fig6_stall_breakdown > "$obs_out/serial.txt"
+./target/release/fig6_stall_breakdown --jobs 2 > "$obs_out/jobs2.txt"
+diff -u "$obs_out/serial.txt" "$obs_out/jobs2.txt"
+
 echo "tier1: all gates passed"

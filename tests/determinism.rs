@@ -68,7 +68,7 @@ fn counter_state_is_bit_identical_across_runs() {
                 MemPolicy::Cxl,
             ),
         );
-        m.run_to_completion(2_000);
+        m.run_to_completion(2_000).expect("machine must not stall");
         m.pmu.snapshot(m.now())
     };
     let a = snap(7);

@@ -1,0 +1,131 @@
+//! Golden guard for the `SimModule` stage-graph refactor: the SPR-config
+//! machine must produce bit-identical `EpochResult`s and PMU counter
+//! streams before and after any scheduler change. The expected
+//! fingerprints below were captured from the hand-wired `run_epoch`
+//! implementation; a mismatch means the stage graph changed observable
+//! behaviour, not just structure.
+
+use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+
+/// FNV-1a over a word stream — stable, dependency-free fingerprinting.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Fingerprint one epoch: the full counter state of every PMU bank, the
+/// epoch-boundary cycle, the drained page heat, and per-core ops.
+fn epoch_fingerprint(e: &simarch::EpochResult) -> u64 {
+    let mut h = Fnv::new();
+    h.word(e.snapshot.cycle);
+    for bank in &e.snapshot.pmu.cores {
+        for &w in bank.raw() {
+            h.word(w);
+        }
+    }
+    for bank in &e.snapshot.pmu.chas {
+        for &w in bank.raw() {
+            h.word(w);
+        }
+    }
+    for bank in &e.snapshot.pmu.imcs {
+        for &w in bank.raw() {
+            h.word(w);
+        }
+    }
+    for bank in &e.snapshot.pmu.m2ps {
+        for &w in bank.raw() {
+            h.word(w);
+        }
+    }
+    for bank in &e.snapshot.pmu.cxls {
+        for &w in bank.raw() {
+            h.word(w);
+        }
+    }
+    for &(asid, page, n) in &e.page_heat {
+        h.word(asid as u64);
+        h.word(page);
+        h.word(n as u64);
+    }
+    for &ops in &e.ops_per_core {
+        h.word(ops);
+    }
+    h.word(e.all_done as u64);
+    h.0
+}
+
+/// The pinned scenario: stock SPR config, a CXL-resident STREAM flow and an
+/// interleaved GUPS flow sharing the LLC.
+fn golden_run() -> Vec<u64> {
+    let mut m = Machine::new(MachineConfig::spr());
+    m.attach(
+        0,
+        Workload::new(
+            "STREAM",
+            workloads::build("STREAM", 120_000, 42).unwrap(),
+            MemPolicy::Cxl,
+        ),
+    );
+    m.attach(
+        1,
+        Workload::new(
+            "GUPS",
+            workloads::build("GUPS", 90_000, 7).unwrap(),
+            MemPolicy::Interleave { cxl_fraction: 0.5 },
+        ),
+    );
+    let mut prints = Vec::new();
+    for _ in 0..40 {
+        let e = m.run_epoch();
+        prints.push(epoch_fingerprint(&e));
+        if e.all_done {
+            break;
+        }
+    }
+    prints
+}
+
+/// Captured from the pre-stage-graph `run_epoch` (hand-wired drain order);
+/// every scheduler refactor must reproduce this stream exactly.
+const GOLDEN: [u64; 11] = [
+    0xd080b29680e8e3de,
+    0x0080fd5bcae9d8f9,
+    0xff47026fb2bbc489,
+    0x225b60b65ad296cf,
+    0x76d31d1e510d0059,
+    0x54a3a2e0856b7fa0,
+    0x80c04e221bed560e,
+    0x545f17c5c6966077,
+    0x7e91088f007ac6ba,
+    0xa264cbadc302fa36,
+    0xc7430120b4df5397,
+];
+
+#[test]
+fn spr_epoch_stream_matches_golden() {
+    let prints = golden_run();
+    assert_eq!(
+        prints.len(),
+        GOLDEN.len(),
+        "epoch count changed: the run drained in {} epochs, golden has {}",
+        prints.len(),
+        GOLDEN.len()
+    );
+    for (i, (&got, &want)) in prints.iter().zip(GOLDEN.iter()).enumerate() {
+        assert_eq!(
+            got, want,
+            "epoch {i} fingerprint diverged: got 0x{got:016x}, want 0x{want:016x}"
+        );
+    }
+}
