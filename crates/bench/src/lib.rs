@@ -61,7 +61,19 @@ impl Pin {
 /// Run workloads to completion on a machine; return the whole-run counter
 /// delta and final cycle count.
 pub fn run_machine(cfg: MachineConfig, pins: Vec<Pin>) -> (SystemDelta, u64) {
+    run_machine_with_faults(cfg, pins, simarch::FaultPlan::new())
+}
+
+/// [`run_machine`] under a deterministic fault plan (`simarch::faults`):
+/// the scheduled anomalies are applied at every epoch boundary while the
+/// workloads run to completion.
+pub fn run_machine_with_faults(
+    cfg: MachineConfig,
+    pins: Vec<Pin>,
+    plan: simarch::FaultPlan,
+) -> (SystemDelta, u64) {
     let mut machine = Machine::new(cfg);
+    machine.set_fault_plan(plan);
     for p in pins {
         machine.attach(p.core, Workload::new(p.name, p.trace, p.policy));
     }
@@ -190,6 +202,25 @@ mod tests {
         );
         assert!(cycles > 0);
         assert!(d.core_sum(pmu::CoreEvent::InstRetired) > 0);
+    }
+
+    #[test]
+    fn faulted_run_completes_and_diverges_from_healthy() {
+        use simarch::{FaultClass, FaultPlan, FaultWindow, StageId};
+        let pins = || vec![Pin::app(0, "STREAM", 20_000, MemPolicy::Cxl, 1)];
+        let (_, healthy_cycles) = run_machine(MachineConfig::tiny(), pins());
+        let plan = FaultPlan::new().with(FaultWindow {
+            class: FaultClass::LinkDegrade,
+            stage: StageId::cxl(0),
+            start_epoch: 0,
+            end_epoch: u64::MAX,
+            severity: 8,
+        });
+        let (_, faulted_cycles) = run_machine_with_faults(MachineConfig::tiny(), pins(), plan);
+        assert!(
+            faulted_cycles > healthy_cycles,
+            "a degraded link must slow the run ({faulted_cycles} vs {healthy_cycles})"
+        );
     }
 
     #[test]

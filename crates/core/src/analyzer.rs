@@ -11,7 +11,10 @@
 //! length is the culprit of the snapshot.
 
 use crate::model::{Component, LatencyModel, PathGroup};
-use pmu::{ChaEvent, CoreEvent, CxlEvent, M2pEvent, SystemDelta, TorDrdScen, TorRfoScen};
+use pmu::{
+    ChaEvent, CoreEvent, CxlEvent, IaScen, ImcEvent, M2pEvent, SystemDelta, TorDrdScen, TorRfoScen,
+};
+use simarch::FaultClass;
 
 /// Queue-length estimates per (path group, component).
 #[derive(Clone, Debug, Default)]
@@ -186,6 +189,263 @@ fn cxl_insert_shares(delta: &SystemDelta) -> [f64; PathGroup::COUNT] {
     out
 }
 
+// ====================== Anomaly diagnosis (paper §6) ======================
+//
+// §6 argues that the per-path traffic matrices and queue-delay estimates
+// PathFinder already collects localise hardware faults: a degraded FlexBus
+// link, a throttled device MC, poisoned-line retries, and transient
+// CHA/IMC stalls each leave a distinct per-stage signature in the same
+// counters the four techniques read. The detector distils one epoch digest
+// into per-stage wait metrics, compares them against a recorded healthy
+// baseline, and names the faulted stage.
+
+/// Per-stage wait metrics distilled from one epoch digest — the traffic
+/// matrix the anomaly detector compares against a healthy baseline.
+///
+/// Each metric is a mean residency per request at exactly one stage, so
+/// the five fault classes perturb disjoint entries: link degradation only
+/// moves `w_link` (M2PCIe occupancy retires when the link takes the flit,
+/// before any device wait), device throttling only moves `w_dev`, and
+/// poisoned-line retries re-issue the M2S Req without a new TOR insert,
+/// which moves only `read_amp`.
+#[derive(Clone, Debug, Default)]
+pub struct StageMetrics {
+    /// Per-device FlexBus link wait: M2PCIe ingress occupancy per insert.
+    pub w_link: Vec<f64>,
+    /// Per-device device-MC read wait: device RPQ occupancy per read CAS.
+    pub w_dev: Vec<f64>,
+    /// Read amplification: M2S Req allocations per CXL-destined TOR insert.
+    /// Healthy ≈ 1.0; a poisoned line with period `p` retries once per
+    /// poisoned completion, pushing this to `p / (p - 1)`.
+    pub read_amp: f64,
+    /// IMC read wait: RPQ occupancy per insert, summed over channels.
+    pub w_imc: f64,
+    /// CHA wait: TOR occupancy per insert over all IA requests.
+    pub w_cha: f64,
+}
+
+impl StageMetrics {
+    /// Distil the detector's input metrics from one epoch digest.
+    pub fn from_delta(delta: &SystemDelta) -> StageMetrics {
+        let n_dev = delta.pmu.cxls.len();
+        let mut w_link = Vec::with_capacity(n_dev);
+        let mut w_dev = Vec::with_capacity(n_dev);
+        for d in 0..n_dev {
+            let m2p = &delta.pmu.m2ps[d];
+            w_link.push(ratio(
+                m2p.read(M2pEvent::RxcOccupancy),
+                m2p.read(M2pEvent::RxcInserts),
+            ));
+            let cxl = &delta.pmu.cxls[d];
+            w_dev.push(ratio(
+                cxl.read(CxlEvent::DevMcRpqOccupancy),
+                cxl.read(CxlEvent::DevMcRdCas),
+            ));
+        }
+        StageMetrics {
+            w_link,
+            w_dev,
+            read_amp: ratio(
+                delta.cxl_sum(CxlEvent::RxcPackBufInsertsMemReq),
+                delta.cha_sum(ChaEvent::TorInsertsIa(IaScen::MissCxl)),
+            ),
+            w_imc: ratio(
+                delta.imc_sum(ImcEvent::RpqOccupancy),
+                delta.imc_sum(ImcEvent::RpqInserts),
+            ),
+            w_cha: ratio(
+                delta.cha_sum(ChaEvent::TorOccupancyIa(IaScen::Total)),
+                delta.cha_sum(ChaEvent::TorInsertsIa(IaScen::Total)),
+            ),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A recorded healthy-run fingerprint to diagnose against.
+///
+/// Record it from a fault-free run of the *same workload mix* that will be
+/// diagnosed: the metrics are load-dependent, so comparing across different
+/// workloads confuses load shifts with faults. Kernel page-migration
+/// traffic (`background_read`) issues M2S Reqs without TOR inserts and
+/// would skew `read_amp`; record baselines without migration active.
+#[derive(Clone, Debug)]
+pub struct HealthyBaseline {
+    metrics: StageMetrics,
+}
+
+impl HealthyBaseline {
+    pub fn from_delta(delta: &SystemDelta) -> HealthyBaseline {
+        HealthyBaseline {
+            metrics: StageMetrics::from_delta(delta),
+        }
+    }
+
+    pub fn metrics(&self) -> &StageMetrics {
+        &self.metrics
+    }
+}
+
+/// A diagnosed anomaly: the faulted stage (named as in
+/// `simarch::StageId`'s display form — `cxl0`, `imc0`, `cha0`) and the
+/// fault class whose signature matched.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Anomaly {
+    pub stage: String,
+    pub class: FaultClass,
+    /// How far past the detection bound the offending metric sits
+    /// (observed / bound; > 1 by construction). Dropout and poison are
+    /// binary signatures and report the raw evidence instead (0 for
+    /// dropout, the amplification factor for poison).
+    pub score: f64,
+}
+
+impl Anomaly {
+    /// One-line rendering for reports: `dev_throttle at cxl0 (score 5.31)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} at {} (score {:.2})",
+            self.class.label(),
+            self.stage,
+            self.score
+        )
+    }
+}
+
+/// Compares epoch digests against a [`HealthyBaseline`] and names the
+/// faulted stage.
+#[derive(Clone, Debug)]
+pub struct AnomalyDetector {
+    base: StageMetrics,
+    /// Multiplicative elevation bound: a wait metric is anomalous beyond
+    /// `ratio × baseline + floor`.
+    ratio: f64,
+    /// Absolute slack added to every bound — guards near-zero baselines
+    /// (an idle stage's wait is 0.0 and any ratio alone would trip).
+    floor: f64,
+    /// Additive bound on read amplification over the baseline. 0.25
+    /// detects poison periods ≤ 5 (amplification `p/(p-1)` ≥ 1.25).
+    amp_margin: f64,
+}
+
+impl AnomalyDetector {
+    pub fn new(baseline: HealthyBaseline) -> AnomalyDetector {
+        AnomalyDetector {
+            base: baseline.metrics,
+            ratio: 1.5,
+            floor: 2.0,
+            amp_margin: 0.25,
+        }
+    }
+
+    /// Diagnose one epoch digest. Returns the best-matching anomaly, or
+    /// `None` when every stage is within bounds.
+    ///
+    /// Order matters. PMU dropout is checked first: it needs no baseline,
+    /// and a frozen bank corrupts every ratio below. Poison is next: its
+    /// retries legitimately elevate the link and device waits, so the
+    /// amplification signature must win before the wait checks run. The
+    /// remaining wait checks compete on *relative* elevation — a stalled
+    /// IMC also parks entries in the TOR (its occupancy spans the whole
+    /// downstream trip), but the stage actually at fault is always the
+    /// most elevated against its own baseline.
+    pub fn diagnose(&self, delta: &SystemDelta) -> Option<Anomaly> {
+        if delta.cycles() == 0 {
+            return None;
+        }
+        if let Some(a) = self.dropout(delta) {
+            return Some(a);
+        }
+        let cur = StageMetrics::from_delta(delta);
+        if self.base.read_amp > 0.0 && cur.read_amp > self.base.read_amp + self.amp_margin {
+            let dev = (0..delta.pmu.cxls.len())
+                .max_by_key(|&d| delta.pmu.cxls[d].read(CxlEvent::RxcPackBufInsertsMemReq))
+                .unwrap_or(0);
+            return Some(Anomaly {
+                stage: format!("cxl{dev}"),
+                class: FaultClass::PoisonedLine,
+                score: cur.read_amp,
+            });
+        }
+        let mut best: Option<Anomaly> = None;
+        let mut consider = |stage: String, class: FaultClass, cur_v: f64, base_v: f64| {
+            let bound = base_v * self.ratio + self.floor;
+            if cur_v > bound {
+                let score = cur_v / bound;
+                if best.as_ref().map(|b| score > b.score).unwrap_or(true) {
+                    best = Some(Anomaly {
+                        stage,
+                        class,
+                        score,
+                    });
+                }
+            }
+        };
+        for d in 0..cur.w_dev.len() {
+            let base_dev = self.base.w_dev.get(d).copied().unwrap_or(0.0);
+            consider(
+                format!("cxl{d}"),
+                FaultClass::DevThrottle,
+                cur.w_dev[d],
+                base_dev,
+            );
+            let base_link = self.base.w_link.get(d).copied().unwrap_or(0.0);
+            consider(
+                format!("cxl{d}"),
+                FaultClass::LinkDegrade,
+                cur.w_link[d],
+                base_link,
+            );
+        }
+        consider(
+            "imc0".to_string(),
+            FaultClass::QueueStall,
+            cur.w_imc,
+            self.base.w_imc,
+        );
+        consider(
+            "cha0".to_string(),
+            FaultClass::QueueStall,
+            cur.w_cha,
+            self.base.w_cha,
+        );
+        best
+    }
+
+    /// Uncore banks gain ClockTicks at every epoch drain; a bank frozen
+    /// while the machine advanced is a PMU dropout, not a quiet stage.
+    fn dropout(&self, delta: &SystemDelta) -> Option<Anomaly> {
+        let frozen = |stage: String| {
+            Some(Anomaly {
+                stage,
+                class: FaultClass::PmuDropout,
+                score: 0.0,
+            })
+        };
+        if delta.cha_sum(ChaEvent::ClockTicks) == 0 {
+            return frozen("cha0".to_string());
+        }
+        if delta.imc_sum(ImcEvent::ClockTicks) == 0 {
+            return frozen("imc0".to_string());
+        }
+        for d in 0..delta.pmu.cxls.len() {
+            if delta.pmu.m2ps[d].read(M2pEvent::ClockTicks) == 0
+                || delta.pmu.cxls[d].read(CxlEvent::ClockTicks) == 0
+            {
+                return frozen(format!("cxl{d}"));
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +517,145 @@ mod tests {
         let lat = LatencyModel::spr();
         let d = delta_with(100, |_| {});
         assert!(PfAnalyzer::analyze(&d, &lat).culprit().is_none());
+    }
+
+    // ---- anomaly-detector fixtures -------------------------------------
+
+    /// All uncore banks tick once over the 1000-cycle window (no dropout).
+    fn seed_ticks(p: &mut SystemPmu) {
+        p.chas[0].add(ChaEvent::ClockTicks, 1_000);
+        for b in p.imcs.iter_mut() {
+            b.add(ImcEvent::ClockTicks, 1_000);
+        }
+        p.m2ps[0].add(M2pEvent::ClockTicks, 1_000);
+        p.cxls[0].add(CxlEvent::ClockTicks, 1_000);
+    }
+
+    /// Healthy traffic: w_link = 5, w_dev = 600, read_amp = 1.0,
+    /// w_imc = 200, w_cha = 833.3.
+    fn seed_traffic(p: &mut SystemPmu) {
+        p.chas[0].add(ChaEvent::TorInsertsIa(IaScen::Total), 120);
+        p.chas[0].add(ChaEvent::TorOccupancyIa(IaScen::Total), 100_000);
+        p.chas[0].add(ChaEvent::TorInsertsIa(IaScen::MissCxl), 100);
+        p.m2ps[0].add(M2pEvent::RxcInserts, 100);
+        p.m2ps[0].add(M2pEvent::RxcOccupancy, 500);
+        p.cxls[0].add(CxlEvent::RxcPackBufInsertsMemReq, 100);
+        p.cxls[0].add(CxlEvent::DevMcRdCas, 100);
+        p.cxls[0].add(CxlEvent::DevMcRpqOccupancy, 60_000);
+        p.imcs[0].add(ImcEvent::RpqInserts, 50);
+        p.imcs[0].add(ImcEvent::RpqOccupancy, 10_000);
+    }
+
+    fn seed_healthy(p: &mut SystemPmu) {
+        seed_ticks(p);
+        seed_traffic(p);
+    }
+
+    fn detector() -> AnomalyDetector {
+        let base = delta_with(1_000, seed_healthy);
+        AnomalyDetector::new(HealthyBaseline::from_delta(&base))
+    }
+
+    #[test]
+    fn stage_metrics_compute_expected_ratios() {
+        let m = StageMetrics::from_delta(&delta_with(1_000, seed_healthy));
+        assert!((m.w_link[0] - 5.0).abs() < 1e-12);
+        assert!((m.w_dev[0] - 600.0).abs() < 1e-12);
+        assert!((m.read_amp - 1.0).abs() < 1e-12);
+        assert!((m.w_imc - 200.0).abs() < 1e-12);
+        assert!((m.w_cha - 100_000.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn healthy_digest_is_not_anomalous() {
+        assert!(detector()
+            .diagnose(&delta_with(1_000, seed_healthy))
+            .is_none());
+    }
+
+    #[test]
+    fn degraded_link_is_named() {
+        let d = delta_with(1_000, |p| {
+            seed_healthy(p);
+            // w_link 5 → 100 while the device wait stays at baseline.
+            p.m2ps[0].add(M2pEvent::RxcOccupancy, 9_500);
+        });
+        let a = detector().diagnose(&d).unwrap();
+        assert_eq!(a.class, FaultClass::LinkDegrade);
+        assert_eq!(a.stage, "cxl0");
+        assert!(a.score > 1.0);
+    }
+
+    #[test]
+    fn throttled_device_is_named() {
+        let d = delta_with(1_000, |p| {
+            seed_healthy(p);
+            // w_dev 600 → 6000.
+            p.cxls[0].add(CxlEvent::DevMcRpqOccupancy, 540_000);
+        });
+        let a = detector().diagnose(&d).unwrap();
+        assert_eq!(a.class, FaultClass::DevThrottle);
+        assert_eq!(a.stage, "cxl0");
+    }
+
+    #[test]
+    fn poison_amplification_wins_over_elevated_waits() {
+        let d = delta_with(1_000, |p| {
+            seed_healthy(p);
+            // Retries double the M2S Reqs without new TOR inserts (period-2
+            // poison) and drag the device wait up with them.
+            p.cxls[0].add(CxlEvent::RxcPackBufInsertsMemReq, 100);
+            p.cxls[0].add(CxlEvent::DevMcRdCas, 100);
+            p.cxls[0].add(CxlEvent::DevMcRpqOccupancy, 300_000);
+        });
+        let a = detector().diagnose(&d).unwrap();
+        assert_eq!(a.class, FaultClass::PoisonedLine);
+        assert_eq!(a.stage, "cxl0");
+        assert!((a.score - 2.0).abs() < 1e-12, "score is the amplification");
+    }
+
+    #[test]
+    fn stalled_imc_beats_collateral_cha_elevation() {
+        let d = delta_with(1_000, |p| {
+            seed_healthy(p);
+            // The IMC stall parks entries in the TOR too, but the IMC's own
+            // elevation (200 → 20_000) dwarfs the CHA's (833 → 4_166).
+            p.imcs[0].add(ImcEvent::RpqOccupancy, 990_000);
+            p.chas[0].add(ChaEvent::TorOccupancyIa(IaScen::Total), 400_000);
+        });
+        let a = detector().diagnose(&d).unwrap();
+        assert_eq!(a.class, FaultClass::QueueStall);
+        assert_eq!(a.stage, "imc0");
+    }
+
+    #[test]
+    fn stalled_cha_alone_is_named() {
+        let d = delta_with(1_000, |p| {
+            seed_healthy(p);
+            p.chas[0].add(ChaEvent::TorOccupancyIa(IaScen::Total), 400_000);
+        });
+        let a = detector().diagnose(&d).unwrap();
+        assert_eq!(a.class, FaultClass::QueueStall);
+        assert_eq!(a.stage, "cha0");
+    }
+
+    #[test]
+    fn frozen_imc_bank_is_dropout() {
+        let d = delta_with(1_000, |p| {
+            seed_traffic(p);
+            // Every bank ticks except the IMC's.
+            p.chas[0].add(ChaEvent::ClockTicks, 1_000);
+            p.m2ps[0].add(M2pEvent::ClockTicks, 1_000);
+            p.cxls[0].add(CxlEvent::ClockTicks, 1_000);
+        });
+        let a = detector().diagnose(&d).unwrap();
+        assert_eq!(a.class, FaultClass::PmuDropout);
+        assert_eq!(a.stage, "imc0");
+        assert!(a.render().contains("pmu_dropout at imc0"));
+    }
+
+    #[test]
+    fn zero_cycle_digest_is_never_diagnosed() {
+        assert!(detector().diagnose(&delta_with(0, seed_healthy)).is_none());
     }
 }

@@ -52,7 +52,9 @@ pub mod model;
 pub mod profiler;
 pub mod report;
 
-pub use analyzer::{Culprit, PfAnalyzer, QueueEstimate};
+pub use analyzer::{
+    Anomaly, AnomalyDetector, Culprit, HealthyBaseline, PfAnalyzer, QueueEstimate, StageMetrics,
+};
 pub use builder::{PathMap, PfBuilder};
 pub use estimator::{PfEstimator, StallBreakdown};
 pub use materializer::Materializer;

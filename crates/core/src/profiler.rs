@@ -10,7 +10,9 @@
 // Wall-clock time is observed only through the `obs` crate's span recorder
 // (§5.9 self-overhead accounting) and never feeds the simulation model or
 // report ordering; with obs disabled no clock is read at all.
-use crate::analyzer::{Culprit, PfAnalyzer, QueueEstimate};
+use crate::analyzer::{
+    Anomaly, AnomalyDetector, Culprit, HealthyBaseline, PfAnalyzer, QueueEstimate,
+};
 use crate::builder::{PathMap, PfBuilder};
 use crate::estimator::{PfEstimator, StallBreakdown};
 use crate::materializer::Materializer;
@@ -94,6 +96,9 @@ pub struct ProfiledEpoch {
     pub stalls: Option<StallBreakdown>,
     pub queues: Option<QueueEstimate>,
     pub culprit: Option<Culprit>,
+    /// Anomaly diagnosis for this epoch — only populated once a healthy
+    /// baseline was recorded via [`Profiler::set_anomaly_baseline`].
+    pub anomaly: Option<Anomaly>,
     pub page_heat: Vec<(u16, u64, u32)>,
     pub ops_per_core: Vec<u64>,
     pub all_done: bool,
@@ -115,6 +120,9 @@ pub struct Report {
     pub mean_queues: QueueEstimate,
     /// Culprit of the final epoch with activity.
     pub culprit: Option<Culprit>,
+    /// Last anomaly diagnosed against the recorded healthy baseline, if
+    /// any. `None` when no baseline was set or every epoch was healthy.
+    pub anomaly: Option<Anomaly>,
     pub overhead: Overhead,
     pub apps: Vec<Option<String>>,
     pub ops_per_core: Vec<u64>,
@@ -166,6 +174,9 @@ impl Report {
                 c.queue_len
             ));
         }
+        if let Some(a) = &self.anomaly {
+            out.push_str(&format!("\nanomaly: {}\n", a.render()));
+        }
         out
     }
 }
@@ -184,6 +195,8 @@ pub struct Profiler {
     queue_sum: QueueEstimate,
     queue_epochs: u64,
     last_culprit: Option<Culprit>,
+    detector: Option<AnomalyDetector>,
+    last_anomaly: Option<Anomaly>,
     epoch: u64,
     overhead: Overhead,
     total_ops: Vec<u64>,
@@ -208,6 +221,8 @@ impl Profiler {
             queue_sum: QueueEstimate::default(),
             queue_epochs: 0,
             last_culprit: None,
+            detector: None,
+            last_anomaly: None,
             epoch: 0,
             overhead: Overhead::default(),
             total_ops: vec![0; cores],
@@ -226,6 +241,13 @@ impl Profiler {
     /// The Clos system model of the profiled machine.
     pub fn system_model(&self) -> &SystemModel {
         &self.model
+    }
+
+    /// Arm per-epoch anomaly diagnosis against a recorded healthy
+    /// baseline (paper §6). Off by default: reports stay byte-identical
+    /// unless a baseline is installed.
+    pub fn set_anomaly_baseline(&mut self, baseline: HealthyBaseline) {
+        self.detector = Some(AnomalyDetector::new(baseline));
     }
 
     /// Workload labels per core.
@@ -276,6 +298,10 @@ impl Profiler {
             None
         };
         let culprit = queues.as_ref().and_then(|q| q.culprit());
+        let anomaly = self.detector.as_ref().and_then(|det| {
+            let _t = obs::span!("technique.anomaly");
+            det.diagnose(&delta)
+        });
 
         // Accumulate run-level state.
         if let Some(map) = &path_map {
@@ -316,6 +342,9 @@ impl Profiler {
         if culprit.is_some() {
             self.last_culprit = culprit;
         }
+        if anomaly.is_some() {
+            self.last_anomaly = anomaly.clone();
+        }
 
         if self.spec.materialize && self.epoch as usize <= self.spec.max_db_epochs {
             let _t = obs::span!("technique.materializer");
@@ -340,6 +369,7 @@ impl Profiler {
             stalls,
             queues,
             culprit,
+            anomaly,
             page_heat: er.page_heat,
             ops_per_core: er.ops_per_core,
             all_done: er.all_done,
@@ -395,6 +425,7 @@ impl Profiler {
                 m
             },
             culprit: self.last_culprit,
+            anomaly: self.last_anomaly.clone(),
             overhead,
             apps: self.apps(),
             ops_per_core: self.total_ops.clone(),
@@ -483,6 +514,23 @@ mod tests {
         assert!(e.stalls.is_none());
         assert!(e.queues.is_none());
         assert_eq!(p.materializer.db.len(), 0);
+    }
+
+    #[test]
+    fn anomaly_detection_is_off_by_default_and_quiet_when_healthy() {
+        let mut p = profiler_with(MemPolicy::Cxl, 10_000);
+        let r = p.run(300);
+        assert!(r.anomaly.is_none());
+        assert!(!r.render().contains("anomaly:"));
+
+        // Armed with a baseline recorded from an identical healthy run,
+        // the detector must stay quiet.
+        let mut healthy = profiler_with(MemPolicy::Cxl, 10_000);
+        let baseline = HealthyBaseline::from_delta(&healthy.profile_epoch().delta);
+        let mut armed = profiler_with(MemPolicy::Cxl, 10_000);
+        armed.set_anomaly_baseline(baseline);
+        let e = armed.profile_epoch();
+        assert!(e.anomaly.is_none(), "identical run must diagnose healthy");
     }
 
     #[test]

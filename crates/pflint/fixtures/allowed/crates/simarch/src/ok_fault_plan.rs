@@ -1,0 +1,13 @@
+use crate::faults::FaultPlan;
+
+/// Fault schedules are pure functions of an explicit seed (FAULTS.md);
+/// the one sanctioned clock read below shows rule-stacking suppression.
+pub fn seeded_plan(seed: u64, cfg: &crate::MachineConfig) -> FaultPlan {
+    FaultPlan::from_seed(seed, 4, cfg, 100)
+}
+
+pub fn wall_deadline() -> std::time::Duration {
+    // Benign: converts a *reporting* deadline, never shapes a window.
+    // pflint::allow(fault-plan-determinism) pflint::allow(wall-clock)
+    std::time::SystemTime::UNIX_EPOCH.elapsed().unwrap_or_default()
+}

@@ -1,0 +1,7 @@
+use crate::faults::FaultPlan;
+
+pub fn jittered_plan() -> FaultPlan {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    FaultPlan::new()
+}

@@ -23,6 +23,10 @@
 //!    `Instant` may appear only in `clock.rs`, with exactly one
 //!    `Instant::now` call site carrying a `pflint::allow(wall-clock)`
 //!    marker. Everything else must go through `obs::clock::now_ns`.
+//! 6. **Fault-plan determinism** ([`run_fault_plan_determinism`]): any file
+//!    that builds or applies a `FaultPlan` must derive its schedule from an
+//!    explicit seed — OS entropy and wall-clock reads are findings even in
+//!    test code, so injected anomalies replay bit-identically (FAULTS.md).
 //!
 //! Suppression: append `// pflint::allow(<rule>)` to the offending line, or
 //! place it alone on the line above. Each suppression silences exactly one
@@ -48,6 +52,7 @@ pub mod rules {
     pub const INVARIANT_HOOK_MISSING: &str = "invariant-hook-missing";
     pub const OBS_CHOKE_POINT: &str = "obs-choke-point";
     pub const MODULE_COUNTER_REGISTRATION: &str = "module-counter-registration";
+    pub const FAULT_PLAN_DETERMINISM: &str = "fault-plan-determinism";
 
     pub const ALL: &[&str] = &[
         HASH_ITERATION,
@@ -59,6 +64,7 @@ pub mod rules {
         INVARIANT_HOOK_MISSING,
         OBS_CHOKE_POINT,
         MODULE_COUNTER_REGISTRATION,
+        FAULT_PLAN_DETERMINISM,
     ];
 }
 
@@ -679,16 +685,103 @@ pub fn run_obs_choke_point(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
+// Analysis 6: fault-plan determinism
+// ---------------------------------------------------------------------
+
+/// Directories scanned for fault-plan construction sites. Vendored crates
+/// and `pflint` itself (whose needle tables would self-trip) are excluded
+/// by listing the roots explicitly.
+pub const FAULT_PLAN_SCAN_ROOTS: &[&str] = &[
+    "crates/simarch/src",
+    "crates/core/src",
+    "crates/bench/src",
+    "crates/tiering/src",
+    "tests",
+];
+
+/// A file is subject to the rule when its code mentions one of these.
+const FAULT_PLAN_MARKERS: &[&str] = &["FaultPlan", "FaultWindow", "fault_plan"];
+
+/// (needle, advice) — non-determinism sources forbidden wherever fault
+/// plans are built or applied.
+const FAULT_PLAN_NEEDLES: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "fault schedules must be a pure function of an explicit seed (FaultPlan::from_seed)",
+    ),
+    (
+        "from_entropy",
+        "fault schedules must be a pure function of an explicit seed (use seed_from_u64)",
+    ),
+    ("OsRng", "OS entropy has no place in a fault schedule"),
+    (
+        "rand::random",
+        "implicitly OS-seeded; derive fault windows from an explicit seed",
+    ),
+    (
+        "Instant::now",
+        "fault windows are epoch-indexed; the wall clock must not shape them",
+    ),
+    (
+        "SystemTime",
+        "fault windows are epoch-indexed; the wall clock must not shape them",
+    ),
+];
+
+/// Verify fault-plan determinism: every file under
+/// [`FAULT_PLAN_SCAN_ROOTS`] whose code names a `FaultPlan`/`FaultWindow`
+/// must be free of OS entropy and wall-clock reads. Unlike the general
+/// determinism lint, test lines are **not** exempt — a fault schedule in a
+/// test must replay bit-identically too, or the ground truth the anomaly
+/// detector is validated against drifts run-to-run.
+pub fn run_fault_plan_determinism(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in FAULT_PLAN_SCAN_ROOTS {
+        for file in rust_files(&root.join(rel)) {
+            let Ok(src) = SourceFile::load(&file) else {
+                continue;
+            };
+            let subject = src
+                .lines
+                .iter()
+                .any(|l| FAULT_PLAN_MARKERS.iter().any(|m| code_part(l).contains(m)));
+            if !subject {
+                continue;
+            }
+            for (idx, line) in src.lines.iter().enumerate() {
+                let code = code_part(line);
+                for &(needle, advice) in FAULT_PLAN_NEEDLES {
+                    if !code.contains(needle) {
+                        continue;
+                    }
+                    if src.is_suppressed(idx, rules::FAULT_PLAN_DETERMINISM) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: rules::FAULT_PLAN_DETERMINISM,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!("`{needle}` in a fault-plan file: {advice}"),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------
 
-/// Run all five analyses with the default configuration.
+/// Run all six analyses with the default configuration.
 pub fn run(root: &Path) -> Vec<Finding> {
     let mut findings = run_determinism(root);
     findings.extend(run_pmu_consistency(root));
     findings.extend(run_invariant_hooks(root));
     findings.extend(run_module_registration(root));
     findings.extend(run_obs_choke_point(root));
+    findings.extend(run_fault_plan_determinism(root));
     findings
 }
 
@@ -833,5 +926,76 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.message.contains("pflint::allow(wall-clock)")));
+    }
+
+    /// Build a throwaway workspace with one file at `rel` (relative to the
+    /// workspace root).
+    fn fault_fixture(name: &str, rel: &str, text: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("pflint-fixture-{name}"));
+        let path = root.join(rel);
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, text).unwrap();
+        root
+    }
+
+    #[test]
+    fn fault_plan_entropy_is_flagged() {
+        let root = fault_fixture(
+            "fault-entropy",
+            "crates/simarch/src/faults.rs",
+            "fn plan() { let p = FaultPlan::new(); let r = rand::thread_rng(); }\n",
+        );
+        let findings = run_fault_plan_determinism(&root);
+        assert!(
+            findings.iter().any(
+                |f| f.rule == rules::FAULT_PLAN_DETERMINISM && f.message.contains("thread_rng")
+            ),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_rule_covers_test_lines() {
+        let root = fault_fixture(
+            "fault-testmod",
+            "tests/fault_prop.rs",
+            "#[cfg(test)]\nmod t { fn f() { let _ = FaultPlan::new(); let _ = rand::random::<u64>(); } }\n",
+        );
+        assert!(
+            !run_fault_plan_determinism(&root).is_empty(),
+            "test code gets no exemption from fault-plan determinism"
+        );
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_clean() {
+        let root = fault_fixture(
+            "fault-seeded",
+            "crates/simarch/src/faults.rs",
+            "fn plan(seed: u64) { let p = FaultPlan::from_seed(seed, 4, &cfg, 100); }\n",
+        );
+        assert!(run_fault_plan_determinism(&root).is_empty());
+    }
+
+    #[test]
+    fn files_without_fault_plans_are_out_of_scope() {
+        let root = fault_fixture(
+            "fault-unrelated",
+            "crates/simarch/src/other.rs",
+            "fn f() { let r = rand::thread_rng(); } // a different lint's problem\n",
+        );
+        assert!(run_fault_plan_determinism(&root).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_suppression_marker_works() {
+        let root = fault_fixture(
+            "fault-allow",
+            "crates/bench/src/lib.rs",
+            "fn f() { let p = FaultPlan::new(); \
+             let t = SystemTime::now(); // pflint::allow(fault-plan-determinism)\n}\n",
+        );
+        assert!(run_fault_plan_determinism(&root).is_empty());
     }
 }

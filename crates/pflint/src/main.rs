@@ -30,7 +30,7 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         println!(
             "pflint: clean — determinism, PMU consistency, invariant hooks, \
-             and the obs clock choke point all pass"
+             the obs clock choke point, and fault-plan determinism all pass"
         );
         ExitCode::SUCCESS
     } else {

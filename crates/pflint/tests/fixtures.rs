@@ -1,4 +1,4 @@
-//! Fixture tests: seeded violations for all three analyses are detected and
+//! Fixture tests: seeded violations for every analysis are detected and
 //! reported with file:line, while suppressed/test-only/hooked equivalents
 //! in the `allowed` tree produce zero findings.
 
@@ -98,6 +98,24 @@ fn bad_fixtures_trip_module_registration() {
 }
 
 #[test]
+fn bad_fixtures_trip_fault_plan_determinism() {
+    let findings = pflint::run_fault_plan_determinism(&fixture_root("bad"));
+    assert_found(
+        &findings,
+        rules::FAULT_PLAN_DETERMINISM,
+        "bad_fault_plan.rs",
+        4,
+    );
+    // Fault-plan-free files in the same tree must stay out of scope.
+    assert!(
+        findings
+            .iter()
+            .all(|f| ends_with(&f.file, "bad_fault_plan.rs")),
+        "rule leaked beyond the fault-plan file: {findings:?}"
+    );
+}
+
+#[test]
 fn allowed_fixtures_are_clean() {
     let findings = pflint::run(&fixture_root("allowed"));
     assert!(
@@ -116,7 +134,7 @@ fn findings_render_as_file_line_rule_message() {
     let findings = pflint::run_determinism(&fixture_root("bad"));
     let f = findings
         .iter()
-        .find(|f| f.rule == rules::OS_ENTROPY)
+        .find(|f| f.rule == rules::OS_ENTROPY && ends_with(&f.file, "sim_state.rs"))
         .expect("entropy finding");
     let rendered = f.to_string();
     assert!(

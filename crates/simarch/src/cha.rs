@@ -260,6 +260,14 @@ impl ChaComplex {
         self.slices.len()
     }
 
+    /// Stall every slice port until `until` (fault injection: a transient
+    /// uncore queue stall). Pure timing — see `FifoServer::block_until`.
+    pub(crate) fn stall_slices(&mut self, until: u64) {
+        for s in &mut self.slices {
+            s.port.block_until(until);
+        }
+    }
+
     fn cluster_of_core(&self, core: usize) -> usize {
         usize::from(core >= self.n_cores.div_ceil(2))
     }

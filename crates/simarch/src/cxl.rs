@@ -60,6 +60,15 @@ pub struct CxlPort {
     latency_media: u64,
     gap_dev: u64,
     queue_cap: u64,
+
+    /// Calibrated (fault-free) link/device timings, for fault restore.
+    base_latency_link: u64,
+    base_gap_link: u64,
+    base_gap_dev: u64,
+    /// When set, every `period`-th CXL.mem load completion is poisoned
+    /// (deterministic media-error injection; see `faults.rs`).
+    poison_period: Option<u64>,
+    loads_seen: u64,
 }
 
 /// Completion of one CXL.mem transaction.
@@ -69,6 +78,9 @@ pub struct CxlCompletion {
     pub finish: u64,
     /// Device-side queueing delay component (for ground-truth checks).
     pub device_wait: u64,
+    /// The returned data carries poison (injected media error); the
+    /// datapath retries or contains it (CXL viral semantics).
+    pub poison: bool,
 }
 
 impl CxlPort {
@@ -94,7 +106,42 @@ impl CxlPort {
             latency_media: cfg.cxl_media_latency,
             gap_dev: cfg.cxl_dev_gap,
             queue_cap: cfg.cxl_dev_queue as u64,
+            base_latency_link: cfg.flexbus_latency,
+            base_gap_link: cfg.flexbus_gap,
+            base_gap_dev: cfg.cxl_dev_gap,
+            poison_period: None,
+            loads_seen: 0,
         }
+    }
+
+    // ---- fault knobs (driven by `faults.rs` via the machine) ------------
+
+    /// Degrade the FlexBus link: the flit gap is multiplied by `gap_mult`
+    /// (width reduction) and every flit pays half the base latency again
+    /// (retraining/retry overhead). Timing only — counters are untouched,
+    /// so conservation holds.
+    pub(crate) fn degrade_link(&mut self, gap_mult: u64) {
+        self.gap_link = self.base_gap_link * gap_mult.max(1);
+        self.latency_link = self.base_latency_link + self.base_latency_link / 2;
+    }
+
+    /// Throttle the device memory controller: the issue gap is multiplied
+    /// by `gap_mult`, so backlog — and the DevLoad class — escalates.
+    pub(crate) fn throttle_device(&mut self, gap_mult: u64) {
+        self.gap_dev = self.base_gap_dev * gap_mult.max(1);
+    }
+
+    /// Poison every `period`-th load completion (`period` ≥ 2).
+    pub(crate) fn set_poison_period(&mut self, period: u64) {
+        self.poison_period = Some(period.max(2));
+    }
+
+    /// Restore calibrated timings and stop poisoning (window expiry).
+    pub(crate) fn clear_faults(&mut self) {
+        self.latency_link = self.base_latency_link;
+        self.gap_link = self.base_gap_link;
+        self.gap_dev = self.base_gap_dev;
+        self.poison_period = None;
     }
 
     /// Estimate the device-queue backlog (entries) implied by the MC's
@@ -143,9 +190,13 @@ impl CxlPort {
             .serve(mc.finish, self.latency_link / 2, self.gap_link);
         // M2PCIe egress: one BL (block data) entry per returned line.
         m2p.inc(M2pEvent::TxcInsertsBl);
+        self.loads_seen += 1;
         CxlCompletion {
             finish: down.finish,
             device_wait: mc.start - up.finish,
+            poison: self
+                .poison_period
+                .is_some_and(|p| self.loads_seen.is_multiple_of(p)),
         }
     }
 
@@ -186,9 +237,12 @@ impl CxlPort {
             .serve(mc.finish, self.latency_link / 2, self.gap_link);
         // M2PCIe egress: one AK (acknowledgement) entry per completed store.
         m2p.inc(M2pEvent::TxcInsertsAk);
+        // Poison is injected on the read (DRS) path only: a poisoned NDR
+        // has no data to contain.
         CxlCompletion {
             finish: down.finish,
             device_wait: mc.start - up.finish,
+            poison: false,
         }
     }
 
@@ -388,6 +442,55 @@ mod tests {
             last = port.mem_load(0, &mut m2p, &mut dev).finish;
         }
         assert!(last > solo * 2, "100 back-to-back loads must queue heavily");
+    }
+
+    #[test]
+    fn degraded_link_slows_and_restores() {
+        let (mut port, mut m2p, mut dev) = setup();
+        let healthy = port.mem_load(0, &mut m2p, &mut dev).finish;
+        port.degrade_link(8);
+        let mut degraded = 0;
+        for _ in 0..50 {
+            degraded = port.mem_load(0, &mut m2p, &mut dev).finish;
+        }
+        assert!(degraded > healthy, "degraded link must add latency");
+        port.clear_faults();
+        // After restore a request at a far-future idle point sees the
+        // calibrated latency again.
+        let far = 1_000_000;
+        let c = port.mem_load(far, &mut m2p, &mut dev);
+        let cfg = MachineConfig::spr();
+        let expect = 2 + cfg.flexbus_latency / 2 + cfg.cxl_media_latency + cfg.flexbus_latency / 2;
+        assert_eq!(c.finish - far, expect);
+    }
+
+    #[test]
+    fn throttled_device_escalates_devload_sooner() {
+        let (mut port, mut m2p, mut dev) = setup();
+        port.throttle_device(16);
+        for _ in 0..64 {
+            port.mem_load(0, &mut m2p, &mut dev);
+        }
+        assert_eq!(port.dev_load(0), DevLoad::Severe);
+    }
+
+    #[test]
+    fn poison_follows_the_configured_period_exactly() {
+        let (mut port, mut m2p, mut dev) = setup();
+        port.set_poison_period(3);
+        let flags: Vec<bool> = (0..9)
+            .map(|_| port.mem_load(0, &mut m2p, &mut dev).poison)
+            .collect();
+        assert_eq!(
+            flags,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        port.clear_faults();
+        assert!(!port.mem_load(0, &mut m2p, &mut dev).poison);
+        // Stores never carry poison.
+        port.set_poison_period(2);
+        assert!(!port.mem_store(0, &mut m2p, &mut dev).poison);
+        assert!(!port.mem_store(0, &mut m2p, &mut dev).poison);
     }
 
     #[test]

@@ -16,6 +16,10 @@ use crate::mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
 use crate::request::{AccessKind, ServeLoc};
 use pmu::{CoreEvent, L3HitSrc, L3MissSrc, PathClass, RespScenario};
 
+/// Retry budget for poisoned CXL.mem completions before viral containment
+/// gives up and accepts the line with a scrub penalty.
+const POISON_MAX_RETRIES: u32 = 2;
+
 impl Machine {
     /// Migrate a virtual page of `core`'s address space to `node`,
     /// charging the page-copy traffic (64 line reads at the source + 64
@@ -528,13 +532,36 @@ impl Machine {
             }
             MemNode::CxlDram(d) => {
                 let d = d as usize;
-                let comp = self.ports[d].mem_load(
+                let mut comp = self.ports[d].mem_load(
                     depart_cha + mesh,
                     &mut self.pmu.m2ps[d],
                     &mut self.pmu.cxls[d],
                 );
                 self.cores[c].truth.add_queue_delay("CXL", comp.device_wait);
-                (comp.finish + mesh, ServeLoc::CxlDram)
+                // Poisoned DRS: retry the load as a complete new CXL.mem
+                // transaction (the retry walks the full Req→CAS→DRS chain,
+                // so every conservation equality still balances). Bounded
+                // retries; if poison persists, viral containment applies —
+                // accept the line after one media-latency scrub penalty
+                // instead of retrying forever.
+                let mut retries = 0;
+                while comp.poison && retries < POISON_MAX_RETRIES {
+                    retries += 1;
+                    obs::metrics::counter_add("fault.poison_retry", 1);
+                    comp = self.ports[d].mem_load(
+                        comp.finish,
+                        &mut self.pmu.m2ps[d],
+                        &mut self.pmu.cxls[d],
+                    );
+                    self.cores[c].truth.add_queue_delay("CXL", comp.device_wait);
+                }
+                let fin = if comp.poison {
+                    obs::metrics::counter_add("fault.poison_contained", 1);
+                    comp.finish + self.cfg.cxl_media_latency
+                } else {
+                    comp.finish
+                };
+                (fin + mesh, ServeLoc::CxlDram)
             }
         }
     }

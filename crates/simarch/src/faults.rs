@@ -1,0 +1,335 @@
+//! Deterministic fault injection for the stage graph.
+//!
+//! Real CXL.mem deployments fail in ways a healthy simulator never shows:
+//! FlexBus links drop to a degraded width and retrain, device memory
+//! controllers throttle under thermal pressure, media errors return
+//! poisoned lines, uncore queues stall transiently, and PMU readouts go
+//! missing. A [`FaultPlan`] is a pure-literal schedule of such anomalies —
+//! epoch-indexed windows, no wall clock, no OS entropy — so a faulted run
+//! is exactly as reproducible as a healthy one (pflint's
+//! `fault-plan-determinism` rule enforces this for every fault schedule in
+//! the workspace).
+//!
+//! The machine applies the plan at every epoch boundary
+//! (`Machine::set_fault_plan`): knobs are reset to baseline and the
+//! windows covering the upcoming epoch are re-applied, so windows compose
+//! and expire without order dependence. Every fault class preserves the
+//! counter-conservation equalities audited by `conservation.rs` — faults
+//! bend *timing* and *visibility*, never the flow balance of the counters
+//! themselves (a poisoned line is retried as a complete new transaction;
+//! a PMU dropout skips the epoch flush but leaves the inline-incremented
+//! totals intact).
+
+use crate::config::MachineConfig;
+use crate::module::{StageId, StageKind};
+
+/// The five injected anomaly classes (ROADMAP robustness axis; the
+/// detector in `core::analyzer` names each one from counters alone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// FlexBus link degradation/retraining: the link gap is multiplied by
+    /// `severity` and every flit pays a retrain latency penalty. Targets a
+    /// `CxlPort` stage.
+    LinkDegrade,
+    /// Thermal throttling of the device memory controller: the device
+    /// issue gap is multiplied by `severity`, escalating `DevLoad` toward
+    /// `Severe`. Targets a `CxlPort` stage.
+    DevThrottle,
+    /// Poisoned-line completions: every `severity`-th CXL.mem load returns
+    /// poison; the datapath retries (viral containment bounds the retries).
+    /// Targets a `CxlPort` stage.
+    PoisonedLine,
+    /// Transient queue stall: the stage's FIFO servers are blocked for
+    /// `severity` cycles at each covered epoch boundary. Targets the CHA
+    /// or IMC stage.
+    QueueStall,
+    /// PMU counter dropout: the stage's epoch-boundary counter flush is
+    /// suppressed while the window is active (clockticks freeze). Targets
+    /// CHA, IMC, or a CXL port.
+    PmuDropout,
+}
+
+impl FaultClass {
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::LinkDegrade,
+        FaultClass::DevThrottle,
+        FaultClass::PoisonedLine,
+        FaultClass::QueueStall,
+        FaultClass::PmuDropout,
+    ];
+
+    /// Static label for obs metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::LinkDegrade => "link_degrade",
+            FaultClass::DevThrottle => "dev_throttle",
+            FaultClass::PoisonedLine => "poisoned_line",
+            FaultClass::QueueStall => "queue_stall",
+            FaultClass::PmuDropout => "pmu_dropout",
+        }
+    }
+
+    /// Which stage kinds this class can legally target.
+    pub fn targets(self, kind: StageKind) -> bool {
+        match self {
+            FaultClass::LinkDegrade | FaultClass::DevThrottle | FaultClass::PoisonedLine => {
+                kind == StageKind::CxlPort
+            }
+            FaultClass::QueueStall => matches!(kind, StageKind::Cha | StageKind::Imc),
+            FaultClass::PmuDropout => {
+                matches!(kind, StageKind::Cha | StageKind::Imc | StageKind::CxlPort)
+            }
+        }
+    }
+}
+
+/// One scheduled anomaly: a class, a target stage, a half-open epoch
+/// window `[start_epoch, end_epoch)`, and a class-specific severity knob
+/// (gap multiplier, poison period, or stall cycles — see [`FaultClass`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    pub class: FaultClass,
+    pub stage: StageId,
+    pub start_epoch: u64,
+    pub end_epoch: u64,
+    pub severity: u64,
+}
+
+impl FaultWindow {
+    /// True when the window covers epoch index `epoch`.
+    pub fn covers(&self, epoch: u64) -> bool {
+        self.start_epoch <= epoch && epoch < self.end_epoch
+    }
+
+    /// Structural sanity: non-empty window, legal target, positive
+    /// severity where the class consumes one.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.end_epoch <= self.start_epoch {
+            return Err(format!(
+                "empty fault window: [{}, {})",
+                self.start_epoch, self.end_epoch
+            ));
+        }
+        if !self.class.targets(self.stage.kind) {
+            return Err(format!(
+                "{} cannot target stage {}",
+                self.class.label(),
+                self.stage
+            ));
+        }
+        let needs_severity = !matches!(self.class, FaultClass::PmuDropout);
+        if needs_severity && self.severity == 0 {
+            return Err(format!("{} needs severity > 0", self.class.label()));
+        }
+        if self.class == FaultClass::PoisonedLine && self.severity < 2 {
+            return Err("poison period must be >= 2 (period 1 never converges)".into());
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic schedule of fault windows. Either written as a pure
+/// literal (the bench scenarios) or expanded from a seed via the internal
+/// splitmix64 generator ([`FaultPlan::from_seed`]) — never from OS entropy
+/// or the wall clock.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder-style append; panics on a structurally invalid window so
+    /// bad plans fail at construction, not mid-run.
+    pub fn with(mut self, w: FaultWindow) -> FaultPlan {
+        self.push(w);
+        self
+    }
+
+    pub fn push(&mut self, w: FaultWindow) {
+        if let Err(e) = w.validate() {
+            panic!("invalid fault window: {e}");
+        }
+        self.windows.push(w);
+    }
+
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Windows covering epoch `epoch`, in schedule order.
+    pub fn active(&self, epoch: u64) -> impl Iterator<Item = &FaultWindow> {
+        self.windows.iter().filter(move |w| w.covers(epoch))
+    }
+
+    /// Expand `n` windows from a seed, valid for `cfg` and confined to the
+    /// first `horizon_epochs` epochs. Same `(seed, n, cfg, horizon)` ⇒
+    /// byte-identical plan on every platform.
+    pub fn from_seed(seed: u64, n: usize, cfg: &MachineConfig, horizon_epochs: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let horizon = horizon_epochs.max(1);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let class = FaultClass::ALL[rng.below(FaultClass::ALL.len() as u64) as usize];
+            let stage = match class {
+                FaultClass::LinkDegrade | FaultClass::DevThrottle | FaultClass::PoisonedLine => {
+                    StageId::cxl(rng.below(cfg.cxl_devices.max(1) as u64) as usize)
+                }
+                FaultClass::QueueStall => {
+                    if rng.below(2) == 0 {
+                        StageId::cha()
+                    } else {
+                        StageId::imc()
+                    }
+                }
+                FaultClass::PmuDropout => match rng.below(3) {
+                    0 => StageId::cha(),
+                    1 => StageId::imc(),
+                    _ => StageId::cxl(rng.below(cfg.cxl_devices.max(1) as u64) as usize),
+                },
+            };
+            let start = rng.below(horizon);
+            let len = 1 + rng.below(horizon - start);
+            let severity = match class {
+                FaultClass::LinkDegrade | FaultClass::DevThrottle => 2 + rng.below(15),
+                FaultClass::PoisonedLine => 2 + rng.below(7),
+                FaultClass::QueueStall => {
+                    (cfg.epoch_cycles / 4).max(1) + rng.below(cfg.epoch_cycles / 4 + 1)
+                }
+                FaultClass::PmuDropout => 0,
+            };
+            plan.push(FaultWindow {
+                class,
+                stage,
+                start_epoch: start,
+                end_epoch: start + len,
+                severity,
+            });
+        }
+        plan
+    }
+}
+
+/// splitmix64 (Steele, Lea & Flood) — a tiny, seedable, allocation-free
+/// generator. Fault plans must not depend on `rand` front-ends that could
+/// be seeded from OS entropy; this keeps the schedule a pure function of
+/// the seed.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `[0, bound)` (`bound` ≥ 1).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(class: FaultClass, stage: StageId) -> FaultWindow {
+        FaultWindow {
+            class,
+            stage,
+            start_epoch: 1,
+            end_epoch: 3,
+            severity: 4,
+        }
+    }
+
+    #[test]
+    fn windows_cover_half_open_epoch_ranges() {
+        let w = window(FaultClass::LinkDegrade, StageId::cxl(0));
+        assert!(!w.covers(0));
+        assert!(w.covers(1));
+        assert!(w.covers(2));
+        assert!(!w.covers(3));
+    }
+
+    #[test]
+    fn validation_rejects_illegal_targets() {
+        assert!(window(FaultClass::LinkDegrade, StageId::imc())
+            .validate()
+            .is_err());
+        assert!(window(FaultClass::QueueStall, StageId::cxl(0))
+            .validate()
+            .is_err());
+        assert!(window(FaultClass::PmuDropout, StageId::core(0))
+            .validate()
+            .is_err());
+        assert!(window(FaultClass::DevThrottle, StageId::cxl(0))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_empty_windows_and_zero_severity() {
+        let mut w = window(FaultClass::DevThrottle, StageId::cxl(0));
+        w.end_epoch = w.start_epoch;
+        assert!(w.validate().is_err());
+        let mut w = window(FaultClass::QueueStall, StageId::cha());
+        w.severity = 0;
+        assert!(w.validate().is_err());
+        let mut w = window(FaultClass::PoisonedLine, StageId::cxl(0));
+        w.severity = 1;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault window")]
+    fn plan_rejects_invalid_windows_at_construction() {
+        let _ = FaultPlan::new().with(window(FaultClass::PoisonedLine, StageId::cha()));
+    }
+
+    #[test]
+    fn active_filters_by_epoch() {
+        let plan = FaultPlan::new()
+            .with(window(FaultClass::LinkDegrade, StageId::cxl(0)))
+            .with(FaultWindow {
+                start_epoch: 2,
+                end_epoch: 5,
+                ..window(FaultClass::QueueStall, StageId::imc())
+            });
+        assert_eq!(plan.active(0).count(), 0);
+        assert_eq!(plan.active(1).count(), 1);
+        assert_eq!(plan.active(2).count(), 2);
+        assert_eq!(plan.active(4).count(), 1);
+        assert_eq!(plan.active(5).count(), 0);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_valid() {
+        let cfg = MachineConfig::tiny();
+        let a = FaultPlan::from_seed(42, 20, &cfg, 8);
+        let b = FaultPlan::from_seed(42, 20, &cfg, 8);
+        assert_eq!(a.windows(), b.windows());
+        assert_eq!(a.windows().len(), 20);
+        for w in a.windows() {
+            assert!(w.validate().is_ok(), "seeded window invalid: {w:?}");
+            assert!(w.start_epoch < 8);
+        }
+        let c = FaultPlan::from_seed(43, 20, &cfg, 8);
+        assert_ne!(a.windows(), c.windows(), "different seeds must diverge");
+    }
+}

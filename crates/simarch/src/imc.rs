@@ -81,6 +81,14 @@ impl Imc {
         svc.finish
     }
 
+    /// Stall every channel until `until` (fault injection: a transient
+    /// controller pause). Pure timing — see `FifoServer::block_until`.
+    pub(crate) fn stall_channels(&mut self, until: u64) {
+        for ch in &mut self.channels {
+            ch.server.block_until(until);
+        }
+    }
+
     /// Flush the cycles-non-empty coverage into the free-running PMU
     /// counters. Called at every epoch boundary before the snapshot.
     pub fn sync_counters(&mut self, banks: &mut [Bank<ImcEvent>], epoch_cycles: u64) {

@@ -39,6 +39,7 @@ mod conservation;
 pub mod core_model;
 pub mod cxl;
 mod datapath;
+pub mod faults;
 pub mod imc;
 pub mod invariants;
 pub mod machine;
@@ -51,6 +52,7 @@ pub mod request;
 pub mod trace;
 
 pub use config::{MachineConfig, MemPolicy};
+pub use faults::{FaultClass, FaultPlan, FaultWindow};
 pub use invariants::{Invariants, Violation};
 pub use machine::{EpochResult, Machine, RunSummary, StallError};
 pub use mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};

@@ -74,6 +74,14 @@ impl FifoServer {
         self.next_free
     }
 
+    /// Push the issue horizon out to at least `cycle` without serving
+    /// anything — a transient stall (fault injection, firmware pause). The
+    /// blocked cycles surface as queueing delay on whatever arrives next;
+    /// no busy time is charged because the server did no work.
+    pub fn block_until(&mut self, cycle: u64) {
+        self.next_free = self.next_free.max(cycle);
+    }
+
     /// Total cycles spent serving (busy time).
     pub fn busy_cycles(&self) -> u64 {
         self.busy
@@ -350,6 +358,22 @@ mod tests {
         let b = s.serve(1000, 50, 10);
         assert_eq!(b.start, 1000);
         assert_eq!(s.busy_cycles(), 20);
+    }
+
+    #[test]
+    fn block_until_stalls_later_arrivals_without_busy_time() {
+        let mut s = FifoServer::new();
+        s.serve(0, 50, 10);
+        s.block_until(500);
+        // The stall is pure queueing delay: no busy cycles were added and
+        // the next request waits for the horizon.
+        assert_eq!(s.busy_cycles(), 10);
+        let r = s.serve(100, 50, 10);
+        assert_eq!(r.start, 500);
+        assert_eq!(r.wait(100), 400);
+        // A horizon already past `cycle` is left alone.
+        s.block_until(200);
+        assert_eq!(s.next_free(), 510);
     }
 
     #[test]

@@ -77,6 +77,53 @@ impl Db {
     pub fn footprint_bytes(&self) -> usize {
         self.retained
     }
+
+    /// Delete every point of `measurement` with a timestamp in
+    /// `[start, stop)` (Flux `delete(start:, stop:)`); returns the number
+    /// of points removed. Emptied series are dropped entirely, returning
+    /// their key bytes to the footprint accounting. A reversed or empty
+    /// range deletes nothing.
+    pub fn delete_range(&mut self, measurement: &str, start: u64, stop: u64) -> usize {
+        let _span = obs::span!("tsdb.delete");
+        if stop <= start {
+            return 0;
+        }
+        let mut removed = 0usize;
+        let mut freed = 0usize;
+        let mut emptied: Vec<String> = Vec::new();
+        for (key, pts) in self.series.iter_mut() {
+            let hit = key
+                .split(',')
+                .next()
+                .map(|m| m == measurement)
+                .unwrap_or(false);
+            if !hit {
+                continue;
+            }
+            pts.retain(|p| {
+                if p.ts >= start && p.ts < stop {
+                    removed += 1;
+                    freed += p.retained_bytes();
+                    false
+                } else {
+                    true
+                }
+            });
+            if pts.is_empty() {
+                emptied.push(key.clone());
+            }
+        }
+        for key in emptied {
+            freed += key.len();
+            self.series.remove(&key);
+        }
+        self.points -= removed;
+        self.retained -= freed;
+        if removed > 0 {
+            obs::metrics::counter_add("tsdb.deleted", removed as u64);
+        }
+        removed
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate every golden artefact under crates/bench/out/ — all per-figure
+# CSVs plus the captured stdout in all_figures.txt — then diff against git.
+# A clean exit means the checked-in goldens are exactly reproducible; a
+# non-zero exit shows the drift (intentional after a model change: inspect
+# the diff and commit it; unintentional: a determinism bug, see
+# STATIC_ANALYSIS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+
+# Sections in the order captured in all_figures.txt; `--emr` variants
+# (paper Figures 14-16) rerun the same binaries on the EMR preset and
+# regenerate the *_emr.csv goldens.
+specs=(
+    "fig0_mlc"
+    "fig2_core_pmu"
+    "fig3_cha_pmu"
+    "fig4_uncore_pmu"
+    "fig6_stall_breakdown"
+    "fig7_8_interference"
+    "fig9_10_contention"
+    "fig11_bw_partition"
+    "fig12_locality"
+    "fig13_tpp"
+    "table7_path_map"
+    "ablation_attribution"
+    "ablation_epoch"
+    "fig2_core_pmu --emr"
+    "fig3_cha_pmu --emr"
+    "fig4_uncore_pmu --emr"
+    "fig13_faults"
+)
+
+out=crates/bench/out/all_figures.txt
+: > "$out"
+for spec in "${specs[@]}"; do
+    read -r bin flags <<< "$spec"
+    echo "==> $spec"
+    {
+        echo "===== $spec ====="
+        # shellcheck disable=SC2086  # flags is intentionally word-split
+        "./target/release/$bin" $flags
+        echo
+    } >> "$out"
+done
+
+echo "==> git diff crates/bench/out"
+git --no-pager diff --exit-code -- crates/bench/out
+echo "refresh_goldens: all goldens reproduced byte-identically"

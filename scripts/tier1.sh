@@ -34,4 +34,11 @@ echo "==> fig6_stall_breakdown --jobs 2 vs serial (byte-identical stdout)"
 ./target/release/fig6_stall_breakdown --jobs 2 > "$obs_out/jobs2.txt"
 diff -u "$obs_out/serial.txt" "$obs_out/jobs2.txt"
 
+# Fault-injection smoke (FAULTS.md): the fault-diagnosis figure runs its
+# fixed deterministic fault plans and the regenerated golden must be
+# byte-identical — every injected (stage, class) diagnosed 'ok', none
+# diagnosed 'MISS', no healthy false alarm.
+run cargo run --release -p bench --bin fig13_faults
+run git diff --exit-code crates/bench/out/fig13_faults.csv
+
 echo "tier1: all gates passed"

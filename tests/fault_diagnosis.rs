@@ -1,0 +1,162 @@
+//! End-to-end anomaly diagnosis: inject each fault class as ground truth
+//! and assert the detector names the faulted stage from counters alone.
+//!
+//! This is the acceptance test for the `simarch::faults` +
+//! `core::analyzer` pipeline: a healthy run of the same workload records
+//! the baseline, a second run executes under a fault plan, and
+//! `AnomalyDetector::diagnose` must recover the injected (stage, class)
+//! pair for all five fault classes.
+
+use pathfinder::profiler::{ProfileSpec, Profiler};
+use pathfinder::{Anomaly, AnomalyDetector, HealthyBaseline};
+use pmu::SystemDelta;
+use simarch::trace::SeqReadTrace;
+use simarch::{
+    FaultClass, FaultPlan, FaultWindow, Machine, MachineConfig, MemPolicy, StageId, Workload,
+};
+
+const EPOCHS: u64 = 4;
+/// Half the tiny config's 100k-cycle epoch: long enough that a queue
+/// stall dominates the epoch's mean residency.
+const STALL_CYCLES: u64 = 50_000;
+
+fn machine(policy: MemPolicy) -> Machine {
+    let mut m = Machine::new(MachineConfig::tiny());
+    m.attach(
+        0,
+        Workload::new("diag", Box::new(SeqReadTrace::new(1 << 20, 40_000)), policy),
+    );
+    m
+}
+
+/// Run `EPOCHS` epochs under `plan` and return the digest over all of them.
+fn run_digest(policy: MemPolicy, plan: FaultPlan) -> SystemDelta {
+    let mut m = machine(policy);
+    m.set_fault_plan(plan);
+    let start = m.pmu.snapshot(m.now());
+    let mut last = None;
+    for _ in 0..EPOCHS {
+        last = Some(m.run_epoch().snapshot);
+    }
+    last.unwrap().delta(&start)
+}
+
+/// Baseline from a healthy run, then diagnose a faulted run of the same
+/// workload.
+fn diagnose(policy: MemPolicy, plan: FaultPlan) -> Anomaly {
+    let healthy = run_digest(policy, FaultPlan::new());
+    let det = AnomalyDetector::new(HealthyBaseline::from_delta(&healthy));
+    assert!(
+        det.diagnose(&healthy).is_none(),
+        "healthy run must diagnose healthy against its own baseline"
+    );
+    let faulted = run_digest(policy, plan);
+    det.diagnose(&faulted)
+        .expect("injected fault must be diagnosed")
+}
+
+fn full_run(class: FaultClass, stage: StageId, severity: u64) -> FaultPlan {
+    FaultPlan::new().with(FaultWindow {
+        class,
+        stage,
+        start_epoch: 0,
+        end_epoch: EPOCHS,
+        severity,
+    })
+}
+
+#[test]
+fn link_degradation_is_attributed_to_the_port() {
+    let a = diagnose(
+        MemPolicy::Cxl,
+        full_run(FaultClass::LinkDegrade, StageId::cxl(0), 12),
+    );
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("cxl0", FaultClass::LinkDegrade)
+    );
+}
+
+#[test]
+fn device_throttling_is_attributed_to_the_port() {
+    let a = diagnose(
+        MemPolicy::Cxl,
+        full_run(FaultClass::DevThrottle, StageId::cxl(0), 12),
+    );
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("cxl0", FaultClass::DevThrottle)
+    );
+}
+
+#[test]
+fn poisoned_lines_are_attributed_to_the_port() {
+    let a = diagnose(
+        MemPolicy::Cxl,
+        full_run(FaultClass::PoisonedLine, StageId::cxl(0), 2),
+    );
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("cxl0", FaultClass::PoisonedLine)
+    );
+    assert!(a.score > 1.25, "score reports the read amplification");
+}
+
+#[test]
+fn imc_stall_is_attributed_to_the_imc() {
+    let a = diagnose(
+        MemPolicy::Local,
+        full_run(FaultClass::QueueStall, StageId::imc(), STALL_CYCLES),
+    );
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("imc0", FaultClass::QueueStall)
+    );
+}
+
+#[test]
+fn cha_stall_is_attributed_to_the_cha() {
+    let a = diagnose(
+        MemPolicy::Local,
+        full_run(FaultClass::QueueStall, StageId::cha(), STALL_CYCLES),
+    );
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("cha0", FaultClass::QueueStall)
+    );
+}
+
+#[test]
+fn pmu_dropout_is_attributed_to_the_frozen_bank() {
+    let a = diagnose(
+        MemPolicy::Local,
+        full_run(FaultClass::PmuDropout, StageId::imc(), 0),
+    );
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("imc0", FaultClass::PmuDropout)
+    );
+}
+
+/// The profiler surfaces the diagnosis end-to-end: baseline in, faulted
+/// run profiled, anomaly rendered in the report.
+#[test]
+fn profiler_reports_the_anomaly() {
+    let healthy = run_digest(MemPolicy::Cxl, FaultPlan::new());
+
+    let mut m = machine(MemPolicy::Cxl);
+    m.set_fault_plan(full_run(FaultClass::DevThrottle, StageId::cxl(0), 12));
+    let mut p = Profiler::new(m, ProfileSpec::default());
+    p.set_anomaly_baseline(HealthyBaseline::from_delta(&healthy));
+    let report = p.run(EPOCHS);
+
+    let a = report
+        .anomaly
+        .as_ref()
+        .expect("report must carry the anomaly");
+    assert_eq!(
+        (a.stage.as_str(), a.class),
+        ("cxl0", FaultClass::DevThrottle)
+    );
+    assert!(report.render().contains("anomaly: dev_throttle at cxl0"));
+}

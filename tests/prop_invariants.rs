@@ -172,4 +172,162 @@ proptest! {
         let got = b.path_total(PathGroup::Drd);
         prop_assert!((got - want).abs() < 1.0 + want * 1e-9, "got {} want {}", got, want);
     }
+
+    /// FIFO server under arbitrary interleavings of service and transient
+    /// stalls ([`FifoServer::block_until`], the fault-injection hook): work
+    /// conservation and exact accounting hold, starts stay FIFO-ordered,
+    /// and stalls add queueing delay but never busy time.
+    #[test]
+    fn fifo_server_backpressure_under_stalls(
+        events in proptest::collection::vec(
+            (0u64..10_000, 1u64..100, 1u64..50, 0u8..2),
+            1..100,
+        ),
+    ) {
+        use simarch::Invariants;
+        let mut sorted = events.clone();
+        sorted.sort_unstable();
+        let mut s = FifoServer::new();
+        let mut busy = 0u64;
+        let mut delay = 0u64;
+        let mut last_start = 0u64;
+        for &(t, service, gap, stall) in &sorted {
+            if stall == 1 {
+                let before = s.busy_cycles();
+                s.block_until(t + service);
+                prop_assert_eq!(s.busy_cycles(), before, "a stall charged busy time");
+            } else {
+                let r = s.serve(t, service, gap);
+                prop_assert!(r.start >= t, "service before arrival");
+                prop_assert!(r.start >= last_start, "FIFO order violated");
+                prop_assert_eq!(r.finish, r.start + service);
+                busy += gap;
+                delay += r.start - t;
+                last_start = r.start;
+            }
+            prop_assert!(s.busy_cycles() <= s.next_free(), "work conservation");
+        }
+        prop_assert_eq!(s.busy_cycles(), busy);
+        prop_assert_eq!(s.total_queue_delay(), delay);
+        let mut v = Vec::new();
+        s.collect_violations(&mut v);
+        prop_assert!(v.is_empty(), "{:?}", v);
+    }
+
+    /// Bounded window under arbitrary arrival/duration sequences: occupancy
+    /// never exceeds capacity, blocked time is accounted exactly, entries
+    /// drain earliest-completion-first, and flow is conserved.
+    #[test]
+    fn bounded_window_backpressure_and_drain_order(
+        cap in 1usize..12,
+        reqs in proptest::collection::vec((0u64..2_000, 1u64..300), 1..150),
+    ) {
+        use simarch::Invariants;
+        let mut sorted = reqs.clone();
+        sorted.sort_unstable();
+        let mut w = BoundedWindow::new(cap);
+        let mut last_admit = 0u64;
+        for &(t, dur) in &sorted {
+            let adm = w.acquire(t);
+            prop_assert!(adm.at >= t, "admission travelled backwards");
+            prop_assert_eq!(adm.blocked, adm.at - t);
+            w.commit(adm.at + dur);
+            prop_assert!(w.occupancy_at(adm.at) <= cap, "occupancy over capacity");
+            prop_assert!(w.outstanding(adm.at) <= cap, "occupancy over capacity");
+            last_admit = last_admit.max(adm.at);
+        }
+        // Walking time forward drains earliest-completion-first: advancing
+        // exactly to the earliest in-flight completion always retires it.
+        let mut horizon = last_admit;
+        let mut remaining = w.outstanding(horizon);
+        while remaining > 0 {
+            let earliest = w.earliest().unwrap();
+            prop_assert!(earliest > horizon, "stale entry survived retirement");
+            horizon = earliest;
+            let next = w.outstanding(horizon);
+            prop_assert!(next < remaining, "earliest completion did not retire");
+            remaining = next;
+        }
+        prop_assert_eq!(w.committed(), w.retired());
+        let mut v = Vec::new();
+        w.collect_violations(&mut v);
+        prop_assert!(v.is_empty(), "{:?}", v);
+    }
+}
+
+// Machine-level fault × workload properties run whole (tiny) machines, so
+// they get a smaller case budget than the module-level blocks above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded fault plan over any workload: the machine never
+    /// deadlocks (`run_to_completion` returns Ok within the epoch cap),
+    /// the conservation audit stays clean, and the CXL transaction
+    /// identities (Req = DRS = read CAS, RwD = NDR = write CAS) survive
+    /// every fault class — retries and stalls delay flits, they never
+    /// create or destroy them.
+    #[test]
+    fn fault_plans_preserve_conservation_and_liveness(
+        plan_seed in 0u64..10_000,
+        n_windows in 0usize..6,
+        app_sel in 0usize..3,
+        policy_sel in 0usize..3,
+        ops in 2_000u64..8_000,
+        wl_seed in 0u64..64,
+    ) {
+        use pmu::{CxlEvent, M2pEvent};
+        use simarch::{FaultPlan, Invariants, Machine, MachineConfig, MemPolicy, Workload};
+        let cfg = MachineConfig::tiny();
+        let plan = FaultPlan::from_seed(plan_seed, n_windows, &cfg, 40);
+        let app = ["STREAM", "GUPS", "505.mcf_r"][app_sel];
+        let policy = [
+            MemPolicy::Local,
+            MemPolicy::Cxl,
+            MemPolicy::Interleave { cxl_fraction: 0.5 },
+        ][policy_sel];
+        let mut m = Machine::new(cfg);
+        m.set_fault_plan(plan);
+        m.attach(
+            0,
+            Workload::new(app, workloads::build(app, ops, wl_seed).unwrap(), policy),
+        );
+        let start = m.pmu.snapshot(0);
+        let summary = m.run_to_completion(2_000);
+        prop_assert!(summary.is_ok(), "faulted machine stalled: {:?}", summary);
+        prop_assert!(m.all_done(), "workload did not drain");
+
+        let mut v = Vec::new();
+        m.collect_violations(&mut v);
+        prop_assert!(v.is_empty(), "conservation violated under faults: {:?}", v);
+
+        let d = m.pmu.snapshot(m.now()).delta(&start);
+        let req = d.cxl_sum(CxlEvent::RxcPackBufInsertsMemReq);
+        let rwd = d.cxl_sum(CxlEvent::RxcPackBufInsertsMemData);
+        prop_assert_eq!(req, d.cxl_sum(CxlEvent::TxcPackBufInsertsMemData), "Req vs DRS");
+        prop_assert_eq!(req, d.cxl_sum(CxlEvent::DevMcRdCas), "Req vs read CAS");
+        prop_assert_eq!(rwd, d.cxl_sum(CxlEvent::TxcPackBufInsertsMemReq), "RwD vs NDR");
+        prop_assert_eq!(rwd, d.cxl_sum(CxlEvent::DevMcWrCas), "RwD vs write CAS");
+        prop_assert_eq!(d.m2p_sum(M2pEvent::RxcInserts), req + rwd, "M2PCIe ingress");
+    }
+
+    /// Fault-plan expansion is a pure function of its inputs, every
+    /// generated window validates, and all windows respect the horizon.
+    #[test]
+    fn seeded_fault_plans_are_valid_and_reproducible(
+        seed in 0u64..100_000,
+        n in 0usize..12,
+        horizon in 1u64..200,
+    ) {
+        use simarch::FaultPlan;
+        let cfg = simarch::MachineConfig::tiny();
+        let a = FaultPlan::from_seed(seed, n, &cfg, horizon);
+        let b = FaultPlan::from_seed(seed, n, &cfg, horizon);
+        prop_assert_eq!(a.windows().len(), n);
+        prop_assert_eq!(a.windows(), b.windows());
+        for w in a.windows() {
+            prop_assert!(w.validate().is_ok(), "invalid generated window {:?}", w);
+            prop_assert!(w.start_epoch < w.end_epoch);
+            prop_assert!(w.end_epoch <= horizon, "window escapes the horizon");
+        }
+    }
 }
