@@ -101,8 +101,13 @@ pub fn run_profiled(cfg: MachineConfig, pins: Vec<Pin>) -> (Report, Profiler) {
 }
 
 /// Output directory for CSV artefacts (`bench/out/`, created on demand).
+/// `BENCH_OUT_DIR` overrides the destination so tests and ad-hoc runs can
+/// write somewhere disposable without touching the committed goldens.
 pub fn out_dir() -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("out");
+    let dir = match std::env::var_os("BENCH_OUT_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("out"),
+    };
     std::fs::create_dir_all(&dir)?;
     Ok(dir)
 }

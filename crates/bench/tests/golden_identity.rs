@@ -1,0 +1,58 @@
+//! Byte-identity gate for the figure pipeline: the refactored columnar
+//! store (and every hot-loop cleanup that rode along) must reproduce the
+//! exact CSV bytes the row-oriented seed produced. The goldens under
+//! `tests/golden/` were captured *before* the PR 5 refactor landed, at
+//! reduced `--ops` so a debug binary finishes in seconds; debug and
+//! release builds were verified to emit identical bytes.
+//!
+//! `BENCH_OUT_DIR` points each run at a scratch directory so the committed
+//! `out/` goldens (the full-size ones `scripts/refresh_goldens.sh` checks)
+//! are never touched.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("golden_identity_{tag}"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_figure(bin: &str, ops: &str, out_dir: &Path) {
+    let status = Command::new(bin)
+        .args(["--ops", ops])
+        .env("BENCH_OUT_DIR", out_dir)
+        .status()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(status.success(), "{bin} exited with {status}");
+}
+
+fn assert_bytes_identical(out_dir: &Path, csv: &str) {
+    let got = std::fs::read(out_dir.join(csv)).unwrap_or_else(|e| panic!("read fresh {csv}: {e}"));
+    let want =
+        std::fs::read(golden_dir().join(csv)).unwrap_or_else(|e| panic!("read golden {csv}: {e}"));
+    assert!(
+        got == want,
+        "{csv} diverged from its pre-refactor golden:\n--- golden ---\n{}\n--- fresh ---\n{}",
+        String::from_utf8_lossy(&want),
+        String::from_utf8_lossy(&got),
+    );
+}
+
+#[test]
+fn fig6_stall_breakdown_bytes_are_identical() {
+    let out = scratch_dir("fig6");
+    run_figure(env!("CARGO_BIN_EXE_fig6_stall_breakdown"), "60000", &out);
+    assert_bytes_identical(&out, "fig6_stall_breakdown.csv");
+}
+
+#[test]
+fn fig13_faults_bytes_are_identical() {
+    let out = scratch_dir("fig13");
+    run_figure(env!("CARGO_BIN_EXE_fig13_faults"), "250000", &out);
+    assert_bytes_identical(&out, "fig13_faults.csv");
+}

@@ -9,39 +9,99 @@
 
 use crate::builder::PathMap;
 use crate::model::{Component, HitLevel, PathGroup};
-use tsdb::{ops, point::Point, tsa, Db};
+use tsdb::{ops, tsa, Db, SeriesId};
+
+/// Resolved series handles for the per-app record families (`path_set`,
+/// `app`). Built once per workload assignment; while the apps stay the
+/// same, every epoch's ingest is pure handle-indexed column appends —
+/// zero string formatting, zero map insertion (see PERFORMANCE.md).
+struct AppHandles {
+    /// The per-core labels these handles encode; a mismatch invalidates.
+    apps: Vec<Option<String>>,
+    /// `path_set` series per (core, level, path).
+    path_set: Vec<[[SeriesId; PathGroup::COUNT]; HitLevel::COUNT]>,
+    /// `app` progress series per core.
+    progress: Vec<SeriesId>,
+}
 
 /// The materializer: a DB plus ingestion and analysis workflows.
 #[derive(Default)]
 pub struct Materializer {
     pub db: Db,
+    app_handles: Option<AppHandles>,
+    vertex_handles: Option<[[SeriesId; Component::COUNT]; PathGroup::COUNT]>,
 }
 
 impl Materializer {
     pub fn new() -> Self {
-        Materializer { db: Db::new() }
+        Materializer::default()
     }
 
-    /// Ingest one epoch's path map as `path_set` records: one point per
+    /// (Re)build the app-tagged handle cache when the workload assignment
+    /// changes. This is the one place the per-app series names are
+    /// formatted; the epoch loops below never touch strings again.
+    fn ensure_app_handles(&mut self, cores: usize, apps: &[Option<String>]) {
+        if self
+            .app_handles
+            .as_ref()
+            .is_some_and(|h| h.path_set.len() == cores && h.apps[..] == *apps)
+        {
+            return;
+        }
+        let dummy = self.db.series_handle("path_set", &[], &[]);
+        let mut path_set = vec![[[dummy; PathGroup::COUNT]; HitLevel::COUNT]; cores];
+        let mut progress = Vec::with_capacity(cores);
+        for (core, row) in path_set.iter_mut().enumerate() {
+            let core_s = core.to_string();
+            let app = apps
+                .get(core)
+                .and_then(|a| a.as_deref())
+                .unwrap_or_default();
+            for l in HitLevel::ALL {
+                for p in PathGroup::ALL {
+                    row[l.idx()][p.idx()] = self.db.series_handle(
+                        "path_set",
+                        &[
+                            ("core", &core_s),
+                            ("app", app),
+                            ("path", p.label()),
+                            ("dst", l.label()),
+                        ],
+                        &["hits"],
+                    );
+                }
+            }
+            progress.push(self.db.series_handle(
+                "app",
+                &[("core", &core_s), ("app", app)],
+                &["ops"],
+            ));
+        }
+        self.app_handles = Some(AppHandles {
+            apps: apps.to_vec(),
+            path_set,
+            progress,
+        });
+    }
+
+    /// Ingest one epoch's path map as `path_set` records: one record per
     /// (core, path, level) with a non-zero hit count. `apps[core]` labels
     /// the records so cross-application queries can scope by program.
     pub fn ingest_path_map(&mut self, ts: u64, map: &PathMap, apps: &[Option<String>]) {
+        self.ensure_app_handles(map.per_core.len(), apps);
+        let Materializer {
+            db, app_handles, ..
+        } = self;
+        let handles = app_handles.as_ref().expect("handles just ensured");
         for (core, m) in map.per_core.iter().enumerate() {
-            let app = apps.get(core).and_then(|a| a.clone()).unwrap_or_default();
+            let row = &handles.path_set[core];
             for l in HitLevel::ALL {
                 for p in PathGroup::ALL {
                     let v = m.get(l, p);
                     if v == 0 {
                         continue;
                     }
-                    self.db.insert(
-                        Point::new("path_set", ts)
-                            .tag("core", core.to_string())
-                            .tag("app", app.clone())
-                            .tag("path", p.label().to_string())
-                            .tag("dst", l.label().to_string())
-                            .field("hits", v as f64),
-                    );
+                    db.ingest(row[l.idx()][p.idx()], ts, &[v as f64]);
                 }
             }
         }
@@ -49,16 +109,29 @@ impl Materializer {
 
     /// Ingest per-(path, component) queue lengths as `vertex` records.
     pub fn ingest_queues(&mut self, ts: u64, q: &crate::analyzer::QueueEstimate) {
+        if self.vertex_handles.is_none() {
+            let dummy = self.db.series_handle("vertex", &[], &[]);
+            let mut grid = [[dummy; Component::COUNT]; PathGroup::COUNT];
+            for p in PathGroup::ALL {
+                for c in Component::ALL {
+                    grid[p.idx()][c.idx()] = self.db.series_handle(
+                        "vertex",
+                        &[("path", p.label()), ("hw", c.label())],
+                        &["queue"],
+                    );
+                }
+            }
+            self.vertex_handles = Some(grid);
+        }
+        let Materializer {
+            db, vertex_handles, ..
+        } = self;
+        let grid = vertex_handles.as_ref().expect("handles just ensured");
         for p in PathGroup::ALL {
             for c in Component::ALL {
                 let v = q.get(p, c);
                 if v > 0.0 {
-                    self.db.insert(
-                        Point::new("vertex", ts)
-                            .tag("path", p.label().to_string())
-                            .tag("hw", c.label().to_string())
-                            .field("queue", v),
-                    );
+                    db.ingest(grid[p.idx()][c.idx()], ts, &[v]);
                 }
             }
         }
@@ -66,17 +139,16 @@ impl Materializer {
 
     /// Ingest application progress (`ops` per epoch) as `app` records.
     pub fn ingest_progress(&mut self, ts: u64, ops_per_core: &[u64], apps: &[Option<String>]) {
+        self.ensure_app_handles(ops_per_core.len(), apps);
+        let Materializer {
+            db, app_handles, ..
+        } = self;
+        let handles = app_handles.as_ref().expect("handles just ensured");
         for (core, &n) in ops_per_core.iter().enumerate() {
             if n == 0 {
                 continue;
             }
-            let app = apps.get(core).and_then(|a| a.clone()).unwrap_or_default();
-            self.db.insert(
-                Point::new("app", ts)
-                    .tag("core", core.to_string())
-                    .tag("app", app)
-                    .field("ops", n as f64),
-            );
+            db.ingest(handles.progress[core], ts, &[n as f64]);
         }
     }
 

@@ -200,6 +200,11 @@ pub struct Profiler {
     epoch: u64,
     overhead: Overhead,
     total_ops: Vec<u64>,
+    /// Cached per-core workload labels, refreshed only when the machine's
+    /// workload generation changes — the epoch loop never re-allocates
+    /// label strings (see PERFORMANCE.md).
+    apps_cache: Vec<Option<String>>,
+    apps_gen: u64,
 }
 
 impl Profiler {
@@ -226,6 +231,8 @@ impl Profiler {
             epoch: 0,
             overhead: Overhead::default(),
             total_ops: vec![0; cores],
+            apps_cache: Vec::new(),
+            apps_gen: u64::MAX,
         }
     }
 
@@ -257,6 +264,16 @@ impl Profiler {
             .collect()
     }
 
+    /// Refresh the cached per-core labels iff a workload was (re)attached
+    /// since the last epoch.
+    fn refresh_apps_cache(&mut self) {
+        let gen = self.machine.workload_generation();
+        if self.apps_gen != gen {
+            self.apps_cache = self.apps();
+            self.apps_gen = gen;
+        }
+    }
+
     /// Run one scheduling epoch and apply the enabled techniques.
     ///
     /// Each phase runs under an `obs` span (`epoch.machine`,
@@ -278,7 +295,7 @@ impl Profiler {
             self.total_ops[i] += n;
         }
 
-        let apps = self.apps();
+        self.refresh_apps_cache();
         let path_map = if self.spec.build_paths {
             let _t = obs::span!("technique.builder");
             Some(PfBuilder::build(&delta))
@@ -350,13 +367,13 @@ impl Profiler {
             let _t = obs::span!("technique.materializer");
             let ts = delta.end_cycle;
             if let Some(map) = &path_map {
-                self.materializer.ingest_path_map(ts, map, &apps);
+                self.materializer.ingest_path_map(ts, map, &self.apps_cache);
             }
             if let Some(q) = &queues {
                 self.materializer.ingest_queues(ts, q);
             }
             self.materializer
-                .ingest_progress(ts, &er.ops_per_core, &apps);
+                .ingest_progress(ts, &er.ops_per_core, &self.apps_cache);
         }
         if let Some(d) = span_profiler.finish() {
             self.overhead.profiler_secs += d.as_secs_f64();

@@ -1,0 +1,12 @@
+// pflint fixture: ingest-body string work silenced by suppressions (both
+// placements), plus cold-path formatting outside any ingest fn.
+pub fn ingest(ts: u64, out: &mut Vec<String>) {
+    // pflint::allow(ingest-hot-path)
+    out.push(format!("legacy-{ts}"));
+    let tag = ts.to_string(); // pflint::allow(ingest-hot-path)
+    out.push(tag);
+}
+
+pub fn series_key(ts: u64) -> String {
+    format!("key-{ts}")
+}

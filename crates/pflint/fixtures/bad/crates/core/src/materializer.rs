@@ -1,0 +1,11 @@
+// pflint fixture: string allocation inside the per-epoch ingest loop.
+pub fn ingest_path_map(ts: u64, rows: &mut Vec<(String, u64)>) {
+    for core in 0..4u64 {
+        rows.push((String::from("series"), ts + core));
+        rows.push((core.to_string(), ts));
+    }
+}
+
+pub fn describe(core: u64) -> String {
+    format!("core {core}")
+}

@@ -5,3 +5,13 @@ pub fn load(path: &str) -> HashSet<String> {
     let text = std::fs::read_to_string(path).expect("tsdb read");
     text.lines().map(|s| s.to_string()).collect()
 }
+
+pub fn ingest(ts: u64, out: &mut Vec<String>) {
+    out.push(format!("series-{ts}"));
+    let tag = ts.to_string();
+    out.push(tag);
+}
+
+pub fn series_key(ts: u64) -> String {
+    format!("key-{ts}")
+}

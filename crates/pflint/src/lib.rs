@@ -1,6 +1,6 @@
 //! pflint — the PathFinder workspace static-analysis pass.
 //!
-//! Three analyses keep the simulator honest:
+//! Seven analyses keep the simulator honest:
 //!
 //! 1. **Determinism lint** ([`run_determinism`]): model code (`simarch`,
 //!    `core`, `tsdb`) must be bit-reproducible run-to-run, so hash-ordered
@@ -27,6 +27,12 @@
 //!    that builds or applies a `FaultPlan` must derive its schedule from an
 //!    explicit seed — OS entropy and wall-clock reads are findings even in
 //!    test code, so injected anomalies replay bit-identically (FAULTS.md).
+//! 7. **Ingest hot path** ([`run_ingest_hot_path`]): the steady-state
+//!    epoch-ingest bodies (`tsdb::Db::ingest` and the materializer's
+//!    `ingest_*` loops) must stay allocation-free (PERFORMANCE.md), so
+//!    string-allocating calls (`format!`, `.to_string`, `String::from`,
+//!    `.to_owned`) inside an `fn ingest*` body are findings. String work
+//!    belongs in the cold handle-resolution path (`series_handle`).
 //!
 //! Suppression: append `// pflint::allow(<rule>)` to the offending line, or
 //! place it alone on the line above. Each suppression silences exactly one
@@ -53,6 +59,7 @@ pub mod rules {
     pub const OBS_CHOKE_POINT: &str = "obs-choke-point";
     pub const MODULE_COUNTER_REGISTRATION: &str = "module-counter-registration";
     pub const FAULT_PLAN_DETERMINISM: &str = "fault-plan-determinism";
+    pub const INGEST_HOT_PATH: &str = "ingest-hot-path";
 
     pub const ALL: &[&str] = &[
         HASH_ITERATION,
@@ -65,6 +72,7 @@ pub mod rules {
         OBS_CHOKE_POINT,
         MODULE_COUNTER_REGISTRATION,
         FAULT_PLAN_DETERMINISM,
+        INGEST_HOT_PATH,
     ];
 }
 
@@ -771,10 +779,117 @@ pub fn run_fault_plan_determinism(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
+// Analysis 7: ingest hot path
+// ---------------------------------------------------------------------
+
+/// Files whose `ingest*` function bodies must stay free of string
+/// allocation: the steady-state epoch loops covered by the allocation-free
+/// guarantee (PERFORMANCE.md, enforced at runtime by
+/// `crates/tsdb/tests/alloc_free.rs`).
+pub const INGEST_HOT_PATH_FILES: &[&str] =
+    &["crates/tsdb/src/db.rs", "crates/core/src/materializer.rs"];
+
+/// (needle, advice) — string-allocating calls forbidden inside an ingest
+/// body. Each of these heap-allocates per call, which in the per-epoch grid
+/// means thousands of allocations per simulated second.
+const INGEST_HOT_PATH_NEEDLES: &[(&str, &str)] = &[
+    (
+        "format!",
+        "string formatting allocates per epoch; resolve a SeriesId via series_handle up front",
+    ),
+    (
+        ".to_string(",
+        "allocates per epoch; intern or cache the string in the cold handle-resolution path",
+    ),
+    (
+        "String::from(",
+        "allocates per epoch; intern or cache the string in the cold handle-resolution path",
+    ),
+    (
+        ".to_owned(",
+        "allocates per epoch; borrow instead, or move the copy to the cold path",
+    ),
+];
+
+/// Does this line open a hot ingest function? Matches `fn ingest(` and
+/// `fn ingest_*(` (any visibility), but not names that merely contain
+/// "ingest" (`fn reingest`, `ensure_app_handles`, ...).
+fn is_ingest_fn_start(code: &str) -> bool {
+    let Some(pos) = code.find("fn ingest") else {
+        return false;
+    };
+    matches!(
+        code.as_bytes().get(pos + "fn ingest".len()),
+        Some(b'(') | Some(b'_')
+    )
+}
+
+/// Verify the ingest hot path stays allocation-free at the source level:
+/// within [`INGEST_HOT_PATH_FILES`], the body of every `fn ingest*` must
+/// contain no string-allocating calls. Function bodies are delimited by
+/// brace counting over comment-stripped lines (naive about braces inside
+/// string literals, which these files do not put in ingest bodies); test
+/// modules are exempt per the workspace convention.
+pub fn run_ingest_hot_path(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in INGEST_HOT_PATH_FILES {
+        let file = root.join(rel);
+        let Ok(src) = SourceFile::load(&file) else {
+            continue;
+        };
+        let mut in_fn = false;
+        let mut depth = 0i32;
+        let mut entered = false;
+        for (idx, line) in src.lines.iter().enumerate() {
+            if src.is_test_line(idx) {
+                break;
+            }
+            let code = code_part(line);
+            if !in_fn && is_ingest_fn_start(code) {
+                in_fn = true;
+                depth = 0;
+                entered = false;
+            }
+            if !in_fn {
+                continue;
+            }
+            for &(needle, advice) in INGEST_HOT_PATH_NEEDLES {
+                if !code.contains(needle) {
+                    continue;
+                }
+                if src.is_suppressed(idx, rules::INGEST_HOT_PATH) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: rules::INGEST_HOT_PATH,
+                    file: file.clone(),
+                    line: idx + 1,
+                    message: format!("`{needle}` in an ingest hot loop: {advice}"),
+                });
+            }
+            for b in code.bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if entered && depth <= 0 {
+                in_fn = false;
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------
 
-/// Run all six analyses with the default configuration.
+/// Run all seven analyses with the default configuration.
 pub fn run(root: &Path) -> Vec<Finding> {
     let mut findings = run_determinism(root);
     findings.extend(run_pmu_consistency(root));
@@ -782,6 +897,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
     findings.extend(run_module_registration(root));
     findings.extend(run_obs_choke_point(root));
     findings.extend(run_fault_plan_determinism(root));
+    findings.extend(run_ingest_hot_path(root));
     findings
 }
 

@@ -30,7 +30,8 @@ fn main() -> ExitCode {
     if findings.is_empty() {
         println!(
             "pflint: clean — determinism, PMU consistency, invariant hooks, \
-             the obs clock choke point, and fault-plan determinism all pass"
+             the obs clock choke point, fault-plan determinism, and the \
+             ingest hot path all pass"
         );
         ExitCode::SUCCESS
     } else {

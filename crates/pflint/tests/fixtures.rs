@@ -116,6 +116,24 @@ fn bad_fixtures_trip_fault_plan_determinism() {
 }
 
 #[test]
+fn bad_fixtures_trip_ingest_hot_path() {
+    let findings = pflint::run_ingest_hot_path(&fixture_root("bad"));
+    // `fn ingest` body in the tsdb fixture.
+    assert_found(&findings, rules::INGEST_HOT_PATH, "db.rs", 10);
+    assert_found(&findings, rules::INGEST_HOT_PATH, "db.rs", 11);
+    // `fn ingest_path_map` body in the materializer fixture.
+    assert_found(&findings, rules::INGEST_HOT_PATH, "materializer.rs", 4);
+    assert_found(&findings, rules::INGEST_HOT_PATH, "materializer.rs", 5);
+    // String work outside ingest bodies (`load`, `series_key`, `describe`)
+    // is cold-path and must stay out of scope.
+    assert_eq!(
+        findings.len(),
+        4,
+        "rule leaked beyond ingest fn bodies: {findings:?}"
+    );
+}
+
+#[test]
 fn allowed_fixtures_are_clean() {
     let findings = pflint::run(&fixture_root("allowed"));
     assert!(

@@ -96,7 +96,16 @@ impl Machine {
             run.space.translate(op.vaddr)
         };
         let vpage = op.vaddr / PAGE_SIZE as u64;
-        *self.page_heat.entry((c as u16, vpage)).or_insert(0) += 1;
+        // Run-length fast path: consecutive ops to the same page bump a
+        // register instead of walking the BTreeMap every op.
+        let key = (c as u16, vpage);
+        match &mut self.heat_run {
+            Some((k, n)) if *k == key => *n += 1,
+            _ => {
+                self.flush_heat_run();
+                self.heat_run = Some((key, 1));
+            }
+        }
 
         match op.kind {
             AccessKind::Load { dependent } => {
@@ -314,10 +323,15 @@ impl Machine {
     /// that merge into in-flight fills — so this is called from the L1D
     /// miss path, not from the L2 lookup (a merged miss never reaches L2).
     fn train_prefetcher(&mut self, c: usize, line: u64, node: MemNode, at: u64) {
-        let pf_lines = self.cores[c].prefetcher.observe(line);
-        for pf_line in pf_lines {
+        // Reuse the machine-owned scratch: `issue_l2_prefetch` re-borrows
+        // `self`, so the buffer is moved out for the duration of the loop.
+        let mut buf = std::mem::take(&mut self.pf_scratch);
+        buf.clear();
+        self.cores[c].prefetcher.observe_into(line, &mut buf);
+        for &pf_line in &buf {
             self.issue_l2_prefetch(c, pf_line, node, at);
         }
+        self.pf_scratch = buf;
     }
 
     fn count_l2_miss(&mut self, c: usize, path: PathClass) {
@@ -461,7 +475,7 @@ impl Machine {
 
         // Core-scope offcore-response (ocr.*) and L3 retired counters.
         let bank = &mut self.pmu.cores[c];
-        for scen in resp_scens(loc) {
+        for &scen in resp_scens(loc) {
             bank.inc(CoreEvent::ocr(path, scen));
         }
         bank.inc(CoreEvent::LongestLatCacheReference);
@@ -908,30 +922,36 @@ impl Machine {
 }
 
 /// Map a serve location onto the `ocr.*` response scenarios it satisfies.
-fn resp_scens(loc: ServeLoc) -> Vec<RespScenario> {
-    let mut v = vec![RespScenario::AnyResponse];
+/// Static slices: this runs once per offcore access, so it must not
+/// allocate (see PERFORMANCE.md).
+fn resp_scens(loc: ServeLoc) -> &'static [RespScenario] {
     match loc {
-        ServeLoc::LocalLlc | ServeLoc::PeerCache => v.push(RespScenario::L3HitSnoopLocal),
-        ServeLoc::SncLlc => v.push(RespScenario::SncDistantL3),
-        ServeLoc::RemoteLlc => {
-            v.push(RespScenario::MissLocalCaches);
-            v.push(RespScenario::RemoteCacheHit);
+        ServeLoc::LocalLlc | ServeLoc::PeerCache => {
+            &[RespScenario::AnyResponse, RespScenario::L3HitSnoopLocal]
         }
-        ServeLoc::LocalDram => {
-            v.push(RespScenario::MissLocalCaches);
-            v.push(RespScenario::LocalDram);
-        }
-        ServeLoc::RemoteDram => {
-            v.push(RespScenario::MissLocalCaches);
-            v.push(RespScenario::RemoteDram);
-        }
-        ServeLoc::CxlDram => {
-            v.push(RespScenario::MissLocalCaches);
-            v.push(RespScenario::CxlDram);
-        }
-        _ => {}
+        ServeLoc::SncLlc => &[RespScenario::AnyResponse, RespScenario::SncDistantL3],
+        ServeLoc::RemoteLlc => &[
+            RespScenario::AnyResponse,
+            RespScenario::MissLocalCaches,
+            RespScenario::RemoteCacheHit,
+        ],
+        ServeLoc::LocalDram => &[
+            RespScenario::AnyResponse,
+            RespScenario::MissLocalCaches,
+            RespScenario::LocalDram,
+        ],
+        ServeLoc::RemoteDram => &[
+            RespScenario::AnyResponse,
+            RespScenario::MissLocalCaches,
+            RespScenario::RemoteDram,
+        ],
+        ServeLoc::CxlDram => &[
+            RespScenario::AnyResponse,
+            RespScenario::MissLocalCaches,
+            RespScenario::CxlDram,
+        ],
+        _ => &[RespScenario::AnyResponse],
     }
-    v
 }
 
 /// Recover the home node of a line address (the node field travels in the

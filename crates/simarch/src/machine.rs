@@ -18,7 +18,7 @@ use crate::cha::ChaComplex;
 use crate::config::MachineConfig;
 use crate::core_model::CoreState;
 use crate::cxl::CxlPort;
-use crate::faults::{FaultClass, FaultPlan, FaultWindow};
+use crate::faults::{FaultClass, FaultPlan};
 use crate::imc::Imc;
 use crate::invariant;
 use crate::invariants::{Invariants, Violation};
@@ -127,11 +127,21 @@ pub struct Machine {
     pub(crate) epoch_end: u64,
     epochs_run: u64,
     pub(crate) page_heat: BTreeMap<(u16, u64), u32>,
+    /// Run-length cache in front of `page_heat`: consecutive ops to the same
+    /// (core, page) accumulate here and flush in one map operation —
+    /// sequential traces would otherwise pay a BTreeMap walk per op.
+    pub(crate) heat_run: Option<((u16, u64), u32)>,
+    /// Reused scratch for the L2 stream prefetcher's output lines, so a
+    /// confirmed stream never allocates per demand miss.
+    pub(crate) pf_scratch: Vec<u64>,
     ops_at_last_epoch: Vec<u64>,
     /// Deterministic fault schedule (empty = healthy machine).
     faults: FaultPlan,
     /// Stages whose epoch-boundary PMU flush is suppressed this epoch.
     fault_dropout: Vec<StageId>,
+    /// Bumped on every workload (re)attachment; consumers cache derived
+    /// per-core state (e.g. the profiler's app labels) against it.
+    workload_gen: u64,
 }
 
 /// All stage modules in ascending stage-id (= drain) order, as trait
@@ -175,9 +185,12 @@ impl Machine {
             epoch_end: 0,
             epochs_run: 0,
             page_heat: BTreeMap::new(),
+            heat_run: None,
+            pf_scratch: Vec::new(),
             ops_at_last_epoch: vec![0; cfg.cores],
             faults: FaultPlan::new(),
             fault_dropout: Vec::new(),
+            workload_gen: 0,
             cfg,
         }
     }
@@ -214,11 +227,18 @@ impl Machine {
         self.cores[core].attach(workload, core as u16);
         // A freshly attached core starts at the current epoch boundary.
         self.cores[core].time = self.epoch_end;
+        self.workload_gen += 1;
     }
 
     /// Name of the workload on `core`, if any.
     pub fn workload_name(&self, core: usize) -> Option<&str> {
         self.cores[core].workload.as_ref().map(|w| w.name.as_str())
+    }
+
+    /// Monotone counter of workload (re)attachments — cheap change
+    /// detection for per-core caches derived from workload identity.
+    pub fn workload_generation(&self) -> u64 {
+        self.workload_gen
     }
 
     /// True when no core has trace ops left.
@@ -291,8 +311,13 @@ impl Machine {
         }
         self.fault_dropout.clear();
         let now = self.epoch_end;
-        let active: Vec<FaultWindow> = self.faults.active(self.epochs_run).copied().collect();
-        for w in &active {
+        // Move the plan out for the loop instead of cloning the active
+        // windows into a per-epoch scratch Vec — fault application mutates
+        // ports/CHA/IMC but never the plan itself.
+        let plan = std::mem::take(&mut self.faults);
+        let mut active = 0usize;
+        for w in plan.active(self.epochs_run) {
+            active += 1;
             match w.class {
                 FaultClass::LinkDegrade => {
                     if let Some(p) = self.ports.get_mut(w.stage.index as usize) {
@@ -326,7 +351,16 @@ impl Machine {
                 }
             }
         }
-        obs::metrics::gauge_set("fault.active_windows", active.len() as f64);
+        obs::metrics::gauge_set("fault.active_windows", active as f64);
+        self.faults = plan;
+    }
+
+    /// Spill the page-heat run-length cache into the map. Must run before
+    /// `page_heat` is read or drained.
+    pub(crate) fn flush_heat_run(&mut self) {
+        if let Some((key, n)) = self.heat_run.take() {
+            *self.page_heat.entry(key).or_insert(0) += n;
+        }
     }
 
     /// Execute one scheduling epoch: run every core up to the next epoch
@@ -404,6 +438,7 @@ impl Machine {
         }
         // BTreeMap iterates in key order, so the drained heat list is already
         // sorted by (asid, page) — no hash-order laundering to undo.
+        self.flush_heat_run();
         let heat: Vec<(u16, u64, u32)> = std::mem::take(&mut self.page_heat)
             .into_iter()
             .map(|((a, p), n)| (a, p, n))

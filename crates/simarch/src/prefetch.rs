@@ -43,10 +43,20 @@ impl StreamPrefetcher {
     }
 
     /// Observe an L2 access to `line` (a global line address); returns the
-    /// lines to prefetch.
+    /// lines to prefetch. Convenience wrapper over [`Self::observe_into`]
+    /// for tests and cold callers.
     pub fn observe(&mut self, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(line, &mut out);
+        out
+    }
+
+    /// Observe an L2 access to `line`, appending the lines to prefetch to
+    /// `out`. The hot path passes a reused scratch buffer so a confirmed
+    /// stream never allocates per demand miss (see PERFORMANCE.md).
+    pub fn observe_into(&mut self, line: u64, out: &mut Vec<u64>) {
         if !self.enabled {
-            return Vec::new();
+            return;
         }
         self.clock += 1;
         let page = line / LINES_PER_PAGE as u64;
@@ -56,7 +66,7 @@ impl StreamPrefetcher {
             let delta = line as i64 - e.last_line as i64;
             e.last_line = line;
             if delta == 0 {
-                return Vec::new();
+                return;
             }
             if delta == e.stride {
                 e.confidence = e.confidence.saturating_add(1);
@@ -64,20 +74,20 @@ impl StreamPrefetcher {
                 e.stride = delta;
                 e.confidence = 1;
                 e.head = line as i64;
-                return Vec::new();
+                return;
             }
             if e.confidence < 2 {
-                return Vec::new();
+                return;
             }
             // Confirmed stream: run ahead up to `distance` strides.
             let target = line as i64 + e.stride * self.distance;
-            let mut out = Vec::new();
+            let before = out.len();
             let ahead = e.stride > 0;
             // Never issue at or behind the demand stream.
             if (ahead && e.head < line as i64) || (!ahead && e.head > line as i64) {
                 e.head = line as i64;
             }
-            while out.len() < self.degree {
+            while out.len() - before < self.degree {
                 let next = e.head + e.stride;
                 if (ahead && next > target) || (!ahead && next < target) {
                     break;
@@ -87,8 +97,8 @@ impl StreamPrefetcher {
                     out.push(next as u64);
                 }
             }
-            self.issued += out.len() as u64;
-            return out;
+            self.issued += (out.len() - before) as u64;
+            return;
         }
         // New stream: allocate, evicting the LRU entry if full.
         if self.table.len() >= 16 {
@@ -108,7 +118,6 @@ impl StreamPrefetcher {
             head: line as i64,
             lru: clock,
         });
-        Vec::new()
     }
 
     /// Total prefetches issued (diagnostics).

@@ -4,8 +4,12 @@
 //! InfluxDB), encapsulates a snapshot as a compacted record, and conducts
 //! time-series analysis". This crate is that substrate, self-contained:
 //!
-//! * [`point::Point`] / [`db::Db`] — tagged, timestamped records with
-//!   series indexing.
+//! * [`db::Db`] — an interned, columnar store: series are addressed by
+//!   [`db::SeriesId`] handles, strings by [`intern::Symbol`]s, and data
+//!   lives in per-series timestamp/field columns. The steady-state ingest
+//!   path ([`db::Db::ingest`]) is allocation-free (see PERFORMANCE.md).
+//! * [`point::Point`] — the row-oriented builder record, kept as a thin
+//!   compatibility shim over the columnar store ([`db::Db::insert`]).
 //! * [`query::Query`] — a small Flux-like builder
 //!   (`from("path_set").filter("path.dst","LLC").range(a,b)`).
 //! * [`ops`] — `min`/`max`/`mean`/`sum`/`moving_average`/`rate` operators.
@@ -14,11 +18,13 @@
 //!   uses to find phases of consistent data locality.
 
 pub mod db;
+pub mod intern;
 pub mod ops;
 pub mod point;
 pub mod query;
 pub mod tsa;
 
-pub use db::Db;
+pub use db::{Db, SeriesId};
+pub use intern::{Interner, Symbol};
 pub use point::Point;
 pub use query::Query;

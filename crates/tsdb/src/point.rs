@@ -1,4 +1,11 @@
 //! Records: a measurement name, a timestamp, tags, and numeric fields.
+//!
+//! `Point` is the row-oriented builder API — a compatibility shim over the
+//! columnar store in [`crate::db`]. Cold call sites build one `Point` per
+//! record; hot per-epoch loops should resolve a [`crate::SeriesId`] once
+//! and use [`crate::Db::ingest`] instead (no string formatting per
+//! record). [`Point::retained_bytes`] remains the unit of the §5.9
+//! logical footprint accounting either way.
 
 use std::collections::BTreeMap;
 

@@ -12,8 +12,17 @@
 //! let series = db.from("path_set").filter("pid", "7").filter("dst", "LLC").values("hits");
 //! assert_eq!(series, vec![(5, 3.0)]);
 //! ```
+//!
+//! Queries run over the columnar store: tag filters resolve to interned
+//! symbols once per query (never seen → no match), matching series are
+//! visited in canonical key order, and each series yields its rows in time
+//! order — in-order series skip re-sorting entirely (binary-searched range
+//! bounds), out-of-order series fall back to a stable permutation. When
+//! more than one series contributes, a final stable sort merges them, so
+//! tied timestamps surface in series-key order exactly as the row store
+//! did.
 
-use crate::db::Db;
+use crate::db::{Db, SeriesId};
 use crate::point::Point;
 
 /// A lazily-evaluated query over one measurement.
@@ -46,28 +55,26 @@ impl<'a> Query<'a> {
         self
     }
 
-    fn matches(&self, p: &Point) -> bool {
-        if let Some((a, b)) = self.range {
-            if p.ts < a || p.ts >= b {
-                return false;
-            }
-        }
-        self.tag_filters
-            .iter()
-            .all(|(k, v)| p.tags.get(k).map(|t| t == v).unwrap_or(false))
+    /// Matching series in canonical key order.
+    fn series(&self) -> Vec<SeriesId> {
+        self.db
+            .matching_series(&self.measurement, &self.tag_filters)
     }
 
     /// Materialise matching points, time-sorted.
     pub fn points(self) -> Vec<Point> {
         let _span = obs::span!("tsdb.query");
         obs::metrics::counter_add("tsdb.queries", 1);
-        let mut out: Vec<Point> = self
-            .db
-            .scan(&self.measurement)
-            .filter(|p| self.matches(p))
-            .cloned()
-            .collect();
-        out.sort_by_key(|p| p.ts);
+        let mut out: Vec<Point> = Vec::new();
+        let mut contributing = 0usize;
+        for id in self.series() {
+            if self.db.collect_points(id, self.range, &mut out) {
+                contributing += 1;
+            }
+        }
+        if contributing > 1 {
+            out.sort_by_key(|p| p.ts);
+        }
         out
     }
 
@@ -76,15 +83,19 @@ impl<'a> Query<'a> {
     pub fn values(self, field: &str) -> Vec<(u64, f64)> {
         let _span = obs::span!("tsdb.query");
         obs::metrics::counter_add("tsdb.queries", 1);
-        let field = field.to_string();
-        let mut out: Vec<(u64, f64)> = {
-            let q = self;
-            q.db.scan(&q.measurement)
-                .filter(|p| q.matches(p))
-                .filter_map(|p| p.fields.get(&field).map(|&v| (p.ts, v)))
-                .collect()
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        let Some(sym) = self.db.field_symbol(field) else {
+            return out;
         };
-        out.sort_by_key(|&(ts, _)| ts);
+        let mut contributing = 0usize;
+        for id in self.series() {
+            if self.db.collect_values(id, sym, self.range, &mut out) {
+                contributing += 1;
+            }
+        }
+        if contributing > 1 {
+            out.sort_by_key(|&(ts, _)| ts);
+        }
         out
     }
 
@@ -92,8 +103,10 @@ impl<'a> Query<'a> {
     pub fn count(self) -> usize {
         let _span = obs::span!("tsdb.query");
         obs::metrics::counter_add("tsdb.queries", 1);
-        let q = &self;
-        q.db.scan(&q.measurement).filter(|p| q.matches(p)).count()
+        self.series()
+            .into_iter()
+            .map(|id| self.db.count_rows(id, self.range))
+            .sum()
     }
 }
 
@@ -156,6 +169,44 @@ mod tests {
         d.insert(Point::new("m", 20).field("x", 2.0));
         let v = d.from("m").values("x");
         assert_eq!(v, vec![(10, 1.0), (20, 2.0), (30, 3.0)]);
+    }
+
+    #[test]
+    fn out_of_order_series_fall_back_to_a_stable_sort() {
+        // The lazy sort-on-query fallback: a series whose rows arrived out
+        // of order must still answer every query shape in time order, and
+        // tied timestamps must keep insertion order (stable sort).
+        let mut d = Db::new();
+        d.insert(Point::new("m", 50).tag("core", "0").field("x", 5.0));
+        d.insert(Point::new("m", 10).tag("core", "0").field("x", 1.0));
+        d.insert(Point::new("m", 50).tag("core", "0").field("x", 5.5));
+        d.insert(Point::new("m", 30).tag("core", "0").field("x", 3.0));
+        assert_eq!(
+            d.from("m").values("x"),
+            vec![(10, 1.0), (30, 3.0), (50, 5.0), (50, 5.5)]
+        );
+        assert_eq!(d.from("m").range(10, 50).count(), 2);
+        let pts = d.from("m").range(20, 60).points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].ts, 30);
+        assert_eq!((pts[1].ts, pts[1].fields["x"]), (50, 5.0));
+        assert_eq!((pts[2].ts, pts[2].fields["x"]), (50, 5.5));
+    }
+
+    #[test]
+    fn tied_timestamps_across_series_surface_in_key_order() {
+        // Two series, same timestamps: the merge must order ties by series
+        // key ("core=0" before "core=1"), exactly like the row store's
+        // key-ordered scan + stable sort.
+        let mut d = Db::new();
+        for t in [100u64, 200] {
+            d.insert(Point::new("m", t).tag("core", "1").field("x", 1.0));
+            d.insert(Point::new("m", t).tag("core", "0").field("x", 0.0));
+        }
+        assert_eq!(
+            d.from("m").values("x"),
+            vec![(100, 0.0), (100, 1.0), (200, 0.0), (200, 1.0)]
+        );
     }
 
     #[test]

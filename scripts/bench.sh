@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf-regression harness: build perfbench in release mode and run its two
+# fixed, seeded scenarios (a full profiled run and the materializer-shaped
+# ingest loop; see PERFORMANCE.md). Results are merged into BENCH_pr5.json
+# by (name, metric) — pass a label to record a named variant:
+#
+#   scripts/bench.sh                 # unlabelled rows (ad-hoc runs)
+#   scripts/bench.sh after           # perfbench.*.after rows
+#   scripts/bench.sh after --epochs 20000
+#
+# Extra arguments after the label are forwarded to perfbench verbatim
+# (--epochs N, --out FILE, --no-write, --timings, ...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perfbench
+
+args=()
+if [[ $# -gt 0 && "$1" != --* ]]; then
+    args+=(--label "$1")
+    shift
+fi
+./target/release/perfbench "${args[@]}" "$@"

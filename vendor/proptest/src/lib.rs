@@ -119,6 +119,8 @@ impl_tuple_strategy! {
     (S0 0, S1 1)
     (S0 0, S1 1, S2 2)
     (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
 }
 
 pub mod collection {
