@@ -36,7 +36,8 @@ fn pins(ops: u64) -> Vec<Pin> {
         ops,
         MemPolicy::Interleave { cxl_fraction: 0.5 },
         7,
-    )]
+    )
+    .expect("registry app")]
 }
 
 fn main() -> std::io::Result<()> {
@@ -91,13 +92,15 @@ fn main() -> std::io::Result<()> {
     ];
 
     let results = map_scenarios(jobs, &scenarios, |_, s| {
-        let plan = FaultPlan::new().with(FaultWindow {
-            class: s.class,
-            stage: s.stage,
-            start_epoch: 0,
-            end_epoch: u64::MAX,
-            severity: s.severity,
-        });
+        let plan = FaultPlan::new()
+            .with(FaultWindow {
+                class: s.class,
+                stage: s.stage,
+                start_epoch: 0,
+                end_epoch: u64::MAX,
+                severity: s.severity,
+            })
+            .expect("fig13 scenario windows are static and valid");
         run_machine_with_faults(cfg.clone(), pins(ops), plan)
     });
 

@@ -19,7 +19,11 @@ use simarch::{MachineConfig, MemPolicy};
 use workloads::StreamGen;
 
 fn run_app(cfg: &MachineConfig, app: &str, ops: u64, policy: MemPolicy) -> SystemDelta {
-    run_machine(cfg.clone(), vec![Pin::app(0, app, ops, policy, 7)]).0
+    run_machine(
+        cfg.clone(),
+        vec![Pin::app(0, app, ops, policy, 7).expect("registry app")],
+    )
+    .0
 }
 
 fn main() -> std::io::Result<()> {

@@ -26,9 +26,12 @@ struct RunPair {
 fn pair(cfg: &MachineConfig, app: &str, ops: u64) -> RunPair {
     let (l, lc) = run_machine(
         cfg.clone(),
-        vec![Pin::app(0, app, ops, MemPolicy::Local, 7)],
+        vec![Pin::app(0, app, ops, MemPolicy::Local, 7).expect("registry app")],
     );
-    let (c, cc) = run_machine(cfg.clone(), vec![Pin::app(0, app, ops, MemPolicy::Cxl, 7)]);
+    let (c, cc) = run_machine(
+        cfg.clone(),
+        vec![Pin::app(0, app, ops, MemPolicy::Cxl, 7).expect("registry app")],
+    );
     RunPair { l, c, lc, cc }
 }
 

@@ -30,7 +30,7 @@ fn main() -> std::io::Result<()> {
     let reports = map_scenarios(jobs_from_args(), &APPS, |_, &app| {
         run_profiled(
             MachineConfig::spr(),
-            vec![Pin::app(0, app, ops, MemPolicy::Cxl, 5)],
+            vec![Pin::app(0, app, ops, MemPolicy::Cxl, 5).expect("registry app")],
         )
         .0
     });

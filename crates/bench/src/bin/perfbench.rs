@@ -44,25 +44,25 @@ fn secs_since(start_ns: u64) -> f64 {
 /// The fixed profiled scenario: a short-epoch machine (so the per-epoch
 /// profiler work — snapshot, digest, techniques, ingest — dominates over
 /// raw trace simulation) with two seeded workloads that outlive the run.
-fn profiled_scenario(epochs: u64) -> Vec<Row> {
+fn profiled_scenario(epochs: u64) -> std::io::Result<Vec<Row>> {
     let mut cfg = MachineConfig::tiny();
     cfg.epoch_cycles = 500;
     let mut machine = Machine::new(cfg);
+    let registry_app = |app: &str, seed: u64| {
+        workloads::build(app, u64::MAX / 2, seed).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("app {app} missing from the workloads registry"),
+            )
+        })
+    };
     machine.attach(
         0,
-        Workload::new(
-            "519.lbm_r",
-            workloads::build("519.lbm_r", u64::MAX / 2, 1).expect("registry app"),
-            MemPolicy::Cxl,
-        ),
+        Workload::new("519.lbm_r", registry_app("519.lbm_r", 1)?, MemPolicy::Cxl),
     );
     machine.attach(
         1,
-        Workload::new(
-            "505.mcf_r",
-            workloads::build("505.mcf_r", u64::MAX / 2, 2).expect("registry app"),
-            MemPolicy::Local,
-        ),
+        Workload::new("505.mcf_r", registry_app("505.mcf_r", 2)?, MemPolicy::Local),
     );
     let mut profiler = Profiler::new(machine, ProfileSpec::default());
 
@@ -85,7 +85,7 @@ fn profiled_scenario(epochs: u64) -> Vec<Row> {
         epochs as f64 / secs,
         points as f64 / secs,
     );
-    vec![
+    Ok(vec![
         Row {
             name: "perfbench.profiled".into(),
             metric: "epochs_per_sec",
@@ -104,7 +104,7 @@ fn profiled_scenario(epochs: u64) -> Vec<Row> {
             value: retained as f64,
             unit: "bytes",
         },
-    ]
+    ])
 }
 
 /// The materializer-shaped ingest loop in isolation: `series` distinct
@@ -241,7 +241,7 @@ fn main() -> std::io::Result<()> {
         .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr5.json"));
 
     println!("perfbench — fixed seeded scenarios, obs clock only\n");
-    let mut rows = profiled_scenario(epochs);
+    let mut rows = profiled_scenario(epochs)?;
     rows.extend(ingest_scenario(64, 4_000));
 
     if let Some(label) = &label {

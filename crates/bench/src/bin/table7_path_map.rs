@@ -22,7 +22,7 @@ fn main() -> std::io::Result<()> {
     // ---- 649.fotonik3d_s: cumulative map ------------------------------------
     let (report, _) = run_profiled(
         MachineConfig::spr(),
-        vec![Pin::app(0, "649.fotonik3d_s", ops, MemPolicy::Cxl, 5)],
+        vec![Pin::app(0, "649.fotonik3d_s", ops, MemPolicy::Cxl, 5).expect("registry app")],
     );
     println!("649.fotonik3d_s (whole run):");
     println!("{}", report.path_map.render(&[0]));

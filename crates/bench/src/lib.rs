@@ -32,14 +32,28 @@ pub struct Pin {
 }
 
 impl Pin {
-    /// Pin a registry application.
-    pub fn app(core: usize, app: &str, ops: u64, policy: MemPolicy, seed: u64) -> Pin {
-        Pin {
+    /// Pin a registry application. Fails when `app` is not in the
+    /// workloads registry — figure binaries propagate that as an I/O error
+    /// instead of panicking mid-regeneration.
+    pub fn app(
+        core: usize,
+        app: &str,
+        ops: u64,
+        policy: MemPolicy,
+        seed: u64,
+    ) -> std::io::Result<Pin> {
+        let trace = workloads::build(app, ops, seed).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("app {app} missing from the workloads registry"),
+            )
+        })?;
+        Ok(Pin {
             core,
             name: app.to_string(),
-            trace: workloads::build(app, ops, seed).unwrap_or_else(|| panic!("unknown app {app}")),
+            trace,
             policy,
-        }
+        })
     }
 
     /// Pin a custom trace.
@@ -203,7 +217,7 @@ mod tests {
     fn run_machine_completes() {
         let (d, cycles) = run_machine(
             MachineConfig::tiny(),
-            vec![Pin::app(0, "STREAM", 20_000, MemPolicy::Local, 1)],
+            vec![Pin::app(0, "STREAM", 20_000, MemPolicy::Local, 1).unwrap()],
         );
         assert!(cycles > 0);
         assert!(d.core_sum(pmu::CoreEvent::InstRetired) > 0);
@@ -212,15 +226,17 @@ mod tests {
     #[test]
     fn faulted_run_completes_and_diverges_from_healthy() {
         use simarch::{FaultClass, FaultPlan, FaultWindow, StageId};
-        let pins = || vec![Pin::app(0, "STREAM", 20_000, MemPolicy::Cxl, 1)];
+        let pins = || vec![Pin::app(0, "STREAM", 20_000, MemPolicy::Cxl, 1).unwrap()];
         let (_, healthy_cycles) = run_machine(MachineConfig::tiny(), pins());
-        let plan = FaultPlan::new().with(FaultWindow {
-            class: FaultClass::LinkDegrade,
-            stage: StageId::cxl(0),
-            start_epoch: 0,
-            end_epoch: u64::MAX,
-            severity: 8,
-        });
+        let plan = FaultPlan::new()
+            .with(FaultWindow {
+                class: FaultClass::LinkDegrade,
+                stage: StageId::cxl(0),
+                start_epoch: 0,
+                end_epoch: u64::MAX,
+                severity: 8,
+            })
+            .unwrap();
         let (_, faulted_cycles) = run_machine_with_faults(MachineConfig::tiny(), pins(), plan);
         assert!(
             faulted_cycles > healthy_cycles,

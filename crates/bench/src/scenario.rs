@@ -92,7 +92,13 @@ where
             })
             .collect();
         for h in handles {
-            tagged.extend(h.join().expect("scenario worker panicked"));
+            // A worker panic (from the scenario closure) is re-raised on
+            // the caller's thread rather than unwrapped into a second,
+            // less informative panic here.
+            match h.join() {
+                Ok(mine) => tagged.extend(mine),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     // Index-ordered merge: the claim order above is racy, the output is not.

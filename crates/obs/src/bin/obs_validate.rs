@@ -18,7 +18,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let required: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+    let required: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
     match obs::export::validate_timings(&text, &required) {
         Ok(names) => {
             println!(

@@ -50,8 +50,8 @@ impl ObsArgs {
         let mut o = ObsArgs::default();
         let mut rest = Vec::new();
         let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
+        while let Some(arg) = args.get(i) {
+            match arg.as_str() {
                 "--timings" => o.timings = true,
                 "--timings-json" => {
                     i += 1;

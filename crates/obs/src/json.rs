@@ -98,7 +98,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -108,7 +108,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -130,7 +131,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -141,7 +142,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             members.push((key, val));
@@ -158,7 +159,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -181,7 +182,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -246,10 +247,12 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
-        text.parse::<f64>()
+        self.bytes
+            .get(start..self.pos)
+            .and_then(|raw| std::str::from_utf8(raw).ok())
+            .and_then(|text| text.parse::<f64>().ok())
             .map(Value::Num)
-            .map_err(|_| self.err("bad number"))
+            .ok_or_else(|| self.err("bad number"))
     }
 }
 

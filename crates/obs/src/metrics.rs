@@ -41,7 +41,9 @@ fn bucket_of(v: u64) -> usize {
 
 impl Histogram {
     pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
+        if let Some(slot) = self.counts.get_mut(bucket_of(v)) {
+            *slot += 1;
+        }
         self.count += 1;
         self.sum += v as u128;
         self.min = self.min.min(v);

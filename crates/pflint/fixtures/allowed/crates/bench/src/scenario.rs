@@ -1,0 +1,9 @@
+// pflint fixture: the sanctioned fan-out home — concurrency primitives
+// are allowed here without suppression (CONCURRENCY_ALLOWLIST).
+pub fn fan_out() -> usize {
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|_s| {
+        cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    cursor.into_inner()
+}

@@ -1,0 +1,18 @@
+// pflint fixture: daemon-path code written panic-free — .get() instead of
+// indexing, checked division, debug_assert for invariants — plus a test
+// module where panicking assertions are exempt.
+pub fn mean_bucket(counts: &[u64], total: u64) -> u64 {
+    debug_assert!(!counts.is_empty());
+    let first = counts.first().copied().unwrap_or(0);
+    first.checked_div(total).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercised_with_test_only_panics() {
+        assert_eq!(super::mean_bucket(&[4], 2), 2);
+        let xs = [1u64, 2];
+        assert!(xs[0] / xs[1] == 0);
+    }
+}

@@ -1,0 +1,19 @@
+// pflint fixture: window validation propagates Result; the unwrap in the
+// item-scoped test module below is exempt.
+pub fn push_window(windows: &mut Vec<(u64, u64)>, start: u64, end: u64) -> Result<(), String> {
+    if end <= start {
+        return Err(format!("empty window [{start}, {end})"));
+    }
+    windows.push((start, end));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rejects_empty_windows() {
+        let mut w = Vec::new();
+        assert!(super::push_window(&mut w, 3, 3).is_err());
+        super::push_window(&mut w, 0, 2).unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+// pflint fixture: a reviewed one-off concurrency use outside the
+// allowlist, explicitly suppressed with a rationale.
+pub fn spawn_audited() {
+    // Joined immediately; exists only to warm the scheduler.
+    // pflint::allow(concurrency-hygiene)
+    let h = std::thread::spawn(|| {});
+    h.join().ok();
+}

@@ -1,9 +1,10 @@
-// pflint fixture: ingest-body string work silenced by suppressions (both
-// placements), plus cold-path formatting outside any ingest fn.
+// pflint fixture: hot-body string work silenced by suppressions (both
+// placements), plus cold-path formatting outside any annotated fn.
+// pflint::hot
 pub fn ingest(ts: u64, out: &mut Vec<String>) {
-    // pflint::allow(ingest-hot-path)
+    // pflint::allow(hot-path-alloc)
     out.push(format!("legacy-{ts}"));
-    let tag = ts.to_string(); // pflint::allow(ingest-hot-path)
+    let tag = ts.to_string(); // pflint::allow(hot-path-alloc)
     out.push(tag);
 }
 

@@ -1,0 +1,7 @@
+// pflint fixture: a CSV writer that panics on I/O failure.
+pub fn write_csv(path: &str, rows: &[String]) {
+    let mut out = std::fs::File::create(path).unwrap();
+    for r in rows {
+        std::io::Write::write_all(&mut out, r.as_bytes()).expect("csv write");
+    }
+}

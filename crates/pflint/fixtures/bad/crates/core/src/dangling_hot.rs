@@ -1,0 +1,3 @@
+// pflint fixture: a hot annotation that precedes no function.
+// pflint::hot
+pub struct NotAFunction;

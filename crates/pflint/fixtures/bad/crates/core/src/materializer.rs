@@ -1,9 +1,17 @@
-// pflint fixture: string allocation inside the per-epoch ingest loop.
+// pflint fixture: allocations inside `// pflint::hot` bodies, including
+// one the old brace counter lost behind a close-brace in a string.
+// pflint::hot
 pub fn ingest_path_map(ts: u64, rows: &mut Vec<(String, u64)>) {
     for core in 0..4u64 {
         rows.push((String::from("series"), ts + core));
         rows.push((core.to_string(), ts));
     }
+}
+
+// pflint::hot
+pub fn ingest_queues(ts: u64, rows: &mut Vec<(String, u64)>) {
+    let close_brace = "}";
+    rows.push((format!("q{ts}"), ts + close_brace.len() as u64));
 }
 
 pub fn describe(core: u64) -> String {

@@ -1,0 +1,8 @@
+// pflint fixture: concurrency primitives outside the sanctioned modules.
+use std::sync::Mutex;
+
+pub fn fan_out(shared: &Mutex<u64>) {
+    let _h = std::thread::spawn(|| {});
+    let _c = std::sync::atomic::AtomicU64::new(0);
+    let _v = unsafe { *shared.data_ptr() };
+}

@@ -1,0 +1,8 @@
+// pflint fixture: panic surfaces in a daemon-path module.
+pub fn summarize(xs: &[u64], n: u64) -> u64 {
+    let first = xs.first().copied().unwrap();
+    let second = xs[1];
+    let ratio = second / n;
+    assert!(ratio > 0);
+    first + ratio
+}

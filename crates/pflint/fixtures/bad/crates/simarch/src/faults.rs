@@ -1,0 +1,7 @@
+// pflint fixture: window validation that panics instead of returning Err.
+pub fn push_window(windows: &mut Vec<(u64, u64)>, start: u64, end: u64) {
+    if end <= start {
+        panic!("empty window");
+    }
+    windows.push((start, end));
+}

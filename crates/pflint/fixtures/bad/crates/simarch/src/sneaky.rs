@@ -1,0 +1,17 @@
+// pflint fixture: the misparse class the line-regex engine got wrong —
+// needles in line comments, block comments, strings, and char literals
+// are inert, but a suppression marker inside a string literal must not
+// soothe the real hazard beside it.
+pub fn keyword_soup() -> (&'static str, char) {
+    /* Instant::now() in a block comment is documentation, not a hazard,
+       and a HashMap<u64, u64> mentioned mid-comment is fine too. */
+    let masked = "}} Instant::now() HashMap thread_rng() {{";
+    let close = '}';
+    (masked, close)
+}
+
+pub fn fake_marker() -> u128 {
+    let (t, s) = (std::time::Instant::now(), "pflint::allow(wall-clock)");
+    let _ = s;
+    t.elapsed().as_nanos()
+}

@@ -6,6 +6,7 @@ pub fn load(path: &str) -> HashSet<String> {
     text.lines().map(|s| s.to_string()).collect()
 }
 
+// pflint::hot
 pub fn ingest(ts: u64, out: &mut Vec<String>) {
     out.push(format!("series-{ts}"));
     let tag = ts.to_string();

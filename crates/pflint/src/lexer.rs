@@ -1,0 +1,462 @@
+//! A small, std-only Rust lexer: the foundation of pflint's analyses.
+//!
+//! The old engine scanned raw text lines and stripped `//` comments with a
+//! `find("//")` — which meant braces inside string literals broke function
+//! body extraction, rule keywords inside block comments produced phantom
+//! findings, and `#[cfg(test)]` anywhere in a file exempted everything
+//! after it. This lexer fixes the class: it splits a source file into a
+//! token stream that distinguishes code from comments, string/char
+//! literals, and lifetimes, so every downstream analysis can reason about
+//! *code* and only code.
+//!
+//! Design constraints:
+//!
+//! * **Lossless.** Concatenating `token.text` in order reproduces the
+//!   input byte-for-byte (property-tested in `tests/lexer_roundtrip.rs`).
+//!   Every analysis result can therefore be mapped back to an exact
+//!   `file:line`.
+//! * **Total.** Malformed input (unterminated strings/comments) never
+//!   panics; the trailing bytes become one final token.
+//! * **Honest about Rust's dark corners.** Nested block comments, raw
+//!   strings with arbitrary `#` fences, byte/raw-byte strings, raw
+//!   identifiers (`r#fn`), char literals vs. lifetimes (`'a'` vs `'a`),
+//!   and float exponents are all handled. Full grammar fidelity is *not*
+//!   a goal — pflint needs token classes, not a parse tree.
+
+/// The token classes pflint distinguishes. Comments and literals are the
+/// classes that get masked out of "code" (see `source::SourceFile`);
+/// everything else participates in rule matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines, carriage returns.
+    Whitespace,
+    /// `// ...` to end of line, including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* ... */`, nested, including doc block comments.
+    BlockComment,
+    /// `"..."` or `b"..."`, with escapes.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br##"..."##` — no escapes, `#` fences.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'\xff'`.
+    Char,
+    /// `'a`, `'static`, `'_` — an apostrophe not closing on one char.
+    Lifetime,
+    /// Identifiers and keywords, including raw identifiers (`r#type`).
+    Ident,
+    /// Numeric literals (int, float, hex/oct/bin, suffixed, exponent).
+    Num,
+    /// A single byte of punctuation/operator.
+    Punct,
+}
+
+impl TokKind {
+    /// Tokens whose text is *not* code: analyses mask these out before
+    /// matching any rule needle.
+    pub fn is_code(self) -> bool {
+        !matches!(
+            self,
+            TokKind::LineComment
+                | TokKind::BlockComment
+                | TokKind::Str
+                | TokKind::RawStr
+                | TokKind::Char
+        )
+    }
+
+    /// Comment tokens carry suppression markers (`pflint::allow(...)`) and
+    /// hot-path annotations (`pflint::hot`).
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One token: a classified slice of the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokKind,
+    /// The exact source text (round-trips losslessly).
+    pub text: &'a str,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scan a `"`-delimited string starting at `i` (the opening quote).
+/// Returns the index one past the closing quote (or EOF if unterminated).
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scan a raw string whose opening quote is at `i`, fenced by `hashes`
+/// `#` bytes. Returns one past the closing fence (or EOF).
+fn scan_raw_string(b: &[u8], mut i: usize, hashes: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scan a block comment starting at `i` (the `/`). Handles nesting.
+fn scan_block_comment(b: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < b.len() {
+        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Scan a numeric literal starting at `i` (a digit). Handles `0x`/`0o`/
+/// `0b` radixes, `_` separators, type suffixes, a single `.` followed by a
+/// digit, and decimal exponents with signs (`1e-5`).
+fn scan_number(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    let radix_prefixed = b[start] == b'0'
+        && i < b.len()
+        && matches!(b[i], b'x' | b'o' | b'b' | b'X' | b'O' | b'B')
+        && i + 1 < b.len()
+        && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_');
+    let mut seen_dot = false;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // Decimal exponent: `1e-5`, `2.5E+10`. Never inside 0x/0o/0b,
+            // where `e` is a digit and `-` must stay a separate operator.
+            if !radix_prefixed
+                && (c == b'e' || c == b'E')
+                && i + 1 < b.len()
+                && (b[i + 1] == b'+' || b[i + 1] == b'-')
+                && i + 2 < b.len()
+                && b[i + 2].is_ascii_digit()
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == b'.'
+            && !seen_dot
+            && !radix_prefixed
+            && i + 1 < b.len()
+            && b[i + 1].is_ascii_digit()
+        {
+            // `1.5` continues the literal; `0..5` leaves `..` to punct.
+            seen_dot = true;
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Count `#` bytes at `i`.
+fn count_hashes(b: &[u8], i: usize) -> usize {
+    b[i..].iter().take_while(|&&c| c == b'#').count()
+}
+
+/// Lex `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let kind = match b[i] {
+            c if c.is_ascii_whitespace() => {
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                TokKind::Whitespace
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i = scan_block_comment(b, i);
+                TokKind::BlockComment
+            }
+            b'"' => {
+                i = scan_string(b, i);
+                TokKind::Str
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\...'` and `'<one char>'`
+                // are chars; otherwise it is a lifetime (`'a`, `'_`).
+                let next = b.get(i + 1).copied();
+                match next {
+                    Some(b'\\') => {
+                        // Escaped char: skip to the closing quote.
+                        i += 2; // ' and backslash
+                        i = (i + 1).min(b.len()); // the escaped byte
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1; // \x41, \u{1F600}
+                        }
+                        i = (i + 1).min(b.len());
+                        TokKind::Char
+                    }
+                    Some(c) if c != b'\'' => {
+                        // Width of one UTF-8 char after the quote.
+                        let w = src[i + 1..].chars().next().map_or(1, |ch| ch.len_utf8());
+                        if b.get(i + 1 + w) == Some(&b'\'') {
+                            i += 2 + w;
+                            TokKind::Char
+                        } else {
+                            i += 1;
+                            while i < b.len() && is_ident_continue(b[i]) {
+                                i += 1;
+                            }
+                            TokKind::Lifetime
+                        }
+                    }
+                    _ => {
+                        // `''` or a trailing `'`: lone punct-ish quote.
+                        i += 1;
+                        TokKind::Punct
+                    }
+                }
+            }
+            b'r' | b'b' if raw_or_byte_literal(b, i).is_some() => {
+                let (kind, end) = raw_or_byte_literal(b, i).unwrap_or((TokKind::Punct, i + 1));
+                i = end;
+                kind
+            }
+            c if is_ident_start(c) => {
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                i = scan_number(b, i);
+                TokKind::Num
+            }
+            _ => {
+                i += 1;
+                TokKind::Punct
+            }
+        };
+        let text = &src[start..i];
+        line += text.bytes().filter(|&c| c == b'\n').count();
+        out.push(Token {
+            kind,
+            text,
+            start,
+            line: start_line,
+        });
+    }
+    out
+}
+
+/// At `i` sits `r` or `b`. If it opens a raw string, byte string, byte
+/// char, or raw identifier, return its kind and end; otherwise `None`
+/// (plain identifier — the main loop falls through).
+fn raw_or_byte_literal(b: &[u8], i: usize) -> Option<(TokKind, usize)> {
+    match b[i] {
+        b'r' => {
+            let hashes = count_hashes(b, i + 1);
+            if b.get(i + 1 + hashes) == Some(&b'"') {
+                // r"..." or r#"..."# — raw string.
+                return Some((TokKind::RawStr, scan_raw_string(b, i + 1 + hashes, hashes)));
+            }
+            if hashes == 1 && b.get(i + 2).copied().is_some_and(is_ident_start) {
+                // r#type — raw identifier.
+                let mut j = i + 2;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                return Some((TokKind::Ident, j));
+            }
+            None
+        }
+        b'b' => {
+            if b.get(i + 1) == Some(&b'"') {
+                // b"..." — byte string, same escapes as str.
+                return Some((TokKind::Str, scan_string(b, i + 1)));
+            }
+            if b.get(i + 1) == Some(&b'\'') {
+                // b'x' / b'\xff' — byte char.
+                let mut j = i + 2;
+                if b.get(j) == Some(&b'\\') {
+                    j += 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                } else if j < b.len() {
+                    j += 1;
+                }
+                return Some((TokKind::Char, (j + 1).min(b.len())));
+            }
+            if b.get(i + 1) == Some(&b'r') {
+                let hashes = count_hashes(b, i + 2);
+                if b.get(i + 2 + hashes) == Some(&b'"') {
+                    // br"..." / br#"..."# — raw byte string.
+                    return Some((TokKind::RawStr, scan_raw_string(b, i + 2 + hashes, hashes)));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Reassemble a token stream into source text (the round-trip inverse of
+/// [`lex`]).
+pub fn reassemble(tokens: &[Token<'_>]) -> String {
+    tokens.iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        assert_eq!(reassemble(&lex(src)), src, "round-trip failed for {src:?}");
+    }
+
+    #[test]
+    fn strings_hide_braces_and_comments() {
+        let toks = kinds(r#"let s = "a { b // } /*";"#);
+        assert!(toks.contains(&(TokKind::Str, r#""a { b // } /*""#)));
+        // No comment token was produced.
+        assert!(toks.iter().all(|(k, _)| !k.is_comment()));
+        roundtrip(r#"let s = "a { b // } /*";"#);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks.contains(&(TokKind::Ident, "a")));
+        assert!(toks.contains(&(TokKind::Ident, "b")));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_quotes() {
+        let src = r##"let s = r#"say "hi" \ {"#;"##;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokKind::RawStr, r##"r#"say "hi" \ {"#"##)));
+        roundtrip(src);
+        roundtrip("r\"plain\" + br##\"fenced \"# inner\"##");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static '_ '\\n' b'x' 'é'");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'_"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'", "b'x'", "'é'"]);
+        roundtrip("'a' 'static '_ '\\n' b'x' 'é'");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let toks = kinds("r#fn r#type r\"s\"");
+        assert!(toks.contains(&(TokKind::Ident, "r#fn")));
+        assert!(toks.contains(&(TokKind::Ident, "r#type")));
+        assert!(toks.contains(&(TokKind::RawStr, "r\"s\"")));
+        roundtrip("r#fn r#type r\"s\"");
+    }
+
+    #[test]
+    fn numbers_keep_ranges_and_exponents_apart() {
+        let toks = kinds("0..5 1.5 1e-5 0x1E-5 1_000u64");
+        assert!(toks.contains(&(TokKind::Num, "0")));
+        assert!(toks.contains(&(TokKind::Num, "5")));
+        assert!(toks.contains(&(TokKind::Num, "1.5")));
+        assert!(toks.contains(&(TokKind::Num, "1e-5")));
+        // Hex: the `-` stays an operator.
+        assert!(toks.contains(&(TokKind::Num, "0x1E")));
+        assert!(toks.contains(&(TokKind::Punct, "-")));
+        assert!(toks.contains(&(TokKind::Num, "1_000u64")));
+        roundtrip("0..5 1.5 1e-5 0x1E-5 1_000u64");
+    }
+
+    #[test]
+    fn unterminated_inputs_never_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'", "x /* /* */"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let src = "a\nb /* c\nd */ e\nf";
+        let toks = lex(src);
+        let at = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(at("a"), 1);
+        assert_eq!(at("b"), 2);
+        assert_eq!(at("e"), 3);
+        assert_eq!(at("f"), 4);
+        assert_eq!(at("/* c\nd */"), 2);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// doc\n//! inner\n/** block */ fn x() {}");
+        assert_eq!(toks.iter().filter(|(k, _)| k.is_comment()).count(), 3);
+        roundtrip("/// doc\n//! inner\n/** block */ fn x() {}");
+    }
+}

@@ -1,11 +1,22 @@
 //! pflint — the PathFinder workspace static-analysis pass.
 //!
-//! Seven analyses keep the simulator honest:
+//! The engine lexes every source file into a lossless token stream
+//! ([`lexer`]) and builds a structural index on top ([`source`]): masked
+//! code lines (comments and string literals blanked), item-scoped
+//! `#[cfg(test)]` ranges, token-accurate function bodies, suppression
+//! markers, and token-level panic surfaces. Every rule below matches
+//! against that index, so string literals, block comments, and braces
+//! inside strings can never produce phantom findings or desynchronized
+//! body extraction — the failure class of the line-regex engine this
+//! replaced.
+//!
+//! Ten analyses keep the simulator honest:
 //!
 //! 1. **Determinism lint** ([`run_determinism`]): model code (`simarch`,
 //!    `core`, `tsdb`) must be bit-reproducible run-to-run, so hash-ordered
 //!    containers, wall-clock reads, and OS entropy are findings unless
-//!    explicitly suppressed.
+//!    explicitly suppressed. Input-facing modules additionally ban
+//!    `unwrap`/`expect`/`panic!` (`unwrap-in-io-paths`).
 //! 2. **PMU-counter consistency** ([`run_pmu_consistency`]): every counter
 //!    referenced in `core`, `bench` and `tiering` — as a typed enum variant
 //!    or as a perf-style name string — must resolve against the `pmu`
@@ -27,25 +38,44 @@
 //!    that builds or applies a `FaultPlan` must derive its schedule from an
 //!    explicit seed — OS entropy and wall-clock reads are findings even in
 //!    test code, so injected anomalies replay bit-identically (FAULTS.md).
-//! 7. **Ingest hot path** ([`run_ingest_hot_path`]): the steady-state
-//!    epoch-ingest bodies (`tsdb::Db::ingest` and the materializer's
-//!    `ingest_*` loops) must stay allocation-free (PERFORMANCE.md), so
-//!    string-allocating calls (`format!`, `.to_string`, `String::from`,
-//!    `.to_owned`) inside an `fn ingest*` body are findings. String work
-//!    belongs in the cold handle-resolution path (`series_handle`).
+//! 7. **Hot-path allocations** ([`run_hot_path_alloc`]): any function
+//!    annotated with a standalone `// pflint::hot` comment must stay free
+//!    of string/Vec-growth allocations — the static side of the
+//!    allocation-free steady-state guarantee (PERFORMANCE.md). This
+//!    generalizes the retired `ingest-hot-path` rule, which hardcoded two
+//!    files; the annotation now travels with the function.
+//! 8. **Concurrency hygiene** ([`run_concurrency_hygiene`]): threads,
+//!    locks, atomics, channels, and `unsafe` are confined to the
+//!    sanctioned modules ([`CONCURRENCY_ALLOWLIST`]) so the fleet-mode
+//!    sharded runtime grows behind one audited door.
+//! 9. **Panic freedom** ([`run_panic_freedom`]): service-facing modules
+//!    (the future daemon surface, today `crates/obs/src`) must not contain
+//!    panic paths — `unwrap`/`expect`, panic-family macros, unchecked
+//!    indexing, or division by a non-literal divisor.
+//! 10. **Dangling hot annotations** (folded into `hot-path-alloc`): a
+//!     `// pflint::hot` comment that does not precede a function is
+//!     reported rather than silently ignored.
 //!
 //! Suppression: append `// pflint::allow(<rule>)` to the offending line, or
 //! place it alone on the line above. Each suppression silences exactly one
-//! rule on exactly one line.
+//! rule on exactly one line, and markers are only honored inside real
+//! comments (one inside a string literal is inert).
 //!
-//! The lint is textual by design — it runs in milliseconds with no
-//! dependencies beyond `pmu` (the registry ground truth) and needs no
-//! nightly compiler hooks. Test modules (`#[cfg(test)]` to end of file, the
-//! workspace convention) are exempt from the determinism and unwrap rules.
+//! The lint is still textual by design — it runs in milliseconds with no
+//! dependencies beyond `pmu` (the registry ground truth) and `obs` (whose
+//! minimal JSON parser reads the committed baseline) and needs no nightly
+//! compiler hooks. Test code (item-scoped `#[cfg(test)]`) is exempt from
+//! the determinism, unwrap, and panic-freedom rules; fault-plan
+//! determinism and concurrency hygiene apply everywhere.
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod source;
+
+use source::{contains_word, SourceFile};
 
 pub mod rules {
     //! Stable rule identifiers, usable in `pflint::allow(...)` comments.
@@ -59,7 +89,9 @@ pub mod rules {
     pub const OBS_CHOKE_POINT: &str = "obs-choke-point";
     pub const MODULE_COUNTER_REGISTRATION: &str = "module-counter-registration";
     pub const FAULT_PLAN_DETERMINISM: &str = "fault-plan-determinism";
-    pub const INGEST_HOT_PATH: &str = "ingest-hot-path";
+    pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+    pub const CONCURRENCY_HYGIENE: &str = "concurrency-hygiene";
+    pub const PANIC_FREEDOM: &str = "panic-freedom";
 
     pub const ALL: &[&str] = &[
         HASH_ITERATION,
@@ -72,7 +104,9 @@ pub mod rules {
         OBS_CHOKE_POINT,
         MODULE_COUNTER_REGISTRATION,
         FAULT_PLAN_DETERMINISM,
-        INGEST_HOT_PATH,
+        HOT_PATH_ALLOC,
+        CONCURRENCY_HYGIENE,
+        PANIC_FREEDOM,
     ];
 }
 
@@ -108,8 +142,10 @@ pub struct CrateRules {
 }
 
 /// The default per-crate determinism configuration. Model code gets the
-/// full set; `core` additionally bans unwraps on its report-building I/O
-/// boundary; the trace/config/tsdb input paths ban fresh unwraps outright.
+/// full set; the trace/config/tsdb input paths ban fresh unwraps outright;
+/// the fault-plan builder and the bench harness/writers (the files whose
+/// failures reach users as truncated CSVs or dead worker threads) ban
+/// panics on their non-test paths.
 pub fn determinism_config() -> Vec<CrateRules> {
     use rules::*;
     vec![
@@ -147,6 +183,26 @@ pub fn determinism_config() -> Vec<CrateRules> {
             rel_path: "crates/simarch/src/config.rs",
             rules: &[UNWRAP_IN_IO],
         },
+        // Fault-plan window validation: an invalid window is caller input
+        // and must come back as a Result, not a panic mid-run (FAULTS.md).
+        CrateRules {
+            rel_path: "crates/simarch/src/faults.rs",
+            rules: &[UNWRAP_IN_IO],
+        },
+        // The bench harness and its CSV/JSON writers: a panic here kills a
+        // whole figure regeneration and leaves truncated artefacts.
+        CrateRules {
+            rel_path: "crates/bench/src/lib.rs",
+            rules: &[UNWRAP_IN_IO],
+        },
+        CrateRules {
+            rel_path: "crates/bench/src/scenario.rs",
+            rules: &[UNWRAP_IN_IO],
+        },
+        CrateRules {
+            rel_path: "crates/bench/src/bin/perfbench.rs",
+            rules: &[UNWRAP_IN_IO],
+        },
     ]
 }
 
@@ -165,43 +221,9 @@ pub const INVARIANT_SCAN_ROOT: &str = "crates/simarch/src";
 // Source scanning plumbing
 // ---------------------------------------------------------------------
 
-/// A loaded source file, split into lines once.
-struct SourceFile {
-    lines: Vec<String>,
-    /// Index of the first `#[cfg(test)]` line, if any. By workspace
-    /// convention test modules sit at the end of the file, so everything
-    /// from here on is test code.
-    test_start: Option<usize>,
-}
-
-impl SourceFile {
-    fn load(path: &Path) -> std::io::Result<SourceFile> {
-        let text = std::fs::read_to_string(path)?;
-        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
-        let test_start = lines.iter().position(|l| l.trim() == "#[cfg(test)]");
-        Ok(SourceFile { lines, test_start })
-    }
-
-    fn is_test_line(&self, idx: usize) -> bool {
-        self.test_start.is_some_and(|t| idx >= t)
-    }
-
-    /// Is `rule` suppressed on line `idx` (0-based)? Checks the line itself
-    /// and a standalone comment on the line above.
-    fn is_suppressed(&self, idx: usize, rule: &str) -> bool {
-        let marker = format!("pflint::allow({rule})");
-        if self.lines[idx].contains(&marker) {
-            return true;
-        }
-        idx > 0 && {
-            let above = self.lines[idx - 1].trim();
-            above.starts_with("//") && above.contains(&marker)
-        }
-    }
-}
-
-/// Recursively collect `.rs` files under `root` (skipping `target/`).
-fn rust_files(root: &Path) -> Vec<PathBuf> {
+/// Recursively collect `.rs` files under `root`, skipping directories whose
+/// name is in `skip` at any depth.
+fn rust_files_excluding(root: &Path, skip: &[&str]) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
@@ -217,7 +239,7 @@ fn rust_files(root: &Path) -> Vec<PathBuf> {
         for entry in entries.flatten() {
             let p = entry.path();
             if p.is_dir() {
-                if p.file_name().is_some_and(|n| n == "target") {
+                if p.file_name().is_some_and(|n| skip.iter().any(|s| n == *s)) {
                     continue;
                 }
                 stack.push(p);
@@ -230,21 +252,30 @@ fn rust_files(root: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Strip `//` line comments so commented-out code is not linted. Naive
-/// about `//` inside string literals, which model code does not contain.
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
+/// Recursively collect `.rs` files under `root` (skipping `target/`).
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    rust_files_excluding(root, &["target"])
+}
+
+/// Every workspace source file subject to the whole-tree rules
+/// (`hot-path-alloc`, `concurrency-hygiene`): all crates plus the
+/// integration tests and examples, excluding vendored code and pflint
+/// itself (whose needle tables and fixture trees would self-trip).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = rust_files_excluding(&root.join("crates"), &["target", "vendor", "pflint"]);
+    out.extend(rust_files(&root.join("tests")));
+    out.extend(rust_files(&root.join("examples")));
+    out.sort();
+    out
 }
 
 // ---------------------------------------------------------------------
 // Analysis 1: determinism lint
 // ---------------------------------------------------------------------
 
-/// (rule, needle, advice) — a finding fires when `needle` appears in the
-/// code part of a non-test line and the rule is enabled for the crate.
+/// (rule, needle, advice) — a finding fires when `needle` appears
+/// (word-bounded) on a masked, non-test line and the rule is enabled for
+/// the crate.
 const DETERMINISM_PATTERNS: &[(&str, &str, &str)] = &[
     (
         rules::HASH_ITERATION,
@@ -296,6 +327,11 @@ const DETERMINISM_PATTERNS: &[(&str, &str, &str)] = &[
         ".expect(",
         "input-facing module: propagate a Result instead",
     ),
+    (
+        rules::UNWRAP_IN_IO,
+        "panic!",
+        "input-facing module: return an error instead of panicking",
+    ),
 ];
 
 /// Run the determinism lint over one workspace with the given per-crate
@@ -310,11 +346,10 @@ pub fn run_determinism_with(root: &Path, config: &[CrateRules]) -> Vec<Finding> 
             };
             for (idx, line) in src.lines.iter().enumerate() {
                 if src.is_test_line(idx) {
-                    break;
+                    continue;
                 }
-                let code = code_part(line);
                 for &(rule, needle, advice) in DETERMINISM_PATTERNS {
-                    if !target.rules.contains(&rule) || !code.contains(needle) {
+                    if !target.rules.contains(&rule) || !contains_word(line, needle, false) {
                         continue;
                     }
                     if src.is_suppressed(idx, rule) {
@@ -364,7 +399,7 @@ fn enum_variants() -> Vec<(&'static str, BTreeSet<String>)> {
     ]
 }
 
-/// Extract `SomeEvent::Variant` references from a code line.
+/// Extract `SomeEvent::Variant` references from a masked code line.
 fn variant_refs(code: &str) -> Vec<(String, String, usize)> {
     let mut out = Vec::new();
     for enum_name in ["CoreEvent", "ChaEvent", "ImcEvent", "M2pEvent", "CxlEvent"] {
@@ -396,33 +431,22 @@ fn variant_refs(code: &str) -> Vec<(String, String, usize)> {
     out
 }
 
-/// Extract perf-style event-name string literals from a code line. Only
-/// candidates that start with a known counter-family prefix are returned,
+/// Could this string literal plausibly be a perf-style counter name? Only
+/// candidates whose prefix matches a known counter family are considered,
 /// so app names like `"519.lbm_r"` never false-positive.
-fn event_name_literals(code: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = code;
-    while let Some(start) = rest.find('"') {
-        let tail = &rest[start + 1..];
-        let Some(end) = tail.find('"') else { break };
-        let lit = &tail[..end];
-        rest = &tail[end + 1..];
-        let plausible = !lit.is_empty()
-            && lit
-                .chars()
-                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
-            && !pmu::registry::describe(lit).is_empty();
-        if plausible {
-            out.push(lit.to_string());
-        }
-    }
-    out
+fn plausible_event_name(lit: &str) -> bool {
+    !lit.is_empty()
+        && lit
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+        && !pmu::registry::describe(lit).is_empty()
 }
 
 /// Cross-check every PMU-event reference in the configured crates against
 /// the registry. Typed variants must exist in their enum (which pins the
 /// bank); string names must resolve to a registry entry carrying a unit
-/// and a description.
+/// and a description. String literals come from the lexer, so a counter
+/// name mentioned in a comment is not a reference.
 pub fn run_pmu_consistency(root: &Path) -> Vec<Finding> {
     let variants = enum_variants();
     let registry: BTreeSet<String> = pmu::registry::all_events()
@@ -436,8 +460,7 @@ pub fn run_pmu_consistency(root: &Path) -> Vec<Finding> {
                 continue;
             };
             for (idx, line) in src.lines.iter().enumerate() {
-                let code = code_part(line);
-                for (enum_name, variant, _) in variant_refs(code) {
+                for (enum_name, variant, _) in variant_refs(line) {
                     let known = variants
                         .iter()
                         .find(|(n, _)| *n == enum_name)
@@ -454,20 +477,22 @@ pub fn run_pmu_consistency(root: &Path) -> Vec<Finding> {
                         ),
                     });
                 }
-                for name in event_name_literals(code) {
-                    if registry.contains(&name) || src.is_suppressed(idx, rules::PMU_EVENT_UNKNOWN)
-                    {
-                        continue;
-                    }
-                    findings.push(Finding {
-                        rule: rules::PMU_EVENT_UNKNOWN,
-                        file: file.clone(),
-                        line: idx + 1,
-                        message: format!(
-                            "\"{name}\" looks like a counter name but is not in pmu::registry"
-                        ),
-                    });
+            }
+            for (idx, lit) in src.string_literals() {
+                if !plausible_event_name(lit)
+                    || registry.contains(lit)
+                    || src.is_suppressed(*idx, rules::PMU_EVENT_UNKNOWN)
+                {
+                    continue;
                 }
+                findings.push(Finding {
+                    rule: rules::PMU_EVENT_UNKNOWN,
+                    file: file.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "\"{lit}\" looks like a counter name but is not in pmu::registry"
+                    ),
+                });
             }
         }
     }
@@ -481,9 +506,10 @@ pub fn run_pmu_consistency(root: &Path) -> Vec<Finding> {
 /// Queue-bearing field types whose owners must register invariant hooks.
 const QUEUE_TYPES: &[&str] = &["FifoServer", "Coverage", "BoundedWindow"];
 
-/// Does this code line declare a struct field of a queue-bearing type?
-/// Matches `name: FifoServer`, `name: Vec<Coverage>`, fully qualified
-/// paths, etc. — any `: ... Type` with the type used in field position.
+/// Does this masked code line declare a struct field of a queue-bearing
+/// type? Matches `name: FifoServer`, `name: Vec<Coverage>`, fully
+/// qualified paths, etc. — any `: ... Type` with the type used in field
+/// position.
 fn declares_queue_field(code: &str) -> Option<&'static str> {
     let trimmed = code.trim_start();
     // Field declarations, not uses: `ident: ... QueueType ... ,` — require
@@ -527,16 +553,15 @@ pub fn run_invariant_hooks(root: &Path) -> Vec<Finding> {
         let mut has_hook = false;
         for (idx, line) in src.lines.iter().enumerate() {
             if src.is_test_line(idx) {
-                break;
+                continue;
             }
-            let code = code_part(line);
-            if code.contains("impl Invariants for")
-                || code.contains("impl crate::invariants::Invariants for")
+            if line.contains("impl Invariants for")
+                || line.contains("impl crate::invariants::Invariants for")
             {
                 has_hook = true;
             }
             if first_decl.is_none() {
-                if let Some(ty) = declares_queue_field(code) {
+                if let Some(ty) = declares_queue_field(line) {
                     if !src.is_suppressed(idx, rules::INVARIANT_HOOK_MISSING) {
                         first_decl = Some((idx + 1, ty));
                     }
@@ -581,15 +606,14 @@ pub fn run_module_registration(root: &Path) -> Vec<Finding> {
         let mut has_registration = false;
         for (idx, line) in src.lines.iter().enumerate() {
             if src.is_test_line(idx) {
-                break;
+                continue;
             }
-            let code = code_part(line);
-            if code.contains("registered(") {
+            if line.contains("registered(") {
                 has_registration = true;
             }
             if first_impl.is_none()
-                && (code.contains("impl SimModule for")
-                    || code.contains("impl crate::module::SimModule for"))
+                && (line.contains("impl SimModule for")
+                    || line.contains("impl crate::module::SimModule for"))
                 && !src.is_suppressed(idx, rules::MODULE_COUNTER_REGISTRATION)
             {
                 first_impl = Some(idx + 1);
@@ -643,10 +667,9 @@ pub fn run_obs_choke_point(root: &Path) -> Vec<Finding> {
         };
         for (idx, line) in src.lines.iter().enumerate() {
             if src.is_test_line(idx) {
-                break;
+                continue;
             }
-            let code = code_part(line);
-            if !code.contains("Instant") && !code.contains("SystemTime") {
+            if !contains_word(line, "Instant", false) && !contains_word(line, "SystemTime", false) {
                 continue;
             }
             if !in_clock {
@@ -664,7 +687,7 @@ pub fn run_obs_choke_point(root: &Path) -> Vec<Finding> {
                 });
                 continue;
             }
-            if code.contains("Instant::now") {
+            if contains_word(line, "Instant::now", false) {
                 now_sites += 1;
                 if !src.is_suppressed(idx, rules::WALL_CLOCK) {
                     findings.push(Finding {
@@ -749,17 +772,17 @@ pub fn run_fault_plan_determinism(root: &Path) -> Vec<Finding> {
             let Ok(src) = SourceFile::load(&file) else {
                 continue;
             };
-            let subject = src
-                .lines
-                .iter()
-                .any(|l| FAULT_PLAN_MARKERS.iter().any(|m| code_part(l).contains(m)));
+            let subject = src.lines.iter().any(|l| {
+                FAULT_PLAN_MARKERS
+                    .iter()
+                    .any(|m| contains_word(l, m, false))
+            });
             if !subject {
                 continue;
             }
             for (idx, line) in src.lines.iter().enumerate() {
-                let code = code_part(line);
                 for &(needle, advice) in FAULT_PLAN_NEEDLES {
-                    if !code.contains(needle) {
+                    if !contains_word(line, needle, false) {
                         continue;
                     }
                     if src.is_suppressed(idx, rules::FAULT_PLAN_DETERMINISM) {
@@ -779,106 +802,193 @@ pub fn run_fault_plan_determinism(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
-// Analysis 7: ingest hot path
+// Analysis 7: hot-path allocations
 // ---------------------------------------------------------------------
 
-/// Files whose `ingest*` function bodies must stay free of string
-/// allocation: the steady-state epoch loops covered by the allocation-free
-/// guarantee (PERFORMANCE.md, enforced at runtime by
-/// `crates/tsdb/tests/alloc_free.rs`).
-pub const INGEST_HOT_PATH_FILES: &[&str] =
-    &["crates/tsdb/src/db.rs", "crates/core/src/materializer.rs"];
-
-/// (needle, advice) — string-allocating calls forbidden inside an ingest
-/// body. Each of these heap-allocates per call, which in the per-epoch grid
-/// means thousands of allocations per simulated second.
-const INGEST_HOT_PATH_NEEDLES: &[(&str, &str)] = &[
+/// (needle, advice) — allocating calls forbidden inside a `// pflint::hot`
+/// body. Each heap-allocates per call, which in the per-epoch tick/drain
+/// grid means thousands of allocations per simulated second.
+const HOT_PATH_NEEDLES: &[(&str, &str)] = &[
     (
         "format!",
-        "string formatting allocates per epoch; resolve a SeriesId via series_handle up front",
+        "string formatting allocates per call; resolve names/handles in the cold path",
     ),
     (
         ".to_string(",
-        "allocates per epoch; intern or cache the string in the cold handle-resolution path",
+        "allocates per call; intern or cache the string in the cold path",
     ),
     (
         "String::from(",
-        "allocates per epoch; intern or cache the string in the cold handle-resolution path",
+        "allocates per call; intern or cache the string in the cold path",
     ),
     (
         ".to_owned(",
-        "allocates per epoch; borrow instead, or move the copy to the cold path",
+        "allocates per call; borrow instead, or move the copy to the cold path",
+    ),
+    (
+        "String::new(",
+        "fresh String in a hot body; reuse a preallocated buffer",
+    ),
+    (
+        "String::with_capacity(",
+        "fresh String in a hot body; reuse a preallocated buffer",
+    ),
+    (
+        ".to_vec(",
+        "copies into a fresh Vec per call; borrow or reuse a buffer",
+    ),
+    (
+        "vec![",
+        "fresh Vec in a hot body; reuse a preallocated buffer",
+    ),
+    (
+        "Vec::new(",
+        "fresh Vec in a hot body; reuse a preallocated buffer",
+    ),
+    (
+        "Vec::with_capacity(",
+        "fresh Vec in a hot body; reuse a preallocated buffer",
+    ),
+    (
+        "Box::new(",
+        "heap allocation in a hot body; preallocate in the cold path",
+    ),
+    (
+        ".collect(",
+        "collecting allocates; iterate in place or fill a reused buffer",
     ),
 ];
 
-/// Does this line open a hot ingest function? Matches `fn ingest(` and
-/// `fn ingest_*(` (any visibility), but not names that merely contain
-/// "ingest" (`fn reingest`, `ensure_app_handles`, ...).
-fn is_ingest_fn_start(code: &str) -> bool {
-    let Some(pos) = code.find("fn ingest") else {
-        return false;
-    };
-    matches!(
-        code.as_bytes().get(pos + "fn ingest".len()),
-        Some(b'(') | Some(b'_')
-    )
-}
-
-/// Verify the ingest hot path stays allocation-free at the source level:
-/// within [`INGEST_HOT_PATH_FILES`], the body of every `fn ingest*` must
-/// contain no string-allocating calls. Function bodies are delimited by
-/// brace counting over comment-stripped lines (naive about braces inside
-/// string literals, which these files do not put in ingest bodies); test
-/// modules are exempt per the workspace convention.
-pub fn run_ingest_hot_path(root: &Path) -> Vec<Finding> {
+/// Verify every `// pflint::hot`-annotated function body is free of
+/// string/Vec-growth allocations. The annotation is a standalone line
+/// comment directly above the function (doc comments and single-line
+/// attributes may sit between). Dangling annotations — ones that do not
+/// precede a function — are reported too, so a typo cannot silently
+/// disable the check.
+pub fn run_hot_path_alloc(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for rel in INGEST_HOT_PATH_FILES {
-        let file = root.join(rel);
+    for file in workspace_files(root) {
         let Ok(src) = SourceFile::load(&file) else {
             continue;
         };
-        let mut in_fn = false;
-        let mut depth = 0i32;
-        let mut entered = false;
-        for (idx, line) in src.lines.iter().enumerate() {
-            if src.is_test_line(idx) {
-                break;
+        for f in src.fns.iter().filter(|f| f.hot && f.body_start > 0) {
+            for idx in (f.body_start - 1)..f.body_end.min(src.lines.len()) {
+                let line = &src.lines[idx];
+                for &(needle, advice) in HOT_PATH_NEEDLES {
+                    if !contains_word(line, needle, false) {
+                        continue;
+                    }
+                    if src.is_suppressed(idx, rules::HOT_PATH_ALLOC) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: rules::HOT_PATH_ALLOC,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "`{needle}` in the `// pflint::hot` body of `{}`: {advice}",
+                            f.name
+                        ),
+                    });
+                }
             }
-            let code = code_part(line);
-            if !in_fn && is_ingest_fn_start(code) {
-                in_fn = true;
-                depth = 0;
-                entered = false;
-            }
-            if !in_fn {
+        }
+        for &line in &src.dangling_hot {
+            if src.is_suppressed(line - 1, rules::HOT_PATH_ALLOC) {
                 continue;
             }
-            for &(needle, advice) in INGEST_HOT_PATH_NEEDLES {
-                if !code.contains(needle) {
+            findings.push(Finding {
+                rule: rules::HOT_PATH_ALLOC,
+                file: file.clone(),
+                line,
+                message: "`// pflint::hot` does not precede a function; the annotation \
+                          must sit directly above the fn it marks"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Analysis 8: concurrency hygiene
+// ---------------------------------------------------------------------
+
+/// Path prefixes (relative to the workspace root) sanctioned to use
+/// concurrency primitives: the scenario fan-out, the observability
+/// internals, and the counting-allocator test harness.
+pub const CONCURRENCY_ALLOWLIST: &[&str] = &[
+    "crates/bench/src/scenario.rs",
+    "crates/obs/src",
+    "crates/tsdb/tests/alloc_free.rs",
+];
+
+/// (needle, open_end, advice) — concurrency primitives confined to the
+/// allowlist. `open_end` lets `Atomic` match `AtomicU64` etc.
+const CONCURRENCY_NEEDLES: &[(&str, bool, &str)] = &[
+    (
+        "thread::spawn",
+        false,
+        "thread creation outside the sanctioned fan-out",
+    ),
+    (
+        "thread::scope",
+        false,
+        "scoped threads outside the sanctioned fan-out",
+    ),
+    (
+        ".spawn(",
+        false,
+        "thread creation outside the sanctioned fan-out",
+    ),
+    ("Mutex", true, "locking outside the sanctioned modules"),
+    ("RwLock", true, "locking outside the sanctioned modules"),
+    (
+        "Condvar",
+        true,
+        "blocking sync outside the sanctioned modules",
+    ),
+    ("mpsc", true, "channels outside the sanctioned modules"),
+    ("Atomic", true, "atomics outside the sanctioned modules"),
+    (
+        "unsafe",
+        false,
+        "unsafe code outside the sanctioned modules",
+    ),
+];
+
+/// Confine threads, locks, atomics, channels, and `unsafe` to
+/// [`CONCURRENCY_ALLOWLIST`]. Applies to test code too — shared state in a
+/// test hides the same nondeterminism it hides in production. Grow
+/// fleet-mode concurrency by extending the allowlist in one reviewed
+/// place, not by scattering primitives.
+pub fn run_concurrency_hygiene(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in workspace_files(root) {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if CONCURRENCY_ALLOWLIST.iter().any(|p| rel_str.starts_with(p)) {
+            continue;
+        }
+        let Ok(src) = SourceFile::load(&file) else {
+            continue;
+        };
+        for (idx, line) in src.lines.iter().enumerate() {
+            for &(needle, open_end, advice) in CONCURRENCY_NEEDLES {
+                if !contains_word(line, needle, open_end) {
                     continue;
                 }
-                if src.is_suppressed(idx, rules::INGEST_HOT_PATH) {
+                if src.is_suppressed(idx, rules::CONCURRENCY_HYGIENE) {
                     continue;
                 }
                 findings.push(Finding {
-                    rule: rules::INGEST_HOT_PATH,
+                    rule: rules::CONCURRENCY_HYGIENE,
                     file: file.clone(),
                     line: idx + 1,
-                    message: format!("`{needle}` in an ingest hot loop: {advice}"),
+                    message: format!(
+                        "`{needle}`: {advice} (see CONCURRENCY_ALLOWLIST in STATIC_ANALYSIS.md)"
+                    ),
                 });
-            }
-            for b in code.bytes() {
-                match b {
-                    b'{' => {
-                        depth += 1;
-                        entered = true;
-                    }
-                    b'}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if entered && depth <= 0 {
-                in_fn = false;
             }
         }
     }
@@ -886,10 +996,113 @@ pub fn run_ingest_hot_path(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
-// Entry point
+// Analysis 9: panic freedom
 // ---------------------------------------------------------------------
 
-/// Run all seven analyses with the default configuration.
+/// Service-facing roots that must stay panic-free: the future daemon
+/// surface (ROADMAP item 2). Today that is the observability layer, which
+/// fleet-mode will keep resident in long-running collector processes.
+pub const PANIC_FREEDOM_ROOTS: &[&str] = &["crates/obs/src"];
+
+/// (needle, advice) — explicit panic paths. `debug_assert!` is fine (it
+/// compiles out of release daemons); word boundaries keep it unmatched.
+const PANIC_FREEDOM_NEEDLES: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "daemon-path code must not panic; match or propagate the error",
+    ),
+    (
+        ".expect(",
+        "daemon-path code must not panic; match or propagate the error",
+    ),
+    ("panic!", "daemon-path code must not panic; return an error"),
+    (
+        "unreachable!",
+        "daemon-path code must not panic; return an error",
+    ),
+    ("todo!", "unfinished daemon-path code must not ship"),
+    (
+        "unimplemented!",
+        "unfinished daemon-path code must not ship",
+    ),
+    (
+        "assert!",
+        "release-path assert panics; use debug_assert! or return an error",
+    ),
+    (
+        "assert_eq!",
+        "release-path assert panics; use debug_assert_eq! or return an error",
+    ),
+    (
+        "assert_ne!",
+        "release-path assert panics; use debug_assert_ne! or return an error",
+    ),
+];
+
+/// Verify the service-facing roots contain no panic paths on non-test
+/// lines: no `unwrap`/`expect`, no panic-family macros, no `expr[...]`
+/// indexing (use `.get()`), and no `/`/`%` by a non-literal divisor.
+pub fn run_panic_freedom(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in PANIC_FREEDOM_ROOTS {
+        for file in rust_files(&root.join(rel)) {
+            let Ok(src) = SourceFile::load(&file) else {
+                continue;
+            };
+            for (idx, line) in src.lines.iter().enumerate() {
+                if src.is_test_line(idx) {
+                    continue;
+                }
+                for &(needle, advice) in PANIC_FREEDOM_NEEDLES {
+                    if !contains_word(line, needle, false) {
+                        continue;
+                    }
+                    if src.is_suppressed(idx, rules::PANIC_FREEDOM) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: rules::PANIC_FREEDOM,
+                        file: file.clone(),
+                        line: idx + 1,
+                        message: format!("`{needle}`: {advice}"),
+                    });
+                }
+            }
+            for &idx in src.index_lines() {
+                if src.is_test_line(idx) || src.is_suppressed(idx, rules::PANIC_FREEDOM) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: rules::PANIC_FREEDOM,
+                    file: file.clone(),
+                    line: idx + 1,
+                    message: "indexing can panic out-of-range in a daemon path; use .get()"
+                        .to_string(),
+                });
+            }
+            for &idx in src.div_lines() {
+                if src.is_test_line(idx) || src.is_suppressed(idx, rules::PANIC_FREEDOM) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: rules::PANIC_FREEDOM,
+                    file: file.clone(),
+                    line: idx + 1,
+                    message: "division/modulo by a non-literal divisor can panic on zero; \
+                              guard it or use checked_div"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Entry point, filtering, JSON, and baseline
+// ---------------------------------------------------------------------
+
+/// Run all analyses with the default configuration.
 pub fn run(root: &Path) -> Vec<Finding> {
     let mut findings = run_determinism(root);
     findings.extend(run_pmu_consistency(root));
@@ -897,8 +1110,110 @@ pub fn run(root: &Path) -> Vec<Finding> {
     findings.extend(run_module_registration(root));
     findings.extend(run_obs_choke_point(root));
     findings.extend(run_fault_plan_determinism(root));
-    findings.extend(run_ingest_hot_path(root));
+    findings.extend(run_hot_path_alloc(root));
+    findings.extend(run_concurrency_hygiene(root));
+    findings.extend(run_panic_freedom(root));
+    sort_findings(root, &mut findings);
     findings
+}
+
+/// Run all analyses, keeping only findings whose rule is in `only` (an
+/// empty filter keeps everything).
+pub fn run_filtered(root: &Path, only: &[String]) -> Vec<Finding> {
+    let mut findings = run(root);
+    if !only.is_empty() {
+        findings.retain(|f| only.iter().any(|r| r == f.rule));
+    }
+    findings
+}
+
+/// Canonical order: by root-relative path, then line, rule, message.
+pub fn sort_findings(root: &Path, findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (rel_str(root, &a.file), a.line, a.rule, &a.message).cmp(&(
+            rel_str(root, &b.file),
+            b.line,
+            b.rule,
+            &b.message,
+        ))
+    });
+}
+
+/// Root-relative, forward-slash path for stable machine-readable output.
+pub fn rel_str(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Render findings as the documented `pflint-findings-v1` JSON schema:
+/// one finding object per line, sorted canonically, so the committed
+/// baseline diffs cleanly under `git diff`.
+pub fn render_json(root: &Path, findings: &[Finding]) -> String {
+    let mut sorted = findings.to_vec();
+    sort_findings(root, &mut sorted);
+    let mut out = String::from("{\n  \"pflint\": \"v1\",\n  \"findings\": [\n");
+    for (i, f) in sorted.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            obs::json::escape(f.rule),
+            obs::json::escape(&rel_str(root, &f.file)),
+            f.line,
+            obs::json::escape(&f.message),
+            if i + 1 < sorted.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A finding's identity for baseline matching: `(rule, file, message)` —
+/// deliberately excluding the line number, so unrelated edits that shift
+/// a suppressed legacy finding up or down do not churn the baseline.
+pub type BaselineKey = (String, String, String);
+
+/// Parse a `--write-baseline` artefact back into its match keys.
+pub fn parse_baseline(text: &str) -> Result<BTreeSet<BaselineKey>, String> {
+    let v = obs::json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e:?}"))?;
+    if v.get("pflint").and_then(|x| x.as_str()) != Some("v1") {
+        return Err("baseline missing `\"pflint\": \"v1\"` marker".to_string());
+    }
+    let arr = v
+        .get("findings")
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| "baseline missing `findings` array".to_string())?;
+    let mut keys = BTreeSet::new();
+    for item in arr {
+        let (Some(rule), Some(file), Some(message)) = (
+            item.get("rule").and_then(|x| x.as_str()),
+            item.get("file").and_then(|x| x.as_str()),
+            item.get("message").and_then(|x| x.as_str()),
+        ) else {
+            return Err("baseline finding missing rule/file/message".to_string());
+        };
+        keys.insert((rule.to_string(), file.to_string(), message.to_string()));
+    }
+    Ok(keys)
+}
+
+/// Findings not covered by the baseline — the CI gate fails on these.
+pub fn new_vs_baseline(
+    root: &Path,
+    findings: &[Finding],
+    baseline: &BTreeSet<BaselineKey>,
+) -> Vec<Finding> {
+    findings
+        .iter()
+        .filter(|f| {
+            !baseline.contains(&(
+                f.rule.to_string(),
+                rel_str(root, &f.file),
+                f.message.clone(),
+            ))
+        })
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]
@@ -923,12 +1238,9 @@ mod tests {
 
     #[test]
     fn event_literals_require_known_family() {
-        assert_eq!(
-            event_name_literals(r#"x("unc_m_rpq_inserts")"#),
-            vec!["unc_m_rpq_inserts"]
-        );
-        assert!(event_name_literals(r#"run("519.lbm_r")"#).is_empty());
-        assert!(event_name_literals(r#"msg("hello world")"#).is_empty());
+        assert!(plausible_event_name("unc_m_rpq_inserts"));
+        assert!(!plausible_event_name("519.lbm_r"));
+        assert!(!plausible_event_name("hello world"));
     }
 
     #[test]
@@ -959,22 +1271,26 @@ mod tests {
         );
     }
 
-    #[test]
-    fn code_part_strips_comments() {
-        assert_eq!(code_part("let x = 1; // HashMap here"), "let x = 1; ");
-        assert_eq!(code_part("// all comment"), "");
-    }
-
-    /// Build a throwaway workspace with the given `crates/obs/src` files.
-    fn obs_fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    /// Build a throwaway workspace with the given files (paths relative to
+    /// the workspace root).
+    fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
         let root = std::env::temp_dir().join(format!("pflint-fixture-{name}"));
-        let src = root.join("crates/obs/src");
         let _ = std::fs::remove_dir_all(&root);
-        std::fs::create_dir_all(&src).unwrap();
-        for (file, text) in files {
-            std::fs::write(src.join(file), text).unwrap();
+        for (rel, text) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, text).unwrap();
         }
         root
+    }
+
+    fn obs_fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+        let prefixed: Vec<(String, &str)> = files
+            .iter()
+            .map(|(f, t)| (format!("crates/obs/src/{f}"), *t))
+            .collect();
+        let borrowed: Vec<(&str, &str)> = prefixed.iter().map(|(f, t)| (f.as_str(), *t)).collect();
+        fixture(name, &borrowed)
     }
 
     #[test]
@@ -1044,23 +1360,34 @@ mod tests {
             .any(|f| f.message.contains("pflint::allow(wall-clock)")));
     }
 
-    /// Build a throwaway workspace with one file at `rel` (relative to the
-    /// workspace root).
-    fn fault_fixture(name: &str, rel: &str, text: &str) -> PathBuf {
-        let root = std::env::temp_dir().join(format!("pflint-fixture-{name}"));
-        let path = root.join(rel);
-        let _ = std::fs::remove_dir_all(&root);
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(path, text).unwrap();
-        root
+    #[test]
+    fn choke_point_ignores_instant_in_comments_and_strings() {
+        let root = obs_fixture(
+            "masked",
+            &[
+                (
+                    "clock.rs",
+                    "pub fn now() -> u64 { Instant::now().elapsed().as_nanos() as u64 } // pflint::allow(wall-clock)\n",
+                ),
+                (
+                    "span.rs",
+                    "// Instant::now would be wrong here.\n\
+                     /* SystemTime too */\n\
+                     fn label() -> &'static str { \"Instant::now\" }\n",
+                ),
+            ],
+        );
+        assert!(run_obs_choke_point(&root).is_empty());
     }
 
     #[test]
     fn fault_plan_entropy_is_flagged() {
-        let root = fault_fixture(
+        let root = fixture(
             "fault-entropy",
-            "crates/simarch/src/faults.rs",
-            "fn plan() { let p = FaultPlan::new(); let r = rand::thread_rng(); }\n",
+            &[(
+                "crates/simarch/src/faults.rs",
+                "fn plan() { let p = FaultPlan::new(); let r = rand::thread_rng(); }\n",
+            )],
         );
         let findings = run_fault_plan_determinism(&root);
         assert!(
@@ -1073,10 +1400,12 @@ mod tests {
 
     #[test]
     fn fault_plan_rule_covers_test_lines() {
-        let root = fault_fixture(
+        let root = fixture(
             "fault-testmod",
-            "tests/fault_prop.rs",
-            "#[cfg(test)]\nmod t { fn f() { let _ = FaultPlan::new(); let _ = rand::random::<u64>(); } }\n",
+            &[(
+                "tests/fault_prop.rs",
+                "#[cfg(test)]\nmod t { fn f() { let _ = FaultPlan::new(); let _ = rand::random::<u64>(); } }\n",
+            )],
         );
         assert!(
             !run_fault_plan_determinism(&root).is_empty(),
@@ -1086,32 +1415,202 @@ mod tests {
 
     #[test]
     fn seeded_fault_plans_are_clean() {
-        let root = fault_fixture(
+        let root = fixture(
             "fault-seeded",
-            "crates/simarch/src/faults.rs",
-            "fn plan(seed: u64) { let p = FaultPlan::from_seed(seed, 4, &cfg, 100); }\n",
+            &[(
+                "crates/simarch/src/faults.rs",
+                "fn plan(seed: u64) { let p = FaultPlan::from_seed(seed, 4, &cfg, 100); }\n",
+            )],
         );
         assert!(run_fault_plan_determinism(&root).is_empty());
     }
 
     #[test]
     fn files_without_fault_plans_are_out_of_scope() {
-        let root = fault_fixture(
+        let root = fixture(
             "fault-unrelated",
-            "crates/simarch/src/other.rs",
-            "fn f() { let r = rand::thread_rng(); } // a different lint's problem\n",
+            &[(
+                "crates/simarch/src/other.rs",
+                "fn f() { let r = rand::thread_rng(); } // a different lint's problem\n",
+            )],
+        );
+        assert!(run_fault_plan_determinism(&root).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_marker_in_comment_is_not_a_subject() {
+        // The old engine stripped only `//` comments; a marker in a block
+        // comment or string made the file subject to the rule.
+        let root = fixture(
+            "fault-masked",
+            &[(
+                "crates/simarch/src/other.rs",
+                "/* FaultPlan is documented here */\n\
+                 fn f() -> &'static str { let _ = rand::thread_rng(); \"FaultWindow\" }\n",
+            )],
         );
         assert!(run_fault_plan_determinism(&root).is_empty());
     }
 
     #[test]
     fn fault_plan_suppression_marker_works() {
-        let root = fault_fixture(
+        let root = fixture(
             "fault-allow",
-            "crates/bench/src/lib.rs",
-            "fn f() { let p = FaultPlan::new(); \
-             let t = SystemTime::now(); // pflint::allow(fault-plan-determinism)\n}\n",
+            &[(
+                "crates/bench/src/lib.rs",
+                "fn f() { let p = FaultPlan::new(); \
+                 let t = SystemTime::now(); // pflint::allow(fault-plan-determinism)\n}\n",
+            )],
         );
         assert!(run_fault_plan_determinism(&root).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_annotated_bodies_only() {
+        let root = fixture(
+            "hot-basic",
+            &[(
+                "crates/x/src/lib.rs",
+                "// pflint::hot\n\
+                 fn tick() {\n\
+                     let s = format!(\"{}\", 1);\n\
+                 }\n\
+                 fn cold() {\n\
+                     let s = format!(\"{}\", 1);\n\
+                 }\n",
+            )],
+        );
+        let findings = run_hot_path_alloc(&root);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("tick"));
+    }
+
+    #[test]
+    fn hot_path_alloc_survives_braces_in_strings() {
+        // The old brace counter would have ended the body at the `}` inside
+        // the string and missed the allocation below it.
+        let root = fixture(
+            "hot-brace",
+            &[(
+                "crates/x/src/lib.rs",
+                "// pflint::hot\n\
+                 fn tick() {\n\
+                     let close = \"}\";\n\
+                     let s = String::from(\"x\");\n\
+                 }\n",
+            )],
+        );
+        let findings = run_hot_path_alloc(&root);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn dangling_hot_annotation_is_a_finding() {
+        let root = fixture(
+            "hot-dangling",
+            &[("crates/x/src/lib.rs", "// pflint::hot\nstruct NotAFn;\n")],
+        );
+        let findings = run_hot_path_alloc(&root);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("does not precede a function"));
+    }
+
+    #[test]
+    fn concurrency_confined_to_allowlist() {
+        let root = fixture(
+            "conc",
+            &[
+                (
+                    "crates/x/src/lib.rs",
+                    "use std::sync::Mutex;\nfn f() { let _ = std::thread::spawn(|| {}); }\n",
+                ),
+                (
+                    "crates/obs/src/span.rs",
+                    "use std::sync::atomic::AtomicU64;\n",
+                ),
+                (
+                    "crates/bench/src/scenario.rs",
+                    "fn f() { std::thread::scope(|_| {}); }\n",
+                ),
+            ],
+        );
+        let findings = run_concurrency_hygiene(&root);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.file.ends_with("lib.rs")));
+    }
+
+    #[test]
+    fn panic_freedom_flags_all_panic_surfaces() {
+        let root = obs_fixture(
+            "panic",
+            &[
+                (
+                    "clock.rs",
+                    "pub fn now() -> u64 { Instant::now().elapsed().as_nanos() as u64 } // pflint::allow(wall-clock)\n",
+                ),
+                (
+                    "daemon.rs",
+                    "fn f(xs: &[u64], n: u64) -> u64 {\n\
+                     let a = xs.first().unwrap();\n\
+                     let b = xs[0];\n\
+                     let c = a / n;\n\
+                     debug_assert!(n > 0);\n\
+                     *a + b + c\n\
+                     }\n",
+                ),
+            ],
+        );
+        let findings = run_panic_freedom(&root);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert!(lines.contains(&2), "unwrap: {findings:?}");
+        assert!(lines.contains(&3), "indexing: {findings:?}");
+        assert!(lines.contains(&4), "division: {findings:?}");
+        assert_eq!(
+            findings.len(),
+            3,
+            "debug_assert must not fire: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_baseline() {
+        let root = PathBuf::from("/ws");
+        let findings = vec![
+            Finding {
+                rule: rules::WALL_CLOCK,
+                file: root.join("crates/x/src/lib.rs"),
+                line: 3,
+                message: "`Instant::now`: say \"no\"".to_string(),
+            },
+            Finding {
+                rule: rules::PANIC_FREEDOM,
+                file: root.join("crates/obs/src/span.rs"),
+                line: 9,
+                message: "indexing".to_string(),
+            },
+        ];
+        let json = render_json(&root, &findings);
+        let keys = parse_baseline(&json).unwrap();
+        assert_eq!(keys.len(), 2);
+        assert!(new_vs_baseline(&root, &findings, &keys).is_empty());
+
+        let extra = Finding {
+            rule: rules::OS_ENTROPY,
+            file: root.join("crates/x/src/lib.rs"),
+            line: 1,
+            message: "`OsRng`: nope".to_string(),
+        };
+        let mut more = findings.clone();
+        more.push(extra.clone());
+        let fresh = new_vs_baseline(&root, &more, &keys);
+        assert_eq!(fresh, vec![extra]);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let keys = parse_baseline("{\n  \"pflint\": \"v1\",\n  \"findings\": [\n  ]\n}\n").unwrap();
+        assert!(keys.is_empty());
     }
 }

@@ -1,6 +1,9 @@
 //! Fixture tests: seeded violations for every analysis are detected and
 //! reported with file:line, while suppressed/test-only/hooked equivalents
-//! in the `allowed` tree produce zero findings.
+//! in the `allowed` tree produce zero findings. The `bad` tree also seeds
+//! the misparse class the old line-regex engine got wrong — braces and
+//! rule keywords inside strings, char literals, and block comments — and
+//! pins exact anchors for the lexer-based engine.
 
 use std::path::{Path, PathBuf};
 
@@ -42,6 +45,35 @@ fn bad_fixtures_trip_every_determinism_rule() {
     assert_found(&findings, rules::UNWRAP_IN_IO, "trace.rs", 3);
     assert_found(&findings, rules::HASH_ITERATION, "db.rs", 2);
     assert_found(&findings, rules::UNWRAP_IN_IO, "db.rs", 5);
+}
+
+#[test]
+fn unwrap_rule_covers_fault_windows_and_bench_writers() {
+    let findings = pflint::run_determinism(&fixture_root("bad"));
+    // simarch/faults.rs window validation must return Err, not panic.
+    assert_found(&findings, rules::UNWRAP_IN_IO, "faults.rs", 4);
+    // bench CSV/JSON writers must propagate I/O errors.
+    assert_found(&findings, rules::UNWRAP_IN_IO, "bench/src/lib.rs", 3);
+    assert_found(&findings, rules::UNWRAP_IN_IO, "bench/src/lib.rs", 5);
+}
+
+#[test]
+fn misparse_regressions_braces_and_keywords_in_literals() {
+    // sneaky.rs seeds needles inside a block comment (lines 6-7), a string
+    // with braces (line 8), and a char literal (line 9) — none may fire.
+    // Line 14 pairs a REAL Instant::now with a suppression marker that
+    // lives inside a string literal; the old engine read the raw line and
+    // treated it as suppressed.
+    let findings = pflint::run_determinism(&fixture_root("bad"));
+    assert_found(&findings, rules::WALL_CLOCK, "sneaky.rs", 14);
+    for line in [6, 7, 8, 9] {
+        assert!(
+            !findings
+                .iter()
+                .any(|f| ends_with(&f.file, "sneaky.rs") && f.line == line),
+            "masked needle at sneaky.rs:{line} must not fire: {findings:?}"
+        );
+    }
 }
 
 #[test]
@@ -106,7 +138,8 @@ fn bad_fixtures_trip_fault_plan_determinism() {
         "bad_fault_plan.rs",
         4,
     );
-    // Fault-plan-free files in the same tree must stay out of scope.
+    // Fault-plan-free files in the same tree must stay out of scope —
+    // including sneaky.rs, whose thread_rng lives inside a string.
     assert!(
         findings
             .iter()
@@ -116,20 +149,53 @@ fn bad_fixtures_trip_fault_plan_determinism() {
 }
 
 #[test]
-fn bad_fixtures_trip_ingest_hot_path() {
-    let findings = pflint::run_ingest_hot_path(&fixture_root("bad"));
-    // `fn ingest` body in the tsdb fixture.
-    assert_found(&findings, rules::INGEST_HOT_PATH, "db.rs", 10);
-    assert_found(&findings, rules::INGEST_HOT_PATH, "db.rs", 11);
-    // `fn ingest_path_map` body in the materializer fixture.
-    assert_found(&findings, rules::INGEST_HOT_PATH, "materializer.rs", 4);
-    assert_found(&findings, rules::INGEST_HOT_PATH, "materializer.rs", 5);
-    // String work outside ingest bodies (`load`, `series_key`, `describe`)
-    // is cold-path and must stay out of scope.
+fn bad_fixtures_trip_hot_path_alloc() {
+    let findings = pflint::run_hot_path_alloc(&fixture_root("bad"));
+    // Annotated materializer bodies.
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "materializer.rs", 6);
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "materializer.rs", 7);
+    // The allocation AFTER a close-brace-in-string — the old brace counter
+    // ended the body at line 13's `"}"` and never saw it.
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "materializer.rs", 14);
+    // Annotated tsdb ingest body.
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "db.rs", 11);
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "db.rs", 12);
+    // An annotation with no function underneath is itself a finding.
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "dangling_hot.rs", 2);
+    // Cold-path formatting (`describe`, `series_key`) stays out of scope.
     assert_eq!(
         findings.len(),
-        4,
-        "rule leaked beyond ingest fn bodies: {findings:?}"
+        6,
+        "rule leaked beyond hot bodies: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_fixtures_trip_concurrency_hygiene() {
+    let findings = pflint::run_concurrency_hygiene(&fixture_root("bad"));
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 2);
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 4);
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 5);
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 6);
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 7);
+    assert!(
+        findings
+            .iter()
+            .all(|f| ends_with(&f.file, "rogue_threads.rs")),
+        "rule leaked beyond the seeded file: {findings:?}"
+    );
+}
+
+#[test]
+fn bad_fixtures_trip_panic_freedom() {
+    let findings = pflint::run_panic_freedom(&fixture_root("bad"));
+    assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 3); // unwrap
+    assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 4); // indexing
+    assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 5); // division
+    assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 6); // assert!
+    assert!(
+        findings.iter().all(|f| ends_with(&f.file, "daemon.rs")),
+        "rule leaked beyond the seeded file: {findings:?}"
     );
 }
 
@@ -144,6 +210,39 @@ fn allowed_fixtures_are_clean() {
             .map(|f| format!("  {f}"))
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn rule_filter_restricts_findings() {
+    let only = vec![rules::PANIC_FREEDOM.to_string()];
+    let findings = pflint::run_filtered(&fixture_root("bad"), &only);
+    assert!(!findings.is_empty());
+    assert!(
+        findings.iter().all(|f| f.rule == rules::PANIC_FREEDOM),
+        "--rule must drop every other family: {findings:?}"
+    );
+}
+
+#[test]
+fn json_output_round_trips_and_baselines_the_bad_tree() {
+    let root = fixture_root("bad");
+    let findings = pflint::run(&root);
+    assert!(!findings.is_empty());
+    let json = pflint::render_json(&root, &findings);
+    // Validates against the documented pflint-findings-v1 schema via the
+    // obs JSON parser.
+    let keys = pflint::parse_baseline(&json).expect("schema-valid JSON");
+    assert!(!keys.is_empty());
+    // A baseline written from the current findings gates nothing.
+    assert!(
+        pflint::new_vs_baseline(&root, &findings, &keys).is_empty(),
+        "self-baseline must suppress every finding"
+    );
+    // Paths in the JSON are root-relative with forward slashes.
+    assert!(
+        json.contains("\"file\": \"crates/obs/src/daemon.rs\""),
+        "{json}"
     );
 }
 

@@ -1,0 +1,152 @@
+//! Property tests for the pflint lexer: lexing then reassembling must be
+//! byte-identical for any input, token offsets must tile the source with
+//! no gaps or overlaps, and line numbers must be nondecreasing. Cases are
+//! built from fragments chosen to stress every classification boundary —
+//! braces in strings, fences on raw strings, nested block comments, char
+//! literals vs lifetimes — plus a corpus pass over every real `.rs` file
+//! in the repository.
+
+use std::path::{Path, PathBuf};
+
+use pflint::lexer::{lex, reassemble, TokKind};
+use proptest::prelude::*;
+
+/// Source fragments concatenated in random order. Each is valid on its
+/// own; juxtaposition produces arbitrary (often non-compiling) Rust,
+/// which the lossless lexer must still round-trip.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { let x = 1; }\n",
+    "let close = \"}\";\n",
+    "let open = \"{ not a block\";\n",
+    "let esc = \"quote \\\" and brace } inside\";\n",
+    "let raw = r\"no escapes \\ here\";\n",
+    "let fenced = r#\"quote \" and hash # inside\"#;\n",
+    "let double = r##\"ends with \"# not yet\"##;\n",
+    "let bytes = b\"\\xff{\";\n",
+    "let braw = br#\"byte raw \"# \n",
+    "let c = '{';\n",
+    "let q = '\\'';\n",
+    "let bs = '\\\\';\n",
+    "let nl = '\\n';\n",
+    "let bb = b'\\xff';\n",
+    "fn g<'a>(x: &'a str) -> &'static str { x }\n",
+    "let _: &'_ u8 = &0;\n",
+    "// line comment with \"quote, {brace}, and /* opener\n",
+    "/// doc comment mentioning */ and unsafe\n",
+    "//! inner doc with 'char' and r#\"raw\"#\n",
+    "/* block } comment */\n",
+    "/* outer /* nested { */ still outer */\n",
+    "let hex = 0xFF_u64;\n",
+    "let float = 1_000.25e-3f64;\n",
+    "let r#type = 7;\n",
+    "let π = \"λ{}\";\n",
+    "match x { 0 => {} _ => () }\n",
+    "\n",
+    "\t  \r\n",
+    "x += y / z;\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lex_then_reassemble_is_byte_identical(
+        idxs in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..48),
+    ) {
+        let src: String = idxs.iter().map(|&i| FRAGMENTS[i]).collect();
+        let toks = lex(&src);
+        prop_assert_eq!(reassemble(&toks), src.clone(), "round-trip diverged");
+
+        // Tokens tile the source exactly: contiguous offsets, full
+        // coverage, and 1-based nondecreasing line numbers.
+        let mut off = 0usize;
+        let mut line = 1usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, off, "gap or overlap at byte {}", off);
+            prop_assert!(!t.text.is_empty(), "empty token at byte {}", off);
+            prop_assert!(
+                t.line >= line,
+                "line went backwards: {} after {}",
+                t.line,
+                line
+            );
+            line = t.line;
+            off += t.text.len();
+        }
+        prop_assert_eq!(off, src.len(), "tokens do not cover the source");
+    }
+
+    #[test]
+    fn masking_never_leaves_literal_text_in_code(
+        idxs in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..32),
+    ) {
+        // Every byte of a non-code token must be classified as such: the
+        // concatenation of code-only tokens must contain no quote-fenced
+        // fragment bodies. Cheap invariant: code tokens never *start*
+        // inside a literal, so no code token text contains a raw `"` that
+        // the lexer produced from a string body.
+        let src: String = idxs.iter().map(|&i| FRAGMENTS[i]).collect();
+        for t in lex(&src) {
+            if t.kind.is_code() && t.kind != TokKind::Punct {
+                prop_assert!(
+                    !t.text.contains('"'),
+                    "code token carries literal text: {:?}",
+                    t
+                );
+            }
+        }
+    }
+}
+
+/// Every `.rs` file in the repository — workspace crates, integration
+/// tests, examples, the vendored crates, and pflint's own fixture trees —
+/// must survive lex/reassemble byte-identically.
+#[test]
+fn repository_corpus_round_trips() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples", "vendor"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    assert!(
+        files.len() >= 40,
+        "corpus suspiciously small ({} files) — walker broken?",
+        files.len()
+    );
+    for path in files {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let toks = lex(&src);
+        assert_eq!(
+            reassemble(&toks),
+            src,
+            "lex/reassemble diverged on {}",
+            path.display()
+        );
+    }
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("pflint lives two levels below the repo root")
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}

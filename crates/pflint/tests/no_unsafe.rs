@@ -1,0 +1,94 @@
+//! Workspace-wide census: no `unsafe` code outside `vendor/`.
+//!
+//! The census lexes every file, so `unsafe` appearing in strings or
+//! comments (pflint's own needle tables, doc prose) does not count —
+//! only an `unsafe` identifier token in code position does. The single
+//! sanctioned exception is `crates/tsdb/tests/alloc_free.rs`, whose
+//! `GlobalAlloc` implementation cannot be written without `unsafe`;
+//! that file is pinned here so any new use must be added deliberately.
+
+use std::path::{Path, PathBuf};
+
+use pflint::lexer::{lex, TokKind};
+
+/// Files permitted to contain `unsafe`, as forward-slash paths relative
+/// to the repository root.
+const SANCTIONED: &[&str] = &["crates/tsdb/tests/alloc_free.rs"];
+
+#[test]
+fn workspace_has_no_unsafe_outside_vendor() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    assert!(files.len() >= 30, "census walker found too few files");
+
+    let mut offenders = Vec::new();
+    let mut sanctioned_seen = Vec::new();
+    for path in &files {
+        let rel = rel_str(&root, path);
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        for tok in lex(&src) {
+            if tok.kind == TokKind::Ident && tok.text == "unsafe" {
+                if SANCTIONED.contains(&rel.as_str()) {
+                    sanctioned_seen.push(rel.clone());
+                } else {
+                    offenders.push(format!("{rel}:{}", tok.line));
+                }
+            }
+        }
+    }
+
+    assert!(
+        offenders.is_empty(),
+        "unsafe code outside vendor/ (extend SANCTIONED only with a \
+         reviewed rationale):\n  {}",
+        offenders.join("\n  ")
+    );
+    // The allowlist must not outlive the code it excuses.
+    for sanctioned in SANCTIONED {
+        assert!(
+            sanctioned_seen.iter().any(|s| s == sanctioned),
+            "{sanctioned} is sanctioned but no longer uses unsafe — \
+             remove it from SANCTIONED"
+        );
+    }
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("pflint lives two levels below the repo root")
+        .to_path_buf()
+}
+
+fn rel_str(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            let skip = p
+                .file_name()
+                .is_some_and(|n| n == "target" || n == "fixtures" || n == "vendor");
+            if !skip {
+                collect_rs(&p, out);
+            }
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -485,6 +485,7 @@ impl ChaComplex {
 
     /// Epoch-boundary counter flush: clock ticks and per-class threshold1
     /// coverage (Total scenarios).
+    // pflint::hot
     pub fn sync_counters(&mut self, bank: &mut Bank<ChaEvent>, epoch_cycles: u64) {
         bank.add(ChaEvent::ClockTicks, epoch_cycles);
         for class in [
@@ -521,8 +522,10 @@ impl crate::module::SimModule for ChaComplex {
         "module.cha"
     }
 
+    // pflint::hot
     fn tick(&mut self, _until: u64) {}
 
+    // pflint::hot
     fn drain(&mut self, pmu: &mut pmu::SystemPmu, epoch_cycles: u64) {
         self.sync_counters(&mut pmu.chas[0], epoch_cycles);
     }

@@ -176,6 +176,7 @@ impl CoreState {
     }
 
     /// Drop completed entries from the in-flight maps (cheap, amortised).
+    // pflint::hot
     pub fn gc_inflight(&mut self) {
         let now = self.time;
         if self.inflight.len() > 64 {
@@ -215,6 +216,7 @@ impl CoreState {
     }
 
     /// Flush coverage counters into the PMU bank (epoch boundary).
+    // pflint::hot
     pub fn sync_counters(&mut self, bank: &mut Bank<CoreEvent>, epoch_cycles: u64) {
         bank.add(CoreEvent::CpuClkUnhalted, epoch_cycles);
         self.cov_l1d_miss
@@ -239,6 +241,7 @@ impl crate::module::SimModule for CoreState {
         "module.core"
     }
 
+    // pflint::hot
     fn tick(&mut self, until: u64) {
         if self.time < until {
             self.time = until;
@@ -246,6 +249,7 @@ impl crate::module::SimModule for CoreState {
         self.gc_inflight();
     }
 
+    // pflint::hot
     fn drain(&mut self, pmu: &mut pmu::SystemPmu, epoch_cycles: u64) {
         self.sync_counters(&mut pmu.cores[self.id], epoch_cycles);
     }

@@ -142,18 +142,18 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Builder-style append; panics on a structurally invalid window so
-    /// bad plans fail at construction, not mid-run.
-    pub fn with(mut self, w: FaultWindow) -> FaultPlan {
-        self.push(w);
-        self
+    /// Builder-style append; rejects a structurally invalid window so bad
+    /// plans fail at construction, not mid-run.
+    pub fn with(mut self, w: FaultWindow) -> Result<FaultPlan, String> {
+        self.push(w)?;
+        Ok(self)
     }
 
-    pub fn push(&mut self, w: FaultWindow) {
-        if let Err(e) = w.validate() {
-            panic!("invalid fault window: {e}");
-        }
+    pub fn push(&mut self, w: FaultWindow) -> Result<(), String> {
+        w.validate()
+            .map_err(|e| format!("invalid fault window: {e}"))?;
         self.windows.push(w);
+        Ok(())
     }
 
     pub fn windows(&self) -> &[FaultWindow] {
@@ -205,13 +205,17 @@ impl FaultPlan {
                 }
                 FaultClass::PmuDropout => 0,
             };
-            plan.push(FaultWindow {
+            let w = FaultWindow {
                 class,
                 stage,
                 start_epoch: start,
                 end_epoch: start + len,
                 severity,
-            });
+            };
+            // By construction every generated window is valid for `cfg`;
+            // validate() is re-checked in debug builds and by the tests.
+            debug_assert!(w.validate().is_ok(), "seeded window invalid: {w:?}");
+            plan.windows.push(w);
         }
         plan
     }
@@ -297,20 +301,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid fault window")]
     fn plan_rejects_invalid_windows_at_construction() {
-        let _ = FaultPlan::new().with(window(FaultClass::PoisonedLine, StageId::cha()));
+        let res = FaultPlan::new().with(window(FaultClass::PoisonedLine, StageId::cha()));
+        let err = res.err().expect("illegal target must be rejected");
+        assert!(err.contains("invalid fault window"), "{err}");
     }
 
     #[test]
     fn active_filters_by_epoch() {
         let plan = FaultPlan::new()
             .with(window(FaultClass::LinkDegrade, StageId::cxl(0)))
+            .unwrap()
             .with(FaultWindow {
                 start_epoch: 2,
                 end_epoch: 5,
                 ..window(FaultClass::QueueStall, StageId::imc())
-            });
+            })
+            .unwrap();
         assert_eq!(plan.active(0).count(), 0);
         assert_eq!(plan.active(1).count(), 1);
         assert_eq!(plan.active(2).count(), 2);

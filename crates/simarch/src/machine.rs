@@ -655,6 +655,7 @@ mod tests {
                     end_epoch: 2,
                     severity: 8,
                 })
+                .unwrap()
                 .with(FaultWindow {
                     class: FaultClass::QueueStall,
                     stage: StageId::cha(),
@@ -662,6 +663,7 @@ mod tests {
                     end_epoch: 3,
                     severity: 50_000,
                 })
+                .unwrap()
                 .with(FaultWindow {
                     class: FaultClass::PoisonedLine,
                     stage: StageId::cxl(0),
@@ -669,13 +671,15 @@ mod tests {
                     end_epoch: 4,
                     severity: 2,
                 })
+                .unwrap()
                 .with(FaultWindow {
                     class: FaultClass::PmuDropout,
                     stage: StageId::imc(),
                     start_epoch: 0,
                     end_epoch: 2,
                     severity: 0,
-                }),
+                })
+                .unwrap(),
         );
         let summary = m
             .run_to_completion(2_000)
@@ -700,13 +704,17 @@ mod tests {
                 MemPolicy::Local,
             ),
         );
-        m.set_fault_plan(FaultPlan::new().with(FaultWindow {
-            class: FaultClass::PmuDropout,
-            stage: StageId::imc(),
-            start_epoch: 0,
-            end_epoch: u64::MAX,
-            severity: 0,
-        }));
+        m.set_fault_plan(
+            FaultPlan::new()
+                .with(FaultWindow {
+                    class: FaultClass::PmuDropout,
+                    stage: StageId::imc(),
+                    start_epoch: 0,
+                    end_epoch: u64::MAX,
+                    severity: 0,
+                })
+                .unwrap(),
+        );
         m.run_to_completion(500).expect("no stall");
         let snap = m.pmu.snapshot(m.now());
         let ticks: u64 = snap
@@ -748,13 +756,17 @@ mod tests {
         let mut faulted = build();
         // Degrade epochs [0, 1); everything after runs at calibrated speed,
         // so the machine still finishes (more slowly than healthy).
-        faulted.set_fault_plan(FaultPlan::new().with(FaultWindow {
-            class: FaultClass::LinkDegrade,
-            stage: StageId::cxl(0),
-            start_epoch: 0,
-            end_epoch: 1,
-            severity: 16,
-        }));
+        faulted.set_fault_plan(
+            FaultPlan::new()
+                .with(FaultWindow {
+                    class: FaultClass::LinkDegrade,
+                    stage: StageId::cxl(0),
+                    start_epoch: 0,
+                    end_epoch: 1,
+                    severity: 16,
+                })
+                .unwrap(),
+        );
         faulted.run_to_completion(500).unwrap();
         assert!(faulted.all_done());
         assert!(

@@ -209,6 +209,7 @@ impl Db {
     /// schemas go through the [`Db::insert`] shim). Pure column appends:
     /// no string formatting, no map insertion, no per-record allocation
     /// once capacity is reserved ([`Db::reserve`]).
+    // pflint::hot
     pub fn ingest(&mut self, id: SeriesId, ts: u64, values: &[f64]) {
         let s = &mut self.series[id.index()];
         assert_eq!(

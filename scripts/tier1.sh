@@ -16,6 +16,14 @@ run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 run cargo run --release -p pflint
 
+# Static-analysis regression gate (STATIC_ANALYSIS.md): the JSON findings
+# stream, diffed against the committed (empty) baseline. Any finding the
+# baseline does not already record fails the build; drift in the baseline
+# file itself is caught by the git diff.
+run cargo run --release -p pflint -- --format json \
+    --baseline crates/pflint/baseline.json
+run git diff --exit-code crates/pflint/baseline.json
+
 # Observability acceptance (OBSERVABILITY.md): a figure run with
 # --timings-json must emit valid pathfinder-obs-v1 JSON containing the two
 # mandatory top-level phases.

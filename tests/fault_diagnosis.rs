@@ -56,13 +56,15 @@ fn diagnose(policy: MemPolicy, plan: FaultPlan) -> Anomaly {
 }
 
 fn full_run(class: FaultClass, stage: StageId, severity: u64) -> FaultPlan {
-    FaultPlan::new().with(FaultWindow {
-        class,
-        stage,
-        start_epoch: 0,
-        end_epoch: EPOCHS,
-        severity,
-    })
+    FaultPlan::new()
+        .with(FaultWindow {
+            class,
+            stage,
+            start_epoch: 0,
+            end_epoch: EPOCHS,
+            severity,
+        })
+        .unwrap()
 }
 
 #[test]

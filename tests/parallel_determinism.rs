@@ -17,7 +17,7 @@ use simarch::{MachineConfig, MemPolicy};
 fn render_cell(app: &str, policy: MemPolicy, seed: u64) -> String {
     let (d, cycles) = run_machine(
         MachineConfig::tiny(),
-        vec![Pin::app(0, app, 15_000, policy, seed)],
+        vec![Pin::app(0, app, 15_000, policy, seed).unwrap()],
     );
     format!(
         "{app},{policy:?},{cycles},{},{},{},{}",
