@@ -104,6 +104,14 @@ fn profiled_scenario(epochs: u64) -> std::io::Result<Vec<Row>> {
             value: retained as f64,
             unit: "bytes",
         },
+        // Real columnar heap vs. the logical §5.9 accounting above — the
+        // same number fleetd exposes as the tsdb.resident_bytes gauge.
+        Row {
+            name: "perfbench.profiled".into(),
+            metric: "resident_bytes",
+            value: profiler.materializer.db.resident_bytes() as f64,
+            unit: "bytes",
+        },
     ])
 }
 
@@ -147,6 +155,12 @@ fn ingest_scenario(series: usize, epochs: u64) -> Vec<Row> {
             name: "perfbench.ingest".into(),
             metric: "retained_bytes",
             value: db.footprint_bytes() as f64,
+            unit: "bytes",
+        },
+        Row {
+            name: "perfbench.ingest".into(),
+            metric: "resident_bytes",
+            value: db.resident_bytes() as f64,
             unit: "bytes",
         },
     ]
@@ -197,6 +211,7 @@ fn merge_into_file(path: &PathBuf, fresh: Vec<Row>) -> std::io::Result<()> {
                     "epochs_per_sec" => "epochs_per_sec",
                     "points_per_sec" => "points_per_sec",
                     "retained_bytes" => "retained_bytes",
+                    "resident_bytes" => "resident_bytes",
                     _ => continue,
                 };
                 let unit: &'static str = match unit {

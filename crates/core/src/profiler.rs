@@ -410,10 +410,17 @@ impl Profiler {
     /// Real retained profiler state (§5.9): the time-series DB plus the
     /// one PMU snapshot kept for the next epoch digest. Deterministic —
     /// no clock involved — and mirrored into the `overhead.memory_bytes`
-    /// obs gauge whenever observability is on.
+    /// obs gauge whenever observability is on. The columnar store's real
+    /// heap (`tsdb::Db::resident_bytes`, allocator-side rather than the
+    /// logical §5.9 accounting) rides along as `tsdb.resident_bytes`, the
+    /// same gauge fleetd publishes on `/metrics`.
     fn retained_bytes(&self) -> usize {
         let bytes = self.materializer.footprint_bytes() + self.prev.footprint_bytes();
         obs::metrics::gauge_set("overhead.memory_bytes", bytes as f64);
+        obs::metrics::gauge_set(
+            "tsdb.resident_bytes",
+            self.materializer.db.resident_bytes() as f64,
+        );
         bytes
     }
 

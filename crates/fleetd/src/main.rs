@@ -1,0 +1,304 @@
+//! `pathfinder-fleetd` — the fleet-mode collector daemon.
+//!
+//! ```text
+//! pathfinder-fleetd [--hosts N] [--shards K] [--rounds R]
+//!                   [--epochs-per-round E] [--seed S] [--retention N]
+//!                   [--listen ADDR|none] [--scrape-out FILE]
+//!                   [--bench] [--label L] [--out FILE]
+//!                   [--timings] [--timings-json FILE] [--trace FILE]
+//! ```
+//!
+//! Launches a sharded fleet of simulated hosts, serves `/metrics` on
+//! `--listen` (port 0 picks an ephemeral port; the bound address is
+//! printed as `listening on ADDR`), and drives `--rounds` collection
+//! rounds (`0` = run until killed). `--scrape-out` performs a real TCP
+//! self-scrape after the last round and writes the exposition body to a
+//! file — `scripts/tier1.sh` validates it with `obs_validate --prom`.
+//! `--bench` records hosts, epochs/s, points/s, scrape p99 and resident
+//! bytes into a BENCH-style JSON file (default `BENCH_pr7.json`),
+//! merged by `(name, metric)` like `perfbench`.
+//!
+//! The whole binary is on the daemon surface: panic-free (pflint
+//! `panic-freedom` root) and obs-clocked.
+
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fleetd::aggregate::Log2Hist;
+use fleetd::shard::{spawn_server, Fleet};
+use fleetd::FleetConfig;
+
+struct Opts {
+    cfg: FleetConfig,
+    rounds: u64,
+    listen: Option<String>,
+    scrape_out: Option<PathBuf>,
+    bench: bool,
+    label: Option<String>,
+    out: PathBuf,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        cfg: FleetConfig::default(),
+        rounds: 4,
+        listen: Some("127.0.0.1:9177".to_string()),
+        scrape_out: None,
+        bench: false,
+        label: None,
+        out: PathBuf::from("BENCH_pr7.json"),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--hosts" => {
+                opts.cfg.hosts = parse_num(&value("--hosts")?, "--hosts")?;
+            }
+            "--shards" => {
+                opts.cfg.shards = parse_num(&value("--shards")?, "--shards")?;
+            }
+            "--rounds" => {
+                opts.rounds = parse_num(&value("--rounds")?, "--rounds")?;
+            }
+            "--epochs-per-round" => {
+                opts.cfg.epochs_per_round =
+                    parse_num(&value("--epochs-per-round")?, "--epochs-per-round")?;
+            }
+            "--seed" => {
+                opts.cfg.seed = parse_num(&value("--seed")?, "--seed")?;
+            }
+            "--retention" => {
+                opts.cfg.retention_rounds = parse_num(&value("--retention")?, "--retention")?;
+            }
+            "--listen" => {
+                let addr = value("--listen")?;
+                opts.listen = if addr == "none" { None } else { Some(addr) };
+            }
+            "--scrape-out" => opts.scrape_out = Some(PathBuf::from(value("--scrape-out")?)),
+            "--bench" => opts.bench = true,
+            "--label" => opts.label = Some(value("--label")?),
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            other => return Err(format!("unknown flag `{other}` (see --help in FLEET.md)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+/// One real scrape over TCP: connect, GET /metrics, return the body.
+fn scrape(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("send scrape: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read scrape: {e}"))?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err("scrape response has no header/body split".to_string()),
+    }
+}
+
+struct BenchRow {
+    name: String,
+    metric: String,
+    value: f64,
+    unit: String,
+}
+
+fn render_rows(rows: &[BenchRow]) -> String {
+    let mut out = String::from("[\n");
+    let last = rows.len().saturating_sub(1);
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"name\": \"{}\", \"metric\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{}",
+            r.name,
+            r.metric,
+            obs::json::fmt_f64(r.value),
+            r.unit,
+            if i < last { "," } else { "" }
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Merge rows into `path` by `(name, metric)`, `perfbench`-style:
+/// existing rows keep their position, fresh rows replace or append.
+fn merge_into_file(path: &PathBuf, fresh: Vec<BenchRow>) -> Result<(), String> {
+    let mut rows: Vec<BenchRow> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(v) = obs::json::parse(&text) {
+            for item in v.as_arr().unwrap_or(&[]) {
+                let (Some(name), Some(metric), Some(value), Some(unit)) = (
+                    item.get("name").and_then(|x| x.as_str()),
+                    item.get("metric").and_then(|x| x.as_str()),
+                    item.get("value").and_then(|x| x.as_f64()),
+                    item.get("unit").and_then(|x| x.as_str()),
+                ) else {
+                    continue;
+                };
+                rows.push(BenchRow {
+                    name: name.to_string(),
+                    metric: metric.to_string(),
+                    value,
+                    unit: unit.to_string(),
+                });
+            }
+        }
+    }
+    for f in fresh {
+        match rows
+            .iter_mut()
+            .find(|r| r.name == f.name && r.metric == f.metric)
+        {
+            Some(slot) => *slot = f,
+            None => rows.push(f),
+        }
+    }
+    std::fs::write(path, render_rows(&rows))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("[json] {}", path.display());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (obs_args, rest) = obs::cli::ObsArgs::strip(&args);
+    let session = obs::cli::Session::new(obs_args);
+    // The daemon's self-metrics are its product, not an opt-in debug
+    // artefact: record regardless of which obs flags were passed.
+    obs::enable();
+    let opts = parse_opts(&rest)?;
+
+    let mut fleet = Fleet::launch(opts.cfg.clone())?;
+    println!(
+        "fleetd: {} hosts x {} counters over {} shards, {} epochs/round",
+        opts.cfg.hosts,
+        fleet.columns(),
+        opts.cfg.shards,
+        opts.cfg.epochs_per_round
+    );
+
+    let addr = match &opts.listen {
+        Some(requested) => {
+            let listener =
+                TcpListener::bind(requested).map_err(|e| format!("bind {requested}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("local_addr: {e}"))?;
+            spawn_server(fleet.state(), listener)
+                .map_err(|e| format!("spawn scrape server: {e}"))?;
+            println!("listening on {local}");
+            Some(local.to_string())
+        }
+        None => None,
+    };
+
+    let t0 = obs::clock::now_ns();
+    let mut epochs_total = 0u64;
+    let mut points_total = 0u64;
+    let mut scrape_hist = Log2Hist::new();
+    let mut resident = 0u64;
+    let mut round = 0u64;
+    while opts.rounds == 0 || round < opts.rounds {
+        let summary = fleet.run_round()?;
+        epochs_total += summary.epochs;
+        points_total += summary.points;
+        resident = summary.resident_bytes;
+        round += 1;
+        if opts.bench {
+            if let Some(a) = &addr {
+                let s0 = obs::clock::now_ns();
+                let body = scrape(a)?;
+                scrape_hist.record(obs::clock::now_ns().saturating_sub(s0));
+                if body.is_empty() {
+                    return Err("bench scrape returned an empty body".to_string());
+                }
+            }
+        }
+        println!(
+            "round {round}: {} epochs, {} points, {:.1} ms (shard lag {:.1} ms), {} resident bytes",
+            summary.epochs,
+            summary.points,
+            summary.round_ns as f64 / 1e6,
+            summary.shard_lag_ns as f64 / 1e6,
+            summary.resident_bytes
+        );
+    }
+    let wall_s = obs::clock::now_ns().saturating_sub(t0) as f64 / 1e9;
+
+    if let Some(path) = &opts.scrape_out {
+        let a = addr
+            .as_deref()
+            .ok_or_else(|| "--scrape-out needs --listen".to_string())?;
+        // Warm-up scrape so the written body includes the scrape-path
+        // self-metrics (fleetd.scrape_ns / fleetd.scrapes) themselves.
+        let _ = scrape(a)?;
+        let s0 = obs::clock::now_ns();
+        let body = scrape(a)?;
+        scrape_hist.record(obs::clock::now_ns().saturating_sub(s0));
+        std::fs::write(path, &body).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("[scrape] {} ({} bytes)", path.display(), body.len());
+    }
+
+    if opts.bench {
+        let name = match &opts.label {
+            Some(l) => format!("fleetd.hosts{}.{l}", opts.cfg.hosts),
+            None => format!("fleetd.hosts{}", opts.cfg.hosts),
+        };
+        let mk = |metric: &str, value: f64, unit: &str| BenchRow {
+            name: name.clone(),
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+        };
+        let per_sec = |n: u64| {
+            if wall_s > 0.0 {
+                n as f64 / wall_s
+            } else {
+                0.0
+            }
+        };
+        let rows = vec![
+            mk("hosts", f64::from(opts.cfg.hosts), "hosts"),
+            mk("epochs_per_sec", per_sec(epochs_total), "epochs/s"),
+            mk("points_per_sec", per_sec(points_total), "points/s"),
+            mk("scrape_p99_ns", scrape_hist.percentile(0.99) as f64, "ns"),
+            mk("resident_bytes", resident as f64, "bytes"),
+        ];
+        merge_into_file(&opts.out, rows)?;
+    }
+
+    println!("done: {round} rounds, {epochs_total} epochs, {points_total} points in {wall_s:.2}s");
+    fleet.shutdown();
+    session.finish().map_err(|e| format!("obs export: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pathfinder-fleetd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Shard workers and the fleet coordinator — all of fleetd's concurrency
+//! lives in this one file (a reviewed `concurrency-hygiene` allowlist
+//! entry; see STATIC_ANALYSIS.md).
+//!
+//! Topology: hosts are split into contiguous id ranges, one range per
+//! shard. Each shard is a long-lived worker thread that owns its
+//! [`HostSim`]s outright plus a private columnar [`tsdb::Db`] — no shared
+//! mutable simulation state, so a round is pure message passing: the
+//! coordinator broadcasts [`Cmd::Round`], every worker advances its hosts
+//! by the epoch budget, ingests one row per host through the
+//! allocation-free `series_handle`/`ingest` path, and sends back a
+//! [`ShardReport`] with its partial aggregates. The coordinator merges
+//! reports, publishes a [`FleetSnapshot`] for the scrape endpoint behind
+//! [`SharedState`], and emits the daemon's `obs` self-metrics.
+//!
+//! Because a host's behaviour depends only on (fleet seed, host id) and
+//! workers never interact mid-round, the per-host counter streams are
+//! byte-identical for any shard count — the determinism anchor tested in
+//! `tests/determinism.rs`.
+
+use std::net::TcpListener;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tsdb::{Db, SeriesId};
+
+use crate::aggregate::{CounterStat, Log2Hist};
+use crate::host::{self, HostSim};
+use crate::FleetConfig;
+
+/// Commands the coordinator sends to a shard worker.
+enum Cmd {
+    /// Advance every host by the round's epoch budget and report.
+    Round,
+    /// Reply with the concatenation of this shard's recorded host streams.
+    Dump(Sender<String>),
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// One shard's per-round report back to the coordinator.
+struct ShardReport {
+    /// Wall time this shard spent on the round (via `obs::clock`).
+    round_ns: u64,
+    /// Simulated epochs advanced this round, summed over hosts.
+    epochs: u64,
+    /// Rows ingested this round.
+    points: u64,
+    /// Real heap bytes held by this shard's columnar store.
+    resident_bytes: u64,
+    /// Per-counter partial sums of cumulative host totals.
+    sums: Vec<u64>,
+    /// Per-counter distributions of cumulative host totals.
+    hists: Vec<Log2Hist>,
+    /// `(host id, [inst_retired, cycles])` for per-host exposition.
+    headline: Vec<(u32, [u64; 2])>,
+}
+
+/// What a scrape sees: the coordinator publishes one of these per round.
+#[derive(Clone, Default)]
+pub struct FleetSnapshot {
+    /// Rounds completed.
+    pub round: u64,
+    pub hosts: u64,
+    /// Total simulated epochs across the fleet.
+    pub epochs: u64,
+    /// Total rows ingested across all shard DBs.
+    pub points: u64,
+    /// Real columnar heap, summed over shards.
+    pub resident_bytes: u64,
+    /// Counter column names, registry order.
+    pub names: Arc<Vec<String>>,
+    /// Fleet roll-up per counter (sum + per-host percentiles).
+    pub counters: Vec<CounterStat>,
+    /// Headline counters per host, sorted by host id.
+    pub headline: Vec<(u32, [u64; 2])>,
+}
+
+/// The coordinator/scrape handshake: the one piece of shared mutable
+/// state, a mutex around the latest [`FleetSnapshot`]. The server module
+/// only sees [`SharedState::read`], keeping lock handling (and the
+/// concurrency allowlist) confined to this file.
+pub struct SharedState {
+    inner: Mutex<FleetSnapshot>,
+}
+
+impl SharedState {
+    fn new() -> SharedState {
+        SharedState {
+            inner: Mutex::new(FleetSnapshot::default()),
+        }
+    }
+
+    /// Clone out the latest published snapshot.
+    pub fn read(&self) -> FleetSnapshot {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn publish(&self, snap: FleetSnapshot) {
+        *self.inner.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+    }
+}
+
+/// Coordinator-side summary of one completed round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundSummary {
+    pub round: u64,
+    /// Epochs advanced this round across the fleet.
+    pub epochs: u64,
+    /// Rows ingested this round.
+    pub points: u64,
+    /// Coordinator wall time for the round.
+    pub round_ns: u64,
+    /// Fastest-to-slowest shard spread this round.
+    pub shard_lag_ns: u64,
+    pub resident_bytes: u64,
+}
+
+/// A running fleet: shard worker threads plus the coordinator state.
+pub struct Fleet {
+    cfg: FleetConfig,
+    names: Arc<Vec<String>>,
+    txs: Vec<Sender<Cmd>>,
+    rx: Receiver<ShardReport>,
+    handles: Vec<JoinHandle<()>>,
+    state: Arc<SharedState>,
+    round: u64,
+    epochs_total: u64,
+    points_total: u64,
+}
+
+impl Fleet {
+    /// Build every host, partition them into contiguous shards, and spawn
+    /// one worker thread per shard.
+    pub fn launch(cfg: FleetConfig) -> Result<Fleet, String> {
+        cfg.validate()?;
+        let names = Arc::new(host::counter_names());
+        let columns = names.len();
+        let headline_idx = host::headline_indices();
+        let per = u64::from(cfg.hosts).div_ceil(u64::from(cfg.shards)).max(1) as u32;
+        let (report_tx, rx) = channel();
+        let mut txs = Vec::new();
+        let mut handles = Vec::new();
+        let mut start = 0u32;
+        let mut shard_no = 0u32;
+        while start < cfg.hosts {
+            let end = start.saturating_add(per).min(cfg.hosts);
+            let mut hosts = Vec::with_capacity((end - start) as usize);
+            for id in start..end {
+                hosts.push(HostSim::new(id, cfg.seed, columns)?);
+            }
+            let (tx, cmd_rx) = channel();
+            let worker_cfg = cfg.clone();
+            let worker_names = Arc::clone(&names);
+            let report = report_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("fleetd-shard-{shard_no}"))
+                .spawn(move || {
+                    worker_main(
+                        worker_cfg,
+                        worker_names,
+                        headline_idx,
+                        hosts,
+                        cmd_rx,
+                        report,
+                    );
+                })
+                .map_err(|e| format!("cannot spawn shard {shard_no}: {e}"))?;
+            txs.push(tx);
+            handles.push(handle);
+            start = end;
+            shard_no += 1;
+        }
+        Ok(Fleet {
+            cfg,
+            names,
+            txs,
+            rx,
+            handles,
+            state: Arc::new(SharedState::new()),
+            round: 0,
+            epochs_total: 0,
+            points_total: 0,
+        })
+    }
+
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Number of counter columns per host (the full registry).
+    pub fn columns(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Shared handle for the scrape server.
+    pub fn state(&self) -> Arc<SharedState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Drive one round: broadcast, collect every shard's report, merge,
+    /// publish the scrape snapshot, and emit obs self-metrics.
+    pub fn run_round(&mut self) -> Result<RoundSummary, String> {
+        let _s = obs::span!("fleet.round");
+        let t0 = obs::clock::now_ns();
+        for tx in &self.txs {
+            tx.send(Cmd::Round)
+                .map_err(|_| "shard worker exited before the round".to_string())?;
+        }
+        let columns = self.names.len();
+        let mut sums = vec![0u64; columns];
+        let mut hists = vec![Log2Hist::new(); columns];
+        let mut headline = Vec::with_capacity(self.cfg.hosts as usize);
+        let mut epochs = 0u64;
+        let mut points = 0u64;
+        let mut resident = 0u64;
+        let mut fastest = u64::MAX;
+        let mut slowest = 0u64;
+        for _ in 0..self.txs.len() {
+            let r = self
+                .rx
+                .recv()
+                .map_err(|_| "shard worker died mid-round".to_string())?;
+            for (acc, v) in sums.iter_mut().zip(r.sums.iter()) {
+                *acc += *v;
+            }
+            for (acc, h) in hists.iter_mut().zip(r.hists.iter()) {
+                acc.merge(h);
+            }
+            headline.extend(r.headline);
+            epochs += r.epochs;
+            points += r.points;
+            resident += r.resident_bytes;
+            fastest = fastest.min(r.round_ns);
+            slowest = slowest.max(r.round_ns);
+        }
+        headline.sort_unstable_by_key(|(id, _)| *id);
+        self.round += 1;
+        self.epochs_total += epochs;
+        self.points_total += points;
+        let round_ns = obs::clock::now_ns().saturating_sub(t0);
+        let shard_lag_ns = slowest.saturating_sub(fastest.min(slowest));
+        let counters = sums
+            .iter()
+            .zip(hists.iter())
+            .map(|(s, h)| CounterStat {
+                sum: *s,
+                p50: h.percentile(0.50),
+                p95: h.percentile(0.95),
+                p99: h.percentile(0.99),
+            })
+            .collect();
+        self.state.publish(FleetSnapshot {
+            round: self.round,
+            hosts: u64::from(self.cfg.hosts),
+            epochs: self.epochs_total,
+            points: self.points_total,
+            resident_bytes: resident,
+            names: Arc::clone(&self.names),
+            counters,
+            headline,
+        });
+        obs::metrics::counter_add("fleetd.rounds", 1);
+        obs::metrics::counter_add("fleetd.points", points);
+        obs::metrics::gauge_set("fleetd.hosts", f64::from(self.cfg.hosts));
+        obs::metrics::gauge_set("fleetd.shard_lag_ns", shard_lag_ns as f64);
+        obs::metrics::gauge_set("tsdb.resident_bytes", resident as f64);
+        obs::metrics::observe("fleetd.round_ns", round_ns);
+        Ok(RoundSummary {
+            round: self.round,
+            epochs,
+            points,
+            round_ns,
+            shard_lag_ns,
+            resident_bytes: resident,
+        })
+    }
+
+    /// Concatenate every host's recorded counter stream, in host-id order
+    /// (shards hold contiguous ascending ranges, so shard order is id
+    /// order). Requires `FleetConfig::record_streams`.
+    pub fn dump_streams(&self) -> Result<String, String> {
+        let mut out = String::new();
+        for tx in &self.txs {
+            let (reply_tx, reply_rx) = channel();
+            tx.send(Cmd::Dump(reply_tx))
+                .map_err(|_| "shard worker exited before dump".to_string())?;
+            out.push_str(
+                &reply_rx
+                    .recv()
+                    .map_err(|_| "shard worker died during dump".to_string())?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Stop the workers and join them.
+    pub fn shutdown(self) {
+        for tx in &self.txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve the scrape endpoint from a named background thread. The server
+/// loop itself lives in `crate::server`, which stays free of concurrency
+/// primitives.
+pub fn spawn_server(
+    state: Arc<SharedState>,
+    listener: TcpListener,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("fleetd-http".to_string())
+        .spawn(move || crate::server::serve(&listener, &state))
+}
+
+/// Shard worker body: owns its hosts and DB, answers commands until Stop.
+fn worker_main(
+    cfg: FleetConfig,
+    names: Arc<Vec<String>>,
+    headline_idx: [usize; 2],
+    mut hosts: Vec<HostSim>,
+    rx: Receiver<Cmd>,
+    report: Sender<ShardReport>,
+) {
+    let mut db = Db::new();
+    let fields: Vec<&str> = names.iter().map(String::as_str).collect();
+    let tags: Vec<String> = hosts.iter().map(|h| h.id.to_string()).collect();
+    let series: Vec<SeriesId> = tags
+        .iter()
+        .map(|t| db.series_handle("fleet_host", &[("host", t.as_str())], &fields))
+        .collect();
+    let columns = names.len();
+    let mut values: Vec<f64> = Vec::with_capacity(columns);
+    let mut rounds = 0u64;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Round => {
+                let t0 = obs::clock::now_ns();
+                let _s = obs::span!("fleet.shard_round");
+                rounds += 1;
+                let mut points = 0u64;
+                for (h, sid) in hosts.iter_mut().zip(series.iter()) {
+                    h.advance(cfg.epochs_per_round, cfg.record_streams);
+                    values.clear();
+                    values.extend(h.totals.iter().map(|v| *v as f64));
+                    db.ingest(*sid, h.epochs_done, &values);
+                    points += 1;
+                }
+                if cfg.retention_rounds > 0 && rounds > cfg.retention_rounds {
+                    // Drop rows older than the retention window: kept
+                    // timestamps are the last `retention_rounds` rounds'
+                    // epoch marks.
+                    let cutoff = (rounds - cfg.retention_rounds) * cfg.epochs_per_round;
+                    let _ = db.delete_range("fleet_host", 0, cutoff + 1);
+                }
+                let mut sums = vec![0u64; columns];
+                let mut hists = vec![Log2Hist::new(); columns];
+                let mut headline = Vec::with_capacity(hosts.len());
+                for h in &hosts {
+                    for ((s, hist), v) in sums.iter_mut().zip(hists.iter_mut()).zip(h.totals.iter())
+                    {
+                        *s += *v;
+                        hist.record(*v);
+                    }
+                    headline.push((h.id, h.headline(&headline_idx)));
+                }
+                let done = ShardReport {
+                    round_ns: obs::clock::now_ns().saturating_sub(t0),
+                    epochs: cfg.epochs_per_round * hosts.len() as u64,
+                    points,
+                    resident_bytes: db.resident_bytes() as u64,
+                    sums,
+                    hists,
+                    headline,
+                };
+                if report.send(done).is_err() {
+                    return;
+                }
+            }
+            Cmd::Dump(reply) => {
+                let mut out = String::new();
+                for h in &hosts {
+                    out.push_str(&h.stream);
+                }
+                let _ = reply.send(out);
+            }
+            Cmd::Stop => return,
+        }
+    }
+}

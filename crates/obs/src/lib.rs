@@ -38,6 +38,7 @@ pub mod clock;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod span;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -1,0 +1,361 @@
+//! Prometheus text exposition: name mangling, a small writer, and a
+//! validator.
+//!
+//! PathFinder metric names are dotted (`subsystem.phase`, e.g.
+//! `tsdb.points`); Prometheus requires `[a-zA-Z_:][a-zA-Z0-9_:]*`. The
+//! mangling contract (documented in FLEET.md) is:
+//!
+//! * prefix every exported family with `pathfinder_`;
+//! * map every non-alphanumeric character to `_`;
+//! * lowercase the result.
+//!
+//! So `tsdb.resident_bytes` becomes `pathfinder_tsdb_resident_bytes` and
+//! `fleet.inst_retired.any` becomes `pathfinder_fleet_inst_retired_any`.
+//!
+//! [`PromText`] renders counters, gauges and summaries (obs histograms map
+//! to Prometheus summaries with `quantile` labels plus `_sum`/`_count`),
+//! emitting each family's `# TYPE` line exactly once, before its first
+//! sample. [`validate`] checks the inverse: every sample belongs to a typed
+//! family, every name is in mangled form, and no (name, label-set) pair
+//! repeats. `obs_validate --prom` drives it from the command line so
+//! `scripts/tier1.sh` can gate the fleetd smoke run on a well-formed
+//! scrape.
+//!
+//! Like the rest of this crate the module is a pflint `panic-freedom`
+//! root: no indexing, no slicing, no unchecked division.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::json::fmt_f64;
+use crate::metrics::HistSnapshot;
+
+/// Mangle a dotted PathFinder metric name into Prometheus form.
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 11);
+    out.push_str("pathfinder_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Does `name` have the shape the mangler produces (`pathfinder_` prefix,
+/// then lowercase alphanumerics and underscores only)?
+pub fn is_mangled(name: &str) -> bool {
+    match name.strip_prefix("pathfinder_") {
+        Some(rest) => {
+            !rest.is_empty()
+                && rest
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        }
+        None => false,
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Incremental Prometheus text writer. Families are typed once, on first
+/// use; callers pass raw dotted names and the writer mangles them.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+    typed: BTreeSet<String>,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn family(&mut self, mangled: &str, kind: &str) {
+        if self.typed.insert(mangled.to_string()) {
+            let _ = writeln!(self.out, "# TYPE {mangled} {kind}");
+        }
+    }
+
+    fn sample(&mut self, mangled: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(mangled);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emit a counter sample (monotone, u64).
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let m = mangle(name);
+        self.family(&m, "counter");
+        self.sample(&m, labels, &value.to_string());
+    }
+
+    /// Emit a gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let m = mangle(name);
+        self.family(&m, "gauge");
+        self.sample(&m, labels, &fmt_f64(value));
+    }
+
+    /// Emit an obs histogram as a Prometheus summary: p50/p95/p99 as
+    /// `quantile` samples, plus `_sum` (reconstructed from the mean) and
+    /// `_count`.
+    pub fn summary(&mut self, name: &str, labels: &[(&str, &str)], h: &HistSnapshot) {
+        let m = mangle(name);
+        self.family(&m, "summary");
+        let mut with_q: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            with_q.clear();
+            with_q.extend_from_slice(labels);
+            with_q.push(("quantile", q));
+            self.sample(&m, &with_q, &v.to_string());
+        }
+        let sum = h.mean * h.count as f64;
+        self.sample(&format!("{m}_sum"), labels, &fmt_f64(sum));
+        self.sample(&format!("{m}_count"), labels, &h.count.to_string());
+    }
+
+    /// Render every metric currently in the obs registry (counters,
+    /// gauges, histograms-as-summaries) plus the span-buffer drop counter,
+    /// which lives outside the registry.
+    pub fn render_registry(&mut self) {
+        let snap = crate::metrics::snapshot();
+        for (name, v) in &snap.counters {
+            self.counter(name, &[], *v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name, &[], *v);
+        }
+        for (name, h) in &snap.hists {
+            self.summary(name, &[], h);
+        }
+        self.counter("obs.dropped_events", &[], crate::span::dropped_events());
+    }
+
+    /// Finish and take the rendered exposition text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+/// Summary statistics from a successful [`validate`] pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PromStats {
+    /// Distinct `# TYPE`-declared families.
+    pub families: usize,
+    /// Total samples.
+    pub samples: usize,
+}
+
+/// Resolve a sample name to its family: `_sum`/`_count`/`_bucket`
+/// suffixes fold into a preceding summary or histogram family.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_count", "_sum", "_bucket"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(kind) = types.get(base) {
+                if kind == "summary" || kind == "histogram" {
+                    return base;
+                }
+            }
+        }
+    }
+    name
+}
+
+/// Validate Prometheus text exposition:
+///
+/// * every `# TYPE` line is well-formed, names a known metric kind, and
+///   appears at most once per family;
+/// * every sample name (and family name) is in `pathfinder_` mangled form;
+/// * every sample is preceded by its family's `# TYPE` line;
+/// * no (name, label-set) pair appears twice;
+/// * every value parses as a float;
+/// * every family in `required` is present.
+///
+/// Returns family/sample counts on success, a one-line diagnosis on the
+/// first failure.
+pub fn validate(text: &str, required: &[&str]) -> Result<PromStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (fam, kind) = match (it.next(), it.next()) {
+                (Some(f), Some(k)) => (f, k),
+                _ => return Err(format!("line {n}: malformed TYPE line `{line}`")),
+            };
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown metric type `{kind}`"));
+            }
+            if !is_mangled(fam) {
+                return Err(format!(
+                    "line {n}: family `{fam}` is not in pathfinder_ mangled form"
+                ));
+            }
+            if types.insert(fam.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE line for `{fam}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return Err(format!("line {n}: malformed sample `{line}`")),
+        };
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: value `{value}` is not a number"));
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((nm, rest)) => match rest.strip_suffix('}') {
+                Some(lbl) => (nm, lbl),
+                None => return Err(format!("line {n}: unterminated label set `{series}`")),
+            },
+            None => (series, ""),
+        };
+        if !is_mangled(name) {
+            return Err(format!(
+                "line {n}: sample `{name}` is not in pathfinder_ mangled form"
+            ));
+        }
+        if !types.contains_key(family_of(name, &types)) {
+            return Err(format!(
+                "line {n}: sample `{name}` has no preceding # TYPE line"
+            ));
+        }
+        if !seen.insert(format!("{name}{{{labels}}}")) {
+            return Err(format!("line {n}: duplicate sample `{series}`"));
+        }
+        samples += 1;
+    }
+    for r in required {
+        if !types.contains_key(*r) {
+            return Err(format!("required metric family `{r}` missing"));
+        }
+    }
+    Ok(PromStats {
+        families: types.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mangling_maps_dots_and_case() {
+        assert_eq!(
+            mangle("tsdb.resident_bytes"),
+            "pathfinder_tsdb_resident_bytes"
+        );
+        assert_eq!(
+            mangle("fleet.inst_retired.any"),
+            "pathfinder_fleet_inst_retired_any"
+        );
+        assert_eq!(mangle("A-B c"), "pathfinder_a_b_c");
+        assert!(is_mangled("pathfinder_tsdb_points"));
+        assert!(!is_mangled("tsdb_points"));
+        assert!(!is_mangled("pathfinder_Bad"));
+        assert!(!is_mangled("pathfinder_"));
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let mut w = PromText::new();
+        w.counter("fleetd.rounds", &[], 3);
+        w.counter("fleetd.rounds", &[("shard", "1")], 2);
+        w.gauge("tsdb.resident_bytes", &[], 4096.0);
+        let h = HistSnapshot {
+            count: 10,
+            min: 1,
+            max: 100,
+            mean: 40.0,
+            p50: 30,
+            p95: 90,
+            p99: 99,
+        };
+        w.summary("fleetd.scrape_ns", &[], &h);
+        let text = w.into_string();
+        assert_eq!(
+            text.matches("# TYPE pathfinder_fleetd_rounds counter")
+                .count(),
+            1,
+            "TYPE emitted once per family:\n{text}"
+        );
+        let stats = validate(
+            &text,
+            &["pathfinder_fleetd_rounds", "pathfinder_fleetd_scrape_ns"],
+        )
+        .expect("writer output validates");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.samples, 8);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_untyped_and_unmangled() {
+        let dup = "# TYPE pathfinder_x counter\npathfinder_x 1\npathfinder_x 2\n";
+        assert!(validate(dup, &[]).unwrap_err().contains("duplicate sample"));
+
+        let untyped = "pathfinder_y 1\n";
+        assert!(validate(untyped, &[])
+            .unwrap_err()
+            .contains("no preceding # TYPE"));
+
+        let unmangled = "# TYPE pathfinder_z counter\nraw.name 1\n";
+        assert!(validate(unmangled, &[])
+            .unwrap_err()
+            .contains("mangled form"));
+
+        let ok = "# TYPE pathfinder_x counter\npathfinder_x 1\n";
+        assert!(validate(ok, &["pathfinder_missing"])
+            .unwrap_err()
+            .contains("missing"));
+        assert!(validate(ok, &["pathfinder_x"]).is_ok());
+    }
+
+    #[test]
+    fn summary_suffixes_fold_into_family() {
+        let text = "# TYPE pathfinder_s summary\n\
+                    pathfinder_s{quantile=\"0.5\"} 1\n\
+                    pathfinder_s_sum 2\n\
+                    pathfinder_s_count 2\n";
+        let stats = validate(text, &["pathfinder_s"]).expect("summary validates");
+        assert_eq!(stats.families, 1);
+        assert_eq!(stats.samples, 3);
+    }
+}

@@ -1,0 +1,20 @@
+// pflint fixture: fleetd's sanctioned shard module — worker threads,
+// channels, and the scrape-snapshot mutex are allowed here without
+// suppression (CONCURRENCY_ALLOWLIST), but the file still has to clear
+// panic-freedom and the determinism rules like the rest of the daemon.
+pub fn round_trip(rounds: u64) -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        for r in 0..rounds {
+            if tx.send(r).is_err() {
+                return;
+            }
+        }
+    });
+    let mut last = 0;
+    while let Ok(r) = rx.recv() {
+        last = r;
+    }
+    let _ = worker.join();
+    last
+}

@@ -1,0 +1,10 @@
+// pflint fixture: fleetd concurrency outside the sanctioned shard module.
+use std::sync::Mutex;
+
+pub fn publish(counter: &Mutex<u64>) {
+    let _h = std::thread::spawn(|| {});
+    let _a = std::sync::atomic::AtomicU64::new(0);
+    if let Ok(mut v) = counter.lock() {
+        *v += 1;
+    }
+}

@@ -46,10 +46,11 @@
 //!    files; the annotation now travels with the function.
 //! 8. **Concurrency hygiene** ([`run_concurrency_hygiene`]): threads,
 //!    locks, atomics, channels, and `unsafe` are confined to the
-//!    sanctioned modules ([`CONCURRENCY_ALLOWLIST`]) so the fleet-mode
-//!    sharded runtime grows behind one audited door.
+//!    sanctioned modules ([`CONCURRENCY_ALLOWLIST`]); fleetd's sharded
+//!    runtime lives behind exactly one audited door
+//!    (`crates/fleetd/src/shard.rs`).
 //! 9. **Panic freedom** ([`run_panic_freedom`]): service-facing modules
-//!    (the future daemon surface, today `crates/obs/src`) must not contain
+//!    (the fleetd daemon surface and `crates/obs/src`) must not contain
 //!    panic paths — `unwrap`/`expect`, panic-family macros, unchecked
 //!    indexing, or division by a non-literal divisor.
 //! 10. **Dangling hot annotations** (folded into `hot-path-alloc`): a
@@ -171,6 +172,13 @@ pub fn determinism_config() -> Vec<CrateRules> {
         // through the clock.rs choke point (see `run_obs_choke_point`).
         CrateRules {
             rel_path: "crates/obs/src",
+            rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY],
+        },
+        // The fleet daemon: fixed seed → identical counter streams for
+        // any shard count, so no ambient clocks, entropy, or hash-order
+        // iteration anywhere on the daemon surface (FLEET.md).
+        CrateRules {
+            rel_path: "crates/fleetd/src",
             rules: &[HASH_ITERATION, WALL_CLOCK, OS_ENTROPY],
         },
         // Input-facing modules: malformed traces/configs must surface as
@@ -916,9 +924,13 @@ pub fn run_hot_path_alloc(root: &Path) -> Vec<Finding> {
 
 /// Path prefixes (relative to the workspace root) sanctioned to use
 /// concurrency primitives: the scenario fan-out, the observability
-/// internals, and the counting-allocator test harness.
+/// internals, the counting-allocator test harness, and fleetd's shard
+/// module — the one reviewed door behind which all of the collector
+/// daemon's threads, channels and the scrape-snapshot mutex live
+/// (FLEET.md).
 pub const CONCURRENCY_ALLOWLIST: &[&str] = &[
     "crates/bench/src/scenario.rs",
+    "crates/fleetd/src/shard.rs",
     "crates/obs/src",
     "crates/tsdb/tests/alloc_free.rs",
 ];
@@ -999,10 +1011,11 @@ pub fn run_concurrency_hygiene(root: &Path) -> Vec<Finding> {
 // Analysis 9: panic freedom
 // ---------------------------------------------------------------------
 
-/// Service-facing roots that must stay panic-free: the future daemon
-/// surface (ROADMAP item 2). Today that is the observability layer, which
-/// fleet-mode will keep resident in long-running collector processes.
-pub const PANIC_FREEDOM_ROOTS: &[&str] = &["crates/obs/src"];
+/// Service-facing roots that must stay panic-free: the observability
+/// layer and the fleetd daemon surface (ROADMAP item 2) — both stay
+/// resident in long-running collector processes, where a panic path is an
+/// outage, not a stack trace.
+pub const PANIC_FREEDOM_ROOTS: &[&str] = &["crates/fleetd/src", "crates/obs/src"];
 
 /// (needle, advice) — explicit panic paths. `debug_assert!` is fine (it
 /// compiles out of release daemons); word boundaries keep it unmatched.

@@ -178,11 +178,15 @@ fn bad_fixtures_trip_concurrency_hygiene() {
     assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 5);
     assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 6);
     assert_found(&findings, rules::CONCURRENCY_HYGIENE, "rogue_threads.rs", 7);
+    // fleetd concurrency anywhere but shard.rs is a finding too.
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "exporter.rs", 2);
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "exporter.rs", 5);
+    assert_found(&findings, rules::CONCURRENCY_HYGIENE, "exporter.rs", 6);
     assert!(
         findings
             .iter()
-            .all(|f| ends_with(&f.file, "rogue_threads.rs")),
-        "rule leaked beyond the seeded file: {findings:?}"
+            .all(|f| ends_with(&f.file, "rogue_threads.rs") || ends_with(&f.file, "exporter.rs")),
+        "rule leaked beyond the seeded files: {findings:?}"
     );
 }
 
@@ -193,9 +197,16 @@ fn bad_fixtures_trip_panic_freedom() {
     assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 4); // indexing
     assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 5); // division
     assert_found(&findings, rules::PANIC_FREEDOM, "daemon.rs", 6); // assert!
+                                                                   // The fleetd daemon surface is a panic-freedom root as well.
+    assert_found(&findings, rules::PANIC_FREEDOM, "collector.rs", 3); // unwrap
+    assert_found(&findings, rules::PANIC_FREEDOM, "collector.rs", 4); // indexing
+    assert_found(&findings, rules::PANIC_FREEDOM, "collector.rs", 5); // division
+    assert_found(&findings, rules::PANIC_FREEDOM, "collector.rs", 6); // assert!
     assert!(
-        findings.iter().all(|f| ends_with(&f.file, "daemon.rs")),
-        "rule leaked beyond the seeded file: {findings:?}"
+        findings
+            .iter()
+            .all(|f| ends_with(&f.file, "daemon.rs") || ends_with(&f.file, "collector.rs")),
+        "rule leaked beyond the seeded files: {findings:?}"
     );
 }
 

@@ -6,8 +6,10 @@ use crate::request::MemOp;
 /// A stream of memory operations — the program under profile.
 ///
 /// Implementations must be deterministic: the `workloads` crate seeds every
-/// generator explicitly.
-pub trait TraceSource {
+/// generator explicitly. The `Send` bound lets whole machines migrate into
+/// long-lived shard worker threads (fleetd) — generators are plain seeded
+/// state, so this costs implementors nothing.
+pub trait TraceSource: Send {
     /// The next operation, or `None` when the program finishes.
     fn next_op(&mut self) -> Option<MemOp>;
 

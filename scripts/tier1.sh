@@ -49,4 +49,22 @@ diff -u "$obs_out/serial.txt" "$obs_out/jobs2.txt"
 run cargo run --release -p bench --bin fig13_faults
 run git diff --exit-code crates/bench/out/fig13_faults.csv
 
+# Fleet-mode smoke (FLEET.md): a small sharded fleet serves a live
+# /metrics scrape whose Prometheus exposition validates (TYPE lines,
+# pathfinder_* mangling, no duplicate samples, the contract families
+# present), and whose timings JSON names the fleet phases.
+run cargo run --release -p fleetd --bin pathfinder-fleetd -- \
+    --hosts 16 --shards 2 --rounds 2 --listen 127.0.0.1:0 \
+    --scrape-out "$obs_out/fleet_metrics.txt" \
+    --timings-json "$obs_out/fleet_timings.json"
+run cargo run --release -p obs --bin obs_validate -- --prom \
+    "$obs_out/fleet_metrics.txt" \
+    pathfinder_fleetd_rounds pathfinder_fleetd_points \
+    pathfinder_fleetd_round_ns pathfinder_fleetd_scrape_ns \
+    pathfinder_fleetd_shard_lag_ns pathfinder_tsdb_resident_bytes \
+    pathfinder_obs_dropped_events pathfinder_fleet_inst_retired_any \
+    pathfinder_host_inst_retired_any
+run cargo run --release -p obs --bin obs_validate -- \
+    "$obs_out/fleet_timings.json" fleet.round fleet.shard_round
+
 echo "tier1: all gates passed"

@@ -139,6 +139,50 @@ fn observed_run_covers_the_wall_time() {
 }
 
 #[test]
+fn span_buffer_overflow_keeps_aggregating_and_reports_drops() {
+    let _l = obs_lock();
+    obs::reset();
+    obs::enable();
+
+    // Push past the 2^20-event cap: every span keeps aggregating into the
+    // phase stats, but the event list stops growing and counts the drops.
+    let extra: u64 = 1024;
+    let total = obs::span::EVENT_CAP as u64 + extra;
+    for _ in 0..total {
+        let _s = obs::span!("t.flood");
+    }
+    obs::disable();
+
+    let phases = obs::span::phases();
+    let flood = phases.iter().find(|p| p.name == "t.flood").expect("flood");
+    assert_eq!(
+        flood.count, total,
+        "aggregates must keep counting past the event cap"
+    );
+    let dropped = obs::span::dropped_events();
+    assert_eq!(dropped, extra, "exactly the overflow is dropped");
+
+    // The drop count surfaces in the phase-table footer...
+    let table = obs::export::phase_table();
+    assert!(
+        table.contains(&format!("({dropped} dropped)")),
+        "footer must report drops: {table}"
+    );
+
+    // ...and in the timings JSON.
+    let timings = obs::export::timings_json();
+    let doc = obs::json::parse(&timings).expect("timings parse");
+    let reported = doc
+        .get("dropped_events")
+        .and_then(|v| v.as_f64())
+        .expect("dropped_events field");
+    assert_eq!(reported as u64, dropped);
+
+    obs::reset();
+    assert_eq!(obs::span::dropped_events(), 0, "reset clears the counter");
+}
+
+#[test]
 fn histogram_percentile_edge_cases() {
     let _l = obs_lock();
     obs::reset();
