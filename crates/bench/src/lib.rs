@@ -102,6 +102,34 @@ pub fn run_machine_with_faults(
     (end.delta(&start), cycles)
 }
 
+/// One workload pinned to a fabric host: `(host, pin)`.
+pub type HostPin = (usize, Pin);
+
+/// Run per-host workloads through an N-host CXL fabric under a
+/// fabric-level fault plan; return the fabric-side counter delta (switch
+/// + pooled-device banks) and the slowest host's final cycle count.
+pub fn run_fabric(
+    cfg: MachineConfig,
+    fcfg: simarch::FabricConfig,
+    pins: Vec<HostPin>,
+    plan: simarch::FaultPlan,
+) -> (SystemDelta, u64) {
+    let mut fabric = simarch::Fabric::new(cfg, fcfg);
+    fabric.set_fault_plan(plan);
+    for (host, p) in pins {
+        fabric.attach(host, p.core, Workload::new(p.name, p.trace, p.policy));
+    }
+    let start = fabric.pmu.snapshot(0);
+    for _ in 0..MAX_EPOCHS {
+        if fabric.run_epoch().all_done {
+            break;
+        }
+    }
+    let hosts = fabric.fabric_config().hosts;
+    let cycles = (0..hosts).map(|h| fabric.host(h).now()).max().unwrap_or(0);
+    (fabric.fabric_snapshot().delta(&start), cycles)
+}
+
 /// Run workloads under the full PathFinder profiler; return the report and
 /// the profiler itself (for materializer queries).
 pub fn run_profiled(cfg: MachineConfig, pins: Vec<Pin>) -> (Report, Profiler) {
@@ -201,12 +229,18 @@ pub fn jobs_from_args() -> scenario::Jobs {
 
 /// Parse `--ops N` from argv.
 pub fn ops_from_args() -> u64 {
+    ops_from_args_or(DEFAULT_OPS)
+}
+
+/// [`ops_from_args`] with a binary-specific default — fabric figures run
+/// several multi-host scenarios per invocation and keep a smaller budget.
+pub fn ops_from_args_or(default: u64) -> u64 {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == "--ops")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_OPS)
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

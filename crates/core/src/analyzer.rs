@@ -446,6 +446,255 @@ impl AnomalyDetector {
     }
 }
 
+// ================= Fabric attribution (multi-host pooling) ===============
+//
+// A pooling fabric adds a failure surface no single-host baseline covers:
+// the *other tenants*. The fabric detector consumes the switch + pooled
+// device banks (`SystemPmu::fabric`) and answers the question the paper's
+// §6 poses for multi-host CXL: which host is the culprit, which hosts are
+// victims, and is the fault in the fabric or in the tenancy mix — from
+// counters alone.
+
+/// Per-host fabric wait metrics distilled from one fabric epoch digest.
+#[derive(Clone, Debug, Default)]
+pub struct FabricMetrics {
+    /// Switch ingress wait per granted request, per host.
+    pub port_wait: Vec<f64>,
+    /// Pooled-MC queueing wait per CAS, per host.
+    pub pool_wait: Vec<f64>,
+    /// Share of pooled-device CAS bandwidth, per host (sums to 1 under
+    /// load).
+    pub pool_share: Vec<f64>,
+    /// Excess-over-alone wait per CAS, per host — the fabric's own
+    /// pricing of cross-tenant contention.
+    pub excess: Vec<f64>,
+    /// Fraction of the epoch each host spent HOL-blocked at the switch.
+    pub hol: Vec<f64>,
+}
+
+impl FabricMetrics {
+    pub fn from_delta(delta: &SystemDelta) -> FabricMetrics {
+        use pmu::{PoolEvent, SwitchEvent};
+        let hosts = delta.pmu.switches.len();
+        let total_cas: u64 = delta
+            .pmu
+            .pools
+            .iter()
+            .map(|b| b.read(PoolEvent::McRdCas) + b.read(PoolEvent::McWrCas))
+            .sum();
+        let mut m = FabricMetrics::default();
+        for h in 0..hosts {
+            let sw = &delta.pmu.switches[h];
+            let pool = &delta.pmu.pools[h];
+            let grants = sw.read(SwitchEvent::ArbGrants);
+            let cas = pool.read(PoolEvent::McRdCas) + pool.read(PoolEvent::McWrCas);
+            m.port_wait
+                .push(ratio(sw.read(SwitchEvent::IngressOccupancy), grants));
+            m.pool_wait
+                .push(ratio(pool.read(PoolEvent::McWaitCycles), cas));
+            m.pool_share.push(ratio(cas, total_cas));
+            m.excess
+                .push(ratio(pool.read(PoolEvent::ExcessWaitCycles), cas));
+            m.hol.push(ratio(
+                sw.read(SwitchEvent::HolBlockedCycles),
+                sw.read(SwitchEvent::ClockTicks),
+            ));
+        }
+        m
+    }
+}
+
+/// A recorded healthy fabric fingerprint (same workload-mix caveat as
+/// [`HealthyBaseline`]).
+#[derive(Clone, Debug)]
+pub struct FabricBaseline {
+    metrics: FabricMetrics,
+}
+
+impl FabricBaseline {
+    pub fn from_delta(delta: &SystemDelta) -> FabricBaseline {
+        FabricBaseline {
+            metrics: FabricMetrics::from_delta(delta),
+        }
+    }
+
+    pub fn metrics(&self) -> &FabricMetrics {
+        &self.metrics
+    }
+}
+
+/// What the fabric detector concluded about an epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricDiagnosis {
+    /// One upstream port's requests are stuck at arbitration
+    /// (`FaultClass::SwitchPortStall` signature): its wait is elevated
+    /// while the rest of the fabric sits at baseline.
+    SwitchPortStall,
+    /// Every host's switch wait is elevated with the tenancy mix
+    /// unchanged (`FaultClass::SharedLinkDegrade` signature).
+    SharedLinkDegrade,
+    /// One tenant's bandwidth share grew and the other tenants' waits
+    /// grew with it — interference, not a hardware fault.
+    NoisyNeighbor,
+}
+
+impl FabricDiagnosis {
+    pub fn label(self) -> &'static str {
+        match self {
+            FabricDiagnosis::SwitchPortStall => "switch_port_stall",
+            FabricDiagnosis::SharedLinkDegrade => "shared_link_degrade",
+            FabricDiagnosis::NoisyNeighbor => "noisy_neighbor",
+        }
+    }
+}
+
+/// A fabric-level finding: the faulted stage, the culprit host (for
+/// tenancy problems), and the victim hosts whose waits were inflated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FabricAnomaly {
+    /// Stage named as in `simarch::StageId` display form (`cxlsw1` = the
+    /// switch port of host 1; `cxlsw0` conventionally carries shared-link
+    /// findings).
+    pub stage: String,
+    pub kind: FabricDiagnosis,
+    /// The host responsible, when one is (noisy neighbor: the flooding
+    /// tenant; port stall: the stalled port's tenant — responsible for
+    /// its own delay, not the others').
+    pub culprit: Option<usize>,
+    /// Hosts whose waits sit beyond the detection bound.
+    pub victims: Vec<usize>,
+    /// Peak elevation over the bound (observed / bound).
+    pub score: f64,
+}
+
+impl FabricAnomaly {
+    /// `noisy_neighbor at cxlpool: culprit host0, victims [host1] (score 3.20)`
+    pub fn render(&self) -> String {
+        let culprit = self
+            .culprit
+            .map(|h| format!("culprit host{h}, "))
+            .unwrap_or_default();
+        let victims: Vec<String> = self.victims.iter().map(|h| format!("host{h}")).collect();
+        format!(
+            "{} at {}: {}victims [{}] (score {:.2})",
+            self.kind.label(),
+            self.stage,
+            culprit,
+            victims.join(" "),
+            self.score
+        )
+    }
+}
+
+/// Compares fabric epoch digests against a [`FabricBaseline`] and names
+/// the culprit/victim hosts.
+#[derive(Clone, Debug)]
+pub struct FabricDetector {
+    base: FabricMetrics,
+    /// Multiplicative elevation bound on per-host waits.
+    ratio: f64,
+    /// Absolute slack (cycles of wait per request) added to every bound.
+    floor: f64,
+    /// Additive bound on a host's pooled-bandwidth share over baseline.
+    share_margin: f64,
+    /// Maximum peak/trough elevation ratio still read as *uniform*: a
+    /// shared-link fault hits every tenant alike, so wildly unequal
+    /// elevations point at one port even when everybody is over bound.
+    uniform_spread: f64,
+}
+
+impl FabricDetector {
+    pub fn new(baseline: FabricBaseline) -> FabricDetector {
+        FabricDetector {
+            base: baseline.metrics,
+            ratio: 1.5,
+            floor: 25.0,
+            share_margin: 0.15,
+            uniform_spread: 4.0,
+        }
+    }
+
+    /// Total fabric wait per request for host `h` under metrics `m`.
+    fn wait(m: &FabricMetrics, h: usize) -> f64 {
+        m.port_wait.get(h).copied().unwrap_or(0.0) + m.pool_wait.get(h).copied().unwrap_or(0.0)
+    }
+
+    /// Diagnose one fabric epoch digest.
+    ///
+    /// Order matters: the tenancy check (bandwidth share) runs first
+    /// because a flooding tenant also elevates everyone's link wait — the
+    /// share skew is what separates "host 0 is hogging the pool" from
+    /// "the link itself degraded". A uniform elevation with the mix
+    /// unchanged is a shared-link fault; an isolated elevation is a stuck
+    /// port.
+    pub fn diagnose(&self, delta: &SystemDelta) -> Option<FabricAnomaly> {
+        let cur = FabricMetrics::from_delta(delta);
+        let hosts = cur.port_wait.len();
+        if hosts == 0 || delta.cycles() == 0 {
+            return None;
+        }
+        let bound = |h: usize| Self::wait(&self.base, h) * self.ratio + self.floor;
+        let elevation = |h: usize| Self::wait(&cur, h) / bound(h);
+        let elevated: Vec<usize> = (0..hosts).filter(|&h| elevation(h) > 1.0).collect();
+        if elevated.is_empty() {
+            return None;
+        }
+        let peak = elevated
+            .iter()
+            .copied()
+            .max_by(|&a, &b| elevation(a).total_cmp(&elevation(b)))
+            .expect("elevated is non-empty");
+        // Tenancy first: did one host's share of the pool grow while
+        // others pay for it?
+        let hog = (0..hosts)
+            .filter(|&h| {
+                cur.pool_share[h]
+                    > self.base.pool_share.get(h).copied().unwrap_or(0.0) + self.share_margin
+            })
+            .max_by(|&a, &b| cur.pool_share[a].total_cmp(&cur.pool_share[b]));
+        if let Some(culprit) = hog {
+            let victims: Vec<usize> = elevated.iter().copied().filter(|&h| h != culprit).collect();
+            if !victims.is_empty() {
+                let score = victims
+                    .iter()
+                    .map(|&h| elevation(h))
+                    .fold(0.0_f64, f64::max);
+                return Some(FabricAnomaly {
+                    stage: "cxlpool0".to_string(),
+                    kind: FabricDiagnosis::NoisyNeighbor,
+                    culprit: Some(culprit),
+                    victims,
+                    score,
+                });
+            }
+        }
+        let trough = elevated
+            .iter()
+            .copied()
+            .min_by(|&a, &b| elevation(a).total_cmp(&elevation(b)))
+            .expect("elevated is non-empty");
+        if elevated.len() == hosts
+            && hosts > 1
+            && elevation(peak) <= elevation(trough) * self.uniform_spread
+        {
+            return Some(FabricAnomaly {
+                stage: "cxlsw0".to_string(),
+                kind: FabricDiagnosis::SharedLinkDegrade,
+                culprit: None,
+                victims: elevated,
+                score: elevation(peak),
+            });
+        }
+        Some(FabricAnomaly {
+            stage: format!("cxlsw{peak}"),
+            kind: FabricDiagnosis::SwitchPortStall,
+            culprit: Some(peak),
+            victims: elevated,
+            score: elevation(peak),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,5 +906,116 @@ mod tests {
     #[test]
     fn zero_cycle_digest_is_never_diagnosed() {
         assert!(detector().diagnose(&delta_with(0, seed_healthy)).is_none());
+    }
+
+    // ---- fabric-detector fixtures --------------------------------------
+
+    fn fabric_delta_with(cycles: u64, f: impl FnOnce(&mut SystemPmu)) -> SystemDelta {
+        let mut pmu = SystemPmu::fabric(2);
+        let s0 = pmu.snapshot(0);
+        f(&mut pmu);
+        pmu.snapshot(cycles).delta(&s0)
+    }
+
+    /// Balanced healthy fabric: both hosts 100 CAS, wait 10/req, equal
+    /// shares.
+    fn seed_fabric_healthy(p: &mut SystemPmu) {
+        use pmu::{PoolEvent, SwitchEvent};
+        for h in 0..2 {
+            p.switches[h].add(SwitchEvent::ClockTicks, 1_000);
+            p.switches[h].add(SwitchEvent::IngressInserts, 100);
+            p.switches[h].add(SwitchEvent::ArbGrants, 100);
+            p.switches[h].add(SwitchEvent::IngressOccupancy, 500);
+            p.pools[h].add(PoolEvent::ClockTicks, 1_000);
+            p.pools[h].add(PoolEvent::McRdCas, 100);
+            p.pools[h].add(PoolEvent::McWaitCycles, 500);
+        }
+    }
+
+    fn fabric_detector() -> FabricDetector {
+        let base = fabric_delta_with(1_000, seed_fabric_healthy);
+        FabricDetector::new(FabricBaseline::from_delta(&base))
+    }
+
+    #[test]
+    fn healthy_fabric_is_not_anomalous() {
+        assert!(fabric_detector()
+            .diagnose(&fabric_delta_with(1_000, seed_fabric_healthy))
+            .is_none());
+    }
+
+    #[test]
+    fn noisy_neighbor_names_culprit_and_victims() {
+        use pmu::{PoolEvent, SwitchEvent};
+        let d = fabric_delta_with(1_000, |p| {
+            seed_fabric_healthy(p);
+            // Host 0 floods the pool (share 100/200 → 500/600) and host 1's
+            // wait explodes while host 0's own wait stays moderate.
+            p.pools[0].add(PoolEvent::McRdCas, 400);
+            p.switches[0].add(SwitchEvent::ArbGrants, 400);
+            p.switches[0].add(SwitchEvent::IngressInserts, 400);
+            p.pools[1].add(PoolEvent::McWaitCycles, 50_000);
+        });
+        let a = fabric_detector().diagnose(&d).unwrap();
+        assert_eq!(a.kind, FabricDiagnosis::NoisyNeighbor);
+        assert_eq!(a.culprit, Some(0));
+        assert_eq!(a.victims, vec![1]);
+        assert!(a.render().contains("culprit host0"));
+        assert!(a.render().contains("host1"));
+    }
+
+    #[test]
+    fn uniform_elevation_with_unchanged_mix_is_shared_link() {
+        use pmu::SwitchEvent;
+        let d = fabric_delta_with(1_000, |p| {
+            seed_fabric_healthy(p);
+            // Both hosts' switch wait 5 → 300/req; shares stay 50:50.
+            p.switches[0].add(SwitchEvent::IngressOccupancy, 29_500);
+            p.switches[1].add(SwitchEvent::IngressOccupancy, 29_500);
+        });
+        let a = fabric_detector().diagnose(&d).unwrap();
+        assert_eq!(a.kind, FabricDiagnosis::SharedLinkDegrade);
+        assert_eq!(a.culprit, None);
+        assert_eq!(a.victims, vec![0, 1]);
+        assert_eq!(a.stage, "cxlsw0");
+    }
+
+    #[test]
+    fn skewed_elevation_names_the_peak_port_not_the_link() {
+        use pmu::SwitchEvent;
+        let d = fabric_delta_with(1_000, |p| {
+            seed_fabric_healthy(p);
+            // Both hosts over bound, but host 1 is ~30x worse: that is a
+            // starved port, not a link that degraded for everyone.
+            p.switches[0].add(SwitchEvent::IngressOccupancy, 5_500);
+            p.switches[1].add(SwitchEvent::IngressOccupancy, 179_500);
+        });
+        let a = fabric_detector().diagnose(&d).unwrap();
+        assert_eq!(a.kind, FabricDiagnosis::SwitchPortStall);
+        assert_eq!(a.stage, "cxlsw1");
+    }
+
+    #[test]
+    fn isolated_elevation_is_a_port_stall() {
+        use pmu::SwitchEvent;
+        let d = fabric_delta_with(1_000, |p| {
+            seed_fabric_healthy(p);
+            // Only host 1's port wait explodes; mix unchanged.
+            p.switches[1].add(SwitchEvent::IngressOccupancy, 49_500);
+        });
+        let a = fabric_detector().diagnose(&d).unwrap();
+        assert_eq!(a.kind, FabricDiagnosis::SwitchPortStall);
+        assert_eq!(a.stage, "cxlsw1");
+        assert_eq!(a.culprit, Some(1));
+    }
+
+    #[test]
+    fn fabric_metrics_compute_expected_ratios() {
+        let m = FabricMetrics::from_delta(&fabric_delta_with(1_000, seed_fabric_healthy));
+        assert!((m.port_wait[0] - 5.0).abs() < 1e-12);
+        assert!((m.pool_wait[0] - 5.0).abs() < 1e-12);
+        assert!((m.pool_share[0] - 0.5).abs() < 1e-12);
+        assert_eq!(m.excess[0], 0.0);
+        assert_eq!(m.hol[0], 0.0);
     }
 }

@@ -53,7 +53,8 @@ pub mod profiler;
 pub mod report;
 
 pub use analyzer::{
-    Anomaly, AnomalyDetector, Culprit, HealthyBaseline, PfAnalyzer, QueueEstimate, StageMetrics,
+    Anomaly, AnomalyDetector, Culprit, FabricAnomaly, FabricBaseline, FabricDetector,
+    FabricDiagnosis, FabricMetrics, HealthyBaseline, PfAnalyzer, QueueEstimate, StageMetrics,
 };
 pub use builder::{PathMap, PfBuilder};
 pub use estimator::{PfEstimator, StallBreakdown};

@@ -120,7 +120,7 @@ impl Log2Hist {
 
 /// One counter's fleet-wide roll-up: the sum and the distribution of
 /// per-host cumulative values.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CounterStat {
     pub sum: u64,
     pub p50: u64,

@@ -11,7 +11,11 @@
 //! Launches a sharded fleet of simulated hosts, serves `/metrics` on
 //! `--listen` (port 0 picks an ephemeral port; the bound address is
 //! printed as `listening on ADDR`), and drives `--rounds` collection
-//! rounds (`0` = run until killed). `--scrape-out` performs a real TCP
+//! rounds (`0` = run until stopped). `SIGTERM`/Ctrl-C request a
+//! graceful stop: the in-flight round drains completely (counters are
+//! never torn mid-round), the scrape listener is woken and closed, and
+//! the shard workers are joined — the normal exit path, just earlier.
+//! `--scrape-out` performs a real TCP
 //! self-scrape after the last round and writes the exposition body to a
 //! file — `scripts/tier1.sh` validates it with `obs_validate --prom`.
 //! `--bench` records hosts, epochs/s, points/s, scrape p99 and resident
@@ -28,7 +32,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fleetd::aggregate::Log2Hist;
-use fleetd::shard::{spawn_server, Fleet};
+use fleetd::shard::{self, spawn_server, Fleet};
 use fleetd::FleetConfig;
 
 struct Opts {
@@ -189,6 +193,10 @@ fn run() -> Result<(), String> {
     obs::enable();
     let opts = parse_opts(&rest)?;
 
+    // Route SIGINT/SIGTERM to the stop flag before any round runs, so a
+    // kill during launch already drains instead of aborting.
+    shard::install_stop_handlers();
+
     let mut fleet = Fleet::launch(opts.cfg.clone())?;
     println!(
         "fleetd: {} hosts x {} counters over {} shards, {} epochs/round",
@@ -198,6 +206,7 @@ fn run() -> Result<(), String> {
         opts.cfg.epochs_per_round
     );
 
+    let mut server_handle = None;
     let addr = match &opts.listen {
         Some(requested) => {
             let listener =
@@ -205,8 +214,10 @@ fn run() -> Result<(), String> {
             let local = listener
                 .local_addr()
                 .map_err(|e| format!("local_addr: {e}"))?;
-            spawn_server(fleet.state(), listener)
-                .map_err(|e| format!("spawn scrape server: {e}"))?;
+            server_handle = Some(
+                spawn_server(fleet.state(), listener)
+                    .map_err(|e| format!("spawn scrape server: {e}"))?,
+            );
             println!("listening on {local}");
             Some(local.to_string())
         }
@@ -219,8 +230,7 @@ fn run() -> Result<(), String> {
     let mut scrape_hist = Log2Hist::new();
     let mut resident = 0u64;
     let mut round = 0u64;
-    while opts.rounds == 0 || round < opts.rounds {
-        let summary = fleet.run_round()?;
+    let stopped = fleet.drive(opts.rounds, shard::stop_requested, |summary| {
         epochs_total += summary.epochs;
         points_total += summary.points;
         resident = summary.resident_bytes;
@@ -243,6 +253,10 @@ fn run() -> Result<(), String> {
             summary.shard_lag_ns as f64 / 1e6,
             summary.resident_bytes
         );
+        Ok(())
+    })?;
+    if stopped {
+        println!("fleetd: stop requested — round {round} drained, shutting down");
     }
     let wall_s = obs::clock::now_ns().saturating_sub(t0) as f64 / 1e9;
 
@@ -289,6 +303,11 @@ fn run() -> Result<(), String> {
     }
 
     println!("done: {round} rounds, {epochs_total} epochs, {points_total} points in {wall_s:.2}s");
+    if let (Some(handle), Some(a)) = (server_handle, &addr) {
+        // Close the listener before joining the workers: once this
+        // returns, the port no longer accepts scrapes.
+        shard::stop_server(&fleet.state(), a, handle);
+    }
     fleet.shutdown();
     session.finish().map_err(|e| format!("obs export: {e}"))
 }

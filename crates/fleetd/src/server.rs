@@ -133,9 +133,16 @@ fn handle(stream: &TcpStream, state: &SharedState) {
 }
 
 /// Accept loop: one request per connection, close after responding.
-/// Runs until the process exits.
+/// Runs until [`SharedState::stopping`] is raised — `shard::stop_server`
+/// sets the flag and then pokes the listener with a throwaway connection
+/// so the blocking accept returns; the flag is checked *before* the
+/// woken connection is handled, the loop breaks, and returning drops the
+/// listener (closing the socket).
 pub fn serve(listener: &TcpListener, state: &SharedState) {
     for stream in listener.incoming() {
+        if state.stopping() {
+            break;
+        }
         match stream {
             Ok(s) => handle(&s, state),
             Err(_) => continue,

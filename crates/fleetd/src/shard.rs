@@ -13,12 +13,19 @@
 //! reports, publishes a [`FleetSnapshot`] for the scrape endpoint behind
 //! [`SharedState`], and emits the daemon's `obs` self-metrics.
 //!
+//! Graceful shutdown lives here too: `SIGINT`/`SIGTERM` handlers set a
+//! process-wide stop flag ([`install_stop_handlers`]), [`Fleet::drive`]
+//! polls it only at round boundaries so an in-flight round always
+//! drains (no torn counters), and [`stop_server`] wakes the accept loop
+//! so the listener closes before the workers are joined.
+//!
 //! Because a host's behaviour depends only on (fleet seed, host id) and
 //! workers never interact mid-round, the per-host counter streams are
 //! byte-identical for any shard count — the determinism anchor tested in
 //! `tests/determinism.rs`.
 
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -83,18 +90,32 @@ pub struct FleetSnapshot {
 /// concurrency allowlist) confined to this file.
 pub struct SharedState {
     inner: Mutex<FleetSnapshot>,
+    /// Raised once by [`stop_server`]; `server::serve` polls it at the
+    /// top of every accept iteration and exits (closing the listener)
+    /// when it is set.
+    stopping: AtomicBool,
 }
 
 impl SharedState {
     fn new() -> SharedState {
         SharedState {
             inner: Mutex::new(FleetSnapshot::default()),
+            stopping: AtomicBool::new(false),
         }
     }
 
     /// Clone out the latest published snapshot.
     pub fn read(&self) -> FleetSnapshot {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// True once [`stop_server`] has asked the scrape loop to exit.
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    fn set_stopping(&self) {
+        self.stopping.store(true, Ordering::Release);
     }
 
     fn publish(&self, snap: FleetSnapshot) {
@@ -277,6 +298,32 @@ impl Fleet {
         })
     }
 
+    /// Drive collection rounds until the budget is exhausted or `stop`
+    /// reports a pending shutdown. `rounds == 0` means unbounded. The
+    /// stop predicate is consulted only *between* rounds, so an
+    /// in-flight round always drains completely — a stop can never tear
+    /// a round's counters (the shutdown anchor in `tests/shutdown.rs`).
+    /// `on_round` observes each completed round; an error from it stops
+    /// the loop. Returns `true` when the loop ended on a stop request
+    /// rather than the round budget.
+    pub fn drive(
+        &mut self,
+        rounds: u64,
+        mut stop: impl FnMut() -> bool,
+        mut on_round: impl FnMut(&RoundSummary) -> Result<(), String>,
+    ) -> Result<bool, String> {
+        let mut done = 0u64;
+        while rounds == 0 || done < rounds {
+            if stop() {
+                return Ok(true);
+            }
+            let summary = self.run_round()?;
+            done += 1;
+            on_round(&summary)?;
+        }
+        Ok(false)
+    }
+
     /// Concatenate every host's recorded counter stream, in host-id order
     /// (shards hold contiguous ascending ranges, so shard order is id
     /// order). Requires `FleetConfig::record_streams`.
@@ -316,6 +363,81 @@ pub fn spawn_server(
     std::thread::Builder::new()
         .name("fleetd-http".to_string())
         .spawn(move || crate::server::serve(&listener, &state))
+}
+
+/// Unblock and join the scrape server: raise the stopping flag, then
+/// poke `addr` with a throwaway connection so the blocking accept in
+/// `server::serve` returns, observes the flag, and exits — dropping the
+/// listener and closing the socket. Joining the handle makes the close
+/// synchronous: when this returns, the port no longer accepts.
+pub fn stop_server(state: &SharedState, addr: &str, handle: JoinHandle<()>) {
+    state.set_stopping();
+    let _ = TcpStream::connect(addr);
+    let _ = handle.join();
+}
+
+// ---------------------------------------------------------------------
+// Graceful shutdown (SIGINT / SIGTERM)
+// ---------------------------------------------------------------------
+
+/// Process-wide stop flag. The signal handler may do nothing but a
+/// single atomic store (async-signal-safety), so delivery is decoupled
+/// from draining: handlers set this flag, and [`Fleet::drive`] polls it
+/// between rounds via [`stop_requested`].
+static STOP: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)`/`raise(3)` — the workspace's only foreign calls
+    /// (pinned in pflint's `no_unsafe` census): std exposes no
+    /// signal-disposition API, and fleetd must drain its shards instead
+    /// of aborting mid-round when the operator sends Ctrl-C or SIGTERM.
+    /// The handler travels as a plain pointer-sized value, which is what
+    /// `signal(2)` takes on every platform fleetd runs on.
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+/// Async-signal-safe stop handler: one atomic store, nothing else.
+extern "C" fn on_stop_signal(_signum: i32) {
+    STOP.store(true, Ordering::Release);
+}
+
+/// Route `SIGINT` (Ctrl-C) and `SIGTERM` to the stop flag. Call once at
+/// daemon startup, before the first round. Registration failures are
+/// ignored: the daemon still runs, it just dies unsolicited on signal —
+/// exactly the pre-handler behaviour.
+pub fn install_stop_handlers() {
+    unsafe {
+        signal(SIGINT, on_stop_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_stop_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Has a stop signal (or [`request_stop`]) arrived?
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::Acquire)
+}
+
+/// Arm the stop flag without a signal (tests, embedders).
+pub fn request_stop() {
+    STOP.store(true, Ordering::Release);
+}
+
+/// Re-arm: clear a consumed stop request (test isolation).
+pub fn clear_stop() {
+    STOP.store(false, Ordering::Release);
+}
+
+/// Deliver `SIGTERM` to the current process — the test hook for the
+/// real handler path (`tests/shutdown.rs`); libc `raise(3)` runs the
+/// handler synchronously on the calling thread before returning.
+pub fn raise_sigterm() {
+    unsafe {
+        raise(SIGTERM);
+    }
 }
 
 /// Shard worker body: owns its hosts and DB, answers commands until Stop.

@@ -171,6 +171,69 @@ pub struct PromStats {
     pub samples: usize,
 }
 
+/// Parse a Prometheus label set body (the text between `{` and `}`) into
+/// `(name, unescaped value)` pairs.
+///
+/// Grammar enforced: comma-separated `name="value"` pairs; label names
+/// `[a-zA-Z_][a-zA-Z0-9_]*`; inside a value only `\\`, `\"` and `\n` are
+/// legal escapes and a bare `"` always terminates it. Anything else —
+/// stray bytes between pairs, an unterminated value, an illegal escape —
+/// is exactly the shape a hostile label value would need to smuggle a
+/// fake sample past a scraper, and is rejected.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Ok(out);
+    }
+    let mut it = s.chars().peekable();
+    loop {
+        let mut name = String::new();
+        while let Some(&c) = it.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                name.push(c);
+                it.next();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit()) {
+            return Err(format!(
+                "bad label name before `{}`",
+                it.collect::<String>()
+            ));
+        }
+        if it.next() != Some('=') || it.next() != Some('"') {
+            return Err(format!("label `{name}` is not followed by =\"...\""));
+        }
+        let mut value = String::new();
+        loop {
+            match it.next() {
+                None => return Err(format!("label `{name}` has an unterminated value")),
+                Some('"') => break,
+                Some('\\') => match it.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "label `{name}` uses illegal escape `\\{}`",
+                            other.map(String::from).unwrap_or_default()
+                        ))
+                    }
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        out.push((name, value));
+        match it.next() {
+            None => break,
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected `{c}` after a label pair")),
+        }
+    }
+    Ok(out)
+}
+
 /// Resolve a sample name to its family: `_sum`/`_count`/`_bucket`
 /// suffixes fold into a preceding summary or histogram family.
 fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
@@ -192,7 +255,10 @@ fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
 ///   appears at most once per family;
 /// * every sample name (and family name) is in `pathfinder_` mangled form;
 /// * every sample is preceded by its family's `# TYPE` line;
-/// * no (name, label-set) pair appears twice;
+/// * every label set parses as `name="value"` pairs with only the three
+///   legal escapes (`\\`, `\"`, `\n`) — see [`parse_labels`];
+/// * no (name, label-set) pair appears twice, where identity is the
+///   *parsed* label set (label order does not make two samples distinct);
 /// * every value parses as a float;
 /// * every family in `required` is present.
 ///
@@ -257,7 +323,18 @@ pub fn validate(text: &str, required: &[&str]) -> Result<PromStats, String> {
                 "line {n}: sample `{name}` has no preceding # TYPE line"
             ));
         }
-        if !seen.insert(format!("{name}{{{labels}}}")) {
+        let mut pairs = match parse_labels(labels) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("line {n}: `{series}`: {e}")),
+        };
+        // Identity is the parsed set: sort, then re-escape each value so
+        // the key stays unambiguous whatever bytes the values contain.
+        pairs.sort();
+        let key = pairs.iter().fold(name.to_string(), |mut k, (lk, lv)| {
+            let _ = write!(k, "\u{0}{lk}\u{0}{}", escape_label(lv));
+            k
+        });
+        if !seen.insert(key) {
             return Err(format!("line {n}: duplicate sample `{series}`"));
         }
         samples += 1;
@@ -346,6 +423,75 @@ mod tests {
             .unwrap_err()
             .contains("missing"));
         assert!(validate(ok, &["pathfinder_x"]).is_ok());
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_render_and_validate() {
+        // The classic exposition-injection payloads: embedded quotes,
+        // backslashes, newlines, and a value that *spells* a second
+        // sample. Rendered through the writer they must come out escaped,
+        // and the validator must accept the result as exactly one sample
+        // per (name, label-set).
+        let hostile = [
+            "he said \"hi\"",
+            "back\\slash",
+            "multi\nline",
+            "\"} pathfinder_fake 1\n# TYPE pathfinder_fake counter",
+        ];
+        let mut w = PromText::new();
+        for (i, v) in hostile.iter().enumerate() {
+            let idx = i.to_string();
+            w.counter("fleetd.rounds", &[("idx", &idx), ("evil", v)], 1);
+        }
+        let text = w.into_string();
+        let stats = validate(&text, &["pathfinder_fleetd_rounds"])
+            .expect("escaped hostile labels must validate");
+        assert_eq!(stats.families, 1, "no injected family:\n{text}");
+        assert_eq!(stats.samples, hostile.len());
+    }
+
+    #[test]
+    fn validate_parses_label_sets_strictly() {
+        let head = "# TYPE pathfinder_x counter\n";
+        let bad = [
+            // A raw quote ends the value early and leaves garbage behind.
+            "pathfinder_x{k=\"a\"b\"} 1\n",
+            // Only \\ \" \n are legal escapes.
+            "pathfinder_x{k=\"a\\t\"} 1\n",
+            // Unterminated value.
+            "pathfinder_x{k=\"a} 1\n",
+            // Label names cannot start with a digit or be empty.
+            "pathfinder_x{1k=\"a\"} 1\n",
+            "pathfinder_x{=\"a\"} 1\n",
+            // Unquoted values and stray separators.
+            "pathfinder_x{k=a} 1\n",
+            "pathfinder_x{k=\"a\",} 1\n",
+            "pathfinder_x{k=\"a\";j=\"b\"} 1\n",
+        ];
+        for b in bad {
+            let text = format!("{head}{b}");
+            assert!(
+                validate(&text, &[]).is_err(),
+                "must reject label set in {b:?}"
+            );
+        }
+        // Label order is not identity: the same pairs reordered are a
+        // duplicate sample, not a new one.
+        let dup =
+            format!("{head}pathfinder_x{{a=\"1\",b=\"2\"}} 1\npathfinder_x{{b=\"2\",a=\"1\"}} 2\n");
+        assert!(validate(&dup, &[])
+            .unwrap_err()
+            .contains("duplicate sample"));
+        // Escapes that unescape to the same bytes also collide...
+        let esc = format!("{head}pathfinder_x{{k=\"a\\\\n\"}} 1\npathfinder_x{{k=\"a\\\\n\"}} 2\n");
+        assert!(validate(&esc, &[]).unwrap_err().contains("duplicate"));
+        // ...but a literal backslash-n and a real newline stay distinct.
+        let distinct =
+            format!("{head}pathfinder_x{{k=\"a\\\\n\"}} 1\npathfinder_x{{k=\"a\\n\"}} 2\n");
+        assert_eq!(
+            validate(&distinct, &[]).expect("distinct samples").samples,
+            2
+        );
     }
 
     #[test]

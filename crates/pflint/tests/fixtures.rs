@@ -39,6 +39,8 @@ fn bad_fixtures_trip_every_determinism_rule() {
     let findings = pflint::run_determinism(&fixture_root("bad"));
     assert_found(&findings, rules::HASH_ITERATION, "sim_state.rs", 2);
     assert_found(&findings, rules::WALL_CLOCK, "sim_state.rs", 3);
+    // The fabric switch module is inside the determinism scan too.
+    assert_found(&findings, rules::WALL_CLOCK, "rogue_switch.rs", 11);
     assert_found(&findings, rules::HASH_ITERATION, "sim_state.rs", 6);
     assert_found(&findings, rules::WALL_CLOCK, "sim_state.rs", 11);
     assert_found(&findings, rules::OS_ENTROPY, "sim_state.rs", 12);
@@ -122,10 +124,17 @@ fn bad_fixtures_trip_module_registration() {
         "rogue_module.rs",
         5,
     );
+    // The fabric switch stage is audited like any other SimModule.
+    assert_found(
+        &findings,
+        rules::MODULE_COUNTER_REGISTRATION,
+        "rogue_switch.rs",
+        6,
+    );
     assert_eq!(
         findings.len(),
-        1,
-        "exactly one unregistered module seeded: {findings:?}"
+        2,
+        "exactly two unregistered modules seeded: {findings:?}"
     );
 }
 

@@ -1286,6 +1286,143 @@ impl CxlEvent {
     }
 }
 
+// ---------------------------------------------------------------------
+// CXL switch PMU (`unc_cxlsw_*`) — one bank per upstream port
+// ---------------------------------------------------------------------
+
+/// Events of one CXL switch upstream port (the fabric topology's `cxlsw`
+/// stages). Real CXL 2.0 switches expose per-port ingress/egress telemetry;
+/// this is the minimal set the fabric's per-host path attribution needs:
+/// where requests queued, who got the shared downstream link, and how long
+/// a port's head-of-line request sat blocked behind other ports' grants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchEvent {
+    /// Switch clock ticks (per upstream port, mirrors the other uncore
+    /// clocktick banks so dropout detection generalises).
+    ClockTicks,
+    /// Requests accepted into this port's ingress queue.
+    IngressInserts,
+    /// Entry-cycles requests spent queued at this port before their grant.
+    IngressOccupancy,
+    /// Arbitration grants won by this port on the shared downstream link.
+    ArbGrants,
+    /// Cycles this port's head-of-line request waited while the shared
+    /// link was granted to a *different* port (the HOL-blocking signal).
+    HolBlockedCycles,
+    /// Cycles the shared downstream link spent serving this port's flits
+    /// (per-port decomposition of link utilisation).
+    LinkBusyCycles,
+}
+
+impl Event for SwitchEvent {
+    const CARD: usize = 6;
+    fn index(self) -> usize {
+        use SwitchEvent::*;
+        match self {
+            ClockTicks => 0,
+            IngressInserts => 1,
+            IngressOccupancy => 2,
+            ArbGrants => 3,
+            HolBlockedCycles => 4,
+            LinkBusyCycles => 5,
+        }
+    }
+    fn name(self) -> String {
+        use SwitchEvent::*;
+        match self {
+            ClockTicks => "unc_cxlsw_clockticks".into(),
+            IngressInserts => "unc_cxlsw_ingress_inserts.port".into(),
+            IngressOccupancy => "unc_cxlsw_ingress_occupancy.port".into(),
+            ArbGrants => "unc_cxlsw_arb_grants.port".into(),
+            HolBlockedCycles => "unc_cxlsw_hol_blocked_cycles.port".into(),
+            LinkBusyCycles => "unc_cxlsw_link_busy_cycles.port".into(),
+        }
+    }
+}
+
+impl SwitchEvent {
+    pub fn all() -> Vec<SwitchEvent> {
+        use SwitchEvent::*;
+        vec![
+            ClockTicks,
+            IngressInserts,
+            IngressOccupancy,
+            ArbGrants,
+            HolBlockedCycles,
+            LinkBusyCycles,
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pooled Type-3 device PMU (`unc_cxlpool_*`) — one bank per host
+// ---------------------------------------------------------------------
+
+/// Events of the pooled Type-3 device, decomposed per tenant host. The
+/// device-side MC queues are shared by N hosts; these counters attribute
+/// the shared queue's occupancy, bandwidth, and contention penalty back to
+/// the host that caused or suffered them — the input to the fabric
+/// analyzer's victim/culprit naming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// Pooled-device clock ticks (per host bank).
+    ClockTicks,
+    /// Shared-MC read CAS commands issued on behalf of this host.
+    McRdCas,
+    /// Shared-MC write CAS commands issued on behalf of this host.
+    McWrCas,
+    /// Entry-cycles this host's requests spent resident in the shared MC
+    /// queue (occupancy integral).
+    McOccupancy,
+    /// Cycles this host's requests waited for the shared MC to start
+    /// service (queueing delay only, service time excluded).
+    McWaitCycles,
+    /// The contention penalty: cycles of wait this host's requests paid
+    /// *beyond* what an identical private (unshared) device would have
+    /// charged. Exactly zero for a 1-host fabric.
+    ExcessWaitCycles,
+}
+
+impl Event for PoolEvent {
+    const CARD: usize = 6;
+    fn index(self) -> usize {
+        use PoolEvent::*;
+        match self {
+            ClockTicks => 0,
+            McRdCas => 1,
+            McWrCas => 2,
+            McOccupancy => 3,
+            McWaitCycles => 4,
+            ExcessWaitCycles => 5,
+        }
+    }
+    fn name(self) -> String {
+        use PoolEvent::*;
+        match self {
+            ClockTicks => "unc_cxlpool_clockticks".into(),
+            McRdCas => "unc_cxlpool_mc_cas.rd".into(),
+            McWrCas => "unc_cxlpool_mc_cas.wr".into(),
+            McOccupancy => "unc_cxlpool_mc_occupancy.host".into(),
+            McWaitCycles => "unc_cxlpool_mc_wait_cycles.host".into(),
+            ExcessWaitCycles => "unc_cxlpool_mc_excess_wait_cycles.host".into(),
+        }
+    }
+}
+
+impl PoolEvent {
+    pub fn all() -> Vec<PoolEvent> {
+        use PoolEvent::*;
+        vec![
+            ClockTicks,
+            McRdCas,
+            McWrCas,
+            McOccupancy,
+            McWaitCycles,
+            ExcessWaitCycles,
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1324,6 +1461,16 @@ mod tests {
     #[test]
     fn cxl_events_are_dense_and_unique() {
         check_dense(&CxlEvent::all());
+    }
+
+    #[test]
+    fn switch_events_are_dense_and_unique() {
+        check_dense(&SwitchEvent::all());
+    }
+
+    #[test]
+    fn pool_events_are_dense_and_unique() {
+        check_dense(&PoolEvent::all());
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod system;
 pub use bank::Bank;
 pub use event::{
     ChaEvent, CoreEvent, CxlEvent, Event, IaScen, ImcEvent, L3HitSrc, L3MissSrc, M2pEvent,
-    PathClass, RespScenario, TorDrdScen, TorRfoScen, WbScen,
+    PathClass, PoolEvent, RespScenario, SwitchEvent, TorDrdScen, TorRfoScen, WbScen,
 };
 pub use system::{SystemDelta, SystemPmu, SystemSnapshot};

@@ -5,10 +5,14 @@
 //! description. The `pathfinder` CLI uses it for `--list-counters`, and the
 //! test below pins the paper's "232 counters" claim.
 
-use crate::event::{ChaEvent, CoreEvent, CxlEvent, Event, ImcEvent, M2pEvent};
+use crate::event::{
+    ChaEvent, CoreEvent, CxlEvent, Event, ImcEvent, M2pEvent, PoolEvent, SwitchEvent,
+};
 
 /// Which PMU a counter belongs to (§3.1 divides them into four parts; we
-/// split Uncore into its IMC and M2PCIe halves as Table 3 does).
+/// split Uncore into its IMC and M2PCIe halves as Table 3 does; the last
+/// two kinds belong to the multi-host fabric: the CXL switch and the
+/// pooled Type-3 device).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PmuKind {
     Core,
@@ -16,15 +20,19 @@ pub enum PmuKind {
     Imc,
     M2Pcie,
     CxlDevice,
+    CxlSwitch,
+    CxlPool,
 }
 
 impl PmuKind {
-    pub const ALL: [PmuKind; 5] = [
+    pub const ALL: [PmuKind; 7] = [
         PmuKind::Core,
         PmuKind::Cha,
         PmuKind::Imc,
         PmuKind::M2Pcie,
         PmuKind::CxlDevice,
+        PmuKind::CxlSwitch,
+        PmuKind::CxlPool,
     ];
 
     pub fn label(self) -> &'static str {
@@ -34,17 +42,22 @@ impl PmuKind {
             PmuKind::Imc => "imc",
             PmuKind::M2Pcie => "m2pcie",
             PmuKind::CxlDevice => "cxl",
+            PmuKind::CxlSwitch => "cxlsw",
+            PmuKind::CxlPool => "cxlpool",
         }
     }
 }
 
-/// Counter scope as listed in the paper's tables.
+/// Counter scope as listed in the paper's tables (plus the fabric scopes:
+/// per switch upstream port and per tenant host of the pooled device).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scope {
     PerCore,
     PerSocket,
     PerChannel,
     PerDevice,
+    PerPort,
+    PerHost,
 }
 
 impl Scope {
@@ -54,6 +67,8 @@ impl Scope {
             Scope::PerSocket => "per-socket",
             Scope::PerChannel => "per-channel",
             Scope::PerDevice => "per-device",
+            Scope::PerPort => "per-port",
+            Scope::PerHost => "per-host",
         }
     }
 }
@@ -260,6 +275,44 @@ const FAMILIES: &[(&str, &str)] = &[
         "unc_cxldev_mc_wpq_occupancy",
         "device write-queue entries resident per cycle",
     ),
+    ("unc_cxlsw_clockticks", "CXL switch clock cycles"),
+    (
+        "unc_cxlsw_ingress_inserts",
+        "switch upstream-port ingress queue allocations",
+    ),
+    (
+        "unc_cxlsw_ingress_occupancy",
+        "switch ingress entries resident per cycle before their grant",
+    ),
+    (
+        "unc_cxlsw_arb_grants",
+        "shared-downlink arbitration grants won by the port",
+    ),
+    (
+        "unc_cxlsw_hol_blocked_cycles",
+        "cycles the port's head-of-line request was blocked behind other ports",
+    ),
+    (
+        "unc_cxlsw_link_busy_cycles",
+        "shared-downlink busy cycles attributable to the port",
+    ),
+    ("unc_cxlpool_clockticks", "pooled-device clock cycles"),
+    (
+        "unc_cxlpool_mc_cas",
+        "pooled-device shared-MC CAS commands on behalf of the host",
+    ),
+    (
+        "unc_cxlpool_mc_occupancy",
+        "host's entries resident per cycle in the shared MC queue",
+    ),
+    (
+        "unc_cxlpool_mc_wait_cycles",
+        "cycles the host's requests queued before shared-MC service",
+    ),
+    (
+        "unc_cxlpool_mc_excess_wait_cycles",
+        "host wait cycles beyond an identical private device (contention penalty)",
+    ),
 ];
 
 /// Family description for a perf-style event name (longest matching prefix).
@@ -336,6 +389,26 @@ pub fn all_events() -> Vec<EventDesc> {
             index: e.index(),
         });
     }
+    for e in SwitchEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::CxlSwitch,
+            scope: Scope::PerPort,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
+            name: e.name(),
+            index: e.index(),
+        });
+    }
+    for e in PoolEvent::all() {
+        v.push(EventDesc {
+            pmu: PmuKind::CxlPool,
+            scope: Scope::PerHost,
+            unit: unit_of(&e.name()),
+            description: describe(&e.name()),
+            name: e.name(),
+            index: e.index(),
+        });
+    }
     v
 }
 
@@ -387,7 +460,13 @@ mod tests {
         let evs = all_events();
         assert_eq!(
             evs.len(),
-            CoreEvent::CARD + ChaEvent::CARD + ImcEvent::CARD + M2pEvent::CARD + CxlEvent::CARD
+            CoreEvent::CARD
+                + ChaEvent::CARD
+                + ImcEvent::CARD
+                + M2pEvent::CARD
+                + CxlEvent::CARD
+                + SwitchEvent::CARD
+                + PoolEvent::CARD
         );
     }
 

@@ -7,7 +7,9 @@
 //! snapshots — the digest the four PathFinder techniques consume.
 
 use crate::bank::Bank;
-use crate::event::{ChaEvent, CoreEvent, CxlEvent, Event, ImcEvent, M2pEvent};
+use crate::event::{
+    ChaEvent, CoreEvent, CxlEvent, Event, ImcEvent, M2pEvent, PoolEvent, SwitchEvent,
+};
 
 /// The live PMU state for a whole machine.
 ///
@@ -23,6 +25,14 @@ pub struct SystemPmu {
     pub imcs: Vec<Bank<ImcEvent>>,
     pub m2ps: Vec<Bank<M2pEvent>>,
     pub cxls: Vec<Bank<CxlEvent>>,
+    /// CXL switch banks, one per upstream port. Empty for a single-host
+    /// machine PMU — only the fabric-level PMU (`SystemPmu::fabric`)
+    /// populates these, so every existing machine snapshot stays
+    /// byte-identical.
+    pub switches: Vec<Bank<SwitchEvent>>,
+    /// Pooled Type-3 device banks, one per tenant host. Empty for a
+    /// single-host machine PMU.
+    pub pools: Vec<Bank<PoolEvent>>,
 }
 
 impl SystemPmu {
@@ -40,6 +50,23 @@ impl SystemPmu {
             imcs: (0..n_channels).map(|_| Bank::new()).collect(),
             m2ps: (0..n_endpoints).map(|_| Bank::new()).collect(),
             cxls: (0..n_devices).map(|_| Bank::new()).collect(),
+            switches: Vec::new(),
+            pools: Vec::new(),
+        }
+    }
+
+    /// Build the fabric-level counter file: switch banks for `n_ports`
+    /// upstream ports and pooled-device banks for the same number of
+    /// tenant hosts (one port per host), no machine-side banks.
+    pub fn fabric(n_ports: usize) -> Self {
+        SystemPmu {
+            cores: Vec::new(),
+            chas: Vec::new(),
+            imcs: Vec::new(),
+            m2ps: Vec::new(),
+            cxls: Vec::new(),
+            switches: (0..n_ports).map(|_| Bank::new()).collect(),
+            pools: (0..n_ports).map(|_| Bank::new()).collect(),
         }
     }
 
@@ -58,6 +85,8 @@ impl SystemPmu {
         self.imcs.iter_mut().for_each(Bank::reset);
         self.m2ps.iter_mut().for_each(Bank::reset);
         self.cxls.iter_mut().for_each(Bank::reset);
+        self.switches.iter_mut().for_each(Bank::reset);
+        self.pools.iter_mut().for_each(Bank::reset);
     }
 
     /// Approximate resident size of the counter state in bytes. Used by the
@@ -69,6 +98,8 @@ impl SystemPmu {
             + per(self.imcs.len(), crate::event::ImcEvent::CARD)
             + per(self.m2ps.len(), crate::event::M2pEvent::CARD)
             + per(self.cxls.len(), crate::event::CxlEvent::CARD)
+            + per(self.switches.len(), crate::event::SwitchEvent::CARD)
+            + per(self.pools.len(), crate::event::PoolEvent::CARD)
     }
 }
 
@@ -118,6 +149,16 @@ impl SystemSnapshot {
             earlier.pmu.cxls.len(),
             "topology mismatch"
         );
+        assert_eq!(
+            self.pmu.switches.len(),
+            earlier.pmu.switches.len(),
+            "topology mismatch"
+        );
+        assert_eq!(
+            self.pmu.pools.len(),
+            earlier.pmu.pools.len(),
+            "topology mismatch"
+        );
         fn zip<E: crate::event::Event>(a: &[Bank<E>], b: &[Bank<E>]) -> Vec<Bank<E>> {
             a.iter()
                 .zip(b.iter())
@@ -133,6 +174,8 @@ impl SystemSnapshot {
                 imcs: zip(&self.pmu.imcs, &earlier.pmu.imcs),
                 m2ps: zip(&self.pmu.m2ps, &earlier.pmu.m2ps),
                 cxls: zip(&self.pmu.cxls, &earlier.pmu.cxls),
+                switches: zip(&self.pmu.switches, &earlier.pmu.switches),
+                pools: zip(&self.pmu.pools, &earlier.pmu.pools),
             },
         }
     }
@@ -176,6 +219,16 @@ impl SystemDelta {
     /// Sum of a CXL-device event across all devices.
     pub fn cxl_sum(&self, ev: CxlEvent) -> u64 {
         self.pmu.cxls.iter().map(|b| b.read(ev)).sum()
+    }
+
+    /// Sum of a switch event across all upstream ports.
+    pub fn switch_sum(&self, ev: SwitchEvent) -> u64 {
+        self.pmu.switches.iter().map(|b| b.read(ev)).sum()
+    }
+
+    /// Sum of a pooled-device event across all tenant hosts.
+    pub fn pool_sum(&self, ev: PoolEvent) -> u64 {
+        self.pmu.pools.iter().map(|b| b.read(ev)).sum()
     }
 }
 

@@ -4,12 +4,16 @@
 //! must agree: CAS splits, pending-queue inserts, M2PCIe ingress/egress,
 //! and the CXL.mem read/write flows. `Machine`'s `Invariants` impl runs
 //! these at every epoch boundary (debug builds and `--features invariants`).
+//! In a multi-host fabric each machine audits its own banks with its host
+//! identity in the message, and [`fabric_conservation`] additionally audits
+//! the switch→pool flow balance per upstream port.
 
 use crate::invariant;
 use crate::invariants::Violation;
-use pmu::{CxlEvent, ImcEvent, M2pEvent, SystemPmu};
+use crate::request::HostId;
+use pmu::{CxlEvent, ImcEvent, M2pEvent, PoolEvent, SwitchEvent, SystemPmu};
 
-pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
+pub(crate) fn pmu_conservation(host: HostId, pmu: &SystemPmu, out: &mut Vec<Violation>) {
     const C: &str = "machine::Machine(pmu)";
     for (ch, bank) in pmu.imcs.iter().enumerate() {
         let rd = bank.read(ImcEvent::CasCountRd);
@@ -19,7 +23,7 @@ pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
             out,
             C,
             rd + wr == all,
-            "imc ch{ch}: cas rd({rd})+wr({wr}) != all({all})"
+            "{host} imc ch{ch}: cas rd({rd})+wr({wr}) != all({all})"
         );
         // Every CAS entered through the matching pending queue.
         let rpq = bank.read(ImcEvent::RpqInserts);
@@ -28,13 +32,13 @@ pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
             out,
             C,
             rpq == rd,
-            "imc ch{ch}: rpq inserts({rpq}) != rd cas({rd})"
+            "{host} imc ch{ch}: rpq inserts({rpq}) != rd cas({rd})"
         );
         invariant!(
             out,
             C,
             wpq == wr,
-            "imc ch{ch}: wpq inserts({wpq}) != wr cas({wr})"
+            "{host} imc ch{ch}: wpq inserts({wpq}) != wr cas({wr})"
         );
     }
     for (d, m2p) in pmu.m2ps.iter().enumerate() {
@@ -47,7 +51,7 @@ pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
             out,
             C,
             rx == bl + ak,
-            "m2p {d}: ingress({rx}) != bl({bl})+ak({ak})"
+            "{host} m2p {d}: ingress({rx}) != bl({bl})+ak({ak})"
         );
     }
     for (d, dev) in pmu.cxls.iter().enumerate() {
@@ -59,7 +63,7 @@ pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
             out,
             C,
             req_in == rd_cas && rd_cas == drs_out,
-            "cxl dev {d}: read flow not conserved: req({req_in}) cas({rd_cas}) drs({drs_out})"
+            "{host} cxl dev {d}: read flow not conserved: req({req_in}) cas({rd_cas}) drs({drs_out})"
         );
         let rwd_in = dev.read(CxlEvent::RxcPackBufInsertsMemData);
         let wr_cas = dev.read(CxlEvent::DevMcWrCas);
@@ -68,7 +72,87 @@ pub(crate) fn pmu_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
             out,
             C,
             rwd_in == wr_cas && wr_cas == ndr_out,
-            "cxl dev {d}: write flow not conserved: rwd({rwd_in}) cas({wr_cas}) ndr({ndr_out})"
+            "{host} cxl dev {d}: write flow not conserved: rwd({rwd_in}) cas({wr_cas}) ndr({ndr_out})"
+        );
+    }
+}
+
+/// Fabric-level flow balance: every request inserted at an upstream switch
+/// port must be granted onto the shared link, and every grant must land as
+/// exactly one CAS in that host's pooled-device accounting. Runs against
+/// the fabric PMU (`SystemPmu::fabric`), where port index == host index;
+/// `Fabric`'s `Invariants` impl is the caller, exercised at every epoch
+/// boundary under `debug_assertions` or the `invariants` feature.
+pub(crate) fn fabric_conservation(pmu: &SystemPmu, out: &mut Vec<Violation>) {
+    const C: &str = "fabric::Fabric(pmu)";
+    invariant!(
+        out,
+        C,
+        pmu.switches.len() == pmu.pools.len(),
+        "fabric banks misshapen: {} switch ports vs {} pool hosts",
+        pmu.switches.len(),
+        pmu.pools.len()
+    );
+    for (h, (sw, pool)) in pmu.switches.iter().zip(pmu.pools.iter()).enumerate() {
+        let inserts = sw.read(SwitchEvent::IngressInserts);
+        let grants = sw.read(SwitchEvent::ArbGrants);
+        invariant!(
+            out,
+            C,
+            inserts == grants,
+            "switch port {h}: ingress({inserts}) != grants({grants})"
+        );
+        let rd = pool.read(PoolEvent::McRdCas);
+        let wr = pool.read(PoolEvent::McWrCas);
+        invariant!(
+            out,
+            C,
+            grants == rd + wr,
+            "host {h}: grants({grants}) != pool cas rd({rd})+wr({wr})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_conservation_passes_on_balanced_counters() {
+        let mut pmu = SystemPmu::fabric(2);
+        for h in 0..2 {
+            pmu.switches[h].add(SwitchEvent::IngressInserts, 10);
+            pmu.switches[h].add(SwitchEvent::ArbGrants, 10);
+            pmu.pools[h].add(PoolEvent::McRdCas, 7);
+            pmu.pools[h].add(PoolEvent::McWrCas, 3);
+        }
+        let mut out = Vec::new();
+        fabric_conservation(&pmu, &mut out);
+        assert!(out.is_empty(), "unexpected violations: {out:?}");
+    }
+
+    #[test]
+    fn fabric_conservation_flags_dropped_grants() {
+        let mut pmu = SystemPmu::fabric(1);
+        pmu.switches[0].add(SwitchEvent::IngressInserts, 10);
+        pmu.switches[0].add(SwitchEvent::ArbGrants, 9);
+        pmu.pools[0].add(PoolEvent::McRdCas, 9);
+        let mut out = Vec::new();
+        fabric_conservation(&pmu, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].detail.contains("ingress(10) != grants(9)"));
+    }
+
+    #[test]
+    fn machine_conservation_labels_the_host() {
+        let mut pmu = SystemPmu::new(1, 1, 1, 1, 1);
+        pmu.imcs[0].add(ImcEvent::CasCountRd, 5);
+        // CasCountAll left at 0: rd+wr != all must fire with the host label.
+        let mut out = Vec::new();
+        pmu_conservation(HostId(3), &pmu, &mut out);
+        assert!(
+            out.iter().any(|v| v.detail.starts_with("host3 ")),
+            "violations must carry the host label: {out:?}"
         );
     }
 }

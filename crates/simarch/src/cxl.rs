@@ -69,6 +69,16 @@ pub struct CxlPort {
     /// (deterministic media-error injection; see `faults.rs`).
     poison_period: Option<u64>,
     loads_seen: u64,
+
+    /// Extra media latency imposed by fabric contention (switch + pooled
+    /// device queueing attributed to this host by `fabric.rs`). Zero on a
+    /// standalone machine, so the arithmetic below is bit-identical to the
+    /// pre-fabric model. Orthogonal to fault state: `clear_faults` does
+    /// not reset it.
+    fabric_extra_lat: u64,
+    /// Extra device issue gap from fabric bandwidth sharing; same
+    /// contract as `fabric_extra_lat`.
+    fabric_extra_gap: u64,
 }
 
 /// Completion of one CXL.mem transaction.
@@ -111,7 +121,29 @@ impl CxlPort {
             base_gap_dev: cfg.cxl_dev_gap,
             poison_period: None,
             loads_seen: 0,
+            fabric_extra_lat: 0,
+            fabric_extra_gap: 0,
         }
+    }
+
+    /// Impose fabric-attributed contention on this port for the next
+    /// epoch: `extra_lat` cycles of additional media latency and
+    /// `extra_gap` cycles of additional device issue gap. Set by
+    /// `fabric::Fabric` from the pooled device's excess-over-alone wait;
+    /// both zero on a standalone machine.
+    pub fn set_fabric_backpressure(&mut self, extra_lat: u64, extra_gap: u64) {
+        self.fabric_extra_lat = extra_lat;
+        self.fabric_extra_gap = extra_gap;
+    }
+
+    /// Device issue gap including fabric backpressure.
+    fn eff_gap_dev(&self) -> u64 {
+        self.gap_dev + self.fabric_extra_gap
+    }
+
+    /// Media latency including fabric backpressure.
+    fn eff_media_latency(&self) -> u64 {
+        self.latency_media + self.fabric_extra_lat
     }
 
     // ---- fault knobs (driven by `faults.rs` via the machine) ------------
@@ -147,7 +179,7 @@ impl CxlPort {
     /// Estimate the device-queue backlog (entries) implied by the MC's
     /// `next_free` horizon at `arrive`.
     fn backlog(&self, arrive: u64) -> u64 {
-        self.dev_mc.next_free().saturating_sub(arrive) / self.gap_dev.max(1)
+        self.dev_mc.next_free().saturating_sub(arrive) / self.eff_gap_dev().max(1)
     }
 
     /// A CXL.mem load: M2S Req → media read → S2M DRS.
@@ -173,12 +205,12 @@ impl CxlPort {
         dev.inc(CxlEvent::RxcPackBufInsertsMemReq);
         let backlog = self.backlog(up.finish);
         if backlog >= self.queue_cap {
-            let over = (backlog - self.queue_cap + 1) * self.gap_dev;
+            let over = (backlog - self.queue_cap + 1) * self.eff_gap_dev();
             self.req_buf_full += over;
         }
         let mc = self
             .dev_mc
-            .serve(up.finish, self.latency_media, self.gap_dev);
+            .serve(up.finish, self.eff_media_latency(), self.eff_gap_dev());
         self.req_buf_ne.add(up.finish, mc.finish);
         dev.add(CxlEvent::RxcPackBufOccupancyMemReq, mc.finish - up.finish);
         dev.inc(CxlEvent::DevMcRdCas);
@@ -220,12 +252,12 @@ impl CxlPort {
         dev.inc(CxlEvent::RxcPackBufInsertsMemData);
         let backlog = self.backlog(up.finish);
         if backlog >= self.queue_cap {
-            let over = (backlog - self.queue_cap + 1) * self.gap_dev;
+            let over = (backlog - self.queue_cap + 1) * self.eff_gap_dev();
             self.data_buf_full += over;
         }
         let mc = self
             .dev_mc
-            .serve(up.finish, self.latency_media, self.gap_dev);
+            .serve(up.finish, self.eff_media_latency(), self.eff_gap_dev());
         self.data_buf_ne.add(up.finish, mc.finish);
         dev.add(CxlEvent::RxcPackBufOccupancyMemData, mc.finish - up.finish);
         dev.inc(CxlEvent::DevMcWrCas);
@@ -494,6 +526,28 @@ mod tests {
         port.set_poison_period(2);
         assert!(!port.mem_store(0, &mut m2p, &mut dev).poison);
         assert!(!port.mem_store(0, &mut m2p, &mut dev).poison);
+    }
+
+    #[test]
+    fn fabric_backpressure_adds_latency_and_survives_fault_clear() {
+        let (mut port, mut m2p, mut dev) = setup();
+        let cfg = MachineConfig::spr();
+        let base = 2 + cfg.flexbus_latency / 2 + cfg.cxl_media_latency + cfg.flexbus_latency / 2;
+        assert_eq!(port.mem_load(0, &mut m2p, &mut dev).finish, base);
+        port.set_fabric_backpressure(37, 5);
+        let far = 1_000_000;
+        let c = port.mem_load(far, &mut m2p, &mut dev);
+        assert_eq!(c.finish - far, base + 37);
+        // clear_faults restores fault knobs only; fabric pressure is
+        // re-derived each epoch by the fabric, not by the fault engine.
+        port.clear_faults();
+        let far = 2_000_000;
+        let c = port.mem_load(far, &mut m2p, &mut dev);
+        assert_eq!(c.finish - far, base + 37);
+        port.set_fabric_backpressure(0, 0);
+        let far = 3_000_000;
+        let c = port.mem_load(far, &mut m2p, &mut dev);
+        assert_eq!(c.finish - far, base);
     }
 
     #[test]

@@ -47,10 +47,36 @@ pub enum FaultClass {
     /// suppressed while the window is active (clockticks freeze). Targets
     /// CHA, IMC, or a CXL port.
     PmuDropout,
+    /// Degradation of the shared switch→pool link: the link gap is
+    /// multiplied by `severity` and every granted request pays extra link
+    /// latency. A cross-tenant fault — every host behind the switch sees
+    /// elevated wait, so the blast radius spans tenants. Targets the
+    /// `Switch` stage (conventionally port 0: the link is shared, the
+    /// port index is ignored).
+    SharedLinkDegrade,
+    /// A stuck upstream switch port: requests queued at the targeted port
+    /// are not eligible for arbitration for `severity` cycles past each
+    /// covered epoch boundary. Under FIFO arbitration the stalled head
+    /// HOL-blocks the shared link; other tenants see collateral wait.
+    /// Targets the `Switch` stage (port index selects the victim port).
+    SwitchPortStall,
 }
 
 impl FaultClass {
-    pub const ALL: [FaultClass; 5] = [
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::LinkDegrade,
+        FaultClass::DevThrottle,
+        FaultClass::PoisonedLine,
+        FaultClass::QueueStall,
+        FaultClass::PmuDropout,
+        FaultClass::SharedLinkDegrade,
+        FaultClass::SwitchPortStall,
+    ];
+
+    /// The classes a single-host `Machine` can host. `FaultPlan::from_seed`
+    /// draws from this subset so seeded machine plans stay byte-identical
+    /// to their pre-fabric selves; the fabric classes are literal-only.
+    pub const MACHINE: [FaultClass; 5] = [
         FaultClass::LinkDegrade,
         FaultClass::DevThrottle,
         FaultClass::PoisonedLine,
@@ -66,6 +92,8 @@ impl FaultClass {
             FaultClass::PoisonedLine => "poisoned_line",
             FaultClass::QueueStall => "queue_stall",
             FaultClass::PmuDropout => "pmu_dropout",
+            FaultClass::SharedLinkDegrade => "shared_link_degrade",
+            FaultClass::SwitchPortStall => "switch_port_stall",
         }
     }
 
@@ -78,6 +106,9 @@ impl FaultClass {
             FaultClass::QueueStall => matches!(kind, StageKind::Cha | StageKind::Imc),
             FaultClass::PmuDropout => {
                 matches!(kind, StageKind::Cha | StageKind::Imc | StageKind::CxlPort)
+            }
+            FaultClass::SharedLinkDegrade | FaultClass::SwitchPortStall => {
+                kind == StageKind::Switch
             }
         }
     }
@@ -177,7 +208,7 @@ impl FaultPlan {
         let horizon = horizon_epochs.max(1);
         let mut plan = FaultPlan::new();
         for _ in 0..n {
-            let class = FaultClass::ALL[rng.below(FaultClass::ALL.len() as u64) as usize];
+            let class = FaultClass::MACHINE[rng.below(FaultClass::MACHINE.len() as u64) as usize];
             let stage = match class {
                 FaultClass::LinkDegrade | FaultClass::DevThrottle | FaultClass::PoisonedLine => {
                     StageId::cxl(rng.below(cfg.cxl_devices.max(1) as u64) as usize)
@@ -194,6 +225,9 @@ impl FaultPlan {
                     1 => StageId::imc(),
                     _ => StageId::cxl(rng.below(cfg.cxl_devices.max(1) as u64) as usize),
                 },
+                FaultClass::SharedLinkDegrade | FaultClass::SwitchPortStall => {
+                    unreachable!("fabric fault classes are not in FaultClass::MACHINE")
+                }
             };
             let start = rng.below(horizon);
             let len = 1 + rng.below(horizon - start);
@@ -204,6 +238,9 @@ impl FaultPlan {
                     (cfg.epoch_cycles / 4).max(1) + rng.below(cfg.epoch_cycles / 4 + 1)
                 }
                 FaultClass::PmuDropout => 0,
+                FaultClass::SharedLinkDegrade | FaultClass::SwitchPortStall => {
+                    unreachable!("fabric fault classes are not in FaultClass::MACHINE")
+                }
             };
             let w = FaultWindow {
                 class,
@@ -323,6 +360,36 @@ mod tests {
         assert_eq!(plan.active(2).count(), 2);
         assert_eq!(plan.active(4).count(), 1);
         assert_eq!(plan.active(5).count(), 0);
+    }
+
+    #[test]
+    fn fabric_classes_target_only_the_switch() {
+        for class in [FaultClass::SharedLinkDegrade, FaultClass::SwitchPortStall] {
+            assert!(window(class, StageId::switch_port(0)).validate().is_ok());
+            assert!(window(class, StageId::switch_port(1)).validate().is_ok());
+            assert!(window(class, StageId::cxl(0)).validate().is_err());
+            assert!(window(class, StageId::pool()).validate().is_err());
+        }
+        // Machine classes must not leak onto fabric stages.
+        assert!(window(FaultClass::LinkDegrade, StageId::switch_port(0))
+            .validate()
+            .is_err());
+        assert!(window(FaultClass::QueueStall, StageId::pool())
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn seeded_plans_never_draw_fabric_classes() {
+        let cfg = MachineConfig::tiny();
+        let plan = FaultPlan::from_seed(0xfab, 200, &cfg, 16);
+        for w in plan.windows() {
+            assert!(
+                FaultClass::MACHINE.contains(&w.class),
+                "from_seed drew a fabric-only class: {:?}",
+                w.class
+            );
+        }
     }
 
     #[test]

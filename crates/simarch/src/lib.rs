@@ -39,24 +39,30 @@ mod conservation;
 pub mod core_model;
 pub mod cxl;
 mod datapath;
+pub mod fabric;
 pub mod faults;
 pub mod imc;
 pub mod invariants;
 pub mod machine;
 pub mod mem;
 pub mod module;
+pub mod pooled;
 pub mod prefetch;
 pub mod queues;
 pub mod remote;
 pub mod request;
+pub mod switch;
 pub mod trace;
 
 pub use config::{MachineConfig, MemPolicy};
+pub use fabric::{Fabric, FabricConfig, FabricEpochResult};
 pub use faults::{FaultClass, FaultPlan, FaultWindow};
 pub use invariants::{Invariants, Violation};
 pub use machine::{EpochResult, Machine, RunSummary, StallError};
 pub use mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
 pub use module::{Edge, SimModule, StageId, StageKind, Topology};
+pub use pooled::PooledDevice;
 pub use remote::RemoteSocket;
-pub use request::{AccessKind, MemOp, ServeLoc};
+pub use request::{AccessKind, HostId, MemOp, ServeLoc};
+pub use switch::{Arbitration, CxlSwitch, Grant};
 pub use trace::{TraceSource, Workload};

@@ -142,6 +142,9 @@ pub struct Machine {
     /// Bumped on every workload (re)attachment; consumers cache derived
     /// per-core state (e.g. the profiler's app labels) against it.
     workload_gen: u64,
+    /// Which tenant host this machine is in a multi-host fabric.
+    /// `HostId(0)` for a standalone machine.
+    host: crate::request::HostId,
 }
 
 /// All stage modules in ascending stage-id (= drain) order, as trait
@@ -191,7 +194,28 @@ impl Machine {
             faults: FaultPlan::new(),
             fault_dropout: Vec::new(),
             workload_gen: 0,
+            host: crate::request::HostId(0),
             cfg,
+        }
+    }
+
+    /// This machine's tenant identity within a fabric (`HostId(0)` when
+    /// standalone).
+    pub fn host(&self) -> crate::request::HostId {
+        self.host
+    }
+
+    /// Assign the tenant identity. Called by `fabric::Fabric` at
+    /// construction; identity only — no timing or counter effect.
+    pub fn set_host(&mut self, host: crate::request::HostId) {
+        self.host = host;
+    }
+
+    /// Impose fabric-attributed backpressure on every CXL port of this
+    /// machine for the next epoch (see `CxlPort::set_fabric_backpressure`).
+    pub fn set_fabric_backpressure(&mut self, extra_lat: u64, extra_gap: u64) {
+        for p in &mut self.ports {
+            p.set_fabric_backpressure(extra_lat, extra_gap);
         }
     }
 
@@ -349,6 +373,11 @@ impl Machine {
                     self.fault_dropout.push(w.stage);
                     obs::metrics::counter_add("fault.pmu_dropout", 1);
                 }
+                // Fabric classes target the shared switch, which lives
+                // outside any single machine; `fabric::Fabric` applies
+                // them. A machine-level plan carrying one is a no-op
+                // (validate() already forbids machine stages as targets).
+                FaultClass::SharedLinkDegrade | FaultClass::SwitchPortStall => {}
             }
         }
         obs::metrics::gauge_set("fault.active_windows", active as f64);
@@ -526,7 +555,7 @@ impl Invariants for Machine {
             "stage topology failed validation: {:?}",
             self.topology.validate()
         );
-        crate::conservation::pmu_conservation(&self.pmu, out);
+        crate::conservation::pmu_conservation(self.host, &self.pmu, out);
     }
 }
 

@@ -44,6 +44,11 @@ pub enum StageKind {
     Remote = 3,
     /// One CXL port: M2PCIe bridge + FlexBus link + Type-3 device.
     CxlPort = 4,
+    /// One upstream port of the fabric's CXL switch (index = port = host).
+    /// Index 0 doubles as the shared downstream link for fault targeting.
+    Switch = 5,
+    /// The pooled Type-3 device shared by every host of the fabric.
+    PooledDev = 6,
 }
 
 impl StageKind {
@@ -54,6 +59,8 @@ impl StageKind {
             StageKind::Imc => "imc",
             StageKind::Remote => "remote",
             StageKind::CxlPort => "cxl",
+            StageKind::Switch => "cxlsw",
+            StageKind::PooledDev => "cxlpool",
         }
     }
 }
@@ -90,6 +97,16 @@ impl StageId {
 
     pub fn cxl(d: usize) -> StageId {
         StageId::new(StageKind::CxlPort, d as u16)
+    }
+
+    /// Upstream port `p` of the fabric switch (one port per host).
+    pub fn switch_port(p: usize) -> StageId {
+        StageId::new(StageKind::Switch, p as u16)
+    }
+
+    /// The pooled Type-3 device stage of a fabric topology.
+    pub fn pool() -> StageId {
+        StageId::new(StageKind::PooledDev, 0)
     }
 }
 
@@ -198,6 +215,73 @@ impl Topology {
         t
     }
 
+    /// The multi-host fabric topology: `hosts` copies of the per-host Clos
+    /// pipeline (stage indices offset by host so ids stay unique), each
+    /// host's CXL ports feeding upstream port `h` of one shared switch,
+    /// and every switch port feeding the pooled Type-3 device. With
+    /// `hosts == 1` this is the degenerate single-host fabric whose
+    /// machine-side stages are exactly [`Topology::clos`]'s.
+    pub fn fabric(cfg: &MachineConfig, hosts: usize) -> Topology {
+        let mut stages: Vec<StageId> = Vec::new();
+        let mut edges: Vec<Edge> = Vec::new();
+        for h in 0..hosts {
+            let core0 = h * cfg.cores;
+            stages.extend((0..cfg.cores).map(|c| StageId::core(core0 + c)));
+        }
+        for h in 0..hosts {
+            stages.push(StageId::new(StageKind::Cha, h as u16));
+        }
+        for h in 0..hosts {
+            stages.push(StageId::new(StageKind::Imc, h as u16));
+        }
+        for h in 0..hosts {
+            stages.push(StageId::new(StageKind::Remote, h as u16));
+        }
+        for h in 0..hosts {
+            let dev0 = h * cfg.cxl_devices;
+            stages.extend((0..cfg.cxl_devices).map(|d| StageId::cxl(dev0 + d)));
+        }
+        stages.extend((0..hosts).map(StageId::switch_port));
+        stages.push(StageId::pool());
+
+        for h in 0..hosts {
+            let cha = StageId::new(StageKind::Cha, h as u16);
+            for c in 0..cfg.cores {
+                edges.push(Edge {
+                    from: StageId::core(h * cfg.cores + c),
+                    to: cha,
+                });
+            }
+            edges.push(Edge {
+                from: cha,
+                to: StageId::new(StageKind::Imc, h as u16),
+            });
+            edges.push(Edge {
+                from: cha,
+                to: StageId::new(StageKind::Remote, h as u16),
+            });
+            for d in 0..cfg.cxl_devices {
+                let port = StageId::cxl(h * cfg.cxl_devices + d);
+                edges.push(Edge {
+                    from: cha,
+                    to: port,
+                });
+                edges.push(Edge {
+                    from: port,
+                    to: StageId::switch_port(h),
+                });
+            }
+            edges.push(Edge {
+                from: StageId::switch_port(h),
+                to: StageId::pool(),
+            });
+        }
+
+        let t = Topology { stages, edges };
+        debug_assert!(t.validate().is_ok(), "fabric topology must validate");
+        t
+    }
+
     /// All stages, in ascending [`StageId`] (= drain) order.
     pub fn stages(&self) -> &[StageId] {
         &self.stages
@@ -262,6 +346,43 @@ mod tests {
         assert!(StageId::remote() < StageId::cxl(0));
         assert!(StageId::cxl(0) < StageId::cxl(1));
         assert!(StageId::core(0) < StageId::core(1));
+        assert!(StageId::cxl(7) < StageId::switch_port(0));
+        assert!(StageId::switch_port(0) < StageId::switch_port(1));
+        assert!(StageId::switch_port(63) < StageId::pool());
+    }
+
+    #[test]
+    fn fabric_topology_routes_every_host_through_the_switch_to_the_pool() {
+        let cfg = MachineConfig::tiny();
+        let hosts = 3;
+        let t = Topology::fabric(&cfg, hosts);
+        assert!(t.validate().is_ok());
+        assert_eq!(
+            t.stages().len(),
+            hosts * (cfg.cores + 3 + cfg.cxl_devices) + hosts + 1
+        );
+        for h in 0..hosts {
+            for d in 0..cfg.cxl_devices {
+                let port = StageId::cxl(h * cfg.cxl_devices + d);
+                assert_eq!(t.successors(port), vec![StageId::switch_port(h)]);
+            }
+            assert_eq!(t.successors(StageId::switch_port(h)), vec![StageId::pool()]);
+        }
+        assert!(t.successors(StageId::pool()).is_empty());
+    }
+
+    #[test]
+    fn single_host_fabric_keeps_the_clos_machine_stages() {
+        let cfg = MachineConfig::tiny();
+        let clos = Topology::clos(&cfg);
+        let fabric = Topology::fabric(&cfg, 1);
+        // The machine-side prefix of the 1-host fabric is exactly the clos
+        // stage list; only the switch port and pool are appended.
+        assert_eq!(&fabric.stages()[..clos.stages().len()], clos.stages());
+        assert_eq!(
+            &fabric.stages()[clos.stages().len()..],
+            &[StageId::switch_port(0), StageId::pool()]
+        );
     }
 
     #[test]

@@ -132,9 +132,29 @@ pub struct Completion {
     pub l3_miss_at: Option<u64>,
 }
 
+/// Identity of a tenant host in a multi-host fabric. Host 0 is the only
+/// host of a standalone machine; the fabric assigns ids densely so the
+/// id doubles as the upstream switch-port index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u16);
+
+impl HostId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for HostId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
 /// Identity of an in-flight request: who issued it and on which path class.
 #[derive(Clone, Copy, Debug)]
 pub struct ReqCtx {
+    /// The tenant host the issuing core belongs to.
+    pub host: HostId,
     pub core: usize,
     pub path: PathClass,
     /// Destination node if the request reaches memory (by address).
@@ -158,6 +178,14 @@ mod tests {
         assert!(matches!(MemOp::store(4).kind, AccessKind::Store));
         assert!(matches!(MemOp::swpf(4).kind, AccessKind::SwPrefetch));
         assert_eq!(MemOp::load(4).with_work(9).work, 9);
+    }
+
+    #[test]
+    fn host_ids_order_and_render() {
+        assert_eq!(HostId::default(), HostId(0));
+        assert!(HostId(0) < HostId(1));
+        assert_eq!(HostId(3).index(), 3);
+        assert_eq!(HostId(2).to_string(), "host2");
     }
 
     #[test]

@@ -31,6 +31,7 @@ specs=(
     "fig3_cha_pmu --emr"
     "fig4_uncore_pmu --emr"
     "fig13_faults"
+    "fig14_fabric"
 )
 
 out=crates/bench/out/all_figures.txt

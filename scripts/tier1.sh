@@ -49,6 +49,18 @@ diff -u "$obs_out/serial.txt" "$obs_out/jobs2.txt"
 run cargo run --release -p bench --bin fig13_faults
 run git diff --exit-code crates/bench/out/fig13_faults.csv
 
+# Fabric smoke (DESIGN.md §2.2.2, FAULTS.md): the multi-host figure runs
+# its cross-tenant scenarios, the regenerated golden must be
+# byte-identical (every pathology diagnosed 'ok' with the right
+# culprit/victim hosts), and a --jobs 2 rerun must print byte-identical
+# stdout to the serial run.
+run cargo run --release -p bench --bin fig14_fabric
+run git diff --exit-code crates/bench/out/fig14_fabric.csv
+echo "==> fig14_fabric --jobs 2 vs serial (byte-identical stdout)"
+./target/release/fig14_fabric > "$obs_out/fabric_serial.txt"
+./target/release/fig14_fabric --jobs 2 > "$obs_out/fabric_jobs2.txt"
+diff -u "$obs_out/fabric_serial.txt" "$obs_out/fabric_jobs2.txt"
+
 # Fleet-mode smoke (FLEET.md): a small sharded fleet serves a live
 # /metrics scrape whose Prometheus exposition validates (TYPE lines,
 # pathfinder_* mangling, no duplicate samples, the contract families
