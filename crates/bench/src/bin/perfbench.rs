@@ -15,19 +15,28 @@
 //! Wall time is read only through `obs::clock::now_ns` (the workspace's
 //! single sanctioned clock choke point — see STATIC_ANALYSIS.md), so this
 //! binary stays clean under pflint's `wall-clock` rule. Results are
-//! appended/merged into `BENCH_pr5.json` (schema: one row per measurement,
+//! appended/merged into `BENCH_pr9.json` (schema: one row per measurement,
 //! `{"name", "metric", "value", "unit"}`) so successive PRs can track the
 //! perf trajectory. Rows are merged by `(name, metric)`: re-running with
 //! the same `--label` updates in place and never duplicates.
 //!
+//! `--sched reference` runs the profiled scenario under the retained
+//! per-tick reference scheduler instead of the event wheel (the default),
+//! so before/after rows for the PR 9 rewrite come from the same binary.
+//!
+//! `--gate BASELINE.json` skips measurement entirely: it reads the `--out`
+//! file and the baseline, compares `perfbench.profiled` epochs/s, and
+//! exits non-zero if the out file is missing or regresses below the
+//! baseline — the tier-1 perf gate.
+//!
 //! `cargo run --release -p bench --bin perfbench -- [--label L] [--out F]
-//!  [--epochs N] [--no-write]`
+//!  [--epochs N] [--sched wheel|reference] [--no-write] [--gate BASE]`
 
 use std::io::Write;
 use std::path::PathBuf;
 
 use pathfinder::profiler::{ProfileSpec, Profiler};
-use simarch::{Machine, MachineConfig, MemPolicy, Workload};
+use simarch::{Machine, MachineConfig, MemPolicy, SchedMode, Workload};
 
 /// One emitted measurement row.
 struct Row {
@@ -44,10 +53,11 @@ fn secs_since(start_ns: u64) -> f64 {
 /// The fixed profiled scenario: a short-epoch machine (so the per-epoch
 /// profiler work — snapshot, digest, techniques, ingest — dominates over
 /// raw trace simulation) with two seeded workloads that outlive the run.
-fn profiled_scenario(epochs: u64) -> std::io::Result<Vec<Row>> {
+fn profiled_scenario(epochs: u64, sched: SchedMode) -> std::io::Result<Vec<Row>> {
     let mut cfg = MachineConfig::tiny();
     cfg.epoch_cycles = 500;
     let mut machine = Machine::new(cfg);
+    machine.set_sched_mode(sched);
     let registry_app = |app: &str, seed: u64| {
         workloads::build(app, u64::MAX / 2, seed).ok_or_else(|| {
             std::io::Error::new(
@@ -244,6 +254,48 @@ fn merge_into_file(path: &PathBuf, fresh: Vec<Row>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Read the recorded `perfbench.profiled` epochs/s from a results file.
+fn recorded_epochs_per_sec(path: &PathBuf) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = obs::json::parse(&text).ok()?;
+    v.as_arr()?.iter().find_map(|item| {
+        (item.get("name")?.as_str()? == "perfbench.profiled"
+            && item.get("metric")?.as_str()? == "epochs_per_sec")
+            .then(|| item.get("value")?.as_f64())?
+    })
+}
+
+/// `--gate BASELINE`: compare the committed out-file against the baseline
+/// without measuring anything. Fails (exit 1) when the out file or its
+/// profiled row is missing, or when epochs/s regressed below the baseline.
+fn gate(out: &PathBuf, baseline: &PathBuf) -> std::io::Result<()> {
+    let err = |msg: String| std::io::Error::other(msg);
+    let current = recorded_epochs_per_sec(out).ok_or_else(|| {
+        err(format!(
+            "gate: no perfbench.profiled epochs/s in {}",
+            out.display()
+        ))
+    })?;
+    let base = recorded_epochs_per_sec(baseline).ok_or_else(|| {
+        err(format!(
+            "gate: no perfbench.profiled epochs/s in baseline {}",
+            baseline.display()
+        ))
+    })?;
+    println!(
+        "gate: {} records {current:.0} epochs/s, baseline {} records {base:.0} epochs/s",
+        out.display(),
+        baseline.display()
+    );
+    if current < base {
+        return Err(err(format!(
+            "gate: profiled throughput regressed ({current:.0} < {base:.0} epochs/s)"
+        )));
+    }
+    println!("gate: ok ({:.2}x baseline)", current / base);
+    Ok(())
+}
+
 fn main() -> std::io::Result<()> {
     let session = bench::obs_session();
     let args: Vec<String> = std::env::args().collect();
@@ -253,10 +305,18 @@ fn main() -> std::io::Result<()> {
         .unwrap_or(2_000);
     let out = arg_value(&args, "--out")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr5.json"));
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr9.json"));
+    if let Some(baseline) = arg_value(&args, "--gate") {
+        gate(&out, &PathBuf::from(baseline))?;
+        return session.finish();
+    }
+    let sched = match arg_value(&args, "--sched").as_deref() {
+        Some("reference") => SchedMode::Reference,
+        _ => SchedMode::Wheel,
+    };
 
     println!("perfbench — fixed seeded scenarios, obs clock only\n");
-    let mut rows = profiled_scenario(epochs)?;
+    let mut rows = profiled_scenario(epochs, sched)?;
     rows.extend(ingest_scenario(64, 4_000));
 
     if let Some(label) = &label {

@@ -56,3 +56,14 @@ fn fig13_faults_bytes_are_identical() {
     run_figure(env!("CARGO_BIN_EXE_fig13_faults"), "250000", &out);
     assert_bytes_identical(&out, "fig13_faults.csv");
 }
+
+/// The fabric path schedules two machines plus the switch/pool replay
+/// through the same scheduler as the single-host figures; its golden was
+/// captured before the event-wheel rewrite, so this pins the multi-host
+/// composition end to end.
+#[test]
+fn fig14_fabric_bytes_are_identical() {
+    let out = scratch_dir("fig14");
+    run_figure(env!("CARGO_BIN_EXE_fig14_fabric"), "60000", &out);
+    assert_bytes_identical(&out, "fig14_fabric.csv");
+}

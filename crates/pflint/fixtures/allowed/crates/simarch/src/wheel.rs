@@ -1,0 +1,17 @@
+// pflint fixture: the same wheel hot paths made allocation-free — slots
+// are preallocated by the cold constructor below and the cascade reuses
+// a caller-owned scratch buffer instead of collecting a fresh Vec.
+// pflint::hot
+pub fn schedule(slots: &mut [Vec<(u64, u32)>], tick: u64, item: u32) {
+    slots[(tick & 255) as usize].push((tick, item));
+}
+
+// pflint::hot
+pub fn cascade(overflow: &[(u64, u32)], out: &mut Vec<(u64, u32)>) {
+    out.extend_from_slice(overflow);
+}
+
+/// Cold path: allocation is fine outside `// pflint::hot` bodies.
+pub fn new_slots() -> Vec<Vec<(u64, u32)>> {
+    (0..256).map(|_| Vec::with_capacity(4)).collect()
+}

@@ -1,0 +1,13 @@
+// pflint fixture: event-wheel hot paths that allocate per wakeup. The
+// schedule/pop pair runs once per stage transition, so a heap
+// allocation here multiplies across millions of pops per second.
+// pflint::hot
+pub fn schedule(slots: &mut Vec<Vec<(u64, u32)>>, tick: u64, item: u32) {
+    let key = format!("slot{}", tick & 255);
+    slots[(tick & 255) as usize].push((tick, item + key.len() as u32));
+}
+
+// pflint::hot
+pub fn cascade(overflow: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    overflow.iter().copied().collect()
+}

@@ -171,10 +171,13 @@ fn bad_fixtures_trip_hot_path_alloc() {
     assert_found(&findings, rules::HOT_PATH_ALLOC, "db.rs", 12);
     // An annotation with no function underneath is itself a finding.
     assert_found(&findings, rules::HOT_PATH_ALLOC, "dangling_hot.rs", 2);
+    // Event-wheel hot paths: format! in schedule, collect in cascade.
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "wheel.rs", 6);
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "wheel.rs", 12);
     // Cold-path formatting (`describe`, `series_key`) stays out of scope.
     assert_eq!(
         findings.len(),
-        6,
+        8,
         "rule leaked beyond hot bodies: {findings:?}"
     );
 }

@@ -1,0 +1,410 @@
+//! Allocation-free request bookkeeping: an open-addressed line map and a
+//! struct-of-arrays request pool with a free-list arena.
+//!
+//! The seed kept per-request state in `BTreeMap`s (`CoreState::inflight`,
+//! the snoop-filter directory, …). Every insert allocated a tree node and
+//! every lookup chased pointers — together ~15% of profiled wall time,
+//! and another chunk of the ~16% spent inside the allocator itself (see
+//! PERFORMANCE.md). Both structures here are flat `Vec`s that reach a
+//! steady-state capacity within the first few epochs and never allocate
+//! again on the hot path.
+//!
+//! Determinism: neither container's *iteration* order is ever observed by
+//! the simulation — callers only get/insert/remove by key and sweep with
+//! order-independent predicates — so replacing the ordered maps cannot
+//! perturb a counter stream (the byte-identity anchor of the golden
+//! tests).
+
+/// Sentinel key marking an empty [`LineMap`] slot. Line addresses are
+/// physical-address bits shifted right by the cache-line width, so the
+/// all-ones key cannot occur.
+const EMPTY: u64 = u64::MAX;
+
+/// Multiplicative (Fibonacci) hash: spreads consecutive line addresses —
+/// the common streaming case — across the table.
+#[inline]
+fn hash(key: u64, mask: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
+}
+
+/// An open-addressed `u64 → V` map with linear probing and backward-shift
+/// deletion, stored struct-of-arrays (keys and values in separate flat
+/// vectors). Tombstone-free: load factor stays below 1/2, so probe chains
+/// stay short even under the adversarial streaming patterns the figure
+/// workloads produce.
+#[derive(Clone, Debug)]
+pub struct LineMap<V: Copy> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+    mask: usize,
+}
+
+impl<V: Copy + Default> Default for LineMap<V> {
+    fn default() -> Self {
+        LineMap::new()
+    }
+}
+
+impl<V: Copy + Default> LineMap<V> {
+    pub fn new() -> Self {
+        LineMap::with_capacity(16)
+    }
+
+    /// Capacity is rounded up to a power of two of at least 16 slots.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = cap.next_power_of_two().max(16);
+        LineMap {
+            keys: vec![EMPTY; slots],
+            vals: vec![V::default(); slots],
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot index of `key`, if present.
+    // pflint::hot
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        debug_assert_ne!(key, EMPTY);
+        let mut i = hash(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    // pflint::hot
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.find(key).map(|i| self.vals[i])
+    }
+
+    // pflint::hot
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key).map(|i| &mut self.vals[i])
+    }
+
+    // pflint::hot
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Insert or overwrite; returns the previous value if the key was
+    /// present. Grows (the only allocation) at 1/2 load.
+    // pflint::hot
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        debug_assert_ne!(key, EMPTY);
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = hash(key, self.mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                let prev = self.vals[i];
+                self.vals[i] = val;
+                return Some(prev);
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Remove `key`, closing the probe chain by backward-shift deletion
+    /// (no tombstones, so probe lengths never degrade over a long run).
+    // pflint::hot
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let i = self.find(key)?;
+        let prev = self.vals[i];
+        self.delete_slot(i);
+        Some(prev)
+    }
+
+    /// Backward-shift deletion at slot `i`: walk the probe chain after the
+    /// hole and move back every entry whose home slot precedes the hole.
+    fn delete_slot(&mut self, mut i: usize) {
+        self.len -= 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            // `k` may fill the hole only if its home slot does not sit
+            // strictly inside the (i, j] arc — otherwise moving it would
+            // break its own probe chain.
+            let home = hash(k, self.mask);
+            let dist_home = j.wrapping_sub(home) & self.mask;
+            let dist_hole = j.wrapping_sub(i) & self.mask;
+            if dist_home >= dist_hole {
+                self.keys[i] = k;
+                self.vals[i] = self.vals[j];
+                i = j;
+            }
+        }
+        self.keys[i] = EMPTY;
+    }
+
+    /// Keep only entries for which `f(key, value)` holds. Iteration order
+    /// is unspecified; the predicate must be order-independent (it is for
+    /// every caller: completion-time sweeps).
+    pub fn retain(&mut self, mut f: impl FnMut(u64, V) -> bool) {
+        let mut i = 0;
+        while i < self.keys.len() {
+            let k = self.keys[i];
+            if k != EMPTY && !f(k, self.vals[i]) {
+                // After the backward shift a surviving entry may land in
+                // slot `i`; re-examine it before moving on. Entries can
+                // only move backward, so each is visited at least once.
+                self.delete_slot(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` pair in unspecified order (invariant
+    /// audits only — never on a path that feeds counters).
+    pub fn for_each(&self, mut f: impl FnMut(u64, V)) {
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k != EMPTY {
+                f(k, self.vals[i]);
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let vals = std::mem::replace(&mut self.vals, vec![V::default(); new_slots]);
+        self.mask = new_slots - 1;
+        self.len = 0;
+        for (i, k) in keys.into_iter().enumerate() {
+            if k != EMPTY {
+                self.insert(k, vals[i]);
+            }
+        }
+    }
+}
+
+/// A struct-of-arrays pool of in-flight requests: each live request is a
+/// slot holding its line address and completion cycle, slots are recycled
+/// through a free list, and a [`LineMap`] indexes line → slot for the
+/// merge lookups (`CoreState::inflight` / `sb_inflight` in the seed).
+///
+/// Parallel `lines`/`finishes` vectors instead of a `Vec<struct>`: the
+/// completion-sweep (`gc`) only touches `finishes`, so it scans a dense
+/// u64 array instead of striding over padded records.
+#[derive(Clone, Debug, Default)]
+pub struct RequestPool {
+    /// Line address per slot (`EMPTY` when the slot is free).
+    lines: Vec<u64>,
+    /// Completion cycle per slot, parallel to `lines`.
+    finishes: Vec<u64>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// line → slot.
+    index: LineMap<u32>,
+}
+
+impl RequestPool {
+    pub fn new() -> Self {
+        RequestPool::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Completion cycle of the in-flight request on `line`, if any.
+    // pflint::hot
+    #[inline]
+    pub fn get(&self, line: u64) -> Option<u64> {
+        self.index.get(line).map(|s| self.finishes[s as usize])
+    }
+
+    // pflint::hot
+    #[inline]
+    pub fn contains(&self, line: u64) -> bool {
+        self.index.contains_key(line)
+    }
+
+    /// Track (or refresh) an in-flight request. A request already in
+    /// flight on the line keeps its slot; only the finish time moves.
+    // pflint::hot
+    pub fn insert(&mut self, line: u64, finish: u64) {
+        if let Some(slot) = self.index.get(line) {
+            self.finishes[slot as usize] = finish;
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.lines[s as usize] = line;
+                self.finishes[s as usize] = finish;
+                s
+            }
+            None => {
+                let s = self.lines.len() as u32;
+                self.lines.push(line);
+                self.finishes.push(finish);
+                s
+            }
+        };
+        self.index.insert(line, slot);
+    }
+
+    /// Free every request that completed at or before `now`. The sweep is
+    /// order-independent, so pool reuse cannot perturb determinism.
+    // pflint::hot
+    pub fn gc(&mut self, now: u64) {
+        for slot in 0..self.lines.len() {
+            let line = self.lines[slot];
+            if line != EMPTY && self.finishes[slot] <= now {
+                self.lines[slot] = EMPTY;
+                self.free.push(slot as u32);
+                self.index.remove(line);
+            }
+        }
+    }
+
+    /// Visit every live `(line, finish)` pair (tests/audits only).
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for (slot, &line) in self.lines.iter().enumerate() {
+            if line != EMPTY {
+                f(line, self.finishes[slot]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_remove_roundtrip() {
+        let mut m: LineMap<u64> = LineMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(7, 70), None);
+        assert_eq!(m.insert(7, 71), Some(70));
+        assert_eq!(m.get(7), Some(71));
+        assert!(m.contains_key(7));
+        assert_eq!(m.remove(7), Some(71));
+        assert_eq!(m.remove(7), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_get_mut_updates_in_place() {
+        let mut m: LineMap<u64> = LineMap::new();
+        m.insert(3, 1);
+        *m.get_mut(3).unwrap() += 41;
+        assert_eq!(m.get(3), Some(42));
+        assert!(m.get_mut(4).is_none());
+    }
+
+    #[test]
+    fn map_survives_growth_and_collisions() {
+        let mut m: LineMap<u64> = LineMap::with_capacity(16);
+        // Streaming keys + a colliding arithmetic series, well past the
+        // initial capacity.
+        for k in 0..1000u64 {
+            m.insert(k * 17, k);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k * 17), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn map_backward_shift_keeps_chains_reachable() {
+        let mut m: LineMap<u64> = LineMap::with_capacity(16);
+        for k in 1..=12u64 {
+            m.insert(k, k);
+        }
+        // Delete interleaved keys, then verify every survivor.
+        for k in (2..=12u64).step_by(2) {
+            assert_eq!(m.remove(k), Some(k));
+        }
+        for k in (1..=11u64).step_by(2) {
+            assert_eq!(m.get(k), Some(k), "key {k}");
+        }
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn map_retain_examines_every_entry() {
+        let mut m: LineMap<u64> = LineMap::with_capacity(16);
+        for k in 0..200u64 {
+            m.insert(k + 1, k % 5);
+        }
+        m.retain(|_, v| v != 2);
+        assert_eq!(m.len(), 160);
+        m.for_each(|_, v| assert_ne!(v, 2));
+    }
+
+    #[test]
+    fn pool_merge_and_gc() {
+        let mut p = RequestPool::new();
+        p.insert(10, 500);
+        p.insert(20, 80);
+        assert_eq!(p.get(10), Some(500));
+        assert!(p.contains(20));
+        assert_eq!(p.len(), 2);
+        p.gc(100); // line 20 completed, 10 still flying
+        assert_eq!(p.get(20), None);
+        assert_eq!(p.get(10), Some(500));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn pool_recycles_slots_without_growth() {
+        let mut p = RequestPool::new();
+        for round in 0..50u64 {
+            for l in 0..64u64 {
+                p.insert(round * 64 + l + 1, round * 100 + 50);
+            }
+            p.gc(round * 100 + 60);
+            assert!(p.is_empty());
+        }
+        // Steady state: the backing arrays never exceeded one round.
+        assert!(p.lines.len() <= 64, "arena grew to {}", p.lines.len());
+    }
+
+    #[test]
+    fn pool_reinsert_refreshes_finish() {
+        let mut p = RequestPool::new();
+        p.insert(5, 10);
+        p.insert(5, 99);
+        assert_eq!(p.get(5), Some(99));
+        assert_eq!(p.len(), 1);
+    }
+}

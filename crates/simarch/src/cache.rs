@@ -46,13 +46,27 @@ pub struct Eviction {
 }
 
 /// A set-associative cache, LRU replacement.
+///
+/// Storage is a single flat slab (`sets × ways` lines, set-major) with a
+/// per-set occupancy count instead of a `Vec<Vec<Line>>` — one allocation
+/// per cache, no pointer chase per set, and insertion never allocates.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    /// Occupied ways per set; `lines[s*ways .. s*ways + lens[s]]` are live.
+    lens: Vec<u16>,
     ways: usize,
     set_mask: u64,
     lru_clock: u64,
 }
+
+const EMPTY_LINE: Line = Line {
+    tag: 0,
+    state: LineState::Shared,
+    ready_at: 0,
+    prefetched: false,
+    lru: 0,
+};
 
 impl SetAssocCache {
     /// Build a cache with `size_bytes / 64 / ways` sets (rounded down to a
@@ -62,7 +76,8 @@ impl SetAssocCache {
         let sets = (lines / ways).max(1).next_power_of_two() / 2;
         let sets = sets.max(1);
         SetAssocCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            lines: vec![EMPTY_LINE; sets * ways],
+            lens: vec![0; sets],
             ways,
             set_mask: sets as u64 - 1,
             lru_clock: 0,
@@ -75,9 +90,16 @@ impl SetAssocCache {
         (h & self.set_mask) as usize
     }
 
+    /// The live slots of set `s` as a flat-slab range.
+    #[inline]
+    fn set_range(&self, s: usize) -> std::ops::Range<usize> {
+        let base = s * self.ways;
+        base..base + self.lens[s] as usize
+    }
+
     /// Total lines currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&n| n as usize).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -86,31 +108,37 @@ impl SetAssocCache {
 
     /// Capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.lens.len() * self.ways
     }
 
     /// Number of sets (for geometry-aware tests).
     pub fn n_sets(&self) -> usize {
-        self.sets.len()
+        self.lens.len()
     }
 
     /// Look a line up, touching LRU on hit.
+    // pflint::hot — per-access path; must not allocate.
     pub fn lookup(&mut self, line_addr: u64) -> Option<&mut Line> {
         self.lru_clock += 1;
         let clock = self.lru_clock;
         let set = self.set_of(line_addr);
-        let line = self.sets[set].iter_mut().find(|l| l.tag == line_addr)?;
+        let r = self.set_range(set);
+        let line = self.lines[r].iter_mut().find(|l| l.tag == line_addr)?;
         line.lru = clock;
         Some(line)
     }
 
     /// Look a line up without touching LRU (snoops, probes).
+    // pflint::hot — per-snoop path; must not allocate.
     pub fn peek(&self, line_addr: u64) -> Option<&Line> {
         let set = self.set_of(line_addr);
-        self.sets[set].iter().find(|l| l.tag == line_addr)
+        self.lines[self.set_range(set)]
+            .iter()
+            .find(|l| l.tag == line_addr)
     }
 
     /// Insert (or overwrite) a line, evicting LRU if the set is full.
+    // pflint::hot — per-fill path; must not allocate.
     pub fn insert(
         &mut self,
         line_addr: u64,
@@ -120,9 +148,10 @@ impl SetAssocCache {
     ) -> Option<Eviction> {
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        let ways = self.ways;
         let set_idx = self.set_of(line_addr);
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let n = self.lens[set_idx] as usize;
+        let set = &mut self.lines[base..base + n];
         if let Some(l) = set.iter_mut().find(|l| l.tag == line_addr) {
             l.state = state;
             l.ready_at = ready_at;
@@ -130,44 +159,56 @@ impl SetAssocCache {
             l.lru = clock;
             return None;
         }
-        let evicted = if set.len() >= ways {
+        let new = Line {
+            tag: line_addr,
+            state,
+            ready_at,
+            prefetched,
+            lru: clock,
+        };
+        if n >= self.ways {
+            // Same victim as Vec::swap_remove + push: the LRU slot takes the
+            // last live line and the new line lands in the last slot.
             let (victim_idx, _) = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
                 .expect("set non-empty");
-            let v = set.swap_remove(victim_idx);
+            let v = set[victim_idx];
+            set[victim_idx] = set[n - 1];
+            set[n - 1] = new;
             Some(Eviction {
                 line_addr: v.tag,
                 state: v.state,
                 was_prefetched: v.prefetched,
             })
         } else {
+            self.lines[base + n] = new;
+            self.lens[set_idx] += 1;
             None
-        };
-        set.push(Line {
-            tag: line_addr,
-            state,
-            ready_at,
-            prefetched,
-            lru: clock,
-        });
-        evicted
+        }
     }
 
     /// Remove a line (back-invalidation / snoop-invalidate), returning its
     /// state if it was present.
     pub fn invalidate(&mut self, line_addr: u64) -> Option<LineState> {
-        let set = self.set_of(line_addr);
-        let pos = self.sets[set].iter().position(|l| l.tag == line_addr)?;
-        Some(self.sets[set].swap_remove(pos).state)
+        let set_idx = self.set_of(line_addr);
+        let base = set_idx * self.ways;
+        let n = self.lens[set_idx] as usize;
+        let set = &mut self.lines[base..base + n];
+        let pos = set.iter().position(|l| l.tag == line_addr)?;
+        let state = set[pos].state;
+        set[pos] = set[n - 1];
+        self.lens[set_idx] -= 1;
+        Some(state)
     }
 
     /// Downgrade a line to Shared (snoop for read). Returns the previous
     /// state if present.
     pub fn downgrade(&mut self, line_addr: u64) -> Option<LineState> {
         let set = self.set_of(line_addr);
-        let l = self.sets[set].iter_mut().find(|l| l.tag == line_addr)?;
+        let r = self.set_range(set);
+        let l = self.lines[r].iter_mut().find(|l| l.tag == line_addr)?;
         let prev = l.state;
         l.state = LineState::Shared;
         Some(prev)
@@ -175,7 +216,10 @@ impl SetAssocCache {
 
     /// Iterate all resident lines (diagnostics/tests).
     pub fn iter(&self) -> impl Iterator<Item = &Line> {
-        self.sets.iter().flat_map(|s| s.iter())
+        self.lens
+            .iter()
+            .enumerate()
+            .flat_map(move |(s, &n)| self.lines[s * self.ways..s * self.ways + n as usize].iter())
     }
 }
 

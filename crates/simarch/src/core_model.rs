@@ -6,8 +6,7 @@
 //! independent loads overlap up to the available memory-level parallelism.
 //! The stall-cycle accounting mirrors the paper's Table 1 counters.
 
-use std::collections::BTreeMap;
-
+use crate::arena::RequestPool;
 use crate::cache::SetAssocCache;
 use crate::config::MachineConfig;
 use crate::invariant;
@@ -62,14 +61,19 @@ impl Invariants for CovCounter {
 /// Ground-truth per-request accounting the simulator keeps *outside* the PMU
 /// — real hardware cannot see this; PathFinder's estimators are validated
 /// against it in the ablation benches.
-#[derive(Debug, Default, Clone)]
+///
+/// Storage is a flat `(path, serve location)` grid rather than the seed's
+/// ordered map: `record_served` runs once per executed op, and a BTreeMap
+/// entry there was one of the hottest allocator/tree costs in the profile
+/// (PERFORMANCE.md). Iteration helpers walk the grid in `(PathClass,
+/// ServeLoc)` `Ord` order, so reports see exactly the old map order.
+#[derive(Debug, Clone)]
 pub struct GroundTruth {
-    /// (path, serve location) → (requests, summed latency cycles).
-    /// BTreeMap, not HashMap: reports iterate this map, so its order must
-    /// not depend on hash seeds.
-    pub served: BTreeMap<(PathClass, ServeLoc), (u64, u64)>,
-    /// True queueing delay experienced at each named component.
-    pub queue_delay: BTreeMap<&'static str, u64>,
+    /// `[path.idx()][loc.idx()]` → (requests, summed latency cycles).
+    served: [[(u64, u64); ServeLoc::COUNT]; PathClass::COUNT],
+    /// True queueing delay per named component, insertion-ordered; the
+    /// set is tiny (IMC/UPI/CXL), so a linear scan beats any map.
+    queue_delay: Vec<(&'static str, u64)>,
     /// Stall cycles whose blocking request was destined for CXL vs local.
     pub stall_cxl: u64,
     pub stall_local: u64,
@@ -81,15 +85,68 @@ pub struct GroundTruth {
     pub swpfs: u64,
 }
 
+impl Default for GroundTruth {
+    fn default() -> Self {
+        GroundTruth {
+            served: [[(0, 0); ServeLoc::COUNT]; PathClass::COUNT],
+            queue_delay: Vec::new(),
+            stall_cxl: 0,
+            stall_local: 0,
+            ops: 0,
+            loads: 0,
+            stores: 0,
+            swpfs: 0,
+        }
+    }
+}
+
 impl GroundTruth {
+    // pflint::hot
+    #[inline]
     pub fn record_served(&mut self, path: PathClass, loc: ServeLoc, latency: u64) {
-        let e = self.served.entry((path, loc)).or_insert((0, 0));
+        let e = &mut self.served[path.idx()][loc.idx()];
         e.0 += 1;
         e.1 += latency;
     }
 
+    // pflint::hot
     pub fn add_queue_delay(&mut self, component: &'static str, cycles: u64) {
-        *self.queue_delay.entry(component).or_insert(0) += cycles;
+        for (name, total) in &mut self.queue_delay {
+            if *name == component {
+                *total += cycles;
+                return;
+            }
+        }
+        self.queue_delay.push((component, cycles));
+    }
+
+    /// `(requests, summed latency)` served for one `(path, location)` cell.
+    pub fn served(&self, path: PathClass, loc: ServeLoc) -> (u64, u64) {
+        self.served[path.idx()][loc.idx()]
+    }
+
+    /// Every non-empty `(path, loc, requests, latency)` cell, in the old
+    /// map's `(PathClass, ServeLoc)` order.
+    pub fn served_cells(&self) -> impl Iterator<Item = (PathClass, ServeLoc, u64, u64)> + '_ {
+        PathClass::ALL.iter().flat_map(move |&p| {
+            ServeLoc::ALL.iter().filter_map(move |&l| {
+                let (n, lat) = self.served[p.idx()][l.idx()];
+                (n > 0).then_some((p, l, n, lat))
+            })
+        })
+    }
+
+    /// Total requests served across all cells.
+    pub fn served_total(&self) -> u64 {
+        self.served.iter().flatten().map(|&(n, _)| n).sum()
+    }
+
+    /// Accumulated queueing delay at a named component.
+    pub fn queue_delay(&self, component: &str) -> u64 {
+        self.queue_delay
+            .iter()
+            .find(|(n, _)| *n == component)
+            .map_or(0, |(_, v)| *v)
     }
 }
 
@@ -117,10 +174,11 @@ pub struct CoreState {
     pub pfq: BoundedWindow,
     /// Last L1D-missing line, for ascending-pattern next-line detection.
     pub last_l1_miss_line: u64,
-    /// In-flight fills by line address → completion cycle (LFB merge table).
-    pub inflight: BTreeMap<u64, u64>,
+    /// In-flight fills by line address → completion cycle (LFB merge
+    /// table), backed by the struct-of-arrays free-list arena.
+    pub inflight: RequestPool,
     /// In-flight store drains by line address (store coalescing).
-    pub sb_inflight: BTreeMap<u64, u64>,
+    pub sb_inflight: RequestPool,
     pub prefetcher: StreamPrefetcher,
     pub workload: Option<WorkloadRun>,
     pub done: bool,
@@ -149,8 +207,8 @@ impl CoreState {
             superq: BoundedWindow::new(cfg.superq_entries),
             pfq: BoundedWindow::new(cfg.pfq_entries),
             last_l1_miss_line: u64::MAX,
-            inflight: BTreeMap::new(),
-            sb_inflight: BTreeMap::new(),
+            inflight: RequestPool::new(),
+            sb_inflight: RequestPool::new(),
             prefetcher: StreamPrefetcher::new(&cfg.prefetch),
             workload: None,
             done: true,
@@ -175,15 +233,15 @@ impl CoreState {
         self.done = false;
     }
 
-    /// Drop completed entries from the in-flight maps (cheap, amortised).
+    /// Drop completed entries from the in-flight pools (cheap, amortised).
     // pflint::hot
     pub fn gc_inflight(&mut self) {
         let now = self.time;
         if self.inflight.len() > 64 {
-            self.inflight.retain(|_, &mut f| f > now);
+            self.inflight.gc(now);
         }
         if self.sb_inflight.len() > 64 {
-            self.sb_inflight.retain(|_, &mut f| f > now);
+            self.sb_inflight.gc(now);
         }
     }
 
@@ -204,7 +262,7 @@ impl CoreState {
         // Every op is served at exactly one location, and serving happens
         // synchronously within the step — so the per-location request
         // counts must conserve the op count.
-        let served_total: u64 = t.served.values().map(|&(n, _)| n).sum();
+        let served_total: u64 = t.served_total();
         invariant!(
             out,
             "core_model::GroundTruth",
@@ -278,6 +336,12 @@ impl crate::module::SimModule for CoreState {
             + self.superq.occupancy_at(now)
             + self.pfq.occupancy_at(now)) as u64
     }
+
+    fn next_event(&self) -> Option<u64> {
+        // A core with trace ops left progresses at its pipeline time; a
+        // finished core never needs a wakeup.
+        (!self.done).then_some(self.time)
+    }
 }
 
 impl Invariants for CoreState {
@@ -345,22 +409,33 @@ mod tests {
         g.record_served(PathClass::Drd, ServeLoc::CxlDram, 700);
         g.record_served(PathClass::Drd, ServeLoc::CxlDram, 300);
         g.record_served(PathClass::Rfo, ServeLoc::L2, 15);
-        assert_eq!(g.served[&(PathClass::Drd, ServeLoc::CxlDram)], (2, 1000));
-        assert_eq!(g.served[&(PathClass::Rfo, ServeLoc::L2)], (1, 15));
+        assert_eq!(g.served(PathClass::Drd, ServeLoc::CxlDram), (2, 1000));
+        assert_eq!(g.served(PathClass::Rfo, ServeLoc::L2), (1, 15));
+        assert_eq!(g.served_total(), 3);
+        let cells: Vec<_> = g.served_cells().collect();
+        // Drd < Rfo in PathClass order, so the cells come out map-ordered.
+        assert_eq!(
+            cells,
+            vec![
+                (PathClass::Drd, ServeLoc::CxlDram, 2, 1000),
+                (PathClass::Rfo, ServeLoc::L2, 1, 15),
+            ]
+        );
         g.add_queue_delay("L2", 5);
         g.add_queue_delay("L2", 7);
-        assert_eq!(g.queue_delay["L2"], 12);
+        assert_eq!(g.queue_delay("L2"), 12);
+        assert_eq!(g.queue_delay("IMC"), 0);
     }
 
     #[test]
     fn gc_inflight_drops_only_completed() {
         let mut c = CoreState::new(0, &MachineConfig::tiny());
         c.time = 100;
-        for line in 0..70u64 {
-            c.inflight.insert(line, if line < 35 { 50 } else { 500 });
+        for line in 1..=70u64 {
+            c.inflight.insert(line, if line <= 35 { 50 } else { 500 });
         }
         c.gc_inflight();
         assert_eq!(c.inflight.len(), 35);
-        assert!(c.inflight.values().all(|&f| f > 100));
+        c.inflight.for_each(|_, f| assert!(f > 100));
     }
 }

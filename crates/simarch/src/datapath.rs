@@ -185,7 +185,7 @@ impl Machine {
         }
         self.train_prefetcher(c, line, node, t_issue);
         // Merge into an in-flight fill if one exists.
-        if let Some(&f) = self.cores[c].inflight.get(&line) {
+        if let Some(f) = self.cores[c].inflight.get(line) {
             if f > t_issue {
                 if demand {
                     self.pmu.cores[c].inc(CoreEvent::MemLoadRetiredL1FbHit);
@@ -759,7 +759,7 @@ impl Machine {
 
     /// L2 stream prefetch (HWPF.L2 DRd path).
     fn issue_l2_prefetch(&mut self, c: usize, line: u64, node: MemNode, at: u64) {
-        if self.cores[c].l2.peek(line).is_some() || self.cores[c].inflight.contains_key(&line) {
+        if self.cores[c].l2.peek(line).is_some() || self.cores[c].inflight.contains(line) {
             self.pmu.cores[c].inc(CoreEvent::L2RqstsHwpfHit);
             return;
         }
@@ -858,7 +858,7 @@ impl Machine {
 
         // Store coalescing: an in-flight SB entry for the same line absorbs
         // the store.
-        if let Some(&f) = self.cores[c].sb_inflight.get(&line) {
+        if let Some(f) = self.cores[c].sb_inflight.get(line) {
             if f > t {
                 self.cores[c].sb.commit(f);
                 self.cores[c]

@@ -12,8 +12,6 @@
 //! At the end of each scheduling epoch (§4.2) the machine produces a
 //! [`pmu::SystemSnapshot`] — the input to all four PathFinder techniques.
 
-use std::collections::BTreeMap;
-
 use crate::cha::ChaComplex;
 use crate::config::MachineConfig;
 use crate::core_model::CoreState;
@@ -26,7 +24,21 @@ use crate::mem::MemNode;
 use crate::module::{SimModule, StageId, StageKind, Topology};
 use crate::remote::RemoteSocket;
 use crate::trace::Workload;
+use crate::wheel::EventWheel;
 use pmu::{SystemPmu, SystemSnapshot};
+
+/// Which core-stepping scheduler `run_epoch` uses. The two are proven
+/// equivalent (identical counter streams) by `tests/scheduler_equivalence.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Event-wheel scheduler: cores are keyed on their next progress tick
+    /// in an [`EventWheel`] and popped in `(tick, StageId)` order; idle
+    /// stretches are skipped instead of polled. The default.
+    Wheel,
+    /// The original per-step argmin scan over every core — retained as the
+    /// executable specification the wheel is differenced against.
+    Reference,
+}
 
 /// Result of running one scheduling epoch.
 pub struct EpochResult {
@@ -126,10 +138,13 @@ pub struct Machine {
     topology: Topology,
     pub(crate) epoch_end: u64,
     epochs_run: u64,
-    pub(crate) page_heat: BTreeMap<(u16, u64), u32>,
+    /// Unsorted per-epoch (asid, page) → count entries; duplicates are
+    /// merged by one sort at the epoch drain, which is far cheaper than an
+    /// ordered-map walk per touched page.
+    pub(crate) page_heat: Vec<((u16, u64), u32)>,
     /// Run-length cache in front of `page_heat`: consecutive ops to the same
-    /// (core, page) accumulate here and flush in one map operation —
-    /// sequential traces would otherwise pay a BTreeMap walk per op.
+    /// (core, page) accumulate here and flush in one push —
+    /// sequential traces would otherwise pay an append per op.
     pub(crate) heat_run: Option<((u16, u64), u32)>,
     /// Reused scratch for the L2 stream prefetcher's output lines, so a
     /// confirmed stream never allocates per demand miss.
@@ -145,6 +160,10 @@ pub struct Machine {
     /// Which tenant host this machine is in a multi-host fabric.
     /// `HostId(0)` for a standalone machine.
     host: crate::request::HostId,
+    /// Core-stepping scheduler (see [`SchedMode`]).
+    sched: SchedMode,
+    /// The wakeup wheel of the event-wheel scheduler; reset each epoch.
+    wheel: EventWheel<StageId>,
 }
 
 /// All stage modules in ascending stage-id (= drain) order, as trait
@@ -187,7 +206,7 @@ impl Machine {
             topology: Topology::clos(&cfg),
             epoch_end: 0,
             epochs_run: 0,
-            page_heat: BTreeMap::new(),
+            page_heat: Vec::new(),
             heat_run: None,
             pf_scratch: Vec::new(),
             ops_at_last_epoch: vec![0; cfg.cores],
@@ -195,8 +214,21 @@ impl Machine {
             fault_dropout: Vec::new(),
             workload_gen: 0,
             host: crate::request::HostId(0),
+            sched: SchedMode::Wheel,
+            wheel: EventWheel::new(0),
             cfg,
         }
+    }
+
+    /// Select the core-stepping scheduler. Both modes produce identical
+    /// counter streams; `Reference` exists for the differential harness
+    /// and for bisecting any future wheel regression.
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.sched = mode;
+    }
+
+    pub fn sched_mode(&self) -> SchedMode {
+        self.sched
     }
 
     /// This machine's tenant identity within a fabric (`HostId(0)` when
@@ -384,11 +416,11 @@ impl Machine {
         self.faults = plan;
     }
 
-    /// Spill the page-heat run-length cache into the map. Must run before
-    /// `page_heat` is read or drained.
+    /// Spill the page-heat run-length cache into the accumulator. Must run
+    /// before `page_heat` is read or drained.
     pub(crate) fn flush_heat_run(&mut self) {
         if let Some((key, n)) = self.heat_run.take() {
-            *self.page_heat.entry(key).or_insert(0) += n;
+            self.page_heat.push((key, n));
         }
     }
 
@@ -400,14 +432,9 @@ impl Machine {
         let end = self.epoch_end + self.cfg.epoch_cycles;
         {
             let _step = obs::span!("epoch.step");
-            loop {
-                // Run the globally-earliest core so shared-resource arrivals
-                // are interleaved in near-perfect time order.
-                let next = (0..self.cores.len())
-                    .filter(|&i| !self.cores[i].done && self.cores[i].time < end)
-                    .min_by_key(|&i| self.cores[i].time);
-                let Some(c) = next else { break };
-                self.step_core(c);
+            match self.sched {
+                SchedMode::Wheel => self.wheel_step_loop(end),
+                SchedMode::Reference => self.reference_step_loop(end),
             }
         }
         {
@@ -465,13 +492,19 @@ impl Machine {
                 obs::metrics::observe("epoch.audit_ns", d.as_nanos() as u64);
             }
         }
-        // BTreeMap iterates in key order, so the drained heat list is already
-        // sorted by (asid, page) — no hash-order laundering to undo.
+        // The accumulator holds unsorted, possibly-duplicated keys; one sort
+        // plus an in-place merge reproduces the (asid, page)-ordered list the
+        // ordered-map implementation used to emit, byte for byte.
         self.flush_heat_run();
-        let heat: Vec<(u16, u64, u32)> = std::mem::take(&mut self.page_heat)
-            .into_iter()
-            .map(|((a, p), n)| (a, p, n))
-            .collect();
+        let mut raw = std::mem::take(&mut self.page_heat);
+        raw.sort_unstable_by_key(|&(k, _)| k);
+        let mut heat: Vec<(u16, u64, u32)> = Vec::with_capacity(raw.len());
+        for ((a, p), n) in raw {
+            match heat.last_mut() {
+                Some(last) if last.0 == a && last.1 == p => last.2 += n,
+                _ => heat.push((a, p, n)),
+            }
+        }
         let ops_per_core: Vec<u64> = self
             .cores
             .iter()
@@ -489,13 +522,135 @@ impl Machine {
         }
     }
 
+    /// Reference scheduler: the per-step argmin scan over every core. Runs
+    /// the globally-earliest core so shared-resource arrivals are
+    /// interleaved in near-perfect time order; ties break to the lowest
+    /// core index. This is the executable specification of the step order —
+    /// the wheel scheduler must match it exactly.
+    fn reference_step_loop(&mut self, end: u64) {
+        loop {
+            let next = (0..self.cores.len())
+                .filter(|&i| !self.cores[i].done && self.cores[i].time < end)
+                .min_by_key(|&i| self.cores[i].time);
+            let Some(c) = next else { break };
+            self.step_core(c);
+        }
+    }
+
+    /// Event-wheel scheduler: every core with a progress tick before the
+    /// boundary is keyed on it; pops come back in `(tick, StageId)` order,
+    /// which is the reference order (earliest time first, lowest core index
+    /// on ties — core `StageId`s order by index). Equivalence holds because
+    /// stepping a core never moves another core's time, so the next argmin
+    /// is always either the re-scheduled core or an undisturbed key already
+    /// in the wheel.
+    // pflint::hot — the simulator's innermost scheduling loop.
+    fn wheel_step_loop(&mut self, end: u64) {
+        self.wheel.reset(self.epoch_end);
+        for i in 0..self.cores.len() {
+            if let Some(t) = self.cores[i].next_event() {
+                if t < end {
+                    self.wheel.schedule(t, StageId::core(i));
+                }
+            }
+        }
+        while let Some((_, id)) = self.wheel.pop_before(end) {
+            let c = id.index as usize;
+            self.step_core(c);
+            if let Some(t) = self.cores[c].next_event() {
+                if t < end {
+                    self.wheel.schedule(t, id);
+                }
+            }
+        }
+    }
+
+    /// How many whole upcoming epochs are quiescent — no core eligible, no
+    /// fault window active — or `None` if the next epoch has work. The
+    /// count is clamped to `cap` and to the next fault-window edge, so a
+    /// window starting inside an idle stretch is still applied on exactly
+    /// the right epoch.
+    fn quiescent_epochs(&self, cap: u64) -> Option<u64> {
+        let ec = self.cfg.epoch_cycles;
+        let next = self
+            .cores
+            .iter()
+            .filter_map(crate::module::SimModule::next_event)
+            .min()?;
+        let j = (next - self.epoch_end) / ec;
+        if j == 0 {
+            return None;
+        }
+        let mut j = j.min(cap);
+        if !self.faults.is_empty() {
+            // Active windows mutate per-epoch state (stall horizons are
+            // `now`-relative) — never skip through one.
+            if self.faults.active(self.epochs_run).next().is_some() {
+                return None;
+            }
+            if let Some(edge) = self.faults.next_edge(self.epochs_run) {
+                j = j.min(edge - self.epochs_run);
+            }
+        }
+        (j > 0).then_some(j)
+    }
+
+    /// Fast-forward `j` epochs in which nothing can happen. Byte-identical
+    /// to `j` calls of [`Machine::run_epoch`] with the results discarded:
+    /// core ticks keep their per-boundary schedule (in-flight GC timing is
+    /// behavioral — a stale entry reads as a prefetch hit), uncore ticks
+    /// are no-ops, and every drain term is either linear in `epoch_cycles`
+    /// (clock ticks) or a since-last-sync delta, so one batched drain per
+    /// stage replaces `j` unit drains exactly.
+    fn skip_quiescent_epochs(&mut self, j: u64) {
+        let _s = obs::span!("epoch.skip");
+        let ec = self.cfg.epoch_cycles;
+        for k in 1..=j {
+            let boundary = self.epoch_end + ec * k;
+            for c in &mut self.cores {
+                crate::module::SimModule::tick(c, boundary);
+            }
+        }
+        let end = self.epoch_end + ec * j;
+        {
+            let Machine {
+                cores,
+                cha,
+                imc,
+                remote,
+                ports,
+                pmu,
+                ..
+            } = self;
+            for stage in stage_modules(cores, cha, imc, remote, ports) {
+                stage.tick(end);
+                stage.drain(pmu, ec * j);
+            }
+        }
+        self.epoch_end = end;
+        self.epochs_run += j;
+        obs::metrics::counter_add("epoch.skipped", j);
+    }
+
     /// Run until all workloads finish or `max_epochs` elapse. Errors when no
     /// module makes forward progress across enough consecutive epochs that
     /// every pending core must have been eligible (a wedged machine).
+    ///
+    /// Under the wheel scheduler, stretches of whole epochs in which no
+    /// core is eligible (every pending core is catching up beyond the
+    /// boundary after a long operation) are fast-forwarded instead of
+    /// polled epoch by epoch — see [`Machine::skip_quiescent_epochs`].
     pub fn run_to_completion(&mut self, max_epochs: u64) -> Result<RunSummary, StallError> {
         let mut epochs = 0;
         let mut guard = ProgressGuard::default();
         while !self.all_done() && epochs < max_epochs {
+            if self.sched == SchedMode::Wheel {
+                if let Some(j) = self.quiescent_epochs(max_epochs - epochs) {
+                    self.skip_quiescent_epochs(j);
+                    epochs += j;
+                    continue;
+                }
+            }
             let done_before = self.cores.iter().filter(|c| c.done).count();
             let e = self.run_epoch();
             epochs += 1;

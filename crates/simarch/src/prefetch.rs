@@ -23,6 +23,10 @@ struct StreamEntry {
 #[derive(Clone, Debug)]
 pub struct StreamPrefetcher {
     table: Vec<StreamEntry>,
+    /// Table index of the most recently hit stream. Sequential workloads hit
+    /// the same stream on nearly every miss, so checking this slot first
+    /// skips the linear table scan on the common path.
+    last_idx: usize,
     distance: i64,
     degree: usize,
     enabled: bool,
@@ -34,6 +38,7 @@ impl StreamPrefetcher {
     pub fn new(cfg: &PrefetchConfig) -> Self {
         StreamPrefetcher {
             table: Vec::with_capacity(16),
+            last_idx: 0,
             distance: cfg.l2_distance as i64,
             degree: cfg.l2_degree,
             enabled: cfg.l2_stream,
@@ -61,7 +66,14 @@ impl StreamPrefetcher {
         self.clock += 1;
         let page = line / LINES_PER_PAGE as u64;
         let clock = self.clock;
-        if let Some(e) = self.table.iter_mut().find(|e| e.page == page) {
+        // Same stream found either way — the hint only skips the scan.
+        let hit = match self.table.get(self.last_idx) {
+            Some(e) if e.page == page => Some(self.last_idx),
+            _ => self.table.iter().position(|e| e.page == page),
+        };
+        if let Some(i) = hit {
+            self.last_idx = i;
+            let e = &mut self.table[i];
             e.lru = clock;
             let delta = line as i64 - e.last_line as i64;
             e.last_line = line;
@@ -110,6 +122,7 @@ impl StreamPrefetcher {
                 .expect("non-empty");
             self.table.swap_remove(idx);
         }
+        self.last_idx = self.table.len();
         self.table.push(StreamEntry {
             page,
             last_line: line,

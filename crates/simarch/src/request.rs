@@ -93,6 +93,42 @@ pub enum ServeLoc {
 }
 
 impl ServeLoc {
+    /// All serve locations, in `Ord` order (the report order the ground
+    /// truth uses).
+    pub const ALL: [ServeLoc; 11] = [
+        ServeLoc::StoreBuffer,
+        ServeLoc::L1d,
+        ServeLoc::Lfb,
+        ServeLoc::L2,
+        ServeLoc::LocalLlc,
+        ServeLoc::SncLlc,
+        ServeLoc::RemoteLlc,
+        ServeLoc::PeerCache,
+        ServeLoc::LocalDram,
+        ServeLoc::RemoteDram,
+        ServeLoc::CxlDram,
+    ];
+
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index into [`Self::ALL`] — lets per-request accounting use a
+    /// flat array instead of an ordered map (see `core_model::GroundTruth`).
+    pub fn idx(self) -> usize {
+        match self {
+            ServeLoc::StoreBuffer => 0,
+            ServeLoc::L1d => 1,
+            ServeLoc::Lfb => 2,
+            ServeLoc::L2 => 3,
+            ServeLoc::LocalLlc => 4,
+            ServeLoc::SncLlc => 5,
+            ServeLoc::RemoteLlc => 6,
+            ServeLoc::PeerCache => 7,
+            ServeLoc::LocalDram => 8,
+            ServeLoc::RemoteDram => 9,
+            ServeLoc::CxlDram => 10,
+        }
+    }
+
     pub fn label(self) -> &'static str {
         match self {
             ServeLoc::StoreBuffer => "SB",
@@ -186,6 +222,17 @@ mod tests {
         assert!(HostId(0) < HostId(1));
         assert_eq!(HostId(3).index(), 3);
         assert_eq!(HostId(2).to_string(), "host2");
+    }
+
+    #[test]
+    fn serve_loc_indices_are_dense_and_ordered() {
+        for (i, loc) in ServeLoc::ALL.iter().enumerate() {
+            assert_eq!(loc.idx(), i);
+        }
+        // idx order must agree with the derived Ord (report order).
+        let mut sorted = ServeLoc::ALL;
+        sorted.sort();
+        assert_eq!(sorted, ServeLoc::ALL);
     }
 
     #[test]

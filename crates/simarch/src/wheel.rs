@@ -1,0 +1,397 @@
+//! A hierarchical timer wheel for the epoch scheduler.
+//!
+//! The reference scheduler picks the next core to step with an `argmin`
+//! scan over every core per step. The wheel replaces that with O(1)
+//! expected pops: each schedulable module is keyed on its next progress
+//! tick, and the scheduler pops wakeups in `(tick, item)` order — the
+//! exact total order the reference scan implies (earliest time first,
+//! lowest [`crate::module::StageId`] on ties). Idle modules are simply
+//! absent from the wheel and cost nothing.
+//!
+//! Layout: level 0 is 256 one-tick slots covering the current 256-tick
+//! block; level 1 is 64 slots of one 256-tick block each (16 Ki ticks of
+//! horizon); everything further out sits in an unsorted overflow list
+//! that refills level 1 as the wheel turns. Occupancy bitmaps make
+//! find-next-slot a couple of trailing-zero counts.
+
+/// Ticks covered by level 0 (one slot per tick).
+const L0_SPAN: u64 = 256;
+/// Level-1 slots, each covering one 256-tick block.
+const L1_SLOTS: usize = 64;
+/// Ticks covered by level 0 + level 1 together.
+const SPAN: u64 = L0_SPAN * L1_SLOTS as u64;
+
+/// A timer wheel over `Copy + Ord` items. Same-tick wakeups pop in item
+/// order, which is what makes the scheduler deterministic: for modules
+/// the item is a [`crate::module::StageId`], whose `Ord` is the drain
+/// order.
+#[derive(Clone, Debug)]
+pub struct EventWheel<T> {
+    /// First tick covered by level 0; always a multiple of 256.
+    base: u64,
+    /// The wheel clock. Scheduling in the past clamps to `now`.
+    now: u64,
+    /// Level 0: slot `s` holds items due exactly at `base + s`.
+    l0: Vec<Vec<T>>,
+    /// Level-0 occupancy, one bit per slot.
+    occ0: [u64; 4],
+    /// Level 1: slot `block & 63` holds items due in that 256-tick block.
+    l1: Vec<Vec<(u64, T)>>,
+    /// Level-1 occupancy, one bit per slot.
+    occ1: u64,
+    /// Items due beyond the level-1 horizon.
+    overflow: Vec<(u64, T)>,
+    len: usize,
+}
+
+impl<T: Copy + Ord> EventWheel<T> {
+    pub fn new(start: u64) -> EventWheel<T> {
+        EventWheel {
+            base: start & !(L0_SPAN - 1),
+            now: start,
+            l0: (0..L0_SPAN).map(|_| Vec::new()).collect(),
+            occ0: [0; 4],
+            l1: (0..L1_SLOTS).map(|_| Vec::new()).collect(),
+            occ1: 0,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// The wheel clock (the tick of the last pop, or the reset point).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Scheduled wakeups outstanding.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop every scheduled wakeup and restart the clock at `start`.
+    /// Reuses the slot allocations, so a per-epoch reset never allocates
+    /// once the wheel has warmed up.
+    pub fn reset(&mut self, start: u64) {
+        if self.len != 0 {
+            for v in &mut self.l0 {
+                v.clear();
+            }
+            for v in &mut self.l1 {
+                v.clear();
+            }
+            self.overflow.clear();
+            self.occ0 = [0; 4];
+            self.occ1 = 0;
+            self.len = 0;
+        }
+        self.base = start & !(L0_SPAN - 1);
+        self.now = start;
+    }
+
+    /// Schedule `item` to pop at `tick`. A tick already in the past wakes
+    /// immediately (clamped to `now`) — a module reporting a stale next
+    /// event must still be visited, never lost.
+    // pflint::hot — per-wakeup path of the scheduler; must not allocate
+    // beyond amortized slot growth.
+    pub fn schedule(&mut self, tick: u64, item: T) {
+        let t = tick.max(self.now);
+        self.len += 1;
+        if t < self.base + L0_SPAN {
+            let s = (t - self.base) as usize;
+            self.l0[s].push(item);
+            self.occ0[s >> 6] |= 1 << (s & 63);
+        } else if t < self.base + SPAN {
+            let s = ((t / L0_SPAN) as usize) & (L1_SLOTS - 1);
+            self.l1[s].push((t, item));
+            self.occ1 |= 1 << s;
+        } else {
+            self.overflow.push((t, item));
+        }
+    }
+
+    /// Earliest scheduled tick, if any (no mutation). O(slots) worst
+    /// case — meant for quiescence probes, not the pop loop.
+    pub fn next_tick(&self) -> Option<u64> {
+        let from = (self.now - self.base) as usize;
+        if let Some(s) = self.next_occ0(from) {
+            return Some(self.base + s as u64);
+        }
+        let l1_min = self.l1.iter().flat_map(|v| v.iter().map(|&(t, _)| t)).min();
+        let ov_min = self.overflow.iter().map(|&(t, _)| t).min();
+        match (l1_min, ov_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pop the earliest wakeup strictly before `limit`, advancing the
+    /// clock to its tick. Same-tick items pop in `T` order. Returns
+    /// `None` (clock untouched past the last pop) once nothing is due
+    /// before the limit.
+    // pflint::hot — the scheduler's inner loop; must not allocate.
+    pub fn pop_before(&mut self, limit: u64) -> Option<(u64, T)> {
+        loop {
+            if self.len == 0 || self.now >= limit {
+                return None;
+            }
+            let from = (self.now - self.base) as usize;
+            if let Some(s) = self.next_occ0(from) {
+                let tick = self.base + s as u64;
+                if tick >= limit {
+                    return None;
+                }
+                let slot = &mut self.l0[s];
+                let mut mi = 0;
+                for i in 1..slot.len() {
+                    if slot[i] < slot[mi] {
+                        mi = i;
+                    }
+                }
+                let item = slot.swap_remove(mi);
+                if slot.is_empty() {
+                    self.occ0[s >> 6] &= !(1 << (s & 63));
+                }
+                self.now = tick;
+                self.len -= 1;
+                return Some((tick, item));
+            }
+            // Level 0 is dry: everything pending sits at or beyond the
+            // next block boundary.
+            if self.base + L0_SPAN >= limit {
+                return None;
+            }
+            self.turn();
+        }
+    }
+
+    /// Advance the clock to `tick` without popping (the epoch boundary
+    /// after the pop loop drains).
+    pub fn advance_to(&mut self, tick: u64) {
+        while self.base + L0_SPAN <= tick {
+            debug_assert!(
+                self.next_occ0((self.now - self.base) as usize).is_none(),
+                "advance_to must not skip scheduled level-0 wakeups"
+            );
+            self.turn();
+        }
+        self.now = self.now.max(tick);
+    }
+
+    /// First occupied level-0 slot at or after `from`, if any.
+    #[inline]
+    fn next_occ0(&self, from: usize) -> Option<usize> {
+        let mut w = from >> 6;
+        // Mask off bits below `from` in its word, then scan forward.
+        let mut bits = self.occ0[w] & (!0u64 << (from & 63));
+        loop {
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= 4 {
+                return None;
+            }
+            bits = self.occ0[w];
+        }
+    }
+
+    /// Rotate one 256-tick block forward: cascade the next block's
+    /// level-1 slot into level 0 and pull newly-in-horizon overflow
+    /// entries into level 1.
+    fn turn(&mut self) {
+        self.base += L0_SPAN;
+        self.now = self.now.max(self.base);
+        let block = self.base / L0_SPAN;
+        let s = (block as usize) & (L1_SLOTS - 1);
+        if self.occ1 & (1 << s) != 0 {
+            // The whole slot belongs to the new current block: the slot
+            // index determines the block modulo 64, and anything 64+
+            // blocks out lives in overflow.
+            while let Some((t, item)) = self.l1[s].pop() {
+                debug_assert_eq!(t / L0_SPAN, block, "level-1 slot holds a foreign block");
+                let slot = (t - self.base) as usize;
+                self.l0[slot].push(item);
+                self.occ0[slot >> 6] |= 1 << (slot & 63);
+            }
+            self.occ1 &= !(1 << s);
+        }
+        // Wrap-around refill: overflow entries whose tick just entered
+        // the level-1 horizon move up a level.
+        let horizon = self.base + SPAN;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let (t, _) = self.overflow[i];
+            if t < horizon {
+                let (t, item) = self.overflow.swap_remove(i);
+                if t < self.base + L0_SPAN {
+                    let slot = (t - self.base) as usize;
+                    self.l0[slot].push(item);
+                    self.occ0[slot >> 6] |= 1 << (slot & 63);
+                } else {
+                    let s = ((t / L0_SPAN) as usize) & (L1_SLOTS - 1);
+                    self.l1[s].push((t, item));
+                    self.occ1 |= 1 << s;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::StageId;
+
+    #[test]
+    fn pops_in_tick_order() {
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        w.schedule(30, 3);
+        w.schedule(10, 1);
+        w.schedule(20, 2);
+        assert_eq!(w.pop_before(100), Some((10, 1)));
+        assert_eq!(w.pop_before(100), Some((20, 2)));
+        assert_eq!(w.pop_before(100), Some((30, 3)));
+        assert_eq!(w.pop_before(100), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn limit_is_exclusive_and_preserves_pending() {
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        w.schedule(5, 1);
+        w.schedule(7, 2);
+        assert_eq!(w.pop_before(6), Some((5, 1)));
+        assert_eq!(w.pop_before(6), None);
+        assert_eq!(w.pop_before(7), None, "limit is exclusive");
+        assert_eq!(w.pop_before(8), Some((7, 2)));
+    }
+
+    #[test]
+    fn past_ticks_clamp_to_now() {
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        w.schedule(50, 1);
+        assert_eq!(w.pop_before(100), Some((50, 1)));
+        // A stale next-event report must still surface, at the clock.
+        w.schedule(10, 2);
+        assert_eq!(w.pop_before(100), Some((50, 2)));
+    }
+
+    #[test]
+    fn same_tick_wakeups_pop_in_stage_id_order() {
+        let mut w: EventWheel<StageId> = EventWheel::new(0);
+        // Insert in deliberately shuffled order; all due the same tick.
+        w.schedule(40, StageId::cxl(1));
+        w.schedule(40, StageId::core(2));
+        w.schedule(40, StageId::cha());
+        w.schedule(40, StageId::core(0));
+        w.schedule(40, StageId::imc());
+        let order: Vec<StageId> =
+            std::iter::from_fn(|| w.pop_before(100).map(|(_, s)| s)).collect();
+        assert_eq!(
+            order,
+            vec![
+                StageId::core(0),
+                StageId::core(2),
+                StageId::cha(),
+                StageId::imc(),
+                StageId::cxl(1),
+            ],
+            "same-tick wakeups must pop in ascending StageId (drain) order"
+        );
+    }
+
+    #[test]
+    fn wraps_around_level_capacity() {
+        // Beyond L0 (256), beyond L0+L1 (16384), and far overflow: the
+        // wheel must cascade each back in as the clock turns past it.
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        w.schedule(3, 0);
+        w.schedule(L0_SPAN + 9, 1); // level 1
+        w.schedule(SPAN + 17, 2); // overflow, one horizon out
+        w.schedule(3 * SPAN + 5, 3); // overflow, several horizons out
+        let mut got = Vec::new();
+        while let Some(p) = w.pop_before(u64::MAX) {
+            got.push(p);
+        }
+        assert_eq!(
+            got,
+            vec![(3, 0), (L0_SPAN + 9, 1), (SPAN + 17, 2), (3 * SPAN + 5, 3)]
+        );
+    }
+
+    #[test]
+    fn dense_schedule_survives_many_revolutions() {
+        // Every 37th tick across 5 full L0+L1 horizons, popped in order.
+        let mut w: EventWheel<u64> = EventWheel::new(0);
+        let ticks: Vec<u64> = (0..5 * SPAN / 37).map(|k| k * 37).collect();
+        // Shuffle deterministically by scheduling strided.
+        for (i, &t) in ticks.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+            w.schedule(t, i as u64);
+        }
+        for (i, &t) in ticks.iter().enumerate().filter(|(i, _)| i % 3 != 0) {
+            w.schedule(t, i as u64);
+        }
+        let mut prev = None;
+        let mut n = 0;
+        while let Some((t, i)) = w.pop_before(u64::MAX) {
+            assert_eq!(t, ticks[i as usize]);
+            assert!(prev <= Some(t), "ticks must pop monotonically");
+            prev = Some(t);
+            n += 1;
+        }
+        assert_eq!(n, ticks.len());
+    }
+
+    #[test]
+    fn wakeup_on_a_quiescent_skipped_tick_is_not_lost() {
+        // A fault-window edge lands mid-block while the wheel idles past
+        // it: advance_to must stop cascades exactly at scheduled work,
+        // and a wakeup scheduled behind the advanced clock still fires.
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        w.schedule(1000, 7);
+        // Skip the machine forward over three whole quiescent blocks.
+        assert_eq!(w.pop_before(900), None);
+        w.advance_to(900);
+        assert_eq!(w.now(), 900);
+        // The edge at tick 1000 survives the skip.
+        assert_eq!(w.pop_before(2000), Some((1000, 7)));
+        // An edge computed for the skipped region clamps to the clock
+        // instead of vanishing behind it.
+        w.schedule(950, 8);
+        assert_eq!(w.pop_before(2000), Some((1000, 8)));
+    }
+
+    #[test]
+    fn reset_reuses_the_wheel() {
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        w.schedule(10, 1);
+        w.schedule(5000, 2);
+        w.schedule(100_000, 3);
+        w.reset(640);
+        assert!(w.is_empty());
+        assert_eq!(w.now(), 640);
+        w.schedule(641, 9);
+        assert_eq!(w.pop_before(700), Some((641, 9)));
+        assert_eq!(w.pop_before(700), None);
+    }
+
+    #[test]
+    fn next_tick_probes_all_levels() {
+        let mut w: EventWheel<u32> = EventWheel::new(0);
+        assert_eq!(w.next_tick(), None);
+        w.schedule(2 * SPAN, 2);
+        assert_eq!(w.next_tick(), Some(2 * SPAN));
+        w.schedule(300, 1);
+        assert_eq!(w.next_tick(), Some(300));
+        w.schedule(12, 0);
+        assert_eq!(w.next_tick(), Some(12));
+        let _ = w.pop_before(u64::MAX);
+        assert_eq!(w.next_tick(), Some(300));
+    }
+}

@@ -12,6 +12,12 @@ run() {
 
 run cargo build --release
 run cargo test -q
+# Scheduler differential gate (DESIGN.md §2.2.3): the event wheel and the
+# retained per-tick reference scheduler must emit byte-identical counter
+# streams across randomized scenario × fault-plan × topology matrices.
+# Already part of the workspace suite above; named here so a failure is
+# unmistakable in CI logs.
+run cargo test -q -p simarch --test scheduler_equivalence
 run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 run cargo run --release -p pflint
@@ -60,6 +66,14 @@ echo "==> fig14_fabric --jobs 2 vs serial (byte-identical stdout)"
 ./target/release/fig14_fabric > "$obs_out/fabric_serial.txt"
 ./target/release/fig14_fabric --jobs 2 > "$obs_out/fabric_jobs2.txt"
 diff -u "$obs_out/fabric_serial.txt" "$obs_out/fabric_jobs2.txt"
+
+# Perf gate (PERFORMANCE.md): BENCH_pr9.json must exist and its recorded
+# profiled throughput must not regress below the PR 5 baseline. The gate
+# reads the committed files — it does not re-measure — so it catches a
+# forgotten `scripts/bench.sh` run after perf-relevant changes. Both the
+# serial/--jobs 2 diffs above and the goldens ran under the event wheel
+# (the default scheduler), so this is the last wheel-specific gate.
+run cargo run --release -p bench --bin perfbench -- --gate BENCH_pr5.json
 
 # Fleet-mode smoke (FLEET.md): a small sharded fleet serves a live
 # /metrics scrape whose Prometheus exposition validates (TYPE lines,
