@@ -15,14 +15,17 @@
 //! Wall time is read only through `obs::clock::now_ns` (the workspace's
 //! single sanctioned clock choke point — see STATIC_ANALYSIS.md), so this
 //! binary stays clean under pflint's `wall-clock` rule. Results are
-//! appended/merged into `BENCH_pr9.json` (schema: one row per measurement,
+//! appended/merged into `BENCH_pr10.json` (schema: one row per measurement,
 //! `{"name", "metric", "value", "unit"}`) so successive PRs can track the
 //! perf trajectory. Rows are merged by `(name, metric)`: re-running with
 //! the same `--label` updates in place and never duplicates.
 //!
 //! `--sched reference` runs the profiled scenario under the retained
 //! per-tick reference scheduler instead of the event wheel (the default),
-//! so before/after rows for the PR 9 rewrite come from the same binary.
+//! and `--datapath reference` runs it under the retained one-op-per-schedule
+//! datapath instead of the batched stage-pass pipeline (the default), so
+//! before/after rows for the PR 9 and PR 10 rewrites come from the same
+//! binary.
 //!
 //! `--gate BASELINE.json` skips measurement entirely: it reads the `--out`
 //! file and the baseline, compares `perfbench.profiled` epochs/s, and
@@ -30,13 +33,14 @@
 //! baseline — the tier-1 perf gate.
 //!
 //! `cargo run --release -p bench --bin perfbench -- [--label L] [--out F]
-//!  [--epochs N] [--sched wheel|reference] [--no-write] [--gate BASE]`
+//!  [--epochs N] [--sched wheel|reference] [--datapath batched|reference]
+//!  [--no-write] [--gate BASE]`
 
 use std::io::Write;
 use std::path::PathBuf;
 
 use pathfinder::profiler::{ProfileSpec, Profiler};
-use simarch::{Machine, MachineConfig, MemPolicy, SchedMode, Workload};
+use simarch::{DatapathMode, Machine, MachineConfig, MemPolicy, SchedMode, Workload};
 
 /// One emitted measurement row.
 struct Row {
@@ -53,11 +57,16 @@ fn secs_since(start_ns: u64) -> f64 {
 /// The fixed profiled scenario: a short-epoch machine (so the per-epoch
 /// profiler work — snapshot, digest, techniques, ingest — dominates over
 /// raw trace simulation) with two seeded workloads that outlive the run.
-fn profiled_scenario(epochs: u64, sched: SchedMode) -> std::io::Result<Vec<Row>> {
+fn profiled_scenario(
+    epochs: u64,
+    sched: SchedMode,
+    datapath: DatapathMode,
+) -> std::io::Result<Vec<Row>> {
     let mut cfg = MachineConfig::tiny();
     cfg.epoch_cycles = 500;
     let mut machine = Machine::new(cfg);
     machine.set_sched_mode(sched);
+    machine.set_datapath_mode(datapath);
     let registry_app = |app: &str, seed: u64| {
         workloads::build(app, u64::MAX / 2, seed).ok_or_else(|| {
             std::io::Error::new(
@@ -289,7 +298,9 @@ fn gate(out: &PathBuf, baseline: &PathBuf) -> std::io::Result<()> {
     );
     if current < base {
         return Err(err(format!(
-            "gate: profiled throughput regressed ({current:.0} < {base:.0} epochs/s)"
+            "gate: perfbench.profiled epochs_per_sec regressed ({current:.0} in {} < {base:.0} in baseline {})",
+            out.display(),
+            baseline.display()
         )));
     }
     println!("gate: ok ({:.2}x baseline)", current / base);
@@ -305,7 +316,7 @@ fn main() -> std::io::Result<()> {
         .unwrap_or(2_000);
     let out = arg_value(&args, "--out")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr9.json"));
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr10.json"));
     if let Some(baseline) = arg_value(&args, "--gate") {
         gate(&out, &PathBuf::from(baseline))?;
         return session.finish();
@@ -314,9 +325,13 @@ fn main() -> std::io::Result<()> {
         Some("reference") => SchedMode::Reference,
         _ => SchedMode::Wheel,
     };
+    let datapath = match arg_value(&args, "--datapath").as_deref() {
+        Some("reference") => DatapathMode::Reference,
+        _ => DatapathMode::Batched,
+    };
 
     println!("perfbench — fixed seeded scenarios, obs clock only\n");
-    let mut rows = profiled_scenario(epochs, sched)?;
+    let mut rows = profiled_scenario(epochs, sched, datapath)?;
     rows.extend(ingest_scenario(64, 4_000));
 
     if let Some(label) = &label {

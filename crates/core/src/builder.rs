@@ -223,41 +223,33 @@ impl PfBuilder {
         );
 
         // Uncore destinations from the offcore-response scenario counters.
-        let drd = |s| b.read(CoreEvent::OcrDemandDataRd(s)) + b.read(CoreEvent::OcrSwPf(s));
-        let rfo = |s| b.read(CoreEvent::OcrRfo(s));
-        let hwpf = |s| {
+        // One monomorphized row-fill per path group: the per-scenario reads
+        // inline straight into counter loads (no virtual dispatch on the
+        // epoch hot path; see PERFORMANCE.md).
+        fn uncore_rows(m: &mut CoreMap, p: PathGroup, f: impl Fn(RespScenario) -> u64) {
+            let row = |l: HitLevel| (l.idx(), p.idx());
+            let (l, pi) = row(HitLevel::LocalLlc);
+            m.hits[l][pi] = f(RespScenario::L3HitSnoopLocal);
+            let (l, pi) = row(HitLevel::SncLlc);
+            m.hits[l][pi] = f(RespScenario::SncDistantL3);
+            let (l, pi) = row(HitLevel::RemoteLlc);
+            m.hits[l][pi] = f(RespScenario::RemoteCacheHit);
+            let (l, pi) = row(HitLevel::LocalDram);
+            m.hits[l][pi] = f(RespScenario::LocalDram)
+                + f(RespScenario::SncDistantDram)
+                + f(RespScenario::RemoteDram);
+            let (l, pi) = row(HitLevel::CxlMemory);
+            m.hits[l][pi] = f(RespScenario::CxlDram);
+        }
+        uncore_rows(&mut m, PathGroup::Drd, |s| {
+            b.read(CoreEvent::OcrDemandDataRd(s)) + b.read(CoreEvent::OcrSwPf(s))
+        });
+        uncore_rows(&mut m, PathGroup::Rfo, |s| b.read(CoreEvent::OcrRfo(s)));
+        uncore_rows(&mut m, PathGroup::HwPf, |s| {
             b.read(CoreEvent::OcrL1dHwPf(s))
                 + b.read(CoreEvent::OcrL2HwPfDrd(s))
                 + b.read(CoreEvent::OcrL2HwPfRfo(s))
-        };
-        for (p, f) in [
-            (PathGroup::Drd, &drd as &dyn Fn(RespScenario) -> u64),
-            (PathGroup::Rfo, &rfo),
-            (PathGroup::HwPf, &hwpf),
-        ] {
-            set(
-                &mut m,
-                HitLevel::LocalLlc,
-                p,
-                f(RespScenario::L3HitSnoopLocal),
-            );
-            set(&mut m, HitLevel::SncLlc, p, f(RespScenario::SncDistantL3));
-            set(
-                &mut m,
-                HitLevel::RemoteLlc,
-                p,
-                f(RespScenario::RemoteCacheHit),
-            );
-            set(
-                &mut m,
-                HitLevel::LocalDram,
-                p,
-                f(RespScenario::LocalDram)
-                    + f(RespScenario::SncDistantDram)
-                    + f(RespScenario::RemoteDram),
-            );
-            set(&mut m, HitLevel::CxlMemory, p, f(RespScenario::CxlDram));
-        }
+        });
         // Write-backs of modified lines leave the core toward the LLC; the
         // per-core PMU only exposes their total (Table 7 reports them on the
         // remote-LLC row for CXL-resident data).

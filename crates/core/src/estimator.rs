@@ -93,11 +93,18 @@ impl PfEstimator {
     ) -> StallBreakdown {
         let mut out = StallBreakdown::default();
 
-        // --- CXL traffic shares per path group (from the core OCR counters).
-        let cxl_of = |p: PathGroup| cxl_requests_scoped(delta, p, core);
-        let any_of = |p: PathGroup| any_requests_scoped(delta, p, core);
-        let cxl_total: u64 = PathGroup::ALL.iter().map(|&p| cxl_of(p)).sum();
-        let any_total: u64 = PathGroup::ALL.iter().map(|&p| any_of(p)).sum();
+        // --- CXL traffic shares per path group (from the core OCR counters),
+        // read once into per-path arrays: the share weights and the
+        // machine-wide scope fraction below reuse them instead of re-walking
+        // the banks.
+        let mut cxl_p = [0u64; PathGroup::COUNT];
+        let mut any_p = [0u64; PathGroup::COUNT];
+        for p in PathGroup::ALL {
+            cxl_p[p.idx()] = cxl_requests_scoped(delta, p, core);
+            any_p[p.idx()] = any_requests_scoped(delta, p, core);
+        }
+        let cxl_total: u64 = cxl_p.iter().sum();
+        let any_total: u64 = any_p.iter().sum();
         if cxl_total == 0 {
             return out; // no CXL traffic this epoch: nothing to attribute
         }
@@ -114,7 +121,7 @@ impl PfEstimator {
         let weighted_cxl = cxl_total as f64 * l_cxl;
         let weighted_all = weighted_cxl + local_total as f64 * l_local;
         let share = weighted_cxl / weighted_all.max(f64::EPSILON);
-        let w = |p: PathGroup| cxl_of(p) as f64 / cxl_total as f64;
+        let w = |p: PathGroup| cxl_p[p.idx()] as f64 / cxl_total as f64;
 
         // --- In-core nested stall counters (scoped to one core or summed).
         let csum = |ev: CoreEvent| -> f64 {
@@ -131,7 +138,11 @@ impl PfEstimator {
 
         // --- Uncore residency pools (CXL side, machine-wide), scaled to the
         // scope's share of machine-wide CXL traffic.
-        let machine_cxl: u64 = PathGroup::ALL.iter().map(|&p| cxl_requests(delta, p)).sum();
+        let machine_cxl: u64 = match core {
+            // Whole-machine scope: already summed above.
+            None => cxl_total,
+            Some(_) => PathGroup::ALL.iter().map(|&p| cxl_requests(delta, p)).sum(),
+        };
         let scope_frac = cxl_total as f64 / machine_cxl.max(1) as f64;
         let tor_occ_cxl = tor_cxl_occupancy(delta) * scope_frac;
         let m2p_occ = delta.m2p_sum(M2pEvent::RxcOccupancy) as f64 * scope_frac;

@@ -289,7 +289,10 @@ impl Profiler {
 
         let span_profiler = obs::span!("epoch.profiler");
         let delta = er.snapshot.delta(&self.prev);
-        self.prev = er.snapshot;
+        // Rotate the snapshot pool: the retired `prev` goes back to the
+        // machine, which overwrites it in place next epoch.
+        self.machine
+            .recycle_snapshot(std::mem::replace(&mut self.prev, er.snapshot));
         self.epoch += 1;
         for (i, &n) in er.ops_per_core.iter().enumerate() {
             self.total_ops[i] += n;

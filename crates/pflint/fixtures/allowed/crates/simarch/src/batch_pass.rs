@@ -1,0 +1,23 @@
+// pflint fixture: the same batch passes arena-style — the miss list and
+// the retire queue live in caller-owned scratch buffers cleared per
+// slice, so the steady state never touches the allocator.
+// pflint::hot
+pub fn l1_pass(ops: &[(u64, u32)], misses: &mut Vec<(u64, u32)>) {
+    misses.clear();
+    for op in ops.iter().filter(|(line, _)| line % 3 != 0) {
+        misses.push(*op);
+    }
+}
+
+// pflint::hot
+pub fn retire_pass(done: &[(u64, u32)], out: &mut Vec<u32>) {
+    out.clear();
+    for (_, id) in done {
+        out.push(*id);
+    }
+}
+
+/// Cold path: the scratch buffers are born once at machine construction.
+pub fn new_scratch() -> (Vec<(u64, u32)>, Vec<u32>) {
+    (Vec::with_capacity(64), Vec::with_capacity(64))
+}

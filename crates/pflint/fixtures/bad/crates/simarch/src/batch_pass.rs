@@ -1,0 +1,16 @@
+// pflint fixture: a batch datapath pass that allocates per slice. The
+// L1 pass runs once per scheduler slice, so a Vec born inside the body
+// multiplies across millions of ops per second.
+// pflint::hot
+pub fn l1_pass(ops: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    let mut misses = Vec::new();
+    for op in ops.iter().filter(|(line, _)| line % 3 != 0) {
+        misses.push(*op);
+    }
+    misses
+}
+
+// pflint::hot
+pub fn retire_pass(done: &[(u64, u32)]) -> Vec<u32> {
+    done.iter().map(|(_, id)| *id).collect()
+}

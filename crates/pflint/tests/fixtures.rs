@@ -174,10 +174,14 @@ fn bad_fixtures_trip_hot_path_alloc() {
     // Event-wheel hot paths: format! in schedule, collect in cascade.
     assert_found(&findings, rules::HOT_PATH_ALLOC, "wheel.rs", 6);
     assert_found(&findings, rules::HOT_PATH_ALLOC, "wheel.rs", 12);
+    // Batch datapath passes: a Vec born inside the L1 pass body, a
+    // collect in the retire pass.
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "batch_pass.rs", 6);
+    assert_found(&findings, rules::HOT_PATH_ALLOC, "batch_pass.rs", 15);
     // Cold-path formatting (`describe`, `series_key`) stays out of scope.
     assert_eq!(
         findings.len(),
-        8,
+        10,
         "rule leaked beyond hot bodies: {findings:?}"
     );
 }

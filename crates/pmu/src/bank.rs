@@ -56,6 +56,14 @@ impl<E: Event> Bank<E> {
         &self.counters
     }
 
+    /// Overwrite this bank's counters with `other`'s, reusing the existing
+    /// allocation (`Vec::clone_from` is a memcpy when capacities match).
+    /// Semantically identical to `*self = other.clone()` without the heap
+    /// round-trip — the basis of snapshot pooling (see PERFORMANCE.md).
+    pub fn copy_from(&mut self, other: &Bank<E>) {
+        self.counters.clone_from(&other.counters);
+    }
+
     /// Element-wise difference `self - earlier`, saturating at zero.
     ///
     /// Counters are free-running, so a profiling epoch's activity is the

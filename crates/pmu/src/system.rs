@@ -78,6 +78,29 @@ impl SystemPmu {
         }
     }
 
+    /// Overwrite this PMU state with a copy of `other`, reusing every
+    /// existing bank allocation when the topologies match (the snapshot-
+    /// pooling fast path; see PERFORMANCE.md). Falls back to a plain clone
+    /// per bank list on a topology mismatch.
+    pub fn copy_from(&mut self, other: &SystemPmu) {
+        fn copy_banks<E: crate::event::Event>(dst: &mut Vec<Bank<E>>, src: &[Bank<E>]) {
+            if dst.len() == src.len() {
+                for (d, s) in dst.iter_mut().zip(src.iter()) {
+                    d.copy_from(s);
+                }
+            } else {
+                *dst = src.to_vec();
+            }
+        }
+        copy_banks(&mut self.cores, &other.cores);
+        copy_banks(&mut self.chas, &other.chas);
+        copy_banks(&mut self.imcs, &other.imcs);
+        copy_banks(&mut self.m2ps, &other.m2ps);
+        copy_banks(&mut self.cxls, &other.cxls);
+        copy_banks(&mut self.switches, &other.switches);
+        copy_banks(&mut self.pools, &other.pools);
+    }
+
     /// Reset every counter in every bank.
     pub fn reset(&mut self) {
         self.cores.iter_mut().for_each(Bank::reset);
@@ -117,6 +140,13 @@ impl SystemSnapshot {
     /// the counter copy plus the struct header.
     pub fn footprint_bytes(&self) -> usize {
         core::mem::size_of::<SystemSnapshot>() + self.pmu.footprint_bytes()
+    }
+
+    /// Overwrite this snapshot in place from the live counter state,
+    /// reusing its allocations (see [`SystemPmu::copy_from`]).
+    pub fn copy_from(&mut self, pmu: &SystemPmu, cycle: u64) {
+        self.cycle = cycle;
+        self.pmu.copy_from(pmu);
     }
 
     /// The per-epoch digest: `self - earlier` for every counter.

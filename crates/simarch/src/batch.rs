@@ -1,0 +1,438 @@
+//! Batched datapath: stage-pass execution of the per-op hot path.
+//!
+//! `datapath.rs` is the executable specification — one full per-access
+//! descent (`step_core` → `do_load` → `l2_and_beyond` → `offcore_access` →
+//! `memory_access` → `finish_load`) every time the epoch scheduler picks a
+//! core. This module is the optimized pipeline the specification is
+//! differenced against (`DatapathMode::Batched`, the default): when the
+//! scheduler picks a core, a whole *slice* of its consecutive ops runs in
+//! one dispatch, structured as stage passes —
+//!
+//! * **gather** — ops are decoded chunk-wise from the trace into the
+//!   machine-owned [`crate::arena::OpRing`] (one virtual `fill_ops` call
+//!   per chunk instead of one `next_op` call per op);
+//! * **L1 probe** (`datapath.pass.l1`) — a combined single-search probe
+//!   with a short-circuit hit fast path that retires ready hits without
+//!   touching anything below the core;
+//! * **L2/prefetch + offcore/CHA + memory/CXL** (`datapath.pass.offcore`)
+//!   — a combined L2 probe, then the shared uncore walk (`offcore_access`
+//!   and below are the *same* functions the reference walk runs, so the
+//!   two modes cannot drift on the deep path);
+//! * **retire** (`datapath.pass.retire`) — stall accounting and time
+//!   advance via the shared `finish_load` tail.
+//!
+//! ## Why a slice is byte-identical to one-op scheduling
+//!
+//! Stepping core *c* never mutates another core's `time` (peer probes
+//! touch caches and the snoop filter, never clocks), so while `c.time`
+//! stays strictly below every other pending core's time — or ties it and
+//! `c` has the lower index, the reference argmin's first-wins tie-break —
+//! the scheduler would pick `c` again anyway. The slice loop runs exactly
+//! as long as that predicate holds and then returns to the scheduler, so
+//! the global op interleaving (and with it every shared-FIFO arrival
+//! order, LRU clock, and counter stream) is unchanged. Both schedulers
+//! agree on the predicate: the wheel pops `(tick, StageId)` ordered, which
+//! is earliest-time-first with lowest-core-index tie-break too.
+//!
+//! ## Why the combined probes are byte-identical
+//!
+//! The reference walk's hit paths search a set twice (find, then re-find
+//! to flip `prefetched`/`state`), advancing the cache's `lru_clock` twice.
+//! The combined probes (`cache.rs`) search once but replicate the clock
+//! arithmetic and stamp values of the double search exactly, so every
+//! future LRU eviction — and therefore every downstream counter — is
+//! unchanged. `tests/datapath_equivalence.rs` proves the whole matrix.
+
+use crate::cache::LineState;
+use crate::machine::Machine;
+use crate::mem::{MemNode, PhysAddr, CACHELINE, PAGE_SIZE};
+use crate::request::{AccessKind, MemOp, ServeLoc};
+use pmu::{CoreEvent, PathClass};
+
+/// Ops decoded from the trace per gather-pass refill. Large enough to
+/// amortize the virtual dispatch, small enough that a buffered tail never
+/// outlives a scheduling decision by much.
+const OP_CHUNK: usize = 64;
+
+impl Machine {
+    /// Run one scheduling slice of core `c`: consecutive ops while `c`
+    /// would remain the scheduler's argmin winner (see module docs).
+    /// The caller guarantees `c` is eligible (`!done && time < end`).
+    // pflint::hot — the batched datapath's innermost dispatch loop.
+    pub(crate) fn run_core_slice(&mut self, c: usize, end: u64) {
+        // Slice bound: the earliest other pending core. `tie_win` records
+        // whether `c` would still win the reference argmin's first-wins
+        // tie-break at exactly that time. Other cores' times cannot move
+        // while this slice runs, so the bound stays valid throughout.
+        let mut limit = end;
+        let mut tie_win = false;
+        for i in 0..self.cores.len() {
+            if i == c || self.cores[i].done {
+                continue;
+            }
+            let t = self.cores[i].time;
+            if t < limit {
+                limit = t;
+                tie_win = c < i;
+            }
+        }
+        let mut executed: u64 = 0;
+        loop {
+            if executed > 0 {
+                let t = self.cores[c].time;
+                if !(t < limit || (t == limit && tie_win)) {
+                    break;
+                }
+            }
+            let Some(op) = self.next_ring_op(c) else {
+                self.cores[c].done = true;
+                break;
+            };
+            executed += 1;
+            self.batch_exec(c, op);
+        }
+        obs::metrics::observe("datapath.batch_len", executed);
+    }
+
+    /// Gather pass: the next buffered op, refilling the ring chunk-wise
+    /// from the trace when it runs dry. `None` means the trace finished.
+    // pflint::hot — gather pass.
+    fn next_ring_op(&mut self, c: usize) -> Option<MemOp> {
+        if let Some(op) = self.rings[c].pop() {
+            return Some(op);
+        }
+        let Machine { rings, cores, .. } = self;
+        let run = cores[c].workload.as_mut()?;
+        let ring = &mut rings[c];
+        if run.trace.fill_ops(ring, OP_CHUNK) == 0 {
+            return None;
+        }
+        ring.pop()
+    }
+
+    /// Per-op prologue and kind dispatch — the batched `step_core` body.
+    // pflint::hot — per-op dispatch.
+    fn batch_exec(&mut self, c: usize, op: MemOp) {
+        {
+            let core = &mut self.cores[c];
+            core.time += op.work as u64;
+            core.ops_executed += 1;
+            core.truth.ops += 1;
+        }
+        self.pmu.cores[c].add(CoreEvent::InstRetired, op.work as u64 + 1);
+        let paddr = {
+            let core = &mut self.cores[c];
+            let run = core.workload.as_mut().expect("runnable core has workload");
+            run.space.translate(op.vaddr)
+        };
+        let vpage = op.vaddr / PAGE_SIZE as u64;
+        let key = (c as u16, vpage);
+        match &mut self.heat_run {
+            Some((k, n)) if *k == key => *n += 1,
+            _ => {
+                self.flush_heat_run();
+                self.heat_run = Some((key, 1));
+            }
+        }
+        match op.kind {
+            AccessKind::Load { dependent } => {
+                self.cores[c].truth.loads += 1;
+                self.batch_load(c, paddr, dependent, PathClass::Drd);
+            }
+            AccessKind::SwPrefetch => {
+                self.cores[c].truth.swpfs += 1;
+                self.batch_load(c, paddr, false, PathClass::SwPf);
+            }
+            AccessKind::Store => {
+                self.cores[c].truth.stores += 1;
+                self.batch_store(c, paddr);
+            }
+        }
+    }
+
+    /// L1 probe pass with the short-circuit hit fast path; misses descend
+    /// through the L2/offcore passes and the shared retire tail.
+    // pflint::hot — L1 probe pass.
+    fn batch_load(&mut self, c: usize, paddr: PhysAddr, dependent: bool, path: PathClass) {
+        let line = paddr.line();
+        let node = paddr.node();
+        let demand = path == PathClass::Drd;
+        let t_issue = self.cores[c].time;
+
+        let probe = {
+            let _p = obs::span!("datapath.pass.l1");
+            self.cores[c].l1d.probe_demand(line)
+        };
+        if let Some(ready_at) = probe {
+            if ready_at <= t_issue {
+                // Ready hit: retire in place without touching the uncore.
+                let _r = obs::span!("datapath.pass.retire");
+                let bank = &mut self.pmu.cores[c];
+                if demand {
+                    bank.inc(CoreEvent::MemLoadRetiredL1Hit);
+                    bank.add(
+                        CoreEvent::MemTransRetiredLoadLatency,
+                        self.cfg.l1d.hit_latency,
+                    );
+                    bank.inc(CoreEvent::MemTransRetiredLoadCount);
+                }
+                if dependent {
+                    self.cores[c].time += self.cfg.l1d.hit_latency;
+                }
+                self.cores[c]
+                    .truth
+                    .record_served(path, ServeLoc::L1d, self.cfg.l1d.hit_latency);
+                return;
+            }
+            // Present but still filling: merge into the in-flight fill.
+            if demand {
+                let bank = &mut self.pmu.cores[c];
+                bank.inc(CoreEvent::MemLoadRetiredL1Miss);
+                bank.inc(CoreEvent::MemLoadRetiredL1FbHit);
+            }
+            self.batch_retire_load(
+                c,
+                t_issue,
+                ready_at,
+                ServeLoc::Lfb,
+                false,
+                false,
+                dependent,
+                demand,
+                node,
+                path,
+                0,
+            );
+            return;
+        }
+
+        // ---- L1D miss ---------------------------------------------------
+        if demand {
+            self.pmu.cores[c].inc(CoreEvent::MemLoadRetiredL1Miss);
+        }
+        self.train_prefetcher(c, line, node, t_issue);
+        if let Some(f) = self.cores[c].inflight.get(line) {
+            if f > t_issue {
+                if demand {
+                    self.pmu.cores[c].inc(CoreEvent::MemLoadRetiredL1FbHit);
+                }
+                self.batch_retire_load(
+                    c,
+                    t_issue,
+                    f,
+                    ServeLoc::Lfb,
+                    false,
+                    false,
+                    dependent,
+                    demand,
+                    node,
+                    path,
+                    0,
+                );
+                return;
+            }
+        }
+        let adm = self.cores[c].lfb.acquire(t_issue);
+        if adm.blocked > 0 {
+            self.pmu.cores[c].add(CoreEvent::L1dPendMissFbFull, adm.blocked);
+            self.cores[c].time = adm.at;
+        }
+        let blocked = adm.blocked;
+        let t = adm.at.max(t_issue);
+
+        let ascending = line == self.cores[c].last_l1_miss_line.wrapping_add(1);
+        self.cores[c].last_l1_miss_line = line;
+        let l1pf = crate::prefetch::l1_next_line(&self.cfg.prefetch, line)
+            .filter(|_| demand && ascending)
+            .filter(|_| {
+                line % (PAGE_SIZE / CACHELINE) as u64 != (PAGE_SIZE / CACHELINE) as u64 - 1
+            });
+
+        let t_l2 = t + self.cfg.l1d.tag_latency;
+        let (finish, loc, missed_l2, missed_l3) =
+            self.batch_l2_pass(c, line, node, path, false, t_l2);
+
+        self.fill_l1(c, line, LineState::Exclusive, finish, t);
+        self.cores[c].inflight.insert(line, finish);
+        self.cores[c].lfb.commit(finish);
+
+        self.batch_retire_load(
+            c, t_issue, finish, loc, missed_l2, missed_l3, dependent, demand, node, path, blocked,
+        );
+
+        if let Some(pf_line) = l1pf {
+            self.issue_l1_prefetch(c, pf_line, node, t);
+        }
+    }
+
+    /// L2/prefetch pass and, on miss, the offcore/CHA and memory/CXL
+    /// passes (the shared `offcore_access` walk). Combined single-search
+    /// L2 probe; returns `(finish_at_core, serve_loc, missed_l2,
+    /// missed_l3)` exactly like the reference `l2_and_beyond`.
+    // pflint::hot — L2/offcore pass.
+    fn batch_l2_pass(
+        &mut self,
+        c: usize,
+        line: u64,
+        node: MemNode,
+        path: PathClass,
+        rfo: bool,
+        t_l2: u64,
+    ) -> (u64, ServeLoc, bool, bool) {
+        let _o = obs::span!("datapath.pass.offcore");
+        let demand = matches!(path, PathClass::Drd | PathClass::Rfo | PathClass::Dwr);
+        {
+            let bank = &mut self.pmu.cores[c];
+            bank.inc(CoreEvent::L2RqstsReferences);
+            if demand {
+                bank.inc(CoreEvent::L2RqstsAllDemandReferences);
+            }
+            match path {
+                PathClass::Drd => bank.inc(CoreEvent::L2RqstsAllDemandDataRd),
+                PathClass::Rfo | PathClass::Dwr | PathClass::HwPfL2Rfo => {
+                    bank.inc(CoreEvent::L2RqstsAllRfo)
+                }
+                _ => {}
+            }
+        }
+        match self.cores[c].l2.probe_l2(line, rfo) {
+            Some((ready_at, true)) => {
+                let fin = ready_at.max(t_l2 + self.cfg.l2.hit_latency);
+                let bank = &mut self.pmu.cores[c];
+                match path {
+                    PathClass::Drd => {
+                        bank.inc(CoreEvent::MemLoadRetiredL2Hit);
+                        bank.inc(CoreEvent::L2RqstsDemandDataRdHit);
+                    }
+                    PathClass::SwPf => bank.inc(CoreEvent::L2RqstsSwpfHit),
+                    PathClass::Rfo | PathClass::Dwr => {
+                        bank.inc(CoreEvent::L2RqstsRfoHit);
+                        bank.inc(CoreEvent::MemStoreRetiredL2Hit);
+                    }
+                    _ => bank.inc(CoreEvent::L2RqstsHwpfHit),
+                }
+                (fin, ServeLoc::L2, false, false)
+            }
+            Some((_ready, false)) => {
+                // Present but not writable: ownership upgrade goes offcore.
+                self.count_l2_miss(c, path);
+                let (fin, loc, missed_l3) =
+                    self.offcore_access(c, line, node, path, true, t_l2 + self.cfg.l2.tag_latency);
+                (fin, loc, true, missed_l3)
+            }
+            None => {
+                self.count_l2_miss(c, path);
+                let (fin, loc, missed_l3) =
+                    self.offcore_access(c, line, node, path, rfo, t_l2 + self.cfg.l2.tag_latency);
+                let state = if rfo {
+                    LineState::Modified
+                } else {
+                    LineState::Exclusive
+                };
+                self.fill_l2(c, line, state, fin, !demand, t_l2);
+                (fin, loc, true, missed_l3)
+            }
+        }
+    }
+
+    /// Retire pass: the shared stall-accounting tail under its own span.
+    // pflint::hot — retire pass.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_retire_load(
+        &mut self,
+        c: usize,
+        t_issue: u64,
+        finish: u64,
+        loc: ServeLoc,
+        missed_l2: bool,
+        missed_l3: bool,
+        dependent: bool,
+        demand: bool,
+        node: MemNode,
+        path: PathClass,
+        blocked: u64,
+    ) {
+        let _r = obs::span!("datapath.pass.retire");
+        self.finish_load(
+            c, t_issue, finish, loc, missed_l2, missed_l3, dependent, demand, node, path, blocked,
+        );
+    }
+
+    /// Store pass: SB admission and coalescing, then a combined L1 write
+    /// probe or the RFO descent through the L2/offcore passes.
+    // pflint::hot — store pass.
+    fn batch_store(&mut self, c: usize, paddr: PhysAddr) {
+        let line = paddr.line();
+        let node = paddr.node();
+        let t_issue = self.cores[c].time;
+
+        let adm = self.cores[c].sb.acquire(t_issue);
+        if adm.blocked > 0 {
+            let loads_outstanding = self.cores[c].lfb.outstanding(t_issue) > 0;
+            let bank = &mut self.pmu.cores[c];
+            if loads_outstanding {
+                bank.add(CoreEvent::ResourceStallsSb, adm.blocked);
+            } else {
+                bank.add(CoreEvent::ExeActivityBoundOnStores, adm.blocked);
+            }
+            self.cores[c].time = adm.at;
+        }
+        let t = adm.at.max(t_issue);
+
+        if let Some(f) = self.cores[c].sb_inflight.get(line) {
+            if f > t {
+                self.cores[c].sb.commit(f);
+                self.cores[c]
+                    .truth
+                    .record_served(PathClass::Dwr, ServeLoc::StoreBuffer, 0);
+                let bank = &mut self.pmu.cores[c];
+                bank.inc(CoreEvent::MemTransRetiredStoreCount);
+                return;
+            }
+        }
+
+        let probe = {
+            let _p = obs::span!("datapath.pass.l1");
+            self.cores[c].l1d.probe_store(line)
+        };
+        let drain = match probe {
+            Some((ready_at, true)) => {
+                self.cha.sf.mark_dirty(line);
+                let d = ready_at.max(t) + self.cfg.l1d.hit_latency;
+                self.cores[c]
+                    .truth
+                    .record_served(PathClass::Dwr, ServeLoc::L1d, d - t);
+                d
+            }
+            _ => {
+                // RFO: gain exclusive ownership through the hierarchy.
+                self.train_prefetcher(c, line, node, t);
+                let core = &mut self.cores[c];
+                core.cov_oro_demand_rfo.add(t, t + 1);
+                let (fin, _loc, _missed_l2, _missed_l3) = self.batch_l2_pass(
+                    c,
+                    line,
+                    node,
+                    PathClass::Rfo,
+                    true,
+                    t + self.cfg.l1d.tag_latency,
+                );
+                self.fill_l1(c, line, LineState::Modified, fin, t);
+                self.cha.sf.mark_dirty(line);
+                self.cores[c].cov_oro_demand_rfo.add(t, fin);
+                self.cores[c]
+                    .truth
+                    .record_served(PathClass::Dwr, ServeLoc::L1d, fin - t);
+                fin + self.cfg.l1d.hit_latency
+            }
+        };
+        {
+            let core = &mut self.cores[c];
+            core.sb.commit(drain);
+            core.sb_inflight.insert(line, drain);
+        }
+        let bank = &mut self.pmu.cores[c];
+        bank.add(CoreEvent::MemTransRetiredStoreSample, drain - t);
+        bank.inc(CoreEvent::MemTransRetiredStoreCount);
+    }
+}

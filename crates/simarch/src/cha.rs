@@ -442,51 +442,46 @@ impl ChaComplex {
             }
         }
 
+        // Per-class scenario loops, specialized so the class test runs once
+        // per request instead of once per scenario and each arm constructs
+        // its events directly (every `index()` folds to base + scen).
+        // Threshold1 ≈ cycles the class had an entry; a per-request
+        // residency add is an upper bound refined by the per-class coverage
+        // at sync time for the Total scenario.
         match class {
-            TorClass::Drd | TorClass::DrdPref => {
+            TorClass::Drd => {
                 for &scen in drd_scens(loc, node) {
-                    let (ins, occ, th) = if class == TorClass::Drd {
-                        (
-                            ChaEvent::TorInsertsIaDrd(scen),
-                            ChaEvent::TorOccupancyIaDrd(scen),
-                            ChaEvent::TorThreshold1IaDrd(scen),
-                        )
-                    } else {
-                        (
-                            ChaEvent::TorInsertsIaDrdPref(scen),
-                            ChaEvent::TorOccupancyIaDrdPref(scen),
-                            ChaEvent::TorThreshold1IaDrdPref(scen),
-                        )
-                    };
-                    bank.inc(ins);
-                    bank.add(occ, resid);
-                    // Threshold1 ≈ cycles the class had an entry; a per-
-                    // request residency add is an upper bound refined by the
-                    // per-class coverage at sync time for the Total scenario.
+                    bank.inc(ChaEvent::TorInsertsIaDrd(scen));
+                    bank.add(ChaEvent::TorOccupancyIaDrd(scen), resid);
                     if scen != TorDrdScen::Total {
-                        bank.add(th, resid);
+                        bank.add(ChaEvent::TorThreshold1IaDrd(scen), resid);
                     }
                 }
             }
-            TorClass::Rfo | TorClass::RfoPref => {
+            TorClass::DrdPref => {
+                for &scen in drd_scens(loc, node) {
+                    bank.inc(ChaEvent::TorInsertsIaDrdPref(scen));
+                    bank.add(ChaEvent::TorOccupancyIaDrdPref(scen), resid);
+                    if scen != TorDrdScen::Total {
+                        bank.add(ChaEvent::TorThreshold1IaDrdPref(scen), resid);
+                    }
+                }
+            }
+            TorClass::Rfo => {
                 for &scen in rfo_scens(loc, node) {
-                    let (ins, occ, th) = if class == TorClass::Rfo {
-                        (
-                            ChaEvent::TorInsertsIaRfo(scen),
-                            ChaEvent::TorOccupancyIaRfo(scen),
-                            ChaEvent::TorThreshold1IaRfo(scen),
-                        )
-                    } else {
-                        (
-                            ChaEvent::TorInsertsIaRfoPref(scen),
-                            ChaEvent::TorOccupancyIaRfoPref(scen),
-                            ChaEvent::TorThreshold1IaRfoPref(scen),
-                        )
-                    };
-                    bank.inc(ins);
-                    bank.add(occ, resid);
+                    bank.inc(ChaEvent::TorInsertsIaRfo(scen));
+                    bank.add(ChaEvent::TorOccupancyIaRfo(scen), resid);
                     if scen != TorRfoScen::Total {
-                        bank.add(th, resid);
+                        bank.add(ChaEvent::TorThreshold1IaRfo(scen), resid);
+                    }
+                }
+            }
+            TorClass::RfoPref => {
+                for &scen in rfo_scens(loc, node) {
+                    bank.inc(ChaEvent::TorInsertsIaRfoPref(scen));
+                    bank.add(ChaEvent::TorOccupancyIaRfoPref(scen), resid);
+                    if scen != TorRfoScen::Total {
+                        bank.add(ChaEvent::TorThreshold1IaRfoPref(scen), resid);
                     }
                 }
             }

@@ -322,7 +322,7 @@ impl Machine {
     /// prefetchers observe the demand-miss stream itself — including misses
     /// that merge into in-flight fills — so this is called from the L1D
     /// miss path, not from the L2 lookup (a merged miss never reaches L2).
-    fn train_prefetcher(&mut self, c: usize, line: u64, node: MemNode, at: u64) {
+    pub(crate) fn train_prefetcher(&mut self, c: usize, line: u64, node: MemNode, at: u64) {
         // Reuse the machine-owned scratch: `issue_l2_prefetch` re-borrows
         // `self`, so the buffer is moved out for the duration of the loop.
         let mut buf = std::mem::take(&mut self.pf_scratch);
@@ -334,7 +334,7 @@ impl Machine {
         self.pf_scratch = buf;
     }
 
-    fn count_l2_miss(&mut self, c: usize, path: PathClass) {
+    pub(crate) fn count_l2_miss(&mut self, c: usize, path: PathClass) {
         let bank = &mut self.pmu.cores[c];
         bank.inc(CoreEvent::L2RqstsMiss);
         bank.inc(CoreEvent::OffcoreRequestsAllRequests);
@@ -363,7 +363,7 @@ impl Machine {
 
     /// The uncore walk: mesh → CHA (LLC + SF + TOR) → peer / IMC / CXL.
     /// Returns `(finish_at_core, serve_loc, missed_l3)`.
-    fn offcore_access(
+    pub(crate) fn offcore_access(
         &mut self,
         c: usize,
         line: u64,
@@ -685,7 +685,14 @@ impl Machine {
 
     /// Fill L1D, spilling dirty victims into L2 (and onward). `now` times
     /// the spill traffic (see [`Self::cha_fill`]).
-    fn fill_l1(&mut self, c: usize, line: u64, state: LineState, ready_at: u64, now: u64) {
+    pub(crate) fn fill_l1(
+        &mut self,
+        c: usize,
+        line: u64,
+        state: LineState,
+        ready_at: u64,
+        now: u64,
+    ) {
         let ev = self.cores[c].l1d.insert(line, state, ready_at, false);
         if let Some(Eviction {
             line_addr, state, ..
@@ -705,7 +712,7 @@ impl Machine {
     }
 
     /// Fill L2, spilling victims toward the LLC.
-    fn fill_l2(
+    pub(crate) fn fill_l2(
         &mut self,
         c: usize,
         line: u64,
@@ -739,7 +746,7 @@ impl Machine {
 
     /// L1 next-line prefetch: cheap fill from L2 if present, else a full
     /// offcore HWPF.L1 walk.
-    fn issue_l1_prefetch(&mut self, c: usize, line: u64, node: MemNode, at: u64) {
+    pub(crate) fn issue_l1_prefetch(&mut self, c: usize, line: u64, node: MemNode, at: u64) {
         if self.cores[c].l1d.peek(line).is_some() {
             return;
         }
@@ -777,7 +784,7 @@ impl Machine {
     /// walk; hardware attributes those to the same nested stall counters
     /// (the core was stalled while a miss of this depth was outstanding).
     #[allow(clippy::too_many_arguments)]
-    fn finish_load(
+    pub(crate) fn finish_load(
         &mut self,
         c: usize,
         t_issue: u64,

@@ -40,6 +40,22 @@ pub enum SchedMode {
     Reference,
 }
 
+/// Which per-op datapath `step_core`-level execution uses. The two are
+/// proven equivalent (identical counter streams) across the full
+/// `SchedMode × DatapathMode` matrix by `tests/datapath_equivalence.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatapathMode {
+    /// Staged batch pipeline (`batch.rs`): each scheduled core runs a
+    /// *slice* of consecutive ops pulled chunk-wise from the trace into a
+    /// machine-owned [`crate::arena::OpRing`], executed through stage-pass
+    /// functions with combined single-search cache probes. The default.
+    Batched,
+    /// The original one-op-per-schedule walk (`datapath.rs`) — retained
+    /// verbatim as the executable specification the batched pipeline is
+    /// differenced against.
+    Reference,
+}
+
 /// Result of running one scheduling epoch.
 pub struct EpochResult {
     /// All PMU counters at the epoch boundary.
@@ -162,8 +178,17 @@ pub struct Machine {
     host: crate::request::HostId,
     /// Core-stepping scheduler (see [`SchedMode`]).
     sched: SchedMode,
+    /// Per-op datapath (see [`DatapathMode`]).
+    datapath: DatapathMode,
     /// The wakeup wheel of the event-wheel scheduler; reset each epoch.
     wheel: EventWheel<StageId>,
+    /// Per-core op buffers of the batched datapath's gather pass; drained
+    /// FIFO, so buffering never reorders a trace.
+    pub(crate) rings: Vec<crate::arena::OpRing>,
+    /// Snapshot pool: a retired end-of-epoch snapshot handed back via
+    /// [`Machine::recycle_snapshot`]. The next `run_epoch` overwrites it in
+    /// place instead of cloning every bank afresh.
+    spare_snapshot: Option<SystemSnapshot>,
 }
 
 /// All stage modules in ascending stage-id (= drain) order, as trait
@@ -215,9 +240,22 @@ impl Machine {
             workload_gen: 0,
             host: crate::request::HostId(0),
             sched: SchedMode::Wheel,
+            datapath: DatapathMode::Batched,
             wheel: EventWheel::new(0),
+            rings: (0..cfg.cores)
+                .map(|_| crate::arena::OpRing::new())
+                .collect(),
+            spare_snapshot: None,
             cfg,
         }
+    }
+
+    /// Hand a retired snapshot back for reuse: the next `run_epoch`
+    /// overwrites it in place (`SystemSnapshot::copy_from`) instead of
+    /// cloning every bank. Purely an allocation-recycling hint — the
+    /// returned snapshots are byte-identical either way.
+    pub fn recycle_snapshot(&mut self, snapshot: SystemSnapshot) {
+        self.spare_snapshot = Some(snapshot);
     }
 
     /// Select the core-stepping scheduler. Both modes produce identical
@@ -229,6 +267,17 @@ impl Machine {
 
     pub fn sched_mode(&self) -> SchedMode {
         self.sched
+    }
+
+    /// Select the per-op datapath. Both modes produce identical counter
+    /// streams; `Reference` exists for the differential harness and for
+    /// bisecting any future batching regression.
+    pub fn set_datapath_mode(&mut self, mode: DatapathMode) {
+        self.datapath = mode;
+    }
+
+    pub fn datapath_mode(&self) -> DatapathMode {
+        self.datapath
     }
 
     /// This machine's tenant identity within a fabric (`HostId(0)` when
@@ -281,8 +330,10 @@ impl Machine {
             "cxl device out of range"
         );
         self.cores[core].attach(workload, core as u16);
-        // A freshly attached core starts at the current epoch boundary.
+        // A freshly attached core starts at the current epoch boundary
+        // with an empty op buffer.
         self.cores[core].time = self.epoch_end;
+        self.rings[core].clear();
         self.workload_gen += 1;
     }
 
@@ -496,15 +547,17 @@ impl Machine {
         // plus an in-place merge reproduces the (asid, page)-ordered list the
         // ordered-map implementation used to emit, byte for byte.
         self.flush_heat_run();
-        let mut raw = std::mem::take(&mut self.page_heat);
-        raw.sort_unstable_by_key(|&(k, _)| k);
-        let mut heat: Vec<(u16, u64, u32)> = Vec::with_capacity(raw.len());
-        for ((a, p), n) in raw {
+        self.page_heat.sort_unstable_by_key(|&(k, _)| k);
+        let mut heat: Vec<(u16, u64, u32)> = Vec::with_capacity(self.page_heat.len());
+        for &((a, p), n) in &self.page_heat {
             match heat.last_mut() {
                 Some(last) if last.0 == a && last.1 == p => last.2 += n,
                 _ => heat.push((a, p, n)),
             }
         }
+        // Clear, don't take: the accumulator keeps its capacity across
+        // epochs so steady-state heat tracking never re-allocates.
+        self.page_heat.clear();
         let ops_per_core: Vec<u64> = self
             .cores
             .iter()
@@ -514,8 +567,15 @@ impl Machine {
         for (i, c) in self.cores.iter().enumerate() {
             self.ops_at_last_epoch[i] = c.ops_executed;
         }
+        let snapshot = match self.spare_snapshot.take() {
+            Some(mut s) => {
+                s.copy_from(&self.pmu, end);
+                s
+            }
+            None => self.pmu.snapshot(end),
+        };
         EpochResult {
-            snapshot: self.pmu.snapshot(end),
+            snapshot,
             page_heat: heat,
             ops_per_core,
             all_done: self.all_done(),
@@ -533,7 +593,10 @@ impl Machine {
                 .filter(|&i| !self.cores[i].done && self.cores[i].time < end)
                 .min_by_key(|&i| self.cores[i].time);
             let Some(c) = next else { break };
-            self.step_core(c);
+            match self.datapath {
+                DatapathMode::Batched => self.run_core_slice(c, end),
+                DatapathMode::Reference => self.step_core(c),
+            }
         }
     }
 
@@ -556,7 +619,10 @@ impl Machine {
         }
         while let Some((_, id)) = self.wheel.pop_before(end) {
             let c = id.index as usize;
-            self.step_core(c);
+            match self.datapath {
+                DatapathMode::Batched => self.run_core_slice(c, end),
+                DatapathMode::Reference => self.step_core(c),
+            }
             if let Some(t) = self.cores[c].next_event() {
                 if t < end {
                     self.wheel.schedule(t, id);

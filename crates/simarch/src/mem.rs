@@ -111,6 +111,12 @@ pub struct AddressSpace {
     cxl_pages: usize,
     /// Total mapped pages.
     mapped_pages: usize,
+    /// One-entry translation memo: (pre-modulo page number, resolved
+    /// in-bounds vpage, node). Pure memoization of the `translate` lookup —
+    /// consecutive accesses to the same page (the common case for a stream
+    /// of cacheline-granular ops) skip the `%` division and the table load.
+    /// Invalidated whenever `pages` is written (`migrate`).
+    tlb: Option<(u64, u64, MemNode)>,
 }
 
 impl AddressSpace {
@@ -124,6 +130,7 @@ impl AddressSpace {
             cxl_device,
             cxl_pages: 0,
             mapped_pages: 0,
+            tlb: None,
         }
     }
 
@@ -173,8 +180,14 @@ impl AddressSpace {
 
     /// Translate a virtual address, mapping the page on first touch.
     pub fn translate(&mut self, vaddr: u64) -> PhysAddr {
-        let vpage = (vaddr / PAGE_SIZE as u64) % self.pages.len() as u64;
+        let raw = vaddr / PAGE_SIZE as u64;
         let offset = vaddr % PAGE_SIZE as u64;
+        if let Some((tag, vpage, node)) = self.tlb {
+            if tag == raw {
+                return PhysAddr::compose(node, self.asid, vpage, offset);
+            }
+        }
+        let vpage = raw % self.pages.len() as u64;
         let node = match self.pages[vpage as usize] {
             Some(n) => n,
             None => {
@@ -187,6 +200,7 @@ impl AddressSpace {
                 n
             }
         };
+        self.tlb = Some((raw, vpage, node));
         PhysAddr::compose(node, self.asid, vpage, offset)
     }
 
@@ -215,6 +229,7 @@ impl AddressSpace {
             _ => {}
         }
         self.pages[idx] = Some(to);
+        self.tlb = None;
         prev
     }
 
@@ -234,13 +249,25 @@ impl AddressSpace {
 /// deterministic).
 pub fn slice_of(line: u64, n_slices: usize) -> usize {
     debug_assert!(n_slices > 0);
-    ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33) as usize % n_slices
+    let h = ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33) as usize;
+    // Slice counts are powers of two on every shipped config; `% 2^k` is
+    // `& (2^k - 1)`, identical result without the division.
+    if n_slices.is_power_of_two() {
+        h & (n_slices - 1)
+    } else {
+        h % n_slices
+    }
 }
 
 /// Hash a line address onto one of `n` DRAM pseudo-channels.
 pub fn channel_of(line: u64, n_channels: usize) -> usize {
     debug_assert!(n_channels > 0);
-    ((line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)) >> 29) as usize % n_channels
+    let h = ((line.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)) >> 29) as usize;
+    if n_channels.is_power_of_two() {
+        h & (n_channels - 1)
+    } else {
+        h % n_channels
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,381 @@
+//! Differential proof of the batched datapath.
+//!
+//! The staged batch pipeline (`DatapathMode::Batched`, the default) and the
+//! retained per-op reference walk (`DatapathMode::Reference`) must be
+//! *indistinguishable through the PMU*: for randomized (scenario, fault
+//! plan, epochs, topology) tuples, both datapaths must emit byte-identical
+//! counter streams at every epoch boundary.
+//!
+//! The datapath axis is orthogonal to the scheduler axis, so the harness
+//! sweeps the full 2×2 (`SchedMode` × `DatapathMode`) grid: any divergence
+//! that only manifests when batching rides the wheel's quiescence
+//! fast-forward (or only on the reference scheduler's epoch crawl) is
+//! caught here, not in production. Debug builds assert the full invariant
+//! set (flow conservation included) every epoch on all four corners.
+
+use simarch::trace::TraceSource;
+use simarch::{
+    DatapathMode, Fabric, FabricConfig, FaultPlan, Machine, MachineConfig, MemOp, MemPolicy,
+    SchedMode, Workload,
+};
+
+/// The same splitmix64 the fault seeder uses — good enough scalar PRNG,
+/// no dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A seeded pseudo-random access trace: loads, dependent loads, stores
+/// and software prefetches over a bounded footprint with variable work.
+/// Two instances built from the same seed replay identically.
+struct RandomTrace {
+    rng: SplitMix64,
+    footprint: u64,
+    remaining: usize,
+    work: u32,
+}
+
+impl RandomTrace {
+    fn new(seed: u64, footprint: u64, ops: usize, work: u32) -> RandomTrace {
+        RandomTrace {
+            rng: SplitMix64(seed),
+            footprint,
+            remaining: ops,
+            work,
+        }
+    }
+}
+
+impl TraceSource for RandomTrace {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = (self.rng.below(self.footprint / 64)) * 64;
+        let op = match self.rng.below(10) {
+            0..=5 => MemOp::load(addr),
+            6 => MemOp::dependent_load(addr),
+            7..=8 => MemOp::store(addr),
+            _ => MemOp::swpf(addr),
+        };
+        Some(op.with_work(self.work))
+    }
+
+    fn footprint(&self) -> usize {
+        self.footprint as usize
+    }
+}
+
+/// One randomized scenario drawn from `seed`.
+struct Scenario {
+    seed: u64,
+    ops: usize,
+    work: u32,
+    footprint: u64,
+    policy: MemPolicy,
+    fault_windows: usize,
+    epochs: u64,
+}
+
+impl Scenario {
+    fn draw(seed: u64) -> Scenario {
+        let mut rng = SplitMix64(seed ^ 0xC0FF_EE00_5EED);
+        let policy = match rng.below(4) {
+            0 => MemPolicy::Local,
+            1 => MemPolicy::Cxl,
+            2 => MemPolicy::RemoteNuma,
+            _ => MemPolicy::Interleave {
+                cxl_fraction: (rng.below(100) as f64) / 100.0,
+            },
+        };
+        Scenario {
+            seed,
+            ops: 400 + rng.below(1200) as usize,
+            // Mixed work weights: small ones keep many ops in flight per
+            // epoch (deep batches), the huge one forces multi-epoch
+            // catch-up gaps (batch slices ending mid-op).
+            work: [1u32, 4, 40, 1700][rng.below(4) as usize],
+            footprint: 1 << (14 + rng.below(6)),
+            policy,
+            fault_windows: rng.below(4) as usize,
+            epochs: 30 + rng.below(60),
+        }
+    }
+
+    fn build(&self, sched: SchedMode, datapath: DatapathMode) -> Machine {
+        let mut cfg = MachineConfig::tiny();
+        // Short epochs (like the profiler's hot configuration): batch
+        // slices end at the epoch edge constantly, so slice-boundary
+        // carry state is exercised every few ops.
+        cfg.epoch_cycles = 500;
+        let mut m = Machine::new(cfg.clone());
+        m.set_sched_mode(sched);
+        m.set_datapath_mode(datapath);
+        for core in 0..cfg.cores {
+            m.attach(
+                core,
+                Workload::new(
+                    format!("rand{core}"),
+                    Box::new(RandomTrace::new(
+                        self.seed ^ (core as u64) << 32,
+                        self.footprint,
+                        self.ops,
+                        self.work,
+                    )),
+                    self.policy,
+                ),
+            );
+        }
+        if self.fault_windows > 0 {
+            m.set_fault_plan(FaultPlan::from_seed(
+                self.seed,
+                self.fault_windows,
+                &cfg,
+                self.epochs,
+            ));
+        }
+        m
+    }
+}
+
+/// Every counter of every bank, flattened — the full PMU byte stream of
+/// one epoch boundary.
+fn flatten(snap: &pmu::SystemSnapshot) -> Vec<u64> {
+    let mut out = vec![snap.cycle];
+    let p = &snap.pmu;
+    for b in &p.cores {
+        out.extend_from_slice(b.raw());
+    }
+    for b in &p.chas {
+        out.extend_from_slice(b.raw());
+    }
+    for b in &p.imcs {
+        out.extend_from_slice(b.raw());
+    }
+    for b in &p.m2ps {
+        out.extend_from_slice(b.raw());
+    }
+    for b in &p.cxls {
+        out.extend_from_slice(b.raw());
+    }
+    for b in &p.switches {
+        out.extend_from_slice(b.raw());
+    }
+    for b in &p.pools {
+        out.extend_from_slice(b.raw());
+    }
+    out
+}
+
+/// Epoch-by-epoch counter stream over `epochs` epochs.
+fn machine_stream(m: &mut Machine, epochs: u64) -> Vec<Vec<u64>> {
+    (0..epochs)
+        .map(|_| flatten(&m.run_epoch().snapshot))
+        .collect()
+}
+
+/// The full scheduler × datapath grid. The (Reference, Reference) corner
+/// is the oracle; every other corner must match it stream-for-stream.
+const GRID: [(SchedMode, DatapathMode); 4] = [
+    (SchedMode::Reference, DatapathMode::Reference),
+    (SchedMode::Reference, DatapathMode::Batched),
+    (SchedMode::Wheel, DatapathMode::Reference),
+    (SchedMode::Wheel, DatapathMode::Batched),
+];
+
+#[test]
+fn batched_matches_reference_across_randomized_scenarios() {
+    for seed in 0..12u64 {
+        let sc = Scenario::draw(seed.wrapping_mul(0x9E37_79B9) ^ 0xDA7A);
+        let mut streams = GRID.map(|(s, d)| {
+            let mut m = sc.build(s, d);
+            machine_stream(&mut m, sc.epochs)
+        });
+        let oracle = streams[0].clone();
+        for (i, stream) in streams.iter_mut().enumerate().skip(1) {
+            let (s, d) = GRID[i];
+            for (e, (got, want)) in stream.iter().zip(oracle.iter()).enumerate() {
+                assert_eq!(
+                    got, want,
+                    "seed {seed}: ({s:?}, {d:?}) diverged from the oracle at \
+                     epoch {e} (ops={}, work={}, policy={:?}, faults={})",
+                    sc.ops, sc.work, sc.policy, sc.fault_windows
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_matches_reference_to_completion() {
+    // run_to_completion drains the tail: final partial batches, LFB/SB
+    // flushes, and the wheel's quiescence fast-forward all land here.
+    for seed in 0..8u64 {
+        let sc = Scenario::draw(seed ^ 0xBA7C_5EED);
+        let summaries = GRID.map(|(s, d)| {
+            let mut m = sc.build(s, d);
+            let sum = m
+                .run_to_completion(8_000)
+                .unwrap_or_else(|_| panic!("({s:?}, {d:?}) run finishes"));
+            (sum, flatten(&m.pmu.snapshot(m.now())))
+        });
+        let (oracle_sum, oracle_pmu) = &summaries[0];
+        for (i, (sum, pmu)) in summaries.iter().enumerate().skip(1) {
+            let (s, d) = GRID[i];
+            assert_eq!(
+                sum.epochs, oracle_sum.epochs,
+                "seed {seed}: ({s:?}, {d:?}) epoch count differs"
+            );
+            assert_eq!(
+                sum.cycles, oracle_sum.cycles,
+                "seed {seed}: ({s:?}, {d:?}) cycle count differs"
+            );
+            assert_eq!(
+                sum.ops_per_core, oracle_sum.ops_per_core,
+                "seed {seed}: ({s:?}, {d:?}) op totals differ"
+            );
+            assert_eq!(
+                pmu, oracle_pmu,
+                "seed {seed}: ({s:?}, {d:?}) final PMU state diverged (work={})",
+                sc.work
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_store_heavy_stream_is_identical_under_faults() {
+    // Deterministic worst case for the store path: store-buffer pressure
+    // plus fault windows that open mid-run. The batch store pass acquires
+    // SB slots and coalesces against in-flight RFOs; any slip in that
+    // ordering shows up as a counter diff here.
+    struct StoreTrace {
+        rng: SplitMix64,
+        remaining: usize,
+    }
+    impl TraceSource for StoreTrace {
+        fn next_op(&mut self) -> Option<MemOp> {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            let addr = self.rng.below(1 << 10) * 64;
+            // 70% stores, rest loads — far past the SB-pressure knee.
+            let op = if self.rng.below(10) < 7 {
+                MemOp::store(addr)
+            } else {
+                MemOp::load(addr)
+            };
+            Some(op.with_work(2))
+        }
+        fn footprint(&self) -> usize {
+            1 << 16
+        }
+    }
+    let build = |sched: SchedMode, datapath: DatapathMode| {
+        let mut cfg = MachineConfig::tiny();
+        cfg.epoch_cycles = 500;
+        let mut m = Machine::new(cfg.clone());
+        m.set_sched_mode(sched);
+        m.set_datapath_mode(datapath);
+        for core in 0..cfg.cores {
+            m.attach(
+                core,
+                Workload::new(
+                    format!("st{core}"),
+                    Box::new(StoreTrace {
+                        rng: SplitMix64(0x57AB_1E ^ (core as u64) << 24),
+                        remaining: 1_500,
+                    }),
+                    MemPolicy::Cxl,
+                ),
+            );
+        }
+        m.set_fault_plan(FaultPlan::from_seed(0x57AB_1E, 3, &cfg, 80));
+        m
+    };
+    let streams = GRID.map(|(s, d)| {
+        let mut m = build(s, d);
+        machine_stream(&mut m, 80)
+    });
+    for (i, stream) in streams.iter().enumerate().skip(1) {
+        let (s, d) = GRID[i];
+        assert_eq!(
+            stream, &streams[0],
+            "({s:?}, {d:?}) diverged from the oracle on the store-heavy stream"
+        );
+    }
+}
+
+#[test]
+fn batched_matches_reference_with_fabric_topology() {
+    // Fabric topologies, 1 and 2 hosts: per-host batching must never
+    // reorder the offcore requests a host feeds through the shared
+    // switch/pool stages, or cross-host arbitration (and therefore every
+    // host's counters) shifts.
+    for seed in 0..4u64 {
+        for hosts in [1usize, 2] {
+            let sc = Scenario::draw(seed ^ (hosts as u64) << 17 ^ 0xFAB2);
+            let build = |sched: SchedMode, datapath: DatapathMode| {
+                let mut cfg = MachineConfig::tiny();
+                cfg.epoch_cycles = 2_000;
+                let mut f = Fabric::new(cfg.clone(), FabricConfig::balanced(hosts, &cfg));
+                f.set_sched_mode(sched);
+                f.set_datapath_mode(datapath);
+                for h in 0..hosts {
+                    f.attach(
+                        h,
+                        0,
+                        Workload::new(
+                            format!("h{h}"),
+                            Box::new(RandomTrace::new(
+                                sc.seed ^ (h as u64) << 40,
+                                sc.footprint,
+                                sc.ops.min(800),
+                                sc.work.min(40),
+                            )),
+                            MemPolicy::Cxl,
+                        ),
+                    );
+                }
+                f
+            };
+            let epochs = sc.epochs.min(40);
+            let streams = GRID.map(|(s, d)| {
+                let mut f = build(s, d);
+                (0..epochs)
+                    .map(|_| {
+                        let ep = f.run_epoch();
+                        let mut row: Vec<Vec<u64>> =
+                            ep.hosts.iter().map(|h| flatten(&h.snapshot)).collect();
+                        row.push(flatten(&ep.fabric));
+                        row
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (i, stream) in streams.iter().enumerate().skip(1) {
+                let (s, d) = GRID[i];
+                for (e, (got, want)) in stream.iter().zip(streams[0].iter()).enumerate() {
+                    assert_eq!(
+                        got, want,
+                        "seed {seed}, hosts {hosts}: ({s:?}, {d:?}) diverged \
+                         from the oracle at epoch {e}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,11 @@ run cargo test -q
 # Already part of the workspace suite above; named here so a failure is
 # unmistakable in CI logs.
 run cargo test -q -p simarch --test scheduler_equivalence
+# Datapath differential gate (DESIGN.md §2.2.4): the staged batch pipeline
+# and the retained per-op reference walk must match byte-for-byte across
+# the full SchedMode × DatapathMode 2×2 grid, fabric topologies included.
+# This is also where the reference datapath is exercised in CI every run.
+run cargo test -q -p simarch --test datapath_equivalence
 run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 run cargo run --release -p pflint
@@ -67,13 +72,14 @@ echo "==> fig14_fabric --jobs 2 vs serial (byte-identical stdout)"
 ./target/release/fig14_fabric --jobs 2 > "$obs_out/fabric_jobs2.txt"
 diff -u "$obs_out/fabric_serial.txt" "$obs_out/fabric_jobs2.txt"
 
-# Perf gate (PERFORMANCE.md): BENCH_pr9.json must exist and its recorded
-# profiled throughput must not regress below the PR 5 baseline. The gate
+# Perf gate (PERFORMANCE.md): BENCH_pr10.json must exist and its recorded
+# profiled throughput must not regress below the PR 9 baseline. The gate
 # reads the committed files — it does not re-measure — so it catches a
 # forgotten `scripts/bench.sh` run after perf-relevant changes. Both the
 # serial/--jobs 2 diffs above and the goldens ran under the event wheel
-# (the default scheduler), so this is the last wheel-specific gate.
-run cargo run --release -p bench --bin perfbench -- --gate BENCH_pr5.json
+# and the batched datapath (the defaults), so this is the last gate
+# specific to those hot paths.
+run cargo run --release -p bench --bin perfbench -- --gate BENCH_pr9.json
 
 # Fleet-mode smoke (FLEET.md): a small sharded fleet serves a live
 # /metrics scrape whose Prometheus exposition validates (TYPE lines,
